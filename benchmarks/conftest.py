@@ -1,0 +1,46 @@
+"""Shared workload fixtures for the benchmark suite.
+
+The corpus is kept laptop-sized; `python -m repro.bench.report` runs the
+full JMH-style protocol (20+20 iterations) and the claim checks, while
+these pytest-benchmark entries give per-bar timings and regression
+tracking.  Tune via environment variables:
+
+* ``REPRO_BENCH_LINES`` (default 40)
+* ``REPRO_BENCH_WORDS`` (default 8)
+"""
+
+import os
+
+import pytest
+
+from repro.bench.embedded import EmbeddedSuite
+from repro.bench.workloads import HEAVY, LIGHT, expected_total, generate_lines
+
+LINES = int(os.environ.get("REPRO_BENCH_LINES", "40"))
+WORDS = int(os.environ.get("REPRO_BENCH_WORDS", "8"))
+CHUNK = 100
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_lines(num_lines=LINES, words_per_line=WORDS)
+
+
+@pytest.fixture(scope="session")
+def light_reference(corpus):
+    return expected_total(corpus, LIGHT)
+
+
+@pytest.fixture(scope="session")
+def heavy_reference(corpus):
+    return expected_total(corpus, HEAVY)
+
+
+@pytest.fixture(scope="session")
+def light_suite(corpus):
+    return EmbeddedSuite(corpus, LIGHT, chunk_size=CHUNK)
+
+
+@pytest.fixture(scope="session")
+def heavy_suite(corpus):
+    return EmbeddedSuite(corpus, HEAVY, chunk_size=CHUNK)

@@ -1,0 +1,51 @@
+"""Ablation A3 — the method-body cache (Figure 5: "For optimization the
+iterator body is cached in a stack upon method return, and then reused").
+
+Measures the embedded Sequential word count with the cache enabled vs
+globally disabled; the difference is the per-invocation cost of
+rebuilding reified parameters, temporaries, and the body tree.
+"""
+
+import pytest
+
+from repro.runtime.cache import MethodBodyCache
+from repro.bench.embedded import EmbeddedSuite
+from repro.bench.workloads import LIGHT, expected_total, generate_lines
+
+LINES = generate_lines(num_lines=24, words_per_line=8)
+REFERENCE = expected_total(LINES, LIGHT)
+
+
+@pytest.fixture
+def suite():
+    return EmbeddedSuite(LINES, LIGHT, chunk_size=64)
+
+
+def test_cache_enabled(benchmark, suite):
+    benchmark.group = "ablation-method-cache"
+    benchmark.extra_info["cache"] = "enabled"
+    assert benchmark(suite.sequential) == pytest.approx(REFERENCE)
+
+
+def test_cache_disabled(benchmark, suite):
+    benchmark.group = "ablation-method-cache"
+    benchmark.extra_info["cache"] = "disabled"
+    MethodBodyCache.enabled_globally = False
+    try:
+        assert benchmark(suite.sequential) == pytest.approx(REFERENCE)
+    finally:
+        MethodBodyCache.enabled_globally = True
+
+
+def test_cache_hit_rate_is_high(suite):
+    """Sanity companion (not a timing): after warm-up, nearly every call
+    reuses a parked body."""
+    suite.sequential()
+    cache = suite.namespace["_method_cache"]
+    before = cache.stats()
+    suite.sequential()
+    after = cache.stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    assert hits > 0
+    assert hits >= misses * 5

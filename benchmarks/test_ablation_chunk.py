@@ -1,0 +1,44 @@
+"""Ablation A2 — chunk size for map-reduce (Figure 4 uses 1000).
+
+Small chunks spawn many task pipes (coordination-heavy); large chunks
+serialize the work into few tasks.  The sweep exposes the trade-off the
+paper's ``DataParallel(1000)`` constant bakes in.
+"""
+
+import pytest
+
+from repro.bench.embedded import EmbeddedSuite
+from repro.bench.workloads import LIGHT, expected_total, generate_lines
+
+LINES = generate_lines(num_lines=32, words_per_line=8)
+REFERENCE = expected_total(LINES, LIGHT)
+
+
+@pytest.mark.parametrize("chunk_size", [2, 8, 32, 128, 512])
+def test_chunk_size_sweep(benchmark, chunk_size):
+    suite = EmbeddedSuite(LINES, LIGHT, chunk_size=chunk_size)
+    benchmark.group = "ablation-chunk-size"
+    benchmark.extra_info["chunk_size"] = chunk_size
+    result = benchmark(suite.mapreduce)
+    assert result == pytest.approx(REFERENCE)
+
+
+@pytest.mark.parametrize("chunk_size", [2, 32, 512])
+def test_chunk_size_host_dataparallel(benchmark, chunk_size):
+    """The host-level DataParallel under the same sweep, for contrast."""
+    from repro.coexpr.dataparallel import DataParallel
+
+    words = [w for line in LINES for w in line.split()]
+    dp = DataParallel(chunk_size=chunk_size)
+    benchmark.group = "ablation-chunk-size-host"
+    benchmark.extra_info["chunk_size"] = chunk_size
+
+    def run():
+        return dp.reduce(
+            lambda w: LIGHT.hash_number(LIGHT.word_to_number(w)),
+            words,
+            lambda a, b: a + b,
+            0.0,
+        )
+
+    assert benchmark(run) == pytest.approx(REFERENCE)

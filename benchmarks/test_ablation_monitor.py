@@ -1,0 +1,74 @@
+"""Ablation A6 — the cost of monitoring probes (the §IX exploration).
+
+Monitoring is a post-transformation wrapping pass, so its cost is pure
+per-event overhead; this bench quantifies it on the embedded sequential
+word count: untraced vs traced-with-buffer vs traced-with-null-sink.
+
+Note on granularity: instrumentation wraps the *instrumented tree* — here
+the top-level invocation expression.  Method bodies constructed inside a
+call are not auto-wrapped, so probes cost only where they are placed;
+the small deltas measured here are exactly that locality property.
+"""
+
+import pytest
+
+from repro.lang.interp import JuniconInterpreter
+from repro.monitor import Tracer
+from repro.bench.workloads import LIGHT, expected_total, generate_lines
+
+LINES = generate_lines(num_lines=12, words_per_line=6)
+REFERENCE = expected_total(LINES, LIGHT)
+
+PROGRAM = """
+def hash_all() {
+    local total, line, w;
+    total := 0.0;
+    every line := !LINES do
+        every w := !line::split() do
+            total +:= HASH(W2N(w));
+    return total;
+}
+"""
+
+
+def make_session():
+    interp = JuniconInterpreter()
+    interp.load(PROGRAM)
+    interp.namespace.update(
+        LINES=LINES, W2N=LIGHT.word_to_number, HASH=LIGHT.hash_number
+    )
+    return interp
+
+
+def test_untraced(benchmark):
+    interp = make_session()
+    benchmark.group = "ablation-monitoring"
+    benchmark.extra_info["mode"] = "untraced"
+    result = benchmark(lambda: interp.eval("hash_all()"))
+    assert result == pytest.approx(REFERENCE)
+
+
+def test_traced(benchmark):
+    interp = make_session()
+    tracer = Tracer(max_events=1000)
+
+    def run():
+        node = tracer.instrument(interp.expression("hash_all()"))
+        return node.first()
+
+    benchmark.group = "ablation-monitoring"
+    benchmark.extra_info["mode"] = "traced"
+    assert benchmark(run) == pytest.approx(REFERENCE)
+
+
+def test_traced_null_sink(benchmark):
+    interp = make_session()
+
+    def run():
+        tracer = Tracer(sink=lambda event: None, max_events=100)
+        node = tracer.instrument(interp.expression("hash_all()"))
+        return node.first()
+
+    benchmark.group = "ablation-monitoring"
+    benchmark.extra_info["mode"] = "traced+sink"
+    assert benchmark(run) == pytest.approx(REFERENCE)

@@ -1,0 +1,39 @@
+"""Ablation A1 — output-queue capacity (paper III.B: "Bounding the output
+queue buffer size can also be used to throttle a threaded co-expression").
+
+Sweeps the pipe's channel bound for the embedded Pipeline variant:
+capacity 1 forces lock-step handoff per element; unbounded (0) lets the
+producer run ahead.  The crossover quantifies the synchronization cost of
+throttling.
+"""
+
+import pytest
+
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.pipe import Pipe
+from repro.bench.workloads import LIGHT
+
+ELEMENTS = 2000
+
+
+def drain(capacity: int) -> int:
+    word_to_number = LIGHT.word_to_number
+    hash_number = LIGHT.hash_number
+
+    def producer():
+        for i in range(ELEMENTS):
+            yield word_to_number(format(i, "x"))
+
+    pipe = Pipe(CoExpression(producer), capacity=capacity)
+    count = 0
+    for value in pipe:
+        hash_number(value)
+        count += 1
+    return count
+
+
+@pytest.mark.parametrize("capacity", [1, 4, 16, 64, 256, 0])
+def test_queue_capacity_sweep(benchmark, capacity):
+    benchmark.group = "ablation-queue-capacity"
+    benchmark.extra_info["capacity"] = capacity or "unbounded"
+    assert benchmark(lambda: drain(capacity)) == ELEMENTS

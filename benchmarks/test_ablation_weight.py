@@ -1,0 +1,55 @@
+"""Ablation A4 — task weight vs relative overhead (the mechanism behind
+Figure 6's left-to-right shrinkage: "as the weight of the computational
+nodes increases, the relative overhead of the embedded concurrent
+generators significantly decreases").
+
+Sweeps a synthetic hash weight and benchmarks the embedded and native
+sequential variants at each point; the ratio trend is the paper's claim
+C2 as a curve rather than two endpoints.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.embedded import EmbeddedSuite
+from repro.bench.workloads import Weight, expected_total, generate_lines
+
+LINES = generate_lines(num_lines=16, words_per_line=6)
+
+
+def make_weight(rounds: int) -> Weight:
+    def word_to_number(word: str) -> int:
+        return int(str(word), 36)
+
+    def hash_number(number: int) -> float:
+        x = math.sqrt(float(number))
+        for i in range(1, rounds + 1):
+            x += math.sin(x / i)
+        return x
+
+    return Weight(f"rounds{rounds}", word_to_number, hash_number)
+
+
+WEIGHT_POINTS = [0, 8, 64, 512]
+
+
+@pytest.mark.parametrize("rounds", WEIGHT_POINTS)
+def test_weight_sweep_embedded(benchmark, rounds):
+    weight = make_weight(rounds)
+    suite = EmbeddedSuite(LINES, weight, chunk_size=100)
+    benchmark.group = f"ablation-weight-{rounds}"
+    benchmark.extra_info["suite"] = "junicon"
+    result = benchmark(suite.sequential)
+    assert result == pytest.approx(expected_total(LINES, weight))
+
+
+@pytest.mark.parametrize("rounds", WEIGHT_POINTS)
+def test_weight_sweep_native(benchmark, rounds):
+    from repro.bench.native import native_sequential
+
+    weight = make_weight(rounds)
+    benchmark.group = f"ablation-weight-{rounds}"
+    benchmark.extra_info["suite"] = "native"
+    result = benchmark(lambda: native_sequential(LINES, weight))
+    assert result == pytest.approx(expected_total(LINES, weight))

@@ -1,0 +1,38 @@
+"""Ablation A5 — worker-thread budget for the data-parallel decomposition.
+
+The paper leans on the JVM's pool management (Section V.D); here the
+scheduler's concurrency cap is swept.  Under CPython's GIL the curve is
+expected to be flat-to-worse for CPU-bound mapping — which is exactly the
+substrate difference DESIGN.md documents — while staying correct.
+"""
+
+import operator
+
+import pytest
+
+from repro.coexpr.dataparallel import DataParallel
+from repro.coexpr.scheduler import PipeScheduler, use_scheduler
+from repro.bench.workloads import LIGHT, generate_lines
+
+LINES = generate_lines(num_lines=24, words_per_line=8)
+WORDS = [w for line in LINES for w in line.split()]
+EXPECTED = sum(LIGHT.hash_number(LIGHT.word_to_number(w)) for w in WORDS)
+
+
+def run(max_workers):
+    scheduler = PipeScheduler(max_workers=max_workers)
+    with use_scheduler(scheduler):
+        dp = DataParallel(chunk_size=16)
+        return dp.reduce(
+            lambda w: LIGHT.hash_number(LIGHT.word_to_number(w)),
+            WORDS,
+            operator.add,
+            0.0,
+        )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8, None])
+def test_worker_budget_sweep(benchmark, workers):
+    benchmark.group = "ablation-workers"
+    benchmark.extra_info["max_workers"] = workers or "unlimited"
+    assert benchmark(lambda: run(workers)) == pytest.approx(EXPECTED)

@@ -1,0 +1,53 @@
+"""Figure 6 — all sixteen bars as pytest-benchmark entries.
+
+Eight variants per weight class: {Junicon, Native} × {Sequential,
+Pipeline, DataParallel, MapReduce}, over the lightweight and heavyweight
+hash functions.  Compare group means to read off the paper's normalized
+bars; ``python -m repro.bench.report`` prints them directly with 99% CIs
+and the claim checks.
+"""
+
+import pytest
+
+from repro.bench.native import NATIVE_VARIANTS
+from repro.bench.workloads import HEAVY, LIGHT
+
+VARIANTS = ("Sequential", "Pipeline", "DataParallel", "MapReduce")
+
+
+# -- lightweight (Figure 6, left) --------------------------------------------
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_light_native(benchmark, corpus, light_reference, variant):
+    fn = NATIVE_VARIANTS[variant]
+    benchmark.group = "figure6-light"
+    result = benchmark(lambda: fn(corpus, LIGHT))
+    assert result == pytest.approx(light_reference)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_light_junicon(benchmark, light_suite, light_reference, variant):
+    runner = light_suite.variant(variant)
+    benchmark.group = "figure6-light"
+    result = benchmark(runner)
+    assert result == pytest.approx(light_reference)
+
+
+# -- heavyweight (Figure 6, right) --------------------------------------------
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_heavy_native(benchmark, corpus, heavy_reference, variant):
+    fn = NATIVE_VARIANTS[variant]
+    benchmark.group = "figure6-heavy"
+    result = benchmark(lambda: fn(corpus, HEAVY))
+    assert result == pytest.approx(heavy_reference)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_heavy_junicon(benchmark, heavy_suite, heavy_reference, variant):
+    runner = heavy_suite.variant(variant)
+    benchmark.group = "figure6-heavy"
+    result = benchmark(runner)
+    assert result == pytest.approx(heavy_reference)

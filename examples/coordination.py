@@ -1,0 +1,101 @@
+"""High-level coordination of native computations (paper §I, §IV).
+
+The paper's motivating use: "the use of concurrent generators for
+high-level coordination among larger-grained processes expressed in other
+languages."  Here embedded Junicon coordinates a staged numerical
+workflow whose heavy lifting is numpy (the "more efficient language"):
+Junicon owns the dataflow — chunking, piping, joining — while numpy owns
+the math.  Run:
+
+    python examples/coordination.py
+"""
+
+import numpy as np
+
+from repro.coexpr import Future, coexpr, pipe, results
+from repro.lang import JuniconInterpreter
+
+RNG = np.random.default_rng(7)
+
+
+# ---------------------------------------------------------------------------
+# The "larger-grained processes" — coarse native tasks.
+# ---------------------------------------------------------------------------
+
+
+def make_batches(count: int, size: int):
+    """Produce `count` random matrices (the ingest stage)."""
+    for _ in range(count):
+        yield RNG.standard_normal((size, size))
+
+
+def factorize(batch: np.ndarray) -> np.ndarray:
+    """Heavy native stage: QR factorization, keep R's diagonal."""
+    _q, r = np.linalg.qr(batch)
+    return np.abs(np.diag(r))
+
+
+def summarize(diag: np.ndarray) -> float:
+    """Second native stage: condition-number-ish summary."""
+    return float(diag.max() / diag.min())
+
+
+# ---------------------------------------------------------------------------
+# Junicon as the coordination language.
+# ---------------------------------------------------------------------------
+
+COORDINATOR = """
+# Chain the native stages into a two-thread pipeline and keep only the
+# well-conditioned batches: the whole dataflow policy in three lines.
+def well_conditioned(limit) {
+    suspend (s := SUMMARIZE( ! |> FACTORIZE(BATCHES()) )) & (s < limit) & s;
+}
+"""
+
+
+def junicon_coordination() -> None:
+    print("== Junicon coordinating numpy stages ==")
+    interp = JuniconInterpreter()
+    interp.namespace.update(
+        BATCHES=lambda: make_batches(count=12, size=40),
+        FACTORIZE=factorize,
+        SUMMARIZE=summarize,
+    )
+    interp.load(COORDINATOR)
+    kept = interp.results("well_conditioned(20.0)")
+    print(f"  {len(kept)} of 12 batches pass the conditioning filter (limit 20)")
+    for value in kept[:5]:
+        print(f"    summary = {value:8.2f}")
+    assert all(v < 20.0 for v in kept)
+
+
+def host_futures_fanout() -> None:
+    print("\n== fan-out with futures, join in order ==")
+    sizes = [30, 60, 90]
+
+    def task(size):
+        def body():
+            batch = RNG.standard_normal((size, size))
+            yield summarize(factorize(batch))
+
+        return Future(coexpr(body, name=f"qr-{size}"))
+
+    futures = [task(size) for size in sizes]   # all running
+    for size, future in zip(sizes, futures):
+        print(f"  size {size:>3}: summary = {future.get():8.2f}")
+
+
+def streamed_pipeline() -> None:
+    print("\n== streaming pipe: consume while producing ==")
+    stage = pipe(
+        lambda: (summarize(factorize(b)) for b in make_batches(6, 50)),
+        capacity=2,  # throttle the producer two batches ahead
+    )
+    values = list(results(stage))
+    print(f"  streamed {len(values)} summaries, mean = {np.mean(values):.2f}")
+
+
+if __name__ == "__main__":
+    junicon_coordination()
+    host_futures_fanout()
+    streamed_pipeline()

@@ -1,0 +1,110 @@
+"""A backtracking recursive-descent parser written in Junicon.
+
+String scanning plus goal-directed evaluation is Icon's signature
+application: alternation *is* grammar choice, failure *is* backtracking,
+and suspend *is* ambiguity.  This demo builds an arithmetic-expression
+evaluator whose grammar productions are ordinary Junicon generator
+procedures.  Run:
+
+    python examples/expression_parser.py
+"""
+
+from repro.lang import JuniconInterpreter
+from repro.runtime.failure import FAIL
+
+GRAMMAR = r"""
+# expr    := term (('+' | '-') term)*
+# term    := factor (('*' | '/') factor)*
+# factor  := number | '(' expr ')'
+# Each production parses at &pos and returns its value; a production
+# fails if the input doesn't match, and the scanning position backtracks
+# with the surrounding expression.
+
+def ws() { tab(many(' ')); return; }
+
+def number() {
+    local s;
+    ws();
+    s := tab(many(&digits)) | fail;
+    return integer(s);
+}
+
+def factor() {
+    local v;
+    ws();
+    if ="(" then {
+        v := expr();
+        ws();
+        =")" | fail;
+        return v;
+    };
+    return number();
+}
+
+def term() {
+    local v, op, rhs;
+    v := factor() | fail;
+    repeat {
+        ws();
+        op := ="*" | ="/" | break;
+        rhs := factor() | fail;
+        v := if op == "*" then v * rhs else v / rhs;
+    };
+    return v;
+}
+
+def expr() {
+    local v, op, rhs;
+    v := term() | fail;
+    repeat {
+        ws();
+        op := ="+" | ="-" | break;
+        rhs := term() | fail;
+        v := if op == "+" then v + rhs else v - rhs;
+    };
+    return v;
+}
+
+def calc(s) {
+    local v;
+    s ? {
+        v := expr() | fail;        # a failing parse fails the whole call
+        ws();
+        pos(0) | fail;             # must consume the entire input
+        return v;
+    };
+}
+"""
+
+CASES = [
+    ("2 + 3 * 4", 14),
+    ("(2 + 3) * 4", 20),
+    ("100 / 5 / 2", 10),
+    ("1 + 2 - 3 + 4", 4),
+    ("((7))", 7),
+    ("2 * (3 + (4 - 1))", 12),
+]
+
+BAD = ["2 +", "(1", "4 5", ""]
+
+
+def main() -> None:
+    interp = JuniconInterpreter()
+    interp.load(GRAMMAR)
+
+    print("== parsing and evaluating with goal-directed productions ==")
+    for source, expected in CASES:
+        got = interp.namespace["calc"](source).first()
+        status = "ok" if got == expected else f"MISMATCH (want {expected})"
+        print(f"  {source:<22} => {got!r:<6} {status}")
+        assert got == expected
+
+    print("\n== malformed input simply fails (no exceptions) ==")
+    for source in BAD:
+        result = interp.namespace["calc"](source).first()
+        print(f"  {source!r:<10} => {'«failure»' if result is FAIL else result}")
+        assert result is FAIL
+
+
+if __name__ == "__main__":
+    main()

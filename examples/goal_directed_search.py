@@ -1,0 +1,99 @@
+"""Goal-directed search — backtracking as the evaluation strategy.
+
+The substrate the concurrency model rides on: every expression is a
+generator, products search their cross-space, and failure drives
+backtracking.  Three classic searches plus string scanning.  Run:
+
+    python examples/goal_directed_search.py
+"""
+
+from repro.lang import JuniconInterpreter
+
+
+def pythagorean_triples(interp: JuniconInterpreter) -> None:
+    print("== Pythagorean triples by pure search ==")
+    triples = interp.results(
+        "(a := 1 to 20) & (b := a to 20) & (c := b to 28) &"
+        " (a * a + b * b == c * c) & [a, b, c]"
+    )
+    for a, b, c in triples:
+        print(f"  {a}^2 + {b}^2 = {c}^2")
+
+
+def n_queens(interp: JuniconInterpreter, n: int = 6) -> None:
+    print(f"\n== {n}-queens via suspend-driven backtracking ==")
+    interp.load(
+        """
+        def queens_ok(placed, col, row) {
+            local i;
+            every i := 1 to *placed do {
+                if placed[i] == row then fail;
+                if placed[i] - row == i - col then fail;
+                if row - placed[i] == i - col then fail;
+            };
+            return row;
+        }
+
+        def solve(n) {
+            local placed;
+            placed := [];
+            suspend place_next(placed, 1, n);
+        }
+
+        def place_next(placed, col, n) {
+            local row;
+            if col > n then return copy(placed);
+            every row := 1 to n do {
+                if queens_ok(placed, col, row) then {
+                    put(placed, row);
+                    suspend place_next(placed, col + 1, n);
+                    pull(placed);
+                };
+            };
+        }
+        """
+    )
+    solutions = interp.results(f"solve({n}) \\ 4")
+    print(f"  first {len(solutions)} solutions (rows per column):")
+    for solution in solutions:
+        print("   ", solution)
+    total = len(interp.results(f"solve({n})"))
+    print(f"  total solutions for n={n}: {total}")
+    assert total == {4: 2, 5: 10, 6: 4, 7: 40, 8: 92}[n]
+
+
+def word_frequency(interp: JuniconInterpreter) -> None:
+    print("\n== word frequency via string scanning ==")
+    interp.load(
+        r"""
+        def words(s) {
+            s ? while tab(upto(&letters)) do
+                suspend map(tab(many(&letters))) \ 1;
+        }
+
+        def frequencies(lines) {
+            local t, line, w;
+            t := table(0);
+            every line := !lines do
+                every w := words(line) do t[w] +:= 1;
+            return t;
+        }
+        """
+    )
+    lines = [
+        "The quick brown fox jumps over the lazy dog",
+        "The dog barks and the fox runs",
+    ]
+    interp.namespace["LINES"] = lines
+    table = interp.eval("frequencies(LINES)")
+    top = sorted(table.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    for word, count in top:
+        print(f"  {word:<6} {count}")
+    assert table["the"] == 4 and table["fox"] == 2
+
+
+if __name__ == "__main__":
+    session = JuniconInterpreter()
+    pythagorean_triples(session)
+    n_queens(session)
+    word_frequency(session)

@@ -1,0 +1,79 @@
+"""Figure 2 — the two decompositions the calculus expresses.
+
+*Pipeline* (fixed-code): each stage owns a thread and the entire stream;
+data flows between stages through blocking queues.
+
+*Data-parallel* (fixed-data): the stream is chunked and every thread
+applies the whole function chain to its chunk.
+
+This demo runs a two-stage hash computation both ways, checks they agree,
+and prints where the time went.  Run:
+
+    python examples/pipeline_vs_dataparallel.py
+"""
+
+import math
+import time
+
+from repro.coexpr import DataParallel, pipeline
+
+
+def stage_one(word: str) -> int:
+    """words -> numbers (the paper's wordToNumber)."""
+    return int(word, 36)
+
+
+def stage_two(number: int) -> float:
+    """numbers -> hashes (the paper's hashNumber)."""
+    return math.sqrt(float(number))
+
+
+def make_words(count: int) -> list:
+    return [format(7919 * (i + 1), "x") for i in range(count)]
+
+
+def run_pipeline(words: list, capacity: int) -> float:
+    """f(! |> s): stage_one in its own thread, stage_two in another."""
+    chain = pipeline(words, stage_one, stage_two, capacity=capacity)
+    return sum(chain)
+
+
+def run_data_parallel(words: list, chunk_size: int) -> float:
+    """every (c := chunk(s)) do |> f(!c): whole chain per chunk."""
+    dp = DataParallel(chunk_size=chunk_size)
+    return sum(dp.map_flat(lambda w: stage_two(stage_one(w)), words))
+
+
+def main() -> None:
+    words = make_words(20_000)
+    reference = sum(stage_two(stage_one(w)) for w in words)
+
+    print(f"{len(words)} words; reference total = {reference:.3f}\n")
+    print(f"{'model':<24} {'params':<16} {'ms':>8}  total")
+
+    for capacity in (1, 64, 0):
+        start = time.perf_counter()
+        total = run_pipeline(words, capacity)
+        elapsed = (time.perf_counter() - start) * 1e3
+        label = f"capacity={capacity or 'inf'}"
+        print(f"{'pipeline':<24} {label:<16} {elapsed:>8.2f}  {total:.3f}")
+        assert abs(total - reference) < 1e-6
+
+    for chunk_size in (500, 2000, 10_000):
+        start = time.perf_counter()
+        total = run_data_parallel(words, chunk_size)
+        elapsed = (time.perf_counter() - start) * 1e3
+        label = f"chunk={chunk_size}"
+        print(f"{'data-parallel':<24} {label:<16} {elapsed:>8.2f}  {total:.3f}")
+        assert abs(total - reference) < 1e-6
+
+    print(
+        "\nNote: under CPython's GIL these CPU-bound stages do not gain "
+        "wall-clock speedup from threads;\nthe point is the *shape* — both "
+        "decompositions express the same computation through the calculus\n"
+        "(see DESIGN.md, host-substitution notes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

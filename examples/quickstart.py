@@ -1,0 +1,103 @@
+"""Quickstart — the concurrent-generators calculus from plain Python.
+
+Covers the paper's Figure 1 operators through the host-facing API
+(`repro.coexpr`), then a taste of embedded Junicon.  Run:
+
+    python examples/quickstart.py
+"""
+
+import math
+
+from repro import (
+    DataParallel,
+    FAIL,
+    activate,
+    coexpr,
+    future,
+    pipe,
+    pipeline,
+    promote,
+    refresh,
+)
+from repro.lang import JuniconInterpreter
+
+
+def first_class_generators() -> None:
+    print("== first-class generators (<>e, @c, !c, ^c) ==")
+    # <>e — reify a generator; @ steps it explicitly.
+    gen = coexpr(lambda: (n * n for n in range(1, 6)), name="squares")
+    print("stepping:", activate(gen), activate(gen), activate(gen))
+
+    # !c — promote the rest back into an ordinary stream.
+    print("remaining:", list(promote(gen)))
+    print("exhausted:", activate(gen) is FAIL)
+
+    # ^c — a fresh copy from the creation environment.
+    print("refreshed:", list(promote(refresh(gen))))
+    print()
+
+
+def pipes_and_pipelines() -> None:
+    print("== pipes (|>e): the generator proxy in its own thread ==")
+    # A pipe runs its expression in a worker thread; consuming it overlaps
+    # with production through a blocking queue (capacity throttles).
+    squares = pipe(lambda: (n * n for n in range(8)), capacity=2)
+    print("piped:", list(squares))
+
+    # Chained stages — each in its own thread (Figure 2's pipeline).
+    chain = pipeline(range(10), lambda x: 3 * x + 1, math.sqrt)
+    print("pipeline:", [round(v, 2) for v in chain])
+    print()
+
+
+def futures() -> None:
+    print("== futures: the singleton pipe ==")
+    answer = future(lambda: iter([6 * 7]))
+    print("future value:", answer.get())
+    print()
+
+
+def map_reduce() -> None:
+    print("== map-reduce from chunks of piped tasks (Figure 4) ==")
+    dp = DataParallel(chunk_size=250)
+    total = dp.reduce(
+        lambda n: math.sqrt(n), range(1, 10_001), lambda a, b: a + b, 0.0
+    )
+    print(f"sum of sqrt(1..10000) = {total:.2f}")
+    print()
+
+
+def embedded_junicon() -> None:
+    print("== embedded Junicon: goal-directed evaluation ==")
+    interp = JuniconInterpreter()
+    # Every expression is a generator; the product searches.
+    print("(1 to 2) * (4 to 7)  =>", interp.results("(1 to 2) * (4 to 7)"))
+
+    interp.load(
+        """
+        def isprime(n) {
+            local d;
+            if n < 2 then fail;
+            every d := 2 to n - 1 do { if n % d == 0 then fail; };
+            return n;
+        }
+        """
+    )
+    print(
+        "(1 to 2) * isprime(4 to 7)  =>",
+        interp.results("(1 to 2) * isprime(4 to 7)"),
+    )
+
+    # The same concurrency operators inside the language:
+    print(
+        "! |> isprime(2 to 20)  =>",
+        interp.results("! |> isprime(2 to 20)"),
+    )
+
+
+if __name__ == "__main__":
+    first_class_generators()
+    pipes_and_pipelines()
+    futures()
+    map_reduce()
+    embedded_junicon()

@@ -1,0 +1,106 @@
+"""repro — concurrent generators for Python.
+
+A production-grade reproduction of Mills & Jeffery, *Embedding Concurrent
+Generators* (IPDPS HIPS 2016): goal-directed evaluation with pervasive
+generators, a calculus of explicit concurrency (co-expressions and
+multithreaded generator proxies — *pipes*), higher-order abstractions such
+as map-reduce built from them, and a mixed-language embedding pipeline
+(scoped annotations, normalization by generator flattening, transformation
+to host Python, and an interactive interpreter).
+
+Three entry levels:
+
+* **Calculus in plain Python** — ``repro.coexpr``: :func:`pipe`,
+  :func:`coexpr`, :func:`activate`, :func:`promote`, :class:`DataParallel`,
+  :func:`pipeline` …
+* **Goal-directed runtime** — ``repro.runtime``: the suspendable,
+  failure-driven iterator kernel and Icon's operator/builtin semantics.
+* **Embedded Junicon** — ``repro.lang`` / ``repro.harness``: compile or
+  interpret Junicon source, embed it in Python modules with
+  ``@<script lang="junicon"> … @</script>`` scoped annotations.
+"""
+
+from .errors import (
+    AnnotationError,
+    ChannelClosedError,
+    ConcurrencyError,
+    IconError,
+    InterpreterError,
+    LanguageError,
+    LexError,
+    ParseError,
+    PipeError,
+    ReproError,
+    TransformError,
+)
+from .runtime import FAIL, IconIterator, icon_function
+from .coexpr import (
+    Channel,
+    CoExpression,
+    DataParallel,
+    Future,
+    MVar,
+    Pipe,
+    PipeScheduler,
+    activate,
+    coexpr,
+    first_class,
+    future,
+    map_reduce,
+    pipe,
+    pipeline,
+    promote,
+    refresh,
+    results,
+    stage,
+    use_scheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationError",
+    "Channel",
+    "ChannelClosedError",
+    "CoExpression",
+    "ConcurrencyError",
+    "DataParallel",
+    "FAIL",
+    "Future",
+    "IconError",
+    "IconIterator",
+    "InterpreterError",
+    "LanguageError",
+    "LexError",
+    "MVar",
+    "ParseError",
+    "Pipe",
+    "PipeError",
+    "PipeScheduler",
+    "ReproError",
+    "TransformError",
+    "activate",
+    "coexpr",
+    "first_class",
+    "future",
+    "icon_function",
+    "map_reduce",
+    "pipe",
+    "pipeline",
+    "promote",
+    "refresh",
+    "results",
+    "stage",
+    "use_scheduler",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports for the heavier language/harness layers so that using
+    # just the calculus doesn't pay their import cost.
+    if name in ("compile_junicon", "transform_source", "JuniconInterpreter"):
+        from . import lang
+
+        return getattr(lang, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,52 @@
+"""Benchmark suites and measurement harness for the Figure 6 evaluation.
+
+``python -m repro.bench.report`` regenerates the paper's Figure 6 (both
+weight classes, normalized to the native map-reduce baseline, 99% CIs)
+and checks the paper's claims C1–C3.  The pytest-benchmark front-ends in
+``benchmarks/`` drive the same code per-bar.
+"""
+
+from .workloads import (
+    HEAVY,
+    LIGHT,
+    WEIGHTS,
+    Weight,
+    calibrate_weight,
+    expected_total,
+    generate_lines,
+)
+from .native import (
+    NATIVE_VARIANTS,
+    native_dataparallel,
+    native_mapreduce,
+    native_pipeline,
+    native_sequential,
+)
+from .embedded import EMBEDDED_VARIANTS, JUNICON_PROGRAM, EmbeddedSuite
+from .harness import Figure6Result, Figure6Row, Measurement, measure, run_figure6
+from .report import check_claims, format_report
+
+__all__ = [
+    "EMBEDDED_VARIANTS",
+    "EmbeddedSuite",
+    "Figure6Result",
+    "Figure6Row",
+    "HEAVY",
+    "JUNICON_PROGRAM",
+    "LIGHT",
+    "Measurement",
+    "NATIVE_VARIANTS",
+    "WEIGHTS",
+    "Weight",
+    "calibrate_weight",
+    "check_claims",
+    "expected_total",
+    "format_report",
+    "generate_lines",
+    "measure",
+    "native_dataparallel",
+    "native_mapreduce",
+    "native_pipeline",
+    "native_sequential",
+    "run_figure6",
+]

@@ -1,0 +1,146 @@
+"""The embedded (Junicon) suite — the paper's Figure 3/4 programs.
+
+Section VII: "The suite of embedded Unicon programs consisted of a
+sequential word-count, a pipeline-parallel word-count that split the hash
+function into two tasks, a map-reduce word-count that spread the hash
+function and its summation reduction over chunks of data, and a
+data-parallel word-count that only differed in performing summation over
+the sequence returned from flattening the chunks."
+
+The programs below are real Junicon source, compiled through the
+transformation pipeline (parse → normalize → transform → exec), exactly
+as an embedded program would be.  The host supplies the corpus and the
+hash components through globals (``LINES``, ``WORD_TO_NUMBER``,
+``HASH_NUMBER``, ``CHUNK_SIZE``), mirroring Figure 3's mixed-language
+calls onto Java methods.
+
+Dialect note: where Figure 4 writes ``chunk(<>s)`` over a method
+reference, this dialect reifies the *invocation*, ``chunk(<>s())`` — our
+``<>`` lifts an expression, and Icon-faithful invocation delegates
+generation (DESIGN.md, "Host-language substitution").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..lang.interp import JuniconInterpreter
+from .workloads import Weight
+
+#: The Figure 3 word-count methods plus the four run variants, in Junicon.
+JUNICON_PROGRAM = r"""
+def readLines() { suspend ! LINES; }
+
+def splitWords(line) { suspend ! line::split(); }
+
+def hashWords(line) {
+    suspend HASH_NUMBER(WORD_TO_NUMBER(splitWords(line)));
+}
+
+def sumHash(sofar, h) { return sofar + h; }
+
+# -- sequential: the generator; the host sums (Figure 3's for-loop) ----------
+def seqGen() {
+    suspend hashWords(readLines());
+}
+
+# -- pipeline: the hash function split into two threaded tasks ---------------
+def pipeGen() {
+    suspend HASH_NUMBER( ! |> WORD_TO_NUMBER(splitWords(readLines())) );
+}
+
+# -- Figure 4: DataParallel built from concurrent generators -----------------
+def chunk(e) {
+    local c;
+    c = [];
+    while put(c, @e) do {
+        if *c >= CHUNK_SIZE then { suspend c; c = []; };
+    };
+    if *c > 0 then return c;
+}
+
+def mapReduce(f, s, r, i) {
+    local c, t, tasks;
+    tasks = [];
+    every c = chunk(<>s()) do {
+        t = |> { local x; x = i; every x = r(x, f(!c)); x };
+        tasks::append(t);
+    };
+    suspend ! (! tasks);
+}
+
+def mapFlat(f, s) {
+    local c, t, tasks;
+    tasks = [];
+    every c = chunk(<>s()) do {
+        t = |> f(!c);
+        tasks::append(t);
+    };
+    suspend ! (! tasks);
+}
+
+def mapReduceGen() {
+    suspend mapReduce(hashWords, readLines, sumHash, 0.0);
+}
+
+def dataParallelGen() {
+    suspend mapFlat(hashWords, readLines);
+}
+"""
+
+
+class EmbeddedSuite:
+    """The compiled Junicon word-count programs, bound to one workload."""
+
+    def __init__(
+        self,
+        lines: List[str],
+        weight: Weight,
+        chunk_size: int = 250,
+    ) -> None:
+        self.interp = JuniconInterpreter()
+        self.interp.load(JUNICON_PROGRAM)
+        self.namespace: Dict[str, Any] = self.interp.namespace
+        self.configure(lines, weight, chunk_size)
+
+    def configure(
+        self, lines: List[str], weight: Weight, chunk_size: int | None = None
+    ) -> None:
+        """Rebind the workload without recompiling the programs."""
+        self.namespace["LINES"] = list(lines)
+        self.namespace["WORD_TO_NUMBER"] = weight.word_to_number
+        self.namespace["HASH_NUMBER"] = weight.hash_number
+        if chunk_size is not None:
+            self.namespace["CHUNK_SIZE"] = chunk_size
+
+    def _run(self, name: str) -> float:
+        """Iterate the embedded generator from the host and sum natively —
+        exactly Figure 3's ``for (Object i : @<script …>) total += i``."""
+        total = 0.0
+        for value in self.namespace[name]():
+            total += value
+        return total
+
+    def sequential(self) -> float:
+        return self._run("seqGen")
+
+    def pipeline(self) -> float:
+        return self._run("pipeGen")
+
+    def mapreduce(self) -> float:
+        return self._run("mapReduceGen")
+
+    def dataparallel(self) -> float:
+        return self._run("dataParallelGen")
+
+    def variant(self, name: str):
+        """The runner for a Figure-6 variant name."""
+        return {
+            "Sequential": self.sequential,
+            "Pipeline": self.pipeline,
+            "DataParallel": self.dataparallel,
+            "MapReduce": self.mapreduce,
+        }[name]
+
+
+EMBEDDED_VARIANTS = ("Sequential", "Pipeline", "DataParallel", "MapReduce")

@@ -1,0 +1,134 @@
+"""The native suite — Python standing in for the paper's Java programs.
+
+Section VII: "The suite of Java programs similarly consisted of a
+sequential word-count, a pipelined version built using BlockingQueues over
+two threads, a parallel stream-based version that implemented map-reduce,
+and a data-parallel version that was also stream-based but that split out
+the reduction."
+
+Each variant takes the corpus and a :class:`~repro.bench.workloads.Weight`
+and returns the summed hash — all four must agree with
+:func:`~repro.bench.workloads.expected_total`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List
+
+from .workloads import Weight
+
+#: Chunk size shared with the embedded suite (Figure 4 uses 1000 words).
+CHUNK_SIZE = 250
+#: Queue capacity for the pipelined variant (bounded, as the paper's
+#: BlockingQueues are).
+QUEUE_CAPACITY = 1024
+_SENTINEL = object()
+
+
+def native_sequential(lines: List[str], weight: Weight) -> float:
+    """Plain single-threaded generator-expression word count."""
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+    return sum(
+        hash_number(word_to_number(word)) for line in lines for word in line.split()
+    )
+
+
+def native_pipeline(lines: List[str], weight: Weight) -> float:
+    """Two stages over blocking queues: the hash function split in half.
+
+    Stage 1 (worker thread): split lines, convert words to numbers.
+    Stage 2 (main thread): hash and sum.
+    """
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+    numbers: queue.Queue = queue.Queue(QUEUE_CAPACITY)
+
+    def stage_one() -> None:
+        try:
+            for line in lines:
+                for word in line.split():
+                    numbers.put(word_to_number(word))
+        finally:
+            numbers.put(_SENTINEL)
+
+    worker = threading.Thread(target=stage_one, name="native-pipeline", daemon=True)
+    worker.start()
+    total = 0.0
+    while True:
+        item = numbers.get()
+        if item is _SENTINEL:
+            break
+        total += hash_number(item)
+    worker.join()
+    return total
+
+
+def _chunks(lines: List[str], size: int) -> List[List[str]]:
+    """Word chunks of at most *size* (the map-reduce partitioning)."""
+    words: List[str] = []
+    out: List[List[str]] = []
+    for line in lines:
+        for word in line.split():
+            words.append(word)
+            if len(words) >= size:
+                out.append(words)
+                words = []
+    if words:
+        out.append(words)
+    return out
+
+
+def native_mapreduce(
+    lines: List[str],
+    weight: Weight,
+    chunk_size: int = CHUNK_SIZE,
+    max_workers: int | None = None,
+) -> float:
+    """Thread-pool map-reduce: each chunk maps *and reduces* locally."""
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+
+    def task(chunk: List[str]) -> float:
+        subtotal = 0.0
+        for word in chunk:
+            subtotal += hash_number(word_to_number(word))
+        return subtotal
+
+    chunks = _chunks(lines, chunk_size)
+    with ThreadPoolExecutor(max_workers=max_workers or 4) as pool:
+        return sum(pool.map(task, chunks))
+
+
+def native_dataparallel(
+    lines: List[str],
+    weight: Weight,
+    chunk_size: int = CHUNK_SIZE,
+    max_workers: int | None = None,
+) -> float:
+    """Data-parallel with the reduction split out: chunks map in parallel,
+    the flattened sequence is summed serially by the caller."""
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+
+    def task(chunk: List[str]) -> List[float]:
+        return [hash_number(word_to_number(word)) for word in chunk]
+
+    chunks = _chunks(lines, chunk_size)
+    total = 0.0
+    with ThreadPoolExecutor(max_workers=max_workers or 4) as pool:
+        for mapped in pool.map(task, chunks):
+            for value in mapped:
+                total += value
+    return total
+
+
+NATIVE_VARIANTS = {
+    "Sequential": native_sequential,
+    "Pipeline": native_pipeline,
+    "DataParallel": native_dataparallel,
+    "MapReduce": native_mapreduce,
+}

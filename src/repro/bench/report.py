@@ -1,0 +1,200 @@
+"""Figure 6 report generator — regenerates the paper's evaluation figure.
+
+``python -m repro.bench.report`` (or the ``repro-bench`` console script)
+measures the 8-variant × 2-weight matrix, prints a table and a log-scale
+ASCII rendering of Figure 6 (normalized execution time, whiskers elided
+into a ±CI column), and checks the paper's three claims:
+
+* **C1** — the embedded penalty is "well under an order of magnitude";
+* **C2** — the relative overhead "significantly decreases" as the weight
+  of the computational nodes increases;
+* **C3** — the relative ordering among embedded variants is "roughly
+  consistent" with the ordering among the native variants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List
+
+from .harness import Figure6Result, run_figure6
+from .workloads import calibrate_weight
+
+
+def _bar(normalized: float, width: int = 40, max_value: float = 100.0) -> str:
+    """A log-scale bar from 0.1x to max_value (Figure 6 is log-scale)."""
+    if normalized <= 0:
+        return ""
+    low, high = math.log10(0.1), math.log10(max_value)
+    frac = (math.log10(normalized) - low) / (high - low)
+    return "#" * max(1, int(frac * width))
+
+
+def format_report(result: Figure6Result, out=None) -> str:
+    lines: List[str] = []
+    lines.append(
+        f"Figure 6 — normalized execution time "
+        f"(corpus={result.corpus_lines} lines, "
+        f"{result.warmup} warmup + {result.iterations} test iterations, "
+        f"chunk={result.chunk_size})"
+    )
+    lines.append(
+        "Normalization baseline per weight class: Native/MapReduce "
+        "(the paper's Java parallel stream benchmark)."
+    )
+    weights = sorted({row.weight for row in result.rows}, reverse=True)
+    for weight in weights:
+        lines.append("")
+        lines.append(f"=== {weight}weight ===")
+        lines.append(
+            f"{'suite':<8} {'variant':<13} {'mean(s)':>10} {'±CI99':>10} "
+            f"{'norm':>8}  bar (log scale)"
+        )
+        for suite in ("Junicon", "Native"):
+            for variant in ("Sequential", "Pipeline", "DataParallel", "MapReduce"):
+                row = result.row(weight, suite, variant)
+                lines.append(
+                    f"{suite:<8} {variant:<13} {row.mean:>10.4f} "
+                    f"{row.ci99:>10.4f} {row.normalized:>8.2f}  "
+                    f"{_bar(row.normalized)}"
+                )
+        ratios = result.overhead_ratios(weight)
+        lines.append(
+            "overhead (Junicon/native): "
+            + ", ".join(f"{k}={v:.1f}x" for k, v in ratios.items())
+        )
+    lines.append("")
+    lines.append("--- claims ---")
+    claims = check_claims(result)
+    for claim, (ok, detail) in claims.items():
+        lines.append(f"{claim}: {'PASS' if ok else 'FAIL'} — {detail}")
+    text = "\n".join(lines)
+    if out is not None:
+        print(text, file=out)
+    return text
+
+
+def check_claims(result: Figure6Result) -> dict:
+    """Evaluate the paper's claims C1-C3 against the measured rows."""
+    claims = {}
+    weights = sorted({row.weight for row in result.rows})
+
+    # C1: embedded penalty under an order of magnitude — reported per
+    # weight class.  On this substrate the light half is expected to
+    # exceed 10x for some bars: CPython's native baseline is C-optimized
+    # (int()/sqrt under a thin loop) while the embedded suite is a pure-
+    # Python iterator runtime, and the GIL denies the embedded parallel
+    # variants the multi-core recovery the JVM gave the paper.  See
+    # EXPERIMENTS.md, "Threats".
+    for weight in weights:
+        worst = max(result.overhead_ratios(weight).values())
+        claims[f"C1/{weight} (<10x embedded penalty)"] = (
+            worst < 10.0,
+            f"worst Junicon/native ratio = {worst:.2f}x",
+        )
+
+    # C2: overhead shrinks from light to heavy.
+    if {"light", "heavy"} <= set(weights):
+        light = result.overhead_ratios("light")
+        heavy = result.overhead_ratios("heavy")
+        shrunk = [v for v in light if heavy[v] < light[v]]
+        mean_light = sum(light.values()) / len(light)
+        mean_heavy = sum(heavy.values()) / len(heavy)
+        claims["C2 (overhead shrinks with weight)"] = (
+            mean_heavy < mean_light and len(shrunk) >= 3,
+            f"mean ratio light={mean_light:.2f}x → heavy={mean_heavy:.2f}x; "
+            f"shrank for {len(shrunk)}/4 variants",
+        )
+
+    # C3: embedded ordering tracks native ordering (rank correlation).
+    agreements = []
+    for weight in weights:
+        embedded = result.ordering(weight, "Junicon")
+        native = result.ordering(weight, "Native")
+        # Count pairwise order agreements (Kendall-style).
+        agree = total = 0
+        for i in range(len(embedded)):
+            for j in range(i + 1, len(embedded)):
+                total += 1
+                pair = (embedded[i], embedded[j])
+                if native.index(pair[0]) < native.index(pair[1]):
+                    agree += 1
+        agreements.append(agree / total)
+    mean_agreement = sum(agreements) / len(agreements)
+    claims["C3 (ordering consistent)"] = (
+        mean_agreement >= 0.5,
+        f"pairwise order agreement = {mean_agreement:.0%}",
+    )
+    return claims
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="Regenerate the paper's Figure 6."
+    )
+    parser.add_argument(
+        "--weight",
+        choices=["light", "heavy", "both"],
+        default="both",
+        help="which half of Figure 6 to run",
+    )
+    parser.add_argument("--lines", type=int, default=60, help="corpus size")
+    parser.add_argument("--words", type=int, default=8, help="words per line")
+    parser.add_argument("--warmup", type=int, default=20)
+    parser.add_argument("--iterations", type=int, default=20)
+    parser.add_argument("--chunk", type=int, default=100)
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="also print the measured heavy/light weight factor",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the rows and claim results as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.calibrate:
+        print(f"heavy/light weight factor: {calibrate_weight():.1f}x "
+              f"(paper: ~80x)")
+    weights = ("light", "heavy") if args.weight == "both" else (args.weight,)
+    result = run_figure6(
+        weights=weights,
+        num_lines=args.lines,
+        words_per_line=args.words,
+        warmup=args.warmup,
+        iterations=args.iterations,
+        chunk_size=args.chunk,
+    )
+    format_report(result, out=sys.stdout)
+    if args.json:
+        write_json(result, args.json)
+    return 0
+
+
+def write_json(result: Figure6Result, path: str) -> None:
+    """Persist the measured rows and claim outcomes as JSON."""
+    import dataclasses
+    import json
+
+    payload = {
+        "protocol": {
+            "corpus_lines": result.corpus_lines,
+            "warmup": result.warmup,
+            "iterations": result.iterations,
+            "chunk_size": result.chunk_size,
+        },
+        "rows": [dataclasses.asdict(row) for row in result.rows],
+        "claims": {
+            claim: {"passed": passed, "detail": detail}
+            for claim, (passed, detail) in check_claims(result).items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Word-count workloads for the Figure 6 evaluation (paper Section VII).
+
+The paper's program "takes lines of text, and computes a hash of the lines
+by splitting each line into words, converting the words into numbers
+[base-36 BigInteger], taking their square root, and then summing the
+result".  Two weights of hash function are benchmarked:
+
+* **lightweight** — ``int(word, 36)`` and ``sqrt`` (the Figure 3 bodies);
+* **heavyweight** — "far more heavyweight and computationally intensive
+  hash functions, by a factor of roughly 80, achieved using trigonometry
+  and prime number functions of Java's Math and BigInteger libraries" —
+  reproduced with a trigonometric iteration and a Miller-Rabin
+  probable-prime search over big integers.
+
+Both suites use arbitrary-precision arithmetic — implicit in Python ints,
+as it is in Unicon.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def generate_lines(
+    num_lines: int = 200,
+    words_per_line: int = 10,
+    word_length: int = 4,
+    seed: int = 36,
+) -> List[str]:
+    """A deterministic corpus of base-36 words (the benchmark input)."""
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(num_lines):
+        words = [
+            "".join(rng.choice(_ALPHABET) for _ in range(word_length))
+            for _ in range(words_per_line)
+        ]
+        lines.append(" ".join(words))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Lightweight hash components (Figure 3's wordToNumber / hashNumber).
+# ---------------------------------------------------------------------------
+
+
+def word_to_number_light(word: str) -> int:
+    """``new BigInteger((String) word, 36)``."""
+    return int(str(word), 36)
+
+
+def hash_number_light(number: int) -> float:
+    """``Math.sqrt(word.doubleValue())``."""
+    return math.sqrt(float(number))
+
+
+# ---------------------------------------------------------------------------
+# Heavyweight hash components (~80x the light weight).
+# ---------------------------------------------------------------------------
+
+#: Trig iterations / prime-search width chosen so heavy/light compute cost
+#: lands near the paper's "factor of roughly 80" (see calibrate_weight()).
+TRIG_ROUNDS = 12
+PRIME_SEARCH_SPAN = 2
+
+
+def _is_probable_prime(n: int, rounds: int = 8) -> bool:
+    """Miller-Rabin over a fixed witness schedule (deterministic here)."""
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in (2, 3, 5, 7, 11, 13, 17, 19)[:rounds]:
+        x = pow(witness, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def word_to_number_heavy(word: str) -> int:
+    """Base-36 conversion followed by a probable-prime search upward
+    (the ``BigInteger.nextProbablePrime`` flavour of extra weight)."""
+    n = int(str(word), 36)
+    # Work over a genuinely big integer so the arithmetic is bignum-bound.
+    candidate = (n + 3) * (10 ** 9) + 1
+    for _ in range(PRIME_SEARCH_SPAN):
+        if _is_probable_prime(candidate):
+            break
+        candidate += 2
+    return candidate
+
+
+def hash_number_heavy(number: int) -> float:
+    """Square root plus a trigonometric smoothing loop (``Math`` weight)."""
+    x = math.sqrt(float(number % (10 ** 12)))
+    acc = 0.0
+    for i in range(1, TRIG_ROUNDS + 1):
+        acc += math.sin(x / i) * math.cos(x / (i + 1)) + math.atan(x / i)
+    return math.sqrt(abs(acc) + x)
+
+
+# ---------------------------------------------------------------------------
+# Weight bundles.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Weight:
+    """One weight class: the pair of hash components plus bookkeeping."""
+
+    name: str
+    word_to_number: Callable[[str], int]
+    hash_number: Callable[[int], float]
+
+
+LIGHT = Weight("light", word_to_number_light, hash_number_light)
+HEAVY = Weight("heavy", word_to_number_heavy, hash_number_heavy)
+
+WEIGHTS = {"light": LIGHT, "heavy": HEAVY}
+
+
+def expected_total(lines: List[str], weight: Weight) -> float:
+    """The reference answer every variant must reproduce."""
+    return sum(
+        weight.hash_number(weight.word_to_number(word))
+        for line in lines
+        for word in line.split()
+    )
+
+
+def calibrate_weight(samples: int = 2000, seed: int = 7) -> float:
+    """Measure the heavy/light cost ratio (the paper's "factor of ~80")."""
+    import time
+
+    rng = random.Random(seed)
+    words = [
+        "".join(rng.choice(_ALPHABET) for _ in range(4)) for _ in range(samples)
+    ]
+    start = time.perf_counter()
+    for word in words:
+        hash_number_light(word_to_number_light(word))
+    light_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for word in words:
+        hash_number_heavy(word_to_number_heavy(word))
+    heavy_time = time.perf_counter() - start
+    return heavy_time / light_time if light_time else float("inf")

@@ -1,0 +1,71 @@
+"""Concurrency for generators — co-expressions, pipes, and map-reduce.
+
+Implements the paper's calculus (Figure 1) over the goal-directed runtime:
+co-expressions shadow their creation environment, pipes are generator
+proxies running in separate threads behind blocking channels, futures are
+singleton pipes, and :class:`DataParallel` builds map-reduce from chunks
+of piped tasks (Figure 4).
+
+Host-facing quickstart::
+
+    from repro.coexpr import pipe, stage, pipeline
+
+    import math
+    squares = pipeline(range(10), lambda x: x * x, math.sqrt)
+    assert list(squares) == [float(i) for i in range(10)]
+"""
+
+from .channel import CLOSED, Channel, RaiseEnvelope
+from .coexpression import CoExpression, coexpr_of
+from .pipe import Pipe
+from .future import Future, MVar
+from .scheduler import (
+    PipeScheduler,
+    default_scheduler,
+    set_default_scheduler,
+    use_scheduler,
+)
+from .calculus import (
+    activate,
+    coexpr,
+    first_class,
+    future,
+    pipe,
+    promote,
+    refresh,
+    results,
+)
+from .dataparallel import DataParallel, apply_mapped, iter_source, map_reduce
+from .patterns import fan_out, merge, pipeline, source_pipe, stage
+
+__all__ = [
+    "CLOSED",
+    "Channel",
+    "CoExpression",
+    "DataParallel",
+    "Future",
+    "MVar",
+    "Pipe",
+    "PipeScheduler",
+    "RaiseEnvelope",
+    "activate",
+    "apply_mapped",
+    "coexpr",
+    "coexpr_of",
+    "default_scheduler",
+    "fan_out",
+    "first_class",
+    "future",
+    "iter_source",
+    "map_reduce",
+    "merge",
+    "pipe",
+    "pipeline",
+    "promote",
+    "refresh",
+    "results",
+    "set_default_scheduler",
+    "source_pipe",
+    "stage",
+    "use_scheduler",
+]

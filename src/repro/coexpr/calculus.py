@@ -1,0 +1,117 @@
+"""The calculus for concurrent generators (paper Figure 1).
+
+============  =======================================================
+``<> e``      :func:`first_class` — lift an expression to an iterator
+``|<> e``     :func:`coexpr` — co-expression shadowing the locals
+``|> e``      :func:`pipe` — generator proxy in a separate thread
+``@ c``       :func:`activate` — step one iteration
+``! c``       :func:`promote` — back to a generator
+``^ c``       :func:`refresh` — restart with a fresh environment copy
+============  =======================================================
+
+These are the host-facing spellings; embedded Junicon code writes the
+operators themselves and the transformer emits calls into the same
+machinery.  Each function accepts the natural host values — iterator
+nodes, Python generators/factories, collections — so the calculus is
+usable from plain Python without the language front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconGenerator, IconIterator, as_iterator
+from ..runtime.promote import IconPromote, activate_value, promote_value
+from .coexpression import CoExpression, coexpr_of
+from .future import Future
+from .pipe import Pipe
+from .scheduler import PipeScheduler
+
+
+def first_class(expr: Any) -> IconIterator:
+    """``<>e`` — reify an expression as an explicitly-stepped iterator.
+
+    ``expr`` may be an existing node (returned as-is), a zero-argument
+    factory of an iterable (each restart re-invokes it), or a plain value
+    (singleton).  Step the result with :func:`activate`.
+    """
+    if isinstance(expr, IconIterator):
+        return expr
+    if callable(expr):
+        return IconGenerator(expr)
+    return as_iterator(expr)
+
+
+def coexpr(
+    body: Any,
+    env: Callable[[], Sequence[Any]] | Sequence[Any] | None = None,
+    *,
+    name: str = "",
+) -> CoExpression:
+    """``|<>e`` — a co-expression over *body* with a shadowed environment.
+
+    ``body`` is a factory: called with the snapshot of *env* (a sequence
+    of local values, or a callable producing one, evaluated immediately)
+    it must return the body iterable.  With no *env* the body factory
+    takes no arguments — shadowing then relies on the closure having
+    already copied what it needs.
+    """
+    if env is None:
+        return coexpr_of(body, name=name)
+    getter = env if callable(env) else (lambda: env)  # type: ignore[misc]
+    return CoExpression(body, getter, name=name)
+
+
+def pipe(
+    expr: Any,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+) -> Pipe:
+    """``|>e`` — run *expr* in its own thread behind a blocking queue.
+
+    ``capacity`` bounds the output queue (0 = unbounded); a bound
+    throttles the producer.  The worker starts on first use (or call
+    ``.start()``).
+    """
+    return Pipe(expr, capacity=capacity, scheduler=scheduler)
+
+
+def future(expr: Any, scheduler: PipeScheduler | None = None) -> Future:
+    """A future — the singleton-pipe special case of ``|>``."""
+    return Future(expr, scheduler=scheduler)
+
+
+def activate(target: Any, transmit: Any = None) -> Any:
+    """``@c`` (or ``v @ c``) — step one iteration; result or :data:`FAIL`."""
+    return activate_value(target, transmit)
+
+
+def promote(target: Any) -> IconIterator:
+    """``!c`` — promote a first-class entity back to a generator node.
+
+    Works on co-expressions, pipes, futures, iterator nodes, collections,
+    strings, files — everything the runtime's ``!`` accepts.
+    """
+    if isinstance(target, IconIterator):
+        return target
+    return IconPromote(as_iterator(target))
+
+
+def results(target: Any) -> Iterator[Any]:
+    """Host-facing ``!c``: a plain Python iterator over dereferenced
+    results (element variables collapse to their values)."""
+    from ..runtime.refs import deref
+
+    for result in promote_value(target):
+        yield deref(result)
+
+
+def refresh(target: Any) -> Any:
+    """``^c`` — restart with a new copy of the creation environment."""
+    refresher = getattr(target, "refresh", None)
+    if refresher is not None:
+        return refresher()
+    if isinstance(target, IconIterator):
+        return target.restart()
+    return target

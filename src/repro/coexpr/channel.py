@@ -1,0 +1,160 @@
+"""Blocking channels — the communication substrate of pipes (III.B).
+
+"A blocking channel, or blocking queue, has put and take operations that
+wait until the queue of results is not full or not empty, respectively."
+The paper uses Java's ``BlockingQueue``; this channel adds the two
+behaviours a generator proxy needs on top of a plain bounded queue:
+
+* **close** — the producer signals exhaustion (the co-expression failed);
+  pending items still drain, after which ``take`` returns :data:`CLOSED`.
+* **error propagation** — a producer-side exception travels the queue as a
+  :class:`RaiseEnvelope` and re-raises in the consumer.
+
+A *bounded* channel throttles its producer (the paper: "Bounding the
+output queue buffer size can also be used to throttle a threaded
+co-expression"); capacity 0 means unbounded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterator
+
+from ..errors import ChannelClosedError
+
+
+class _ClosedSentinel:
+    _instance: "_ClosedSentinel | None" = None
+
+    def __new__(cls) -> "_ClosedSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "CLOSED"
+
+
+#: Returned by ``take`` once a channel is closed and drained.
+CLOSED = _ClosedSentinel()
+
+
+class RaiseEnvelope:
+    """An exception in transit from producer to consumer."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class Channel:
+    """A bounded blocking queue with close semantics.
+
+    Thread-safe for any number of producers and consumers.  ``capacity``
+    of 0 means unbounded.  Iterating a channel takes until it is drained.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Block until space is available, then enqueue *item*.
+
+        Raises :class:`ChannelClosedError` if the channel is (or becomes)
+        closed while waiting — that is how a consumer-side ``close``
+        unblocks and terminates a producer.
+        """
+        with self._not_full:
+            if self.capacity:
+                while len(self._items) >= self.capacity and not self._closed:
+                    if not self._not_full.wait(timeout):
+                        raise TimeoutError("Channel.put timed out")
+            if self._closed:
+                raise ChannelClosedError("put on a closed channel")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def put_error(self, error: BaseException) -> None:
+        """Enqueue an exception to re-raise at the consumer."""
+        self.put(RaiseEnvelope(error))
+
+    def close(self) -> None:
+        """Close the channel; queued items remain takeable.
+
+        Idempotent.  Wakes every blocked producer (which then raises
+        :class:`ChannelClosedError`) and consumer (which drains or gets
+        :data:`CLOSED`).
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> Any:
+        """Block until an item is available; :data:`CLOSED` after drain.
+
+        Re-raises a producer exception delivered via :meth:`put_error`.
+        """
+        with self._not_empty:
+            while not self._items and not self._closed:
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError("Channel.take timed out")
+            if self._items:
+                item = self._items.popleft()
+                self._not_full.notify()
+            else:
+                return CLOSED
+        if isinstance(item, RaiseEnvelope):
+            raise item.error
+        return item
+
+    def poll(self) -> Any:
+        """Non-blocking take: an item, or :data:`CLOSED`, or None if empty."""
+        with self._lock:
+            if self._items:
+                item = self._items.popleft()
+                self._not_full.notify()
+            elif self._closed:
+                return CLOSED
+            else:
+                return None
+        if isinstance(item, RaiseEnvelope):
+            raise item.error
+        return item
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            item = self.take()
+            if item is CLOSED:
+                return
+            yield item
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Channel(capacity={self.capacity}, queued={len(self)}, {state})"

@@ -1,0 +1,179 @@
+"""Co-expressions — first-class generators with a shadowed environment
+(paper Section III.A and the synthesis of Section V.D).
+
+A co-expression pairs a *body factory* with a snapshot of the referenced
+local environment taken at creation time:
+
+    ``^e → ((x,y,z) -> <>e) ((() -> [x,y,z])())``
+
+The factory receives the snapshot values and builds the iterator over
+fresh, shadowed locals — exactly the lambda-over-copied-locals the
+transformer emits in Figure 5.  Shadowing is what prevents interference
+when the co-expression later runs interleaved (``@``) or in a pipe thread.
+
+Activation (``@c``) steps the body one result; a co-expression is
+exhausted when the body fails.  ``^c`` (refresh) builds a sibling from the
+*original* snapshot.  Transmission (``v @ c``) sends a value into the
+suspended body (surfacing Python's generator ``send``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Sequence
+
+from ..errors import InactiveCoExpressionError
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconIterator, as_iterator, unwrap
+from ..runtime.refs import deref
+
+
+class CoExpression:
+    """A first-class, explicitly-stepped generator with copied locals."""
+
+    def __init__(
+        self,
+        body_factory: Callable[..., Any],
+        env_getter: Callable[[], Sequence[Any]] | None = None,
+        *,
+        name: str = "",
+    ) -> None:
+        """Create a co-expression.
+
+        ``body_factory(*env)`` must return the body — an
+        :class:`~repro.runtime.iterator.IconIterator`, a Python generator,
+        or any iterable.  ``env_getter`` is evaluated once, *now*: its
+        values are the shadow copies of the referenced locals (Figure 5's
+        ``() -> IconList.createArray(chunk_r.deref(), f_r.deref())``).
+        """
+        self._factory = body_factory
+        self._env: tuple = tuple(env_getter()) if env_getter is not None else ()
+        self.name = name or getattr(body_factory, "__name__", "coexpr")
+        self._lock = threading.Lock()
+        self._iterator: Iterator[Any] | None = None
+        self._done = False
+        self._produced = 0
+
+    # -- body management -----------------------------------------------------
+
+    def _build(self) -> Iterator[Any]:
+        body = self._factory(*self._env)
+        if isinstance(body, IconIterator):
+            return body.iterate()
+        if hasattr(body, "__next__"):
+            return body
+        if hasattr(body, "__iter__"):
+            return iter(body)
+        return iter(as_iterator(body).iterate())
+
+    # -- the calculus operators ----------------------------------------------
+
+    def activate(self, transmit: Any = None) -> Any:
+        """``@c`` — step one iteration; the result or :data:`FAIL`.
+
+        Matching the paper's kernel contract, an exhausted co-expression
+        keeps failing (unlike a bare iterator it does **not** auto-restart;
+        use :meth:`refresh` for a fresh copy).
+        """
+        with self._lock:
+            if self._done:
+                return FAIL
+            if self._iterator is None:
+                if transmit is not None:
+                    # Can't transmit into a not-yet-started body.
+                    raise InactiveCoExpressionError(
+                        "transmission into an unactivated co-expression"
+                    )
+                self._iterator = self._build()
+            try:
+                if transmit is None:
+                    result = next(self._iterator)
+                else:
+                    send = getattr(self._iterator, "send", None)
+                    if send is None:
+                        result = next(self._iterator)
+                    else:
+                        result = send(transmit)
+            except StopIteration:
+                self._done = True
+                return FAIL
+            self._produced += 1
+            return deref(unwrap(result))
+
+    def refresh(self) -> "CoExpression":
+        """``^c`` — a new co-expression from the original snapshot."""
+        fresh = CoExpression.__new__(CoExpression)
+        fresh._factory = self._factory
+        fresh._env = self._env
+        fresh.name = self.name
+        fresh._lock = threading.Lock()
+        fresh._iterator = None
+        fresh._done = False
+        fresh._produced = 0
+        return fresh
+
+    def results(self) -> Iterator[Any]:
+        """``!c`` — remaining results, stepping until failure."""
+        while True:
+            value = self.activate()
+            if value is FAIL:
+                return
+            yield value
+
+    def create_pipe(self, capacity: int = 0, scheduler: Any = None) -> Any:
+        """``|>`` — wrap this co-expression in a threaded generator proxy.
+
+        Mirrors the generated code's ``.createPipe()`` (Figure 5).
+        """
+        from .pipe import Pipe
+
+        return Pipe(self, capacity=capacity, scheduler=scheduler)
+
+    # -- runtime protocol hooks (so ! @ * work through the kernel) ------------
+
+    def icon_activate(self, transmit: Any = None) -> Any:
+        return self.activate(transmit)
+
+    def icon_promote(self) -> Iterator[Any]:
+        return self.results()
+
+    def icon_size(self) -> int:
+        """``*c`` — the number of results produced so far (Icon)."""
+        return self._produced
+
+    def icon_type(self) -> str:
+        return "co-expression"
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def started(self) -> bool:
+        return self._iterator is not None or self._done
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else ("active" if self.started else "new")
+        return f"CoExpression({self.name}, {state}, produced={self._produced})"
+
+    # Alias matching the paper's generated Java.
+    createPipe = create_pipe
+
+
+def coexpr_of(expr: Any, *, name: str = "") -> CoExpression:
+    """Build a co-expression over an existing expression or factory.
+
+    ``expr`` may be an :class:`IconIterator` (its ``iterate`` restarts per
+    activation set), a zero-argument callable returning an iterable (the
+    shadowing closure — recommended: locals copied by the closure's
+    default-argument trick or by ``env_getter``), or any iterable.
+    """
+    if isinstance(expr, CoExpression):
+        return expr
+    if isinstance(expr, IconIterator):
+        return CoExpression(lambda: expr, name=name)
+    if callable(expr):
+        return CoExpression(expr, name=name)
+    return CoExpression(lambda: expr, name=name)

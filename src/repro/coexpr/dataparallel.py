@@ -1,0 +1,195 @@
+"""Map-reduce built from concurrent generators (paper Figure 4).
+
+The paper's Junicon ``DataParallel`` class::
+
+    def chunk(e) { # Partition e into chunks
+      chunk = [];
+      while put(chunk, @e) do {
+        if (*chunk >= chunkSize) then { suspend chunk; chunk = []; }};
+      if (*chunk > 0) then { return chunk; };
+    }
+    def mapReduce(f,s,r,i) { # Map f over s and reduce with r
+      var c, t, tasks = [];
+      every (c = chunk(<>s)) do {
+        t = |> { var x=i; every (x=r(x, f(!c) )); x };
+        ((List) tasks)::add(t);
+      };
+      suspend ! (! tasks);
+    }
+
+This module is the host-level equivalent: chunk a source, spawn one pipe
+per chunk that maps ``f`` over the chunk's elements and folds with ``r``,
+then generate the per-chunk results *in order* ("subtly different from
+conventional map-reduce in that it enforces ordering between the results
+of the partitioned threads").
+
+The **data-parallel** variant of Section VII (:meth:`DataParallel.map_flat`)
+differs "only in performing summation over the sequence returned from
+flattening the chunks, thus splitting out the reduction and effecting
+serialization": the pipes only map; the caller reduces serially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List
+
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconIterator
+from .coexpression import CoExpression
+from .pipe import Pipe
+from .scheduler import PipeScheduler
+
+
+def apply_mapped(fn: Callable[[Any], Any], value: Any) -> Iterator[Any]:
+    """Apply a map function with Icon invocation semantics.
+
+    Generator functions (Junicon methods, Python generator functions) have
+    every result generated; a plain function contributes its single result,
+    and :data:`FAIL` means no result.
+    """
+    result = fn(value)
+    if isinstance(result, IconIterator):
+        yield from result
+        return
+    if hasattr(result, "__next__"):
+        yield from result
+        return
+    if result is not FAIL:
+        yield result
+
+
+def iter_source(source: Any) -> Iterator[Any]:
+    """Normalize a source: iterable, iterator node, co-expression, pipe,
+    or zero-argument factory of any of those."""
+    if callable(source) and not isinstance(source, IconIterator):
+        source = source()
+    if isinstance(source, IconIterator):
+        return iter(source)
+    hook = getattr(source, "icon_promote", None)
+    if hook is not None:
+        return hook()
+    return iter(source)
+
+
+class DataParallel:
+    """Chunked map-reduce over pipes (the paper's ``DataParallel``)."""
+
+    def __init__(
+        self,
+        chunk_size: int = 1000,
+        capacity: int = 0,
+        scheduler: PipeScheduler | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        """``chunk_size`` elements per task (Figure 4 uses 1000);
+        ``capacity`` bounds each task pipe's output queue; ``max_pending``
+        (host extension) caps in-flight task pipes — the paper's version
+        spawns one per chunk up front, which is ``max_pending=None``."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 or None")
+        self.chunk_size = chunk_size
+        self.capacity = capacity
+        self.scheduler = scheduler
+        self.max_pending = max_pending
+
+    # -- Figure 4: chunk -------------------------------------------------------
+
+    def chunk(self, source: Any) -> Iterator[List[Any]]:
+        """Partition *source* into lists of at most ``chunk_size``."""
+        block: List[Any] = []
+        for value in iter_source(source):
+            block.append(value)
+            if len(block) >= self.chunk_size:
+                yield block
+                block = []
+        if block:
+            yield block
+
+    # -- Figure 4: mapReduce ---------------------------------------------------
+
+    def map_reduce(
+        self,
+        fn: Callable[[Any], Any],
+        source: Any,
+        reducer: Callable[[Any, Any], Any],
+        initial: Any,
+    ) -> Iterator[Any]:
+        """Map *fn* over each chunk in its own pipe, folding with
+        *reducer* from *initial*; generate the chunk results in order."""
+
+        def task_body(chunk: List[Any]) -> Iterator[Any]:
+            accumulator = initial
+            for value in chunk:
+                for mapped in apply_mapped(fn, value):
+                    accumulator = reducer(accumulator, mapped)
+            yield accumulator
+
+        yield from self._run_tasks(task_body, source)
+
+    # -- Section VII: the data-parallel (serialized reduction) variant ---------
+
+    def map_flat(self, fn: Callable[[Any], Any], source: Any) -> Iterator[Any]:
+        """Map *fn* over chunks in parallel and flatten results in order;
+        the reduction is left to the (serial) consumer."""
+
+        def task_body(chunk: List[Any]) -> Iterator[Any]:
+            for value in chunk:
+                yield from apply_mapped(fn, value)
+
+        yield from self._run_tasks(task_body, source)
+
+    def reduce(
+        self,
+        fn: Callable[[Any], Any],
+        source: Any,
+        reducer: Callable[[Any, Any], Any],
+        initial: Any,
+    ) -> Any:
+        """Convenience: fold the ordered chunk results of
+        :meth:`map_reduce` into a single value.
+
+        Correct whenever *initial* is an identity of *reducer* (sums from
+        0, concatenations from empty) — the usual map-reduce contract.
+        """
+        accumulator = initial
+        for value in self.map_reduce(fn, source, reducer, initial=initial):
+            accumulator = reducer(accumulator, value)
+        return accumulator
+
+    # -- shared driver ----------------------------------------------------------
+
+    def _spawn(self, task_body: Callable[..., Iterator[Any]], chunk: List[Any]) -> Pipe:
+        coexpr = CoExpression(task_body, lambda: (chunk,), name="mapreduce-task")
+        return Pipe(coexpr, capacity=self.capacity, scheduler=self.scheduler).start()
+
+    def _run_tasks(
+        self, task_body: Callable[..., Iterator[Any]], source: Any
+    ) -> Iterator[Any]:
+        if self.max_pending is None:
+            # The paper's shape: spawn a task per chunk, then drain in order.
+            tasks = [self._spawn(task_body, chunk) for chunk in self.chunk(source)]
+            for task in tasks:
+                yield from task.iterate()
+            return
+        # Bounded-pending variant: a sliding window of live tasks.
+        window: List[Pipe] = []
+        for chunk in self.chunk(source):
+            window.append(self._spawn(task_body, chunk))
+            if len(window) >= self.max_pending:
+                yield from window.pop(0).iterate()
+        for task in window:
+            yield from task.iterate()
+
+
+def map_reduce(
+    fn: Callable[[Any], Any],
+    source: Any,
+    reducer: Callable[[Any, Any], Any],
+    initial: Any,
+    chunk_size: int = 1000,
+    **kwargs: Any,
+) -> Iterator[Any]:
+    """Functional shorthand for ``DataParallel(...).map_reduce(...)``."""
+    return DataParallel(chunk_size, **kwargs).map_reduce(fn, source, reducer, initial)

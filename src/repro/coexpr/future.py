@@ -1,0 +1,157 @@
+"""Futures and M-vars — singleton pipes (paper Section III.B).
+
+"In its simplest form, a singleton piped iterator that produces one result
+forms a future or mutable variable, whose put and take operations wait
+until the channel is empty or full respectively."  The paper grounds this
+in M-structures, M-Vars, Linda tuples, and CML's synchronization
+variables; here both views are provided:
+
+* :class:`MVar` — the mutable-variable building block: ``put`` blocks
+  while full, ``take`` blocks while empty, ``read`` peeks without taking.
+* :class:`Future` — a write-once result of a computation spawned on a
+  pipe; ``get`` blocks until the value (or re-raises the producer error).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from ..errors import PipeError
+from ..runtime.failure import FAIL
+from .coexpression import CoExpression
+from .pipe import Pipe
+from .scheduler import PipeScheduler
+
+_EMPTY = object()
+
+
+class MVar:
+    """A blocking one-slot mutable variable (an M-structure cell)."""
+
+    def __init__(self) -> None:
+        self._value: Any = _EMPTY
+        self._lock = threading.Lock()
+        self._filled = threading.Condition(self._lock)
+        self._emptied = threading.Condition(self._lock)
+
+    def put(self, value: Any, timeout: float | None = None) -> None:
+        """Store a value; blocks while the cell is full."""
+        with self._emptied:
+            while self._value is not _EMPTY:
+                if not self._emptied.wait(timeout):
+                    raise TimeoutError("MVar.put timed out")
+            self._value = value
+            self._filled.notify()
+
+    def take(self, timeout: float | None = None) -> Any:
+        """Remove and return the value; blocks while the cell is empty."""
+        with self._filled:
+            while self._value is _EMPTY:
+                if not self._filled.wait(timeout):
+                    raise TimeoutError("MVar.take timed out")
+            value, self._value = self._value, _EMPTY
+            self._emptied.notify()
+            return value
+
+    def read(self, timeout: float | None = None) -> Any:
+        """Return the value without emptying; blocks while empty (CML's
+        wait-until-defined synchronization variable)."""
+        with self._filled:
+            while self._value is _EMPTY:
+                if not self._filled.wait(timeout):
+                    raise TimeoutError("MVar.read timed out")
+            return self._value
+
+    def try_take(self) -> Any:
+        """Non-blocking take; :data:`FAIL` when empty."""
+        with self._lock:
+            if self._value is _EMPTY:
+                return FAIL
+            value, self._value = self._value, _EMPTY
+            self._emptied.notify()
+            return value
+
+    @property
+    def full(self) -> bool:
+        with self._lock:
+            return self._value is not _EMPTY
+
+
+class Future:
+    """The first result of an expression evaluated in a separate thread.
+
+    Built exactly as the paper says: a pipe whose output queue is bounded
+    to one, stepped once.  ``get()`` memoizes; a failing expression makes
+    the future fail (:data:`FAIL`), and a raising expression re-raises at
+    ``get``.
+    """
+
+    def __init__(
+        self,
+        expr: Any,
+        scheduler: PipeScheduler | None = None,
+    ) -> None:
+        self._pipe = Pipe(expr, capacity=1, scheduler=scheduler)
+        self._pipe.start()
+        self._result: Any = _EMPTY
+        self._error: BaseException | None = None
+        self._lock = threading.Lock()
+
+    @classmethod
+    def of_callable(
+        cls, fn: Callable[[], Any], scheduler: PipeScheduler | None = None
+    ) -> "Future":
+        """A future over a plain host callable."""
+        def body() -> Iterator[Any]:
+            yield fn()
+
+        return cls(CoExpression(body), scheduler=scheduler)
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Block until the result; :data:`FAIL` if the expression failed."""
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            if self._result is not _EMPTY:
+                return self._result
+            try:
+                item = self._pipe.out.take(timeout)
+            except TimeoutError:
+                raise
+            except BaseException as error:
+                self._error = error
+                self._pipe.cancel()
+                raise
+            from .channel import CLOSED
+
+            self._result = FAIL if item is CLOSED else item
+            self._pipe.cancel()  # the producer's work is done; stop it
+            return self._result
+
+    @property
+    def done(self) -> bool:
+        """True once the value is available (without blocking)."""
+        with self._lock:
+            if self._result is not _EMPTY or self._error is not None:
+                return True
+            return len(self._pipe.out) > 0 or self._pipe.out.closed
+
+    # Runtime hooks: a future activates to its single value, then fails.
+
+    def icon_activate(self, transmit: Any = None) -> Any:
+        if transmit is not None:
+            raise PipeError("cannot transmit a value into a future")
+        with self._lock:
+            already = self._result is not _EMPTY
+        if already:
+            return FAIL
+        return self.get()
+
+    def icon_promote(self) -> Iterator[Any]:
+        value = self.icon_activate()
+        if value is not FAIL:
+            yield value
+
+    def icon_type(self) -> str:
+        return "future"

@@ -1,0 +1,168 @@
+"""Pipeline and data-parallel composition patterns (paper Figure 2).
+
+Figure 2 contrasts the two decompositions expressible with the calculus:
+
+* **Pipeline** — ``f(! |> s)``: fixed-code; each stage owns a thread and
+  an entire stream, data flows between stages through blocking queues.
+* **Data parallel** — ``every (c = chunk(s)) do |> f(!c)``: fixed-data;
+  each thread applies the whole function chain to its chunk
+  (:mod:`repro.coexpr.dataparallel`).
+
+:func:`stage` builds one pipeline stage (a pipe mapping a function over an
+upstream); :func:`pipeline` chains stages.  The helpers use Icon
+invocation semantics, so generator functions fan out naturally (one input
+producing several outputs) and plain functions map one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import threading
+
+from ..runtime.failure import FAIL
+from .coexpression import CoExpression
+from .dataparallel import apply_mapped, iter_source
+from .pipe import Pipe
+from .scheduler import PipeScheduler, default_scheduler
+
+
+def source_pipe(
+    source: Any,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+) -> Pipe:
+    """``|> s`` — stream a source from its own thread."""
+
+    def body(src: Any) -> Iterator[Any]:
+        yield from iter_source(src)
+
+    return Pipe(
+        CoExpression(body, lambda: (source,), name="source"),
+        capacity=capacity,
+        scheduler=scheduler,
+    )
+
+
+def stage(
+    fn: Callable[[Any], Any],
+    upstream: Any,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+) -> Pipe:
+    """``|> fn(!upstream)`` — one pipeline stage in its own thread.
+
+    Maps *fn* (generator or plain function) over the upstream's elements
+    and streams the results.  ``capacity`` bounds the stage's output
+    queue, throttling it relative to its consumer.
+    """
+
+    def body(up: Any) -> Iterator[Any]:
+        for value in iter_source(up):
+            yield from apply_mapped(fn, value)
+
+    name = getattr(fn, "__name__", "stage")
+    return Pipe(
+        CoExpression(body, lambda: (upstream,), name=name),
+        capacity=capacity,
+        scheduler=scheduler,
+    )
+
+
+def pipeline(
+    source: Any,
+    *stages: Callable[[Any], Any],
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+) -> Pipe:
+    """Chain *stages* over *source*, one thread per stage.
+
+    ``pipeline(s, f, g)`` is ``|> g(! |> f(! |> s))``: consuming the
+    returned pipe drives every stage concurrently.  With no stages the
+    result is just the source pipe.
+    """
+    current: Pipe = source_pipe(source, capacity=capacity, scheduler=scheduler)
+    for fn in stages:
+        current = stage(fn, current, capacity=capacity, scheduler=scheduler)
+    return current
+
+
+def fan_out(
+    upstream: Any,
+    count: int,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+) -> list[Pipe]:
+    """Split one stream across *count* competing consumers.
+
+    All returned pipes share the upstream pipe's output channel: each
+    element goes to exactly one of them (work sharing, not broadcast).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    shared = upstream if isinstance(upstream, Pipe) else source_pipe(
+        upstream, capacity=capacity, scheduler=scheduler
+    )
+    shared.start()
+
+    def body(src: Pipe) -> Iterator[Any]:
+        while True:
+            value = src.take()
+            if value is FAIL:
+                return
+            yield value
+
+    return [
+        Pipe(
+            CoExpression(body, lambda: (shared,), name=f"fanout-{index}"),
+            capacity=capacity,
+            scheduler=scheduler,
+        )
+        for index in range(count)
+    ]
+
+
+def merge(
+    *upstreams: Any,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+) -> Pipe:
+    """Interleave several streams into one (completion order).
+
+    Each upstream is drained by its own forwarder thread into a shared
+    channel; the returned pipe yields items as they arrive.
+    """
+    out = Pipe(
+        CoExpression(lambda: iter(()), name="merge"),
+        capacity=capacity,
+        scheduler=scheduler,
+    )
+    out._started = True  # forwarder threads below replace the usual worker
+
+    sources = [
+        up if isinstance(up, Pipe) else source_pipe(up, scheduler=scheduler)
+        for up in upstreams
+    ]
+    remaining = len(sources)
+    lock = threading.Lock()
+
+    def forward(src: Pipe) -> None:
+        nonlocal remaining
+        try:
+            while True:
+                value = src.take()
+                if value is FAIL:
+                    return
+                out.out.put(value)
+        finally:
+            with lock:
+                remaining -= 1
+                if remaining == 0:
+                    out.out.close()
+
+    sched = scheduler or default_scheduler()
+    for src in sources:
+        sched.submit(lambda s=src: forward(s), name="merge")
+    if not sources:
+        out.out.close()
+    return out

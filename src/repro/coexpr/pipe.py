@@ -1,0 +1,159 @@
+"""Pipes — multithreaded generator proxies (paper Section III.B).
+
+    ``|>e → new Iterator() { next() { new Thread { run() {
+        c=|<>e; while (!fail) { out.put(@c); }}}.start() }}``
+
+A pipe owns a co-expression, runs it to exhaustion in a worker thread,
+and streams each result through a blocking channel; stepping the pipe
+(``@``) is a ``take``.  The surrounding expression therefore runs in
+parallel with the piped expression — chains of pipes form parallel
+pipelines.
+
+Per the paper, the output queue ``out`` "is exposed as a public field to
+permit further manipulation", and bounding its capacity throttles the
+producer thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from ..errors import ChannelClosedError, PipeError
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconIterator
+from .channel import CLOSED, Channel
+from .coexpression import CoExpression, coexpr_of
+from .scheduler import PipeScheduler, default_scheduler
+
+
+class Pipe(IconIterator):
+    """A generator proxy whose co-expression runs in a separate thread.
+
+    The worker starts lazily on the first step (matching the paper's
+    proxy, whose thread spawns from ``next()``), or eagerly via
+    :meth:`start`.  A pipe is an :class:`IconIterator`, so it can be used
+    anywhere an expression can — but unlike a plain node it is single-shot:
+    once its co-expression is exhausted it stays failed (``refresh`` makes
+    a fresh pipe).
+    """
+
+    __slots__ = (
+        "coexpr",
+        "out",
+        "capacity",
+        "_scheduler",
+        "_started",
+        "_start_lock",
+        "_cancelled",
+    )
+
+    def __init__(
+        self,
+        expr: Any,
+        capacity: int = 0,
+        scheduler: PipeScheduler | None = None,
+    ) -> None:
+        """Wrap *expr* (a co-expression, iterator node, generator factory,
+        or iterable) in a threaded proxy with an output channel of
+        *capacity* (0 = unbounded)."""
+        super().__init__()
+        self.coexpr: CoExpression = coexpr_of(expr)
+        self.capacity = capacity
+        #: The output blocking queue — public, as in the paper.
+        self.out = Channel(capacity)
+        self._scheduler = scheduler
+        self._started = False
+        self._start_lock = threading.Lock()
+        self._cancelled = False
+
+    # -- worker --------------------------------------------------------------
+
+    def start(self) -> "Pipe":
+        """Spawn the producer thread (idempotent)."""
+        with self._start_lock:
+            if self._started:
+                return self
+            self._started = True
+        scheduler = self._scheduler or default_scheduler()
+        scheduler.submit(self._run, name=f"pipe-{self.coexpr.name}")
+        return self
+
+    def _run(self) -> None:
+        out = self.out
+        coexpr = self.coexpr
+        try:
+            while not self._cancelled:
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                out.put(value)
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        except Exception as error:  # noqa: BLE001 - forwarded to consumer
+            try:
+                out.put_error(error)
+            except ChannelClosedError:
+                pass  # cancelled while reporting: consumer is gone
+        finally:
+            out.close()
+
+    # -- consumer ------------------------------------------------------------
+
+    def take(self) -> Any:
+        """One blocking step: the next result or :data:`FAIL` (paper: "an
+        @ operation on a pipe is out.take()")."""
+        self.start()
+        item = self.out.take()
+        if item is CLOSED:
+            return FAIL
+        return item
+
+    def next_value(self) -> Any:  # stateful stepping: no auto-restart
+        return self.take()
+
+    def iterate(self) -> Iterator[Any]:
+        """Drain the pipe.  NOTE: single-shot — a second pass finds the
+        channel closed and fails immediately (use :meth:`refresh`)."""
+        self.start()
+        while True:
+            item = self.out.take()
+            if item is CLOSED:
+                return
+            yield item
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Stop the producer: close the channel (unblocking a blocked
+        ``put``) and flag the worker loop to exit."""
+        self._cancelled = True
+        self.out.close()
+
+    def refresh(self) -> "Pipe":
+        """``^p`` — a new pipe over a refreshed copy of the co-expression."""
+        return Pipe(self.coexpr.refresh(), self.capacity, self._scheduler)
+
+    # -- runtime protocol hooks ------------------------------------------------
+
+    def icon_activate(self, transmit: Any = None) -> Any:
+        if transmit is not None:
+            raise PipeError("cannot transmit a value into a pipe")
+        return self.take()
+
+    def icon_promote(self) -> Iterator[Any]:
+        return self.iterate()
+
+    def icon_size(self) -> int:
+        return self.coexpr.icon_size()
+
+    def icon_type(self) -> str:
+        return "pipe"
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled"
+            if self._cancelled
+            else ("running" if self._started else "unstarted")
+        )
+        return f"Pipe({self.coexpr.name}, {state}, queued={len(self.out)})"

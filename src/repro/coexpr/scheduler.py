@@ -1,0 +1,122 @@
+"""Thread management for pipes (paper V.D: "Thread creation and allocation
+leverage Java's facilities for thread pool management and support for
+multi-core execution").
+
+A :class:`PipeScheduler` hands worker threads to pipes.  Two modes:
+
+* **dedicated** (default) — one daemon thread per pipe.  Pipes are
+  long-lived streamers that block on their output channel, so a pool of
+  reusable workers mostly adds queueing latency; dedicated threads match
+  what the JVM implementation effectively does for streaming stages.
+* **pooled** — a bounded pool with a semaphore cap, for workloads that
+  spawn many short-lived pipes (the map-reduce chunk tasks); prevents
+  unbounded thread creation.
+
+The module-level default scheduler is what ``|>`` uses when no scheduler
+is given; :func:`use_scheduler` swaps it (also usable as a context
+manager), and the ablation benches use that to sweep worker counts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator
+
+
+class PipeScheduler:
+    """Dispatches pipe worker bodies onto threads."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, max_workers: int | None = None, pooled: bool = False) -> None:
+        """With ``pooled=True`` run bodies on a shared
+        :class:`~concurrent.futures.ThreadPoolExecutor` of *max_workers*
+        threads; otherwise spawn a dedicated daemon thread per body
+        (max_workers then caps *concurrent* dedicated threads via a
+        semaphore, None = unlimited)."""
+        self.pooled = pooled
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._gate = (
+            threading.Semaphore(max_workers) if (max_workers and not pooled) else None
+        )
+        self._active = 0
+        self._lock = threading.Lock()
+
+    def submit(self, body: Callable[[], None], name: str = "pipe") -> None:
+        """Run *body* asynchronously; returns immediately."""
+        if self.pooled:
+            with self._lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers or 4,
+                        thread_name_prefix="repro-pipe",
+                    )
+            self._pool.submit(self._run, body)
+            return
+        thread = threading.Thread(
+            target=self._run_gated,
+            args=(body,),
+            name=f"repro-{name}-{next(self._ids)}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _run_gated(self, body: Callable[[], None]) -> None:
+        if self._gate is not None:
+            self._gate.acquire()
+        try:
+            self._run(body)
+        finally:
+            if self._gate is not None:
+                self._gate.release()
+
+    def _run(self, body: Callable[[], None]) -> None:
+        with self._lock:
+            self._active += 1
+        try:
+            body()
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    @property
+    def active(self) -> int:
+        """Number of currently running pipe bodies."""
+        with self._lock:
+            return self._active
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+_default = PipeScheduler()
+_default_lock = threading.Lock()
+
+
+def default_scheduler() -> PipeScheduler:
+    """The scheduler pipes use when none is passed explicitly."""
+    return _default
+
+
+def set_default_scheduler(scheduler: PipeScheduler) -> PipeScheduler:
+    """Replace the process default; returns the previous one."""
+    global _default
+    with _default_lock:
+        previous, _default = _default, scheduler
+    return previous
+
+
+@contextlib.contextmanager
+def use_scheduler(scheduler: PipeScheduler) -> Iterator[PipeScheduler]:
+    """Temporarily install *scheduler* as the default."""
+    previous = set_default_scheduler(scheduler)
+    try:
+        yield scheduler
+    finally:
+        set_default_scheduler(previous)

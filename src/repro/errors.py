@@ -1,0 +1,111 @@
+"""Exception hierarchy for the concurrent-generators reproduction.
+
+Icon distinguishes *failure* (an expression produces no result — an ordinary,
+expected outcome that drives control flow) from *runtime errors* (type
+mismatches, bad subscripts — exceptional outcomes).  Failure is represented
+by the :data:`repro.runtime.failure.FAIL` sentinel and by generator
+exhaustion, never by exceptions.  The exceptions below model Icon's runtime
+errors plus the errors specific to the embedding pipeline.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime (goal-directed evaluation) errors — Icon "error nnn" analogues.
+# ---------------------------------------------------------------------------
+
+class IconError(ReproError):
+    """Base class for goal-directed runtime errors (Icon ``error nnn``)."""
+
+    #: Icon error number, when there is a classic equivalent (0 = none).
+    number: int = 0
+
+
+class IconTypeError(IconError, TypeError):
+    """Operand has a type the operation cannot coerce (Icon errors 101-124)."""
+
+    number = 102
+
+
+class IconValueError(IconError, ValueError):
+    """Operand has the right type but an invalid value (e.g. ``by 0``)."""
+
+    number = 211
+
+
+class IconIndexError(IconError, IndexError):
+    """Subscript out of range (Icon error 205 is 'value out of range')."""
+
+    number = 205
+
+
+class IconNotAFunctionError(IconError, TypeError):
+    """Invocation of a value that is not callable (Icon error 106)."""
+
+    number = 106
+
+
+class IconNotAssignableError(IconError, TypeError):
+    """Assignment target did not evaluate to a variable (Icon error 111)."""
+
+    number = 111
+
+
+# ---------------------------------------------------------------------------
+# Concurrency errors.
+# ---------------------------------------------------------------------------
+
+class ConcurrencyError(ReproError):
+    """Base class for co-expression / pipe / channel errors."""
+
+
+class ChannelClosedError(ConcurrencyError):
+    """``put`` on a channel that has been closed."""
+
+
+class PipeError(ConcurrencyError):
+    """A pipe's worker thread failed in a way that cannot be replayed."""
+
+
+class InactiveCoExpressionError(ConcurrencyError):
+    """Activation of a co-expression that cannot be resumed."""
+
+
+# ---------------------------------------------------------------------------
+# Language front-end errors.
+# ---------------------------------------------------------------------------
+
+class LanguageError(ReproError):
+    """Base class for lexer / parser / transformer errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(LanguageError):
+    """Invalid token in Junicon source."""
+
+
+class ParseError(LanguageError):
+    """Junicon source does not match the grammar."""
+
+
+class TransformError(LanguageError):
+    """AST cannot be normalized or translated."""
+
+
+class AnnotationError(LanguageError):
+    """Malformed scoped annotation (``@<tag ...>`` ... ``@</tag>``)."""
+
+
+class InterpreterError(ReproError):
+    """Error raised by the tree-walking interpreter or the harness."""

@@ -1,0 +1,8 @@
+"""The cascading interpreter harness (paper Section VI): script engines,
+the annotation-driven meta-interpreter, and the interactive REPL."""
+
+from .engine import PythonEngine, ScriptEngine
+from .meta import MetaInterpreter
+from .repl import Repl, render
+
+__all__ = ["MetaInterpreter", "PythonEngine", "Repl", "ScriptEngine", "render"]

@@ -1,0 +1,50 @@
+"""Script engines — the terminal stages of the cascading harness (VI).
+
+The paper's harness "provides a cascading set of interpreters that at each
+stage transforms its input and either executes it on a script engine, such
+as for Groovy, or chooses another interpreter to pass to for further
+transformation."  An engine here is anything that can execute host code
+over a persistent namespace; :class:`PythonEngine` plays Groovy's role.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Dict, Protocol
+
+
+class ScriptEngine(Protocol):
+    """What the harness needs from a terminal execution engine."""
+
+    name: str
+
+    def execute(self, code: str) -> Any:
+        """Run *code*, returning the value of a final expression (if the
+        input is a single expression) or None."""
+
+    @property
+    def namespace(self) -> Dict[str, Any]:
+        ...
+
+
+class PythonEngine:
+    """Execute Python source over a persistent namespace."""
+
+    name = "python"
+
+    def __init__(self, namespace: Dict[str, Any] | None = None) -> None:
+        self._namespace = namespace if namespace is not None else {}
+        self._namespace.setdefault("__builtins__", builtins)
+
+    @property
+    def namespace(self) -> Dict[str, Any]:
+        return self._namespace
+
+    def execute(self, code: str) -> Any:
+        """Evaluate an expression when possible, else exec statements."""
+        try:
+            compiled = compile(code, "<harness>", "eval")
+        except SyntaxError:
+            exec(compile(code, "<harness>", "exec"), self._namespace)
+            return None
+        return eval(compiled, self._namespace)

@@ -1,0 +1,85 @@
+"""The meta-interpreter — annotation-driven dispatch (paper Section VI).
+
+"The outermost instantiation of the harness is a meta-interpreter that
+detects the embedded language and its context using scoped annotations,
+and dispatches statements to the appropriate sub-interpreter for
+transformation."
+
+:class:`MetaInterpreter` accepts mixed input: text whose top level is in a
+*default language* (python or junicon) with scoped annotations switching
+language for delimited regions.  Junicon regions cascade through
+transformation into the Python engine; Python regions go to the engine
+directly.  All stages share one namespace, so definitions made in either
+language are visible to the other — the interoperability story of
+Section IV.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..errors import AnnotationError
+from ..lang.annotations import find_annotations
+from ..lang.embed import JUNICON_LANGS, HOST_LANGS, transform_source
+from ..lang.interp import JuniconInterpreter
+from .engine import PythonEngine
+
+
+class MetaInterpreter:
+    """Cascade: scoped annotations → sub-interpreter → script engine."""
+
+    def __init__(
+        self,
+        default_lang: str = "junicon",
+        namespace: Dict[str, Any] | None = None,
+    ) -> None:
+        if default_lang not in JUNICON_LANGS | HOST_LANGS:
+            raise AnnotationError(f"unknown default language {default_lang!r}")
+        self.default_lang = default_lang
+        self.engine = PythonEngine(namespace)
+        self.junicon = JuniconInterpreter(self.engine.namespace)
+
+    @property
+    def namespace(self) -> Dict[str, Any]:
+        return self.engine.namespace
+
+    def execute(self, source: str) -> Any:
+        """Interpret mixed-language input; returns the last region's value.
+
+        Top-level text is in :attr:`default_lang`; ``@<script lang=…>``
+        regions switch language.  For a Junicon default, host regions are
+        executed natively between the surrounding Junicon pieces.
+        """
+        annotations = [
+            a for a in find_annotations(source) if a.tag == "script"
+        ]
+        if not annotations:
+            return self._run_region(self.default_lang, source)
+        result: Any = None
+        cursor = 0
+        for annotation in annotations:
+            between = source[cursor: annotation.start]
+            if between.strip():
+                result = self._run_region(self.default_lang, between)
+            lang = annotation.lang or "python"
+            result = self._run_region(lang, annotation.body(source))
+            cursor = annotation.end
+        tail = source[cursor:]
+        if tail.strip():
+            result = self._run_region(self.default_lang, tail)
+        return result
+
+    def _run_region(self, lang: str, body: str) -> Any:
+        if lang in JUNICON_LANGS:
+            return self.junicon.run(body)
+        if lang in HOST_LANGS:
+            return self.engine.execute(body)
+        raise AnnotationError(f"no interpreter for language {lang!r}")
+
+    def execute_file(self, path: str) -> Any:
+        """Interpret a mixed host-Python file (transform then exec)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        code = transform_source(source)
+        exec(compile(code, path, "exec"), self.engine.namespace)
+        return None

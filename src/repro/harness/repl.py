@@ -1,0 +1,135 @@
+"""Interactive Junicon — the paper's "interactive extension" mode.
+
+A line-oriented REPL over the :class:`~repro.harness.meta.MetaInterpreter`.
+Incomplete input (unbalanced delimiters / parse errors that look like
+continuations) accumulates across lines, mirroring the statement
+recognition the paper's metaparser performs "based on grouping delimiters
+such as braces and parentheses".
+
+Directives:
+
+``:python <code>``   evaluate host Python in the shared namespace
+``:load <file>``     interpret a Junicon or mixed-language file
+``:translate <file>`` print the translated Python for a file
+``:quit``            leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List
+
+from ..runtime.failure import FAIL
+from ..runtime.functions import icon_image
+from ..lang.interp import is_complete
+from ..lang.embed import transform_file
+from .meta import MetaInterpreter
+
+BANNER = (
+    "Junicon-in-Python — concurrent generators REPL "
+    "(reproduction of Mills & Jeffery, HIPS'16)\n"
+    "Type Junicon expressions; :quit to exit, :help for directives.\n"
+)
+PROMPT = "junicon> "
+CONTINUE = "......   "
+
+
+def render(value: Any) -> str:
+    """Render an evaluation outcome the way Icon programmers expect."""
+    if value is FAIL:
+        return "«failure»"
+    if value is None:
+        return "&null"
+    try:
+        return icon_image(value)
+    except Exception:
+        return repr(value)
+
+
+class Repl:
+    def __init__(self, default_lang: str = "junicon") -> None:
+        self.meta = MetaInterpreter(default_lang=default_lang)
+
+    def handle_directive(self, line: str, out) -> bool:
+        """Process a ``:directive``; True when the REPL should exit."""
+        parts = line[1:].split(None, 1)
+        directive = parts[0] if parts else ""
+        argument = parts[1] if len(parts) > 1 else ""
+        if directive in ("q", "quit", "exit"):
+            return True
+        if directive == "help":
+            print(__doc__, file=out)
+        elif directive == "python":
+            try:
+                print(render(self.meta.engine.execute(argument)), file=out)
+            except Exception as error:  # noqa: BLE001 - REPL surface
+                print(f"error: {error}", file=out)
+        elif directive == "load":
+            try:
+                self.meta.execute_file(argument.strip())
+                print(f"loaded {argument.strip()}", file=out)
+            except Exception as error:  # noqa: BLE001
+                print(f"error: {error}", file=out)
+        elif directive == "translate":
+            try:
+                print(transform_file(argument.strip()), file=out)
+            except Exception as error:  # noqa: BLE001
+                print(f"error: {error}", file=out)
+        else:
+            print(f"unknown directive :{directive}", file=out)
+        return False
+
+    def run(self, stdin=None, stdout=None) -> int:
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        print(BANNER, file=stdout, end="")
+        buffer: List[str] = []
+        while True:
+            prompt = CONTINUE if buffer else PROMPT
+            print(prompt, file=stdout, end="", flush=True)
+            line = stdin.readline()
+            if line == "":
+                print(file=stdout)
+                return 0
+            line = line.rstrip("\n")
+            if not buffer and line.startswith(":"):
+                if self.handle_directive(line, stdout):
+                    return 0
+                continue
+            buffer.append(line)
+            pending = "\n".join(buffer)
+            if not pending.strip():
+                buffer = []
+                continue
+            if not is_complete(pending):
+                continue
+            buffer = []
+            try:
+                print(render(self.meta.execute(pending)), file=stdout)
+            except Exception as error:  # noqa: BLE001 - REPL surface
+                print(f"error: {type(error).__name__}: {error}", file=stdout)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="junicon", description="Interactive Junicon-in-Python."
+    )
+    parser.add_argument(
+        "file", nargs="?", help="mixed-language file to run instead of a REPL"
+    )
+    parser.add_argument(
+        "--lang",
+        default="junicon",
+        help="default top-level language (junicon or python)",
+    )
+    args = parser.parse_args(argv)
+    repl = Repl(default_lang=args.lang)
+    if args.file:
+        repl.meta.execute_file(args.file)
+        return 0
+    return repl.run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

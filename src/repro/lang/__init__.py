@@ -1,0 +1,61 @@
+"""The Junicon language front-end: lexer, parser, normalization,
+transformation to Python, scoped annotations, and mixed-language embedding.
+
+Common entry points::
+
+    from repro.lang import compile_junicon, transform_source, JuniconInterpreter
+
+    ns = compile_junicon('''
+        def evens(n) { suspend (0 to n by 2); }
+    ''')
+    assert list(ns["evens"](10)) == [0, 2, 4, 6, 8, 10]
+
+    interp = JuniconInterpreter()
+    assert interp.results("(1 to 2) * (4 to 5)") == [4, 5, 8, 10]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse, parse_expression
+from .normalize import BoundIn, TempRef, normalize_expr, normalize_method
+from .transform import transform_expression, transform_program
+from .interp import JuniconInterpreter, is_complete
+from .annotations import ScopedAnnotation, find_annotations, parse_annotation_tag
+from .embed import transform_source, extract_regions
+from .loader import install as install_import_hook, load_file, uninstall as uninstall_import_hook
+
+
+def compile_junicon(source: str, namespace: Dict[str, Any] | None = None) -> dict:
+    """Compile a Junicon translation unit and execute it; returns the
+    resulting namespace (methods, classes, records, globals)."""
+    interpreter = JuniconInterpreter(namespace)
+    return interpreter.load(source)
+
+
+__all__ = [
+    "BoundIn",
+    "JuniconInterpreter",
+    "Lexer",
+    "Parser",
+    "ScopedAnnotation",
+    "TempRef",
+    "compile_junicon",
+    "extract_regions",
+    "install_import_hook",
+    "find_annotations",
+    "is_complete",
+    "load_file",
+    "normalize_expr",
+    "normalize_method",
+    "parse",
+    "parse_annotation_tag",
+    "parse_expression",
+    "tokenize",
+    "transform_expression",
+    "transform_program",
+    "transform_source",
+    "uninstall_import_hook",
+]

@@ -1,0 +1,244 @@
+"""Scoped annotations — the mixed-language embedding markers (Section IV).
+
+Admissible forms (paper)::
+
+    @<tag attr1=x1 ... attrn=xn> expression @</tag>
+    @<tag attr1=x1 ... attrn=xn/>
+    @<tag(attr1=x1, ..., attrn=xn)> expression @</tag>
+    @<tag(attr1=x1, ..., attrn=xn)/>
+
+Tags may be namespace-qualified (``ns:tag`` or ``pkg.tag``), annotations
+nest, and — unlike Java annotations — they can delimit arbitrary sections
+of code, down to single expressions.
+
+The *metaparser* here is deliberately grammar-oblivious: scanning the host
+text it tracks only string literals, comments, and the annotation markers
+themselves — it never parses host syntax (the paper: "we do not need
+parsers for Java or Groovy ... only a general metaparser").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnnotationError
+
+OPEN_MARK = "@<"
+CLOSE_MARK = "@</"
+
+
+@dataclass
+class ScopedAnnotation:
+    """One annotation region found in host text.
+
+    ``start``/``end`` span the entire annotated text including markers;
+    ``body_start``/``body_end`` span the enclosed region (empty for the
+    self-closing forms).  ``children`` holds nested annotations positioned
+    relative to the same source text.
+    """
+
+    tag: str
+    attrs: Dict[str, str]
+    start: int
+    end: int
+    body_start: int
+    body_end: int
+    self_closing: bool = False
+    children: List["ScopedAnnotation"] = field(default_factory=list)
+
+    @property
+    def lang(self) -> str:
+        return self.attrs.get("lang", "")
+
+    def body(self, source: str) -> str:
+        return source[self.body_start: self.body_end]
+
+
+def parse_annotation_tag(source: str, start: int) -> Tuple[str, Dict[str, str], int, bool]:
+    """Parse ``@<tag …>`` or ``@<tag(…)>`` at *start*.
+
+    Returns (tag, attrs, position-after-``>``, self_closing).
+    """
+    if not source.startswith(OPEN_MARK, start):
+        raise AnnotationError("not an annotation", _line_of(source, start))
+    pos = start + len(OPEN_MARK)
+    tag_start = pos
+    while pos < len(source) and (source[pos].isalnum() or source[pos] in "_.:-"):
+        pos += 1
+    tag = source[tag_start:pos]
+    if not tag:
+        raise AnnotationError("empty annotation tag", _line_of(source, start))
+    attrs: Dict[str, str] = {}
+    paren_form = pos < len(source) and source[pos] == "("
+    if paren_form:
+        pos += 1
+    while True:
+        while pos < len(source) and source[pos] in " \t\r\n,":
+            pos += 1
+        if pos >= len(source):
+            raise AnnotationError(f"unterminated annotation @<{tag}", _line_of(source, start))
+        if paren_form and source[pos] == ")":
+            pos += 1
+            break
+        if source[pos] in ">/":
+            if paren_form:
+                raise AnnotationError(
+                    f"missing ')' in @<{tag}(...)", _line_of(source, start)
+                )
+            break
+        name_start = pos
+        while pos < len(source) and (source[pos].isalnum() or source[pos] in "_.:-"):
+            pos += 1
+        name = source[name_start:pos]
+        if not name:
+            raise AnnotationError(
+                f"bad attribute in @<{tag}>", _line_of(source, pos)
+            )
+        while pos < len(source) and source[pos] in " \t":
+            pos += 1
+        if pos < len(source) and source[pos] == "=":
+            pos += 1
+            while pos < len(source) and source[pos] in " \t":
+                pos += 1
+            if pos < len(source) and source[pos] in "\"'":
+                quote = source[pos]
+                pos += 1
+                value_start = pos
+                while pos < len(source) and source[pos] != quote:
+                    pos += 1
+                if pos >= len(source):
+                    raise AnnotationError(
+                        f"unterminated attribute value in @<{tag}>",
+                        _line_of(source, value_start),
+                    )
+                attrs[name] = source[value_start:pos]
+                pos += 1
+            else:
+                value_start = pos
+                while pos < len(source) and source[pos] not in " \t\r\n,)>/":
+                    pos += 1
+                attrs[name] = source[value_start:pos]
+        else:
+            attrs[name] = ""
+    # Now expect '>' or '/>'
+    while pos < len(source) and source[pos] in " \t":
+        pos += 1
+    if source.startswith("/>", pos):
+        return tag, attrs, pos + 2, True
+    if pos < len(source) and source[pos] == ">":
+        return tag, attrs, pos + 1, False
+    raise AnnotationError(f"malformed annotation @<{tag}>", _line_of(source, start))
+
+
+def _line_of(source: str, position: int) -> int:
+    return source.count("\n", 0, min(position, len(source))) + 1
+
+
+class _HostScanner:
+    """Track just enough host lexical state to skip strings and comments."""
+
+    def __init__(self, comment_prefixes: Tuple[str, ...] = ("#",)) -> None:
+        self.comment_prefixes = comment_prefixes
+
+    def skip(self, source: str, pos: int) -> Optional[int]:
+        """If *pos* starts a string or comment, return the position after
+        it; otherwise None."""
+        char = source[pos]
+        for prefix in self.comment_prefixes:
+            if source.startswith(prefix, pos):
+                end = source.find("\n", pos)
+                return len(source) if end < 0 else end
+        if char in "\"'":
+            # Triple-quoted strings first (host = Python by default).
+            triple = char * 3
+            if source.startswith(triple, pos):
+                end = source.find(triple, pos + 3)
+                if end < 0:
+                    return len(source)
+                return end + 3
+            index = pos + 1
+            while index < len(source):
+                if source[index] == "\\":
+                    index += 2
+                    continue
+                if source[index] == char or source[index] == "\n":
+                    return index + 1
+                index += 1
+            return len(source)
+        return None
+
+
+def find_annotations(
+    source: str,
+    comment_prefixes: Tuple[str, ...] = ("#",),
+) -> List[ScopedAnnotation]:
+    """Find all top-level scoped annotations in *source* (with children).
+
+    Only the host text *between* annotations is scanned obliviously;
+    inside an annotation body the scan recurses so nested annotations of
+    any language are found.
+    """
+    scanner = _HostScanner(comment_prefixes)
+    annotations: List[ScopedAnnotation] = []
+    stack: List[ScopedAnnotation] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        if source.startswith(CLOSE_MARK, pos):
+            tag_start = pos + len(CLOSE_MARK)
+            tag_end = source.find(">", tag_start)
+            if tag_end < 0:
+                raise AnnotationError("unterminated close tag", _line_of(source, pos))
+            tag = source[tag_start:tag_end].strip()
+            if not stack:
+                raise AnnotationError(
+                    f"close tag @</{tag}> without an open tag", _line_of(source, pos)
+                )
+            annotation = stack.pop()
+            if annotation.tag != tag:
+                raise AnnotationError(
+                    f"mismatched close tag @</{tag}> for @<{annotation.tag}>",
+                    _line_of(source, pos),
+                )
+            annotation.body_end = pos
+            annotation.end = tag_end + 1
+            if stack:
+                stack[-1].children.append(annotation)
+            else:
+                annotations.append(annotation)
+            pos = tag_end + 1
+            continue
+        if source.startswith(OPEN_MARK, pos):
+            tag, attrs, after, self_closing = parse_annotation_tag(source, pos)
+            annotation = ScopedAnnotation(
+                tag=tag,
+                attrs=attrs,
+                start=pos,
+                end=after,
+                body_start=after,
+                body_end=after,
+                self_closing=self_closing,
+            )
+            if self_closing:
+                if stack:
+                    stack[-1].children.append(annotation)
+                else:
+                    annotations.append(annotation)
+            else:
+                stack.append(annotation)
+            pos = after
+            continue
+        # Skip strings/comments both in host text and inside annotation
+        # bodies (Junicon shares the quote and # comment shapes).
+        skipped = scanner.skip(source, pos)
+        if skipped is not None:
+            pos = skipped
+            continue
+        pos += 1
+    if stack:
+        raise AnnotationError(
+            f"unclosed annotation @<{stack[-1].tag}>",
+            _line_of(source, stack[-1].start),
+        )
+    return annotations

@@ -1,0 +1,428 @@
+"""AST node definitions for the Junicon dialect.
+
+Plain dataclasses; the parser produces these, the normalizer rewrites
+primaries over them, and the transformer emits host Python from them.
+Every node carries a source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+    def children(self) -> tuple:
+        return ()
+
+
+# -- atoms --------------------------------------------------------------------
+
+
+@dataclass
+class Literal(Node):
+    """Integer, real, string, or cset literal (value already converted)."""
+
+    value: Any = None
+
+
+@dataclass
+class NullLit(Node):
+    """``&null``."""
+
+
+@dataclass
+class Name(Node):
+    """An identifier reference."""
+
+    id: str = ""
+
+
+@dataclass
+class Keyword(Node):
+    """An ``&keyword`` reference."""
+
+    name: str = ""
+
+
+@dataclass
+class ListLit(Node):
+    """``[e1, e2, ...]``."""
+
+    items: List[Node] = field(default_factory=list)
+
+    def children(self) -> tuple:
+        return tuple(self.items)
+
+
+@dataclass
+class NativeCode(Node):
+    """An embedded host-language region inside Junicon.
+
+    Evaluated natively and lifted "into a singleton iterator over its
+    closure" (paper Section IV).
+    """
+
+    code: str = ""
+
+
+# -- operators ------------------------------------------------------------------
+
+
+@dataclass
+class Unary(Node):
+    """Prefix operator application (``-e``, ``*e``, ``/e``, ``!e``, …)."""
+
+    op: str = ""
+    operand: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.operand,)
+
+
+@dataclass
+class Binary(Node):
+    """Binary operator application (``+``, ``&``, ``|``, ``\\``, …)."""
+
+    op: str = ""
+    left: Node = None  # type: ignore[assignment]
+    right: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+
+@dataclass
+class Assign(Node):
+    """Assignment family: ``=``/``:=``, augmented ``op:=``, reversible
+    ``<-``, swaps ``:=:`` and ``<->``."""
+
+    op: str = ":="
+    target: Node = None  # type: ignore[assignment]
+    value: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.target, self.value)
+
+
+@dataclass
+class ToBy(Node):
+    """``e1 to e2 [by e3]``."""
+
+    start: Node = None  # type: ignore[assignment]
+    stop: Node = None  # type: ignore[assignment]
+    step: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return (self.start, self.stop) + ((self.step,) if self.step else ())
+
+
+@dataclass
+class Scan(Node):
+    """``e1 ? e2`` — string scanning."""
+
+    subject: Node = None  # type: ignore[assignment]
+    body: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.subject, self.body)
+
+
+@dataclass
+class Activate(Node):
+    """``@c`` or ``v @ c`` — co-expression activation."""
+
+    target: Node = None  # type: ignore[assignment]
+    transmit: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return ((self.transmit,) if self.transmit else ()) + (self.target,)
+
+
+@dataclass
+class FirstClass(Node):
+    """``<>e`` — lift to a first-class generator."""
+
+    expr: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+
+@dataclass
+class CoExprLit(Node):
+    """``|<>e`` — co-expression with shadowed locals."""
+
+    expr: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+
+@dataclass
+class PipeLit(Node):
+    """``|>e`` — multithreaded generator proxy."""
+
+    expr: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+
+# -- primaries ------------------------------------------------------------------
+
+
+@dataclass
+class Invoke(Node):
+    """``f(e1, ..., en)`` — goal-directed invocation."""
+
+    callee: Node = None  # type: ignore[assignment]
+    args: List[Node] = field(default_factory=list)
+
+    def children(self) -> tuple:
+        return (self.callee, *self.args)
+
+
+@dataclass
+class NativeInvoke(Node):
+    """``o::m(e1, ..., en)`` — native host-method invocation."""
+
+    subject: Node = None  # type: ignore[assignment]
+    name: str = ""
+    args: List[Node] = field(default_factory=list)
+
+    def children(self) -> tuple:
+        return (self.subject, *self.args)
+
+
+@dataclass
+class Field(Node):
+    """``o.name``."""
+
+    subject: Node = None  # type: ignore[assignment]
+    name: str = ""
+
+    def children(self) -> tuple:
+        return (self.subject,)
+
+
+@dataclass
+class Index(Node):
+    """``o[e]`` (one subscript per node; ``o[i, j]`` nests)."""
+
+    subject: Node = None  # type: ignore[assignment]
+    index: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.subject, self.index)
+
+
+@dataclass
+class Section(Node):
+    """``o[i:j]``, ``o[i+:n]``, ``o[i-:n]``."""
+
+    subject: Node = None  # type: ignore[assignment]
+    low: Node = None  # type: ignore[assignment]
+    high: Node = None  # type: ignore[assignment]
+    mode: str = ":"
+
+    def children(self) -> tuple:
+        return (self.subject, self.low, self.high)
+
+
+# -- control constructs ------------------------------------------------------------
+
+
+@dataclass
+class Block(Node):
+    """``{ s1; s2; ... }`` — a sequence of bounded statements."""
+
+    body: List[Node] = field(default_factory=list)
+
+    def children(self) -> tuple:
+        return tuple(self.body)
+
+
+@dataclass
+class If(Node):
+    cond: Node = None  # type: ignore[assignment]
+    then: Node = None  # type: ignore[assignment]
+    orelse: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return (self.cond, self.then) + ((self.orelse,) if self.orelse else ())
+
+
+@dataclass
+class While(Node):
+    cond: Node = None  # type: ignore[assignment]
+    body: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return (self.cond,) + ((self.body,) if self.body else ())
+
+
+@dataclass
+class Until(Node):
+    cond: Node = None  # type: ignore[assignment]
+    body: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return (self.cond,) + ((self.body,) if self.body else ())
+
+
+@dataclass
+class Every(Node):
+    gen: Node = None  # type: ignore[assignment]
+    body: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return (self.gen,) + ((self.body,) if self.body else ())
+
+
+@dataclass
+class RepeatLoop(Node):
+    body: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.body,)
+
+
+@dataclass
+class Case(Node):
+    subject: Node = None  # type: ignore[assignment]
+    branches: List[Tuple[Node, Node]] = field(default_factory=list)
+    default: Optional[Node] = None
+
+    def children(self) -> tuple:
+        flat: list = [self.subject]
+        for selector, body in self.branches:
+            flat.extend((selector, body))
+        if self.default is not None:
+            flat.append(self.default)
+        return tuple(flat)
+
+
+@dataclass
+class Suspend(Node):
+    expr: Optional[Node] = None
+    do_clause: Optional[Node] = None
+
+    def children(self) -> tuple:
+        parts = () if self.expr is None else (self.expr,)
+        return parts + ((self.do_clause,) if self.do_clause else ())
+
+
+@dataclass
+class Return(Node):
+    expr: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return () if self.expr is None else (self.expr,)
+
+
+@dataclass
+class Fail(Node):
+    pass
+
+
+@dataclass
+class Break(Node):
+    expr: Optional[Node] = None
+
+    def children(self) -> tuple:
+        return () if self.expr is None else (self.expr,)
+
+
+@dataclass
+class NextStmt(Node):
+    pass
+
+
+# -- declarations ------------------------------------------------------------------
+
+
+@dataclass
+class InitialClause(Node):
+    """``initial e`` — evaluated on the first invocation of the enclosing
+    procedure only (Icon's once-per-program initialization)."""
+
+    expr: Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+
+@dataclass
+class VarDecl(Node):
+    """``local a, b = e;`` / ``var c;`` / ``static s;`` — declarations.
+
+    ``kind`` is "local" (local/var) or "static" (per-procedure storage
+    persisting across invocations, Icon's static declaration).
+    """
+
+    names: List[str] = field(default_factory=list)
+    inits: List[Optional[Node]] = field(default_factory=list)
+    kind: str = "local"
+
+    def children(self) -> tuple:
+        return tuple(init for init in self.inits if init is not None)
+
+
+@dataclass
+class GlobalDecl(Node):
+    names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class MethodDecl(Node):
+    """``def name(p1, p2) { body }`` (also ``method``/``procedure``)."""
+
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.body,)
+
+
+@dataclass
+class ClassDecl(Node):
+    """``class Name { fields; methods }`` (superclasses host extension)."""
+
+    name: str = ""
+    supers: List[str] = field(default_factory=list)
+    fields: List[VarDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+
+    def children(self) -> tuple:
+        return tuple(self.fields) + tuple(self.methods)
+
+
+@dataclass
+class RecordDecl(Node):
+    """``record name(f1, f2)``."""
+
+    name: str = ""
+    fields: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit: declarations and top-level statements."""
+
+    body: List[Node] = field(default_factory=list)
+
+    def children(self) -> tuple:
+        return tuple(self.body)
+
+
+def walk(node: Node):
+    """Yield *node* and all descendants, preorder."""
+    yield node
+    for child in node.children():
+        if isinstance(child, Node):
+            yield from walk(child)

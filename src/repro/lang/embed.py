@@ -1,0 +1,268 @@
+"""Mixed-language embedding — transform a host file with scoped
+annotations into pure host Python (paper Sections IV–VI).
+
+Each ``@<script lang="junicon"> … @</script>`` region is transformed and
+injected into the surrounding context, innermost outwards:
+
+* a **statement-level** region (the markers occupy whole lines) becomes
+  translated Python statements, re-indented to the region's indentation;
+  with ``context="class"`` the region's methods become host methods
+  (``self``-taking), which is how Figure 3 embeds ``splitWords`` et al.
+  inside a class;
+* an **expression-level** region (inline in a host expression) becomes a
+  single Python expression — Figure 3's ``for (Object i : @<script…>…)``;
+* a ``lang="python"`` region nested *inside* Junicon is lifted into a
+  singleton iterator over its closure; outside Junicon it is passed
+  through untouched (native evaluation).
+
+The runtime prelude import is injected once near the top of the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from ..errors import AnnotationError
+from .annotations import ScopedAnnotation, find_annotations
+from . import ast_nodes as ast
+from .normalize import count_temps, normalize_expr
+from .parser import parse
+from .transform import (
+    CodeWriter,
+    ExpressionCompiler,
+    Scope,
+    emit_class,
+    emit_method,
+    emit_record,
+    transform_expression,
+)
+
+JUNICON_LANGS = {"junicon", "unicon", "icon"}
+HOST_LANGS = {"python", "py", "java", "groovy", "native"}
+
+PRELUDE_IMPORT = (
+    "from repro.lang.prelude import *  # injected by repro.lang.embed\n"
+    "_ns = globals()\n"
+    "_method_cache = MethodBodyCache()\n"
+)
+
+
+def extract_regions(source: str) -> List[ScopedAnnotation]:
+    """All top-level script annotations in *source*."""
+    return [a for a in find_annotations(source) if a.tag == "script"]
+
+
+def _collect_native_blocks(
+    annotation: ScopedAnnotation, source: str, blocks: Dict[str, str]
+) -> str:
+    """Replace nested host-language regions with NUL placeholders.
+
+    Returns the Junicon body text with each nested ``lang="python"``
+    region replaced by ``\\x00key\\x00`` so the lexer turns it into a
+    NATIVE token carrying the original code.
+    """
+    body = source[annotation.body_start: annotation.body_end]
+    offset = annotation.body_start
+    pieces: List[str] = []
+    cursor = annotation.body_start
+    for child in annotation.children:
+        if child.tag != "script":
+            continue
+        lang = child.lang or "python"
+        if lang in JUNICON_LANGS:
+            # Nested Junicon inside Junicon: markers are redundant; keep
+            # the body text.
+            pieces.append(source[cursor: child.start])
+            pieces.append(child.body(source))
+            cursor = child.end
+            continue
+        key = f"nb{len(blocks)}"
+        blocks[key] = child.body(source)
+        pieces.append(source[cursor: child.start])
+        pieces.append(f"\x00{key}\x00")
+        cursor = child.end
+    pieces.append(source[cursor: annotation.body_end])
+    del body, offset
+    return "".join(pieces)
+
+
+def _region_is_statement_level(source: str, annotation: ScopedAnnotation) -> bool:
+    """True when the annotation's markers sit on their own lines."""
+    line_start = source.rfind("\n", 0, annotation.start) + 1
+    before = source[line_start: annotation.start]
+    line_end = source.find("\n", annotation.end)
+    if line_end < 0:
+        line_end = len(source)
+    after = source[annotation.end: line_end]
+    return before.strip() == "" and after.strip() == ""
+
+
+def _indent_of(source: str, position: int) -> str:
+    line_start = source.rfind("\n", 0, position) + 1
+    indent = []
+    for char in source[line_start:]:
+        if char in " \t":
+            indent.append(char)
+        else:
+            break
+    return "".join(indent)
+
+
+def _emit_statement_region(
+    body: str,
+    native_blocks: Dict[str, str],
+    context: str,
+) -> str:
+    """Translate a statement-level Junicon region to Python statements."""
+    program = parse(body, native_blocks)
+    writer = CodeWriter()
+    in_class = context == "class"
+    statement_counter = 0
+    region_globals = {
+        name
+        for node in program.body
+        if isinstance(node, ast.GlobalDecl)
+        for name in node.names
+    }
+    for node in program.body:
+        if isinstance(node, ast.ClassDecl):
+            emit_class(writer, node, module_globals=region_globals)
+        elif isinstance(node, ast.RecordDecl):
+            emit_record(writer, node)
+        elif isinstance(node, ast.MethodDecl):
+            emit_method(
+                writer, node, fields=set(), in_class=in_class,
+                dynamic_self=in_class, module_globals=region_globals,
+            )
+        elif isinstance(node, ast.GlobalDecl):
+            for name in node.names:
+                writer.emit(f"_ns.setdefault({name!r}, None)")
+        elif isinstance(node, ast.NativeCode):
+            for line in node.code.strip("\n").splitlines():
+                writer.emit(line.rstrip())
+        else:
+            scope = Scope(has_self=in_class, dynamic_self=in_class)
+            normalized = normalize_expr(node)
+            temps = count_temps(normalized)
+            compiler = ExpressionCompiler(scope)
+            expr = compiler.c(normalized)
+            binders = ", ".join(
+                [f"_t{i}=IconTmp()" for i in range(temps)]
+                + [
+                    f"_g_{g}=GlobalRef(_ns, {g!r})"
+                    for g in sorted(compiler.globals_used)
+                ]
+            )
+            call = f"(lambda {binders}: {expr})()" if binders else f"({expr})"
+            writer.emit(f"_jstmt_{statement_counter} = {call}.first()")
+            statement_counter += 1
+    return writer.text()
+
+
+def transform_source(source: str, inject_prelude: bool = True) -> str:
+    """Transform a mixed-language host file into pure Python source."""
+    annotations = extract_regions(source)
+    if not annotations:
+        return source
+    pieces: List[str] = []
+    cursor = 0
+    for annotation in annotations:
+        lang = annotation.lang or "python"
+        statement_level = _region_is_statement_level(source, annotation)
+        if statement_level:
+            # Replace the whole marker lines, preserving the indentation.
+            replace_start = source.rfind("\n", 0, annotation.start) + 1
+            replace_end = source.find("\n", annotation.end)
+            replace_end = len(source) if replace_end < 0 else replace_end + 1
+        else:
+            replace_start, replace_end = annotation.start, annotation.end
+        pieces.append(source[cursor:replace_start])
+        if lang in HOST_LANGS:
+            # Native region outside Junicon: exempt from transformation.
+            pieces.append(annotation.body(source))
+        elif lang in JUNICON_LANGS:
+            native_blocks: Dict[str, str] = {}
+            body = _collect_native_blocks(annotation, source, native_blocks)
+            if statement_level:
+                indent = _indent_of(source, annotation.start)
+                code = _emit_statement_region(
+                    body, native_blocks, annotation.attrs.get("context", "")
+                )
+                indented = "\n".join(
+                    (indent + line) if line.strip() else ""
+                    for line in code.splitlines()
+                )
+                pieces.append(indented + "\n")
+            else:
+                pieces.append(transform_expression(body, native_blocks))
+        else:
+            raise AnnotationError(
+                f"unknown script language {lang!r}"
+            )
+        cursor = replace_end
+    pieces.append(source[cursor:])
+    output = "".join(pieces)
+    if inject_prelude:
+        output = _inject_prelude(output)
+    return output
+
+
+def _inject_prelude(source: str) -> str:
+    """Insert the runtime prelude after any shebang/encoding/docstring."""
+    lines = source.splitlines(keepends=True)
+    index = 0
+    # shebang and encoding comments
+    while index < len(lines) and lines[index].startswith(("#!", "# -*-", "#")):
+        index += 1
+    # module docstring (single leading string literal)
+    if index < len(lines) and lines[index].lstrip().startswith(('"""', "'''", '"', "'")):
+        quote = lines[index].lstrip()[0] * (
+            3 if lines[index].lstrip()[:3] in ('"""', "'''") else 1
+        )
+        stripped = lines[index].lstrip()
+        if stripped.count(quote) >= 2 and len(stripped) > len(quote):
+            index += 1
+        else:
+            index += 1
+            while index < len(lines) and quote not in lines[index]:
+                index += 1
+            index += 1
+    # __future__ imports must stay first
+    while index < len(lines) and lines[index].startswith("from __future__"):
+        index += 1
+    return "".join(lines[:index]) + PRELUDE_IMPORT + "".join(lines[index:])
+
+
+def transform_file(path: str, inject_prelude: bool = True) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return transform_source(handle.read(), inject_prelude)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI: ``junicon-translate FILE [-o OUT]`` — the paper's translator
+    mode ("a tool that can emit its output for compilation")."""
+    parser = argparse.ArgumentParser(
+        prog="junicon-translate",
+        description="Translate a mixed Python/Junicon source file to Python.",
+    )
+    parser.add_argument("file", help="input file with scoped annotations")
+    parser.add_argument("-o", "--output", help="output file (default: stdout)")
+    parser.add_argument(
+        "--no-prelude",
+        action="store_true",
+        help="do not inject the runtime prelude import",
+    )
+    args = parser.parse_args(argv)
+    code = transform_file(args.file, inject_prelude=not args.no_prelude)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(code)
+    else:
+        sys.stdout.write(code)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

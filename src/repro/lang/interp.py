@@ -1,0 +1,215 @@
+"""Interactive evaluation of Junicon — the paper's Groovy-analogue path.
+
+The paper's harness either emits translated code for compilation (the Java
+target) or hands it to a script engine for interactive evaluation (the
+Groovy target).  Both targets share the parser and the transformations;
+only the final engine differs.  Here the "script engine" is Python's own
+``exec``/``eval`` over a persistent namespace: :class:`JuniconInterpreter`
+parses, normalizes, transforms, and executes each input, keeping declared
+methods, classes, and globals alive between inputs.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Iterator, List
+
+from ..errors import InterpreterError, ParseError
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconIterator
+from . import ast_nodes as ast
+from .parser import Parser
+from .lexer import tokenize
+from .transform import transform_expression, transform_program
+
+
+class JuniconInterpreter:
+    """A persistent Junicon evaluation session over one namespace."""
+
+    def __init__(self, namespace: dict | None = None) -> None:
+        if namespace is None:
+            namespace = {}
+        self.namespace = namespace
+        self.namespace.setdefault("__builtins__", builtins)
+        # Generated code expects the prelude names and `_ns`.
+        exec("from repro.lang.prelude import *", self.namespace)
+        self.namespace["_ns"] = self.namespace
+        #: names declared `global` in any input of this session
+        self.declared_globals: set = set()
+
+    # -- program-level -----------------------------------------------------------
+
+    def load(self, source: str, native_blocks=None) -> dict:
+        """Translate and execute a Junicon translation unit.
+
+        Declarations (methods, classes, records, globals) become entries in
+        the session namespace; top-level statements run in order.  Returns
+        the namespace.
+        """
+        code = transform_program(
+            source, native_blocks, known_globals=self.declared_globals
+        )
+        exec(compile(code, "<junicon>", "exec"), self.namespace)
+        return self.namespace
+
+    # -- expression-level ----------------------------------------------------------
+
+    def expression(self, source: str, native_blocks=None) -> IconIterator:
+        """Build (but do not run) the iterator for a Junicon expression.
+
+        Names resolve against the session namespace (Icon globals), not
+        host closures — the inline host-embedding mode lives in
+        :func:`repro.lang.transform.transform_expression`.
+        """
+        from .normalize import count_temps, normalize_expr
+        from .parser import parse_expression as _parse_expression
+        from .transform import ExpressionCompiler, Scope
+
+        node = normalize_expr(_parse_expression(source, native_blocks))
+        compiler = ExpressionCompiler(Scope())
+        body = compiler.c(node)
+        binders = ", ".join(
+            [f"_t{i}=IconTmp()" for i in range(count_temps(node))]
+            + [
+                f"_g_{g}=GlobalRef(_ns, {g!r})"
+                for g in sorted(compiler.globals_used)
+            ]
+        )
+        code = f"(lambda {binders}: {body})()" if binders else f"({body})"
+        result = eval(compile(code, "<junicon-expr>", "eval"), self.namespace)
+        if not isinstance(result, IconIterator):
+            raise InterpreterError(
+                f"expression compiled to {type(result).__name__}, not an iterator"
+            )
+        return result
+
+    def eval(self, source: str, native_blocks=None) -> Any:
+        """Evaluate an expression as a bounded statement: its first result,
+        or :data:`FAIL`."""
+        return self.expression(source, native_blocks).first()
+
+    def results(self, source: str, limit: int | None = None) -> List[Any]:
+        """Every result of an expression (optionally limited)."""
+        out: List[Any] = []
+        for value in self.expression(source):
+            out.append(value)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def iter(self, source: str) -> Iterator[Any]:
+        """A lazy Python iterator over an expression's results."""
+        return iter(self.expression(source))
+
+    # -- mixed input (statements or declarations) -----------------------------------
+
+    def run(self, source: str) -> Any:
+        """Evaluate arbitrary Junicon input.
+
+        Declarations are loaded; a trailing expression's first result is
+        returned (the REPL contract).  Returns None when the input is only
+        declarations, :data:`FAIL` when the final expression fails.
+        """
+        program = Parser(tokenize(source)).parse_program()
+        result: Any = None
+        pending_stmts: List[ast.Node] = []
+
+        def flush() -> Any:
+            nonlocal pending_stmts
+            if not pending_stmts:
+                return None
+            value: Any = None
+            for statement in pending_stmts:
+                value = self._eval_node(statement)
+            pending_stmts = []
+            return value
+
+        for node in program.body:
+            if isinstance(
+                node,
+                (ast.MethodDecl, ast.ClassDecl, ast.RecordDecl, ast.GlobalDecl),
+            ):
+                flush()
+                self._load_declaration(node)
+                result = None
+            else:
+                pending_stmts.append(node)
+        value = flush()
+        if value is not None:
+            result = value
+        return result
+
+    def _load_declaration(self, node: ast.Node) -> None:
+        from .transform import CodeWriter, emit_class, emit_method, emit_record
+
+        writer = CodeWriter()
+        if isinstance(node, ast.MethodDecl):
+            emit_method(writer, node, module_globals=self.declared_globals)
+        elif isinstance(node, ast.ClassDecl):
+            emit_class(writer, node, module_globals=self.declared_globals)
+        elif isinstance(node, ast.RecordDecl):
+            emit_record(writer, node)
+        elif isinstance(node, ast.GlobalDecl):
+            self.declared_globals.update(node.names)
+            for name in node.names:
+                self.namespace.setdefault(name, None)
+            return
+        self.namespace.setdefault("_method_cache", None)
+        if self.namespace["_method_cache"] is None:
+            from ..runtime.cache import MethodBodyCache
+
+            self.namespace["_method_cache"] = MethodBodyCache()
+        exec(compile(writer.text(), "<junicon-decl>", "exec"), self.namespace)
+
+    def _eval_node(self, node: ast.Node) -> Any:
+        from .normalize import count_temps, normalize_expr
+        from .transform import ExpressionCompiler, Scope
+
+        normalized = normalize_expr(node)
+        scope = Scope()  # interactive statements see globals
+        compiler = ExpressionCompiler(scope)
+        temps = count_temps(normalized)
+        body = compiler.c(normalized)
+        binders = ", ".join(
+            [f"_t{i}=IconTmp()" for i in range(temps)]
+            + [
+                f"_g_{g}=GlobalRef(_ns, {g!r})"
+                for g in sorted(compiler.globals_used)
+            ]
+        )
+        code = f"(lambda {binders}: {body})()" if binders else f"({body})"
+
+        iterator = eval(compile(code, "<junicon-stmt>", "eval"), self.namespace)
+        return iterator.first()
+
+
+def is_complete(source: str) -> bool:
+    """Heuristic REPL line-continuation test: does *source* parse, and are
+    its grouping delimiters balanced?"""
+    depth = 0
+    in_string: str | None = None
+    escaped = False
+    for char in source:
+        if in_string:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == in_string:
+                in_string = None
+            continue
+        if char in "\"'":
+            in_string = char
+        elif char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+    if depth > 0 or in_string:
+        return False
+    try:
+        Parser(tokenize(source)).parse_program()
+    except ParseError:
+        return False
+    except Exception:
+        return True  # lexical garbage: let evaluation report it
+    return True

@@ -1,0 +1,122 @@
+"""Import machinery for mixed-language source files.
+
+The paper's harness "can emit its output for compilation that is free of
+dependencies on Groovy"; the Pythonic equivalent is an import hook: after
+:func:`install`, files named ``<module>.jun`` (pure Junicon) or
+``<module>.jun.py`` (Python with scoped annotations) import like any
+other module — transformation happens at import time and the result is a
+normal Python module object.
+
+    from repro.lang.loader import install
+    install()
+    import wordcount          # found as wordcount.jun / wordcount.jun.py
+"""
+
+from __future__ import annotations
+
+import importlib.abc
+import importlib.machinery
+import importlib.util
+import os
+import sys
+from typing import Sequence
+
+from .embed import transform_source
+from .transform import transform_program
+
+#: Pure-Junicon source (whole translation unit).
+JUNICON_SUFFIX = ".jun"
+#: Host Python with embedded scoped-annotation regions.
+MIXED_SUFFIX = ".jun.py"
+
+
+class JuniconLoader(importlib.abc.SourceLoader):
+    """Loads and transforms one mixed/pure Junicon file."""
+
+    def __init__(self, fullname: str, path: str) -> None:
+        self.fullname = fullname
+        self.path = path
+
+    def get_filename(self, fullname: str) -> str:
+        return self.path
+
+    def get_data(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def get_source(self, fullname: str) -> str:
+        raw = self.get_data(self.path).decode("utf-8")
+        if self.path.endswith(MIXED_SUFFIX):
+            return transform_source(raw)
+        return transform_program(raw)
+
+    def source_to_code(self, data, path, *, _optimize=-1):  # type: ignore[override]
+        # `data` is the *raw* bytes; transform before compiling.
+        source = self.get_source(self.fullname)
+        return compile(source, path, "exec", dont_inherit=True)
+
+    # SourceLoader would try to write bytecode for the raw source; the
+    # transformed code has a different shape, so opt out of caching.
+    def set_data(self, path: str, data: bytes) -> None:  # pragma: no cover
+        return None
+
+
+class JuniconFinder(importlib.abc.MetaPathFinder):
+    """Finds ``<name>.jun`` / ``<name>.jun.py`` along ``sys.path``."""
+
+    def __init__(self, extra_paths: Sequence[str] = ()) -> None:
+        self.extra_paths = list(extra_paths)
+
+    def find_spec(self, fullname, path=None, target=None):
+        leaf = fullname.rsplit(".", 1)[-1]
+        search: list[str] = list(self.extra_paths)
+        if path:
+            search.extend(p for p in path if isinstance(p, str))
+        else:
+            search.extend(p or "." for p in sys.path)
+        for directory in search:
+            for suffix in (MIXED_SUFFIX, JUNICON_SUFFIX):
+                candidate = os.path.join(directory, leaf + suffix)
+                if os.path.isfile(candidate):
+                    loader = JuniconLoader(fullname, candidate)
+                    return importlib.util.spec_from_file_location(
+                        fullname, candidate, loader=loader
+                    )
+        return None
+
+
+_installed: JuniconFinder | None = None
+
+
+def install(extra_paths: Sequence[str] = ()) -> JuniconFinder:
+    """Install (or extend) the import hook; idempotent."""
+    global _installed
+    if _installed is None:
+        _installed = JuniconFinder(extra_paths)
+        sys.meta_path.append(_installed)
+    else:
+        for path in extra_paths:
+            if path not in _installed.extra_paths:
+                _installed.extra_paths.append(path)
+    return _installed
+
+
+def uninstall() -> None:
+    """Remove the import hook (tests use this to stay hermetic)."""
+    global _installed
+    if _installed is not None:
+        try:
+            sys.meta_path.remove(_installed)
+        except ValueError:
+            pass
+        _installed = None
+
+
+def load_file(path: str, module_name: str | None = None):
+    """Import one mixed/pure Junicon file directly (no hook needed)."""
+    name = module_name or os.path.basename(path).split(".")[0]
+    loader = JuniconLoader(name, path)
+    spec = importlib.util.spec_from_file_location(name, path, loader=loader)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module

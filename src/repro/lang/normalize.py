@@ -1,0 +1,197 @@
+"""Normalization of primary expressions (paper Section V.A).
+
+The key transformation that makes embedding possible: nested generators in
+*invocation position* are moved out into products of bound iterators so
+that the residual call is a plain host-language call over already-bound
+values::
+
+    e(ex, ey)   →   (f in ⟦e⟧) & (x in ⟦ex⟧) & (y in ⟦ey⟧) & (o in !f(x,y))
+
+Two synthetic AST nodes carry the result:
+
+* :class:`BoundIn` — ``(x_i in ⟦e⟧)``: bind each result of a flattened
+  sub-expression to a compiler temporary (``IconTmp`` at runtime);
+* :class:`TempRef` — a reference to such a temporary.
+
+Atomic pieces (literals, names, temporaries) are *not* hoisted — exactly
+as in the paper's Figure 5, where the simple callee ``f`` is dereferenced
+directly inside the invocation closure while the generator argument
+``!chunk`` is bound through ``IconIn(x_0_r, IconPromote(chunk_s_r))``.
+
+Subscript/field subjects are handled by the runtime access nodes (which
+perform the same bound iteration internally), so only invocations need
+hoisting here; the observable semantics match the paper's full flattening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from . import ast_nodes as ast
+
+
+@dataclass
+class TempRef(ast.Node):
+    """A reference to normalization temporary ``x_<index>``."""
+
+    index: int = 0
+
+
+@dataclass
+class BoundIn(ast.Node):
+    """``(x_<index> in expr)`` — bound iteration introduced by flattening."""
+
+    index: int = 0
+    expr: ast.Node = None  # type: ignore[assignment]
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+
+class TempAllocator:
+    """Source of unique temporary indices within one method body."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def fresh(self) -> int:
+        index = self.count
+        self.count += 1
+        return index
+
+
+_ATOMIC = (ast.Literal, ast.NullLit, ast.Name, TempRef, ast.Keyword, ast.NativeCode)
+
+
+def is_atomic(node: ast.Node) -> bool:
+    """True when *node* can be evaluated inside an invocation closure."""
+    return isinstance(node, _ATOMIC)
+
+
+def _hoist(
+    node: ast.Node, allocator: TempAllocator, bindings: List[BoundIn]
+) -> ast.Node:
+    """Flatten *node*; if non-atomic, bind it to a fresh temporary."""
+    node = normalize_expr(node, allocator)
+    if is_atomic(node):
+        return node
+    index = allocator.fresh()
+    bindings.append(BoundIn(line=node.line, index=index, expr=node))
+    return TempRef(line=node.line, index=index)
+
+
+def _chain(bindings: List[BoundIn], final: ast.Node, line: int) -> ast.Node:
+    """(b1) & (b2) & ... & final."""
+    node: ast.Node = final
+    for binding in reversed(bindings):
+        node = ast.Binary(line=line, op="&", left=binding, right=node)
+    return node
+
+
+def normalize_expr(node: ast.Node, allocator: TempAllocator | None = None) -> ast.Node:
+    """Rewrite *node* so every invocation has atomic callee and arguments.
+
+    The rewrite is recursive and purely structural; it introduces
+    :class:`BoundIn`/:class:`TempRef` pairs chained with ``&``.
+    """
+    if allocator is None:
+        allocator = TempAllocator()
+
+    if isinstance(node, ast.Invoke):
+        bindings: List[BoundIn] = []
+        callee = _hoist(node.callee, allocator, bindings)
+        args = [_hoist(arg, allocator, bindings) for arg in node.args]
+        call = replace(node, callee=callee, args=args)
+        return _chain(bindings, call, node.line)
+
+    if isinstance(node, ast.NativeInvoke):
+        bindings = []
+        subject = _hoist(node.subject, allocator, bindings)
+        args = [_hoist(arg, allocator, bindings) for arg in node.args]
+        call = replace(node, subject=subject, args=args)
+        return _chain(bindings, call, node.line)
+
+    # Structural recursion for everything else.
+    return _rebuild(node, allocator)
+
+
+def _rebuild(node: ast.Node, allocator: TempAllocator) -> ast.Node:
+    def norm(child):
+        return normalize_expr(child, allocator) if isinstance(child, ast.Node) else child
+
+    if isinstance(node, ast.Unary):
+        return replace(node, operand=norm(node.operand))
+    if isinstance(node, ast.Binary):
+        return replace(node, left=norm(node.left), right=norm(node.right))
+    if isinstance(node, ast.Assign):
+        return replace(node, target=norm(node.target), value=norm(node.value))
+    if isinstance(node, ast.ToBy):
+        return replace(
+            node, start=norm(node.start), stop=norm(node.stop), step=norm(node.step)
+        )
+    if isinstance(node, ast.Scan):
+        return replace(node, subject=norm(node.subject), body=norm(node.body))
+    if isinstance(node, ast.Activate):
+        return replace(node, target=norm(node.target), transmit=norm(node.transmit))
+    if isinstance(node, (ast.FirstClass, ast.CoExprLit, ast.PipeLit)):
+        return replace(node, expr=norm(node.expr))
+    if isinstance(node, ast.Field):
+        return replace(node, subject=norm(node.subject))
+    if isinstance(node, ast.Index):
+        return replace(node, subject=norm(node.subject), index=norm(node.index))
+    if isinstance(node, ast.Section):
+        return replace(
+            node, subject=norm(node.subject), low=norm(node.low), high=norm(node.high)
+        )
+    if isinstance(node, ast.ListLit):
+        return replace(node, items=[norm(item) for item in node.items])
+    if isinstance(node, ast.Block):
+        return replace(node, body=[norm(statement) for statement in node.body])
+    if isinstance(node, ast.If):
+        return replace(
+            node, cond=norm(node.cond), then=norm(node.then), orelse=norm(node.orelse)
+        )
+    if isinstance(node, ast.While):
+        return replace(node, cond=norm(node.cond), body=norm(node.body))
+    if isinstance(node, ast.Until):
+        return replace(node, cond=norm(node.cond), body=norm(node.body))
+    if isinstance(node, ast.Every):
+        return replace(node, gen=norm(node.gen), body=norm(node.body))
+    if isinstance(node, ast.RepeatLoop):
+        return replace(node, body=norm(node.body))
+    if isinstance(node, ast.Case):
+        return replace(
+            node,
+            subject=norm(node.subject),
+            branches=[(norm(sel), norm(body)) for sel, body in node.branches],
+            default=norm(node.default),
+        )
+    if isinstance(node, ast.Suspend):
+        return replace(node, expr=norm(node.expr), do_clause=norm(node.do_clause))
+    if isinstance(node, (ast.Return, ast.Break)):
+        return replace(node, expr=norm(node.expr))
+    if isinstance(node, ast.InitialClause):
+        return replace(node, expr=norm(node.expr))
+    if isinstance(node, ast.VarDecl):
+        return replace(node, inits=[norm(init) for init in node.inits])
+    if isinstance(node, BoundIn):
+        return replace(node, expr=norm(node.expr))
+    # Atoms and declarations without expression children.
+    return node
+
+
+def normalize_method(method: ast.MethodDecl) -> Tuple[ast.MethodDecl, int]:
+    """Normalize a method body; returns (new method, temporaries used)."""
+    allocator = TempAllocator()
+    body = normalize_expr(method.body, allocator)
+    return replace(method, body=body), allocator.count
+
+
+def count_temps(node: ast.Node) -> int:
+    """Highest temporary index used below *node*, plus one."""
+    highest = -1
+    for descendant in ast.walk(node):
+        if isinstance(descendant, (TempRef, BoundIn)):
+            highest = max(highest, descendant.index)
+    return highest + 1

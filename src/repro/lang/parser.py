@@ -1,0 +1,659 @@
+"""Parser for the Junicon dialect — a hand-written LL/Pratt parser
+(standing in for the paper's "Javacc LL(k) parser for Unicon").
+
+Expression precedence, low to high (Icon's table, adjusted for the
+dialect's ``=``-as-assignment):
+
+======  =====================================================
+1       ``&`` (conjunction / iterator product)
+2       ``?`` (string scanning)
+3       ``=  :=  <-  :=:  <->  op:=`` (assignment; right-assoc)
+4       ``to … by``
+5       ``|`` (alternation)
+6       ``<  <=  >  >=  ~=  <<  <<=  >>  >>=  ==  ~==  ===  ~===``
+7       ``||  |||``
+8       ``+  -  ++  --``
+9       ``*  /  %  **``
+10      ``^`` (right-assoc)
+11      ``\\`` (limitation), ``@`` (binary activation)
+12      prefix operators (``! @ ^ * + - ~ / \\ ? = . <> |<> |> |`` and
+        ``not``)
+13      primaries and postfix (call, ``.f``, ``[i]``, ``[i:j]``, ``::m``)
+======  =====================================================
+
+Control constructs (``if``/``while``/``every``/…) are expressions and are
+accepted wherever an expression may start.  Parenthesized lists
+``(e1, e2, …)`` are Icon *mutual evaluation* — the product of all
+expressions yielding the last one's results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .tokens import (
+    CSET,
+    EOF,
+    IDENT,
+    INTEGER,
+    KEYWORD,
+    NATIVE,
+    OP,
+    REAL,
+    RESERVED,
+    STRING,
+    Token,
+)
+
+_ASSIGN_OPS = {"=", ":=", "<-", ":=:", "<->"}
+_RELATIONAL = {
+    "<", "<=", ">", ">=", "~=",
+    "<<", "<<=", ">>", ">>=",
+    "==", "~==", "===", "~===",
+}
+_ADDITIVE = {"+", "-", "++", "--"}
+_MULTIPLICATIVE = {"*", "/", "%", "**"}
+_PREFIX_OPS = {
+    "!", "@", "^", "*", "+", "-", "~", "/", "\\", "?", "=", ".",
+    "<>", "|<>", "|>", "|",
+}
+
+
+class Parser:
+    """Token-stream parser producing :mod:`repro.lang.ast_nodes` trees."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not EOF:
+            self.index += 1
+        return token
+
+    def expect_op(self, symbol: str) -> Token:
+        if not self.current.is_op(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, found {self.current.value!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def expect_reserved(self, word: str) -> Token:
+        if not self.current.is_reserved(word):
+            raise ParseError(
+                f"expected {word!r}, found {self.current.value!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind is not IDENT:
+            raise ParseError(
+                f"expected an identifier, found {self.current.value!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance().value
+
+    def _skip_semis(self) -> None:
+        while self.current.is_op(";"):
+            self.advance()
+
+    # -- program / declarations -------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Node] = []
+        self._skip_semis()
+        while self.current.kind is not EOF:
+            body.append(self.parse_declaration_or_statement())
+            self._skip_semis()
+        return ast.Program(line=1, body=body)
+
+    def parse_declaration_or_statement(self) -> ast.Node:
+        token = self.current
+        if token.is_reserved("class"):
+            return self.parse_class()
+        if token.is_reserved("record"):
+            return self.parse_record()
+        if token.is_reserved("def", "method", "procedure"):
+            return self.parse_method()
+        if token.is_reserved("global"):
+            return self.parse_global()
+        return self.parse_statement()
+
+    def parse_global(self) -> ast.GlobalDecl:
+        token = self.expect_reserved("global")
+        names = [self.expect_ident()]
+        while self.current.is_op(","):
+            self.advance()
+            names.append(self.expect_ident())
+        return ast.GlobalDecl(line=token.line, names=names)
+
+    def parse_record(self) -> ast.RecordDecl:
+        token = self.expect_reserved("record")
+        name = self.expect_ident()
+        self.expect_op("(")
+        fields: List[str] = []
+        if not self.current.is_op(")"):
+            fields.append(self.expect_ident())
+            while self.current.is_op(","):
+                self.advance()
+                fields.append(self.expect_ident())
+        self.expect_op(")")
+        return ast.RecordDecl(line=token.line, name=name, fields=fields)
+
+    def parse_class(self) -> ast.ClassDecl:
+        token = self.expect_reserved("class")
+        name = self.expect_ident()
+        supers: List[str] = []
+        fields: List[ast.VarDecl] = []
+        methods: List[ast.MethodDecl] = []
+        if self.current.is_op(":"):
+            self.advance()
+            supers.append(self.expect_ident())
+            while self.current.is_op(","):
+                self.advance()
+                supers.append(self.expect_ident())
+        if self.current.is_op("("):
+            # Unicon-style constructor field list: class C(f1, f2) { ... }
+            self.advance()
+            names: List[str] = []
+            if not self.current.is_op(")"):
+                names.append(self.expect_ident())
+                while self.current.is_op(","):
+                    self.advance()
+                    names.append(self.expect_ident())
+            self.expect_op(")")
+            if names:
+                fields.append(
+                    ast.VarDecl(
+                        line=token.line, names=names, inits=[None] * len(names)
+                    )
+                )
+        self.expect_op("{")
+        self._skip_semis()
+        while not self.current.is_op("}"):
+            if self.current.is_reserved("def", "method", "procedure"):
+                methods.append(self.parse_method())
+            elif self.current.is_reserved("local", "var", "static"):
+                fields.append(self.parse_var_decl())
+            elif self.current.kind is NATIVE:
+                # Host code at class level is kept as a method-like native
+                # block; the transformer splices it verbatim.
+                native = self.advance()
+                methods.append(
+                    ast.MethodDecl(
+                        line=native.line,
+                        name=f"__native_{len(methods)}",
+                        params=[],
+                        body=ast.Block(
+                            line=native.line,
+                            body=[ast.NativeCode(line=native.line, code=native.value)],
+                        ),
+                    )
+                )
+            else:
+                raise ParseError(
+                    f"unexpected {self.current.value!r} in class body",
+                    self.current.line,
+                    self.current.column,
+                )
+            self._skip_semis()
+        self.expect_op("}")
+        return ast.ClassDecl(
+            line=token.line, name=name, supers=supers, fields=fields, methods=methods
+        )
+
+    def parse_method(self) -> ast.MethodDecl:
+        token = self.advance()  # def / method / procedure
+        name = self.expect_ident()
+        self.expect_op("(")
+        params: List[str] = []
+        if not self.current.is_op(")"):
+            params.append(self.expect_ident())
+            while self.current.is_op(","):
+                self.advance()
+                params.append(self.expect_ident())
+        self.expect_op(")")
+        if self.current.is_op("{"):
+            body = self.parse_block()
+        else:
+            # Classic Icon/Unicon form: statements until `end`.
+            self._skip_semis()
+            statements: List[ast.Node] = []
+            while not self.current.is_reserved("end"):
+                if self.current.kind is EOF:
+                    raise ParseError(
+                        f"missing 'end' for procedure {name}", token.line, token.column
+                    )
+                statements.append(self.parse_statement())
+                self._skip_semis()
+            self.expect_reserved("end")
+            body = ast.Block(line=token.line, body=statements)
+        return ast.MethodDecl(line=token.line, name=name, params=params, body=body)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        token = self.advance()  # local / var / static
+        names: List[str] = []
+        inits: List[Optional[ast.Node]] = []
+        while True:
+            names.append(self.expect_ident())
+            if self.current.is_op("=", ":="):
+                self.advance()
+                inits.append(self.parse_expression())
+            else:
+                inits.append(None)
+            if self.current.is_op(","):
+                self.advance()
+                continue
+            break
+        kind = "static" if token.value == "static" else "local"
+        return ast.VarDecl(line=token.line, names=names, inits=inits, kind=kind)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Node:
+        if self.current.is_reserved("local", "var", "static"):
+            return self.parse_var_decl()
+        if self.current.is_reserved("global"):
+            return self.parse_global()
+        if self.current.is_reserved("initial"):
+            token = self.advance()
+            return ast.InitialClause(line=token.line, expr=self.parse_expression())
+        expr = self.parse_expression()
+        return expr
+
+    def parse_block(self) -> ast.Block:
+        token = self.expect_op("{")
+        statements: List[ast.Node] = []
+        self._skip_semis()
+        while not self.current.is_op("}"):
+            if self.current.kind is EOF:
+                raise ParseError("unterminated block", token.line, token.column)
+            statements.append(self.parse_statement())
+            self._skip_semis()
+        self.expect_op("}")
+        return ast.Block(line=token.line, body=statements)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Node:
+        return self.parse_conjunction()
+
+    def parse_conjunction(self) -> ast.Node:
+        node = self.parse_scan()
+        while self.current.is_op("&"):
+            token = self.advance()
+            right = self.parse_scan()
+            node = ast.Binary(line=token.line, op="&", left=node, right=right)
+        return node
+
+    def parse_scan(self) -> ast.Node:
+        node = self.parse_assignment()
+        while self.current.is_op("?"):
+            token = self.advance()
+            right = self.parse_assignment()
+            node = ast.Scan(line=token.line, subject=node, body=right)
+        return node
+
+    def parse_assignment(self) -> ast.Node:
+        node = self.parse_alternation()
+        token = self.current
+        if token.kind is OP and (
+            token.value in _ASSIGN_OPS or token.value.endswith(":=")
+        ):
+            self.advance()
+            value = self.parse_assignment()  # right-associative
+            return ast.Assign(line=token.line, op=token.value, target=node, value=value)
+        return node
+
+    def parse_alternation(self) -> ast.Node:
+        node = self.parse_to_by()
+        while self.current.is_op("|"):
+            token = self.advance()
+            right = self.parse_to_by()
+            node = ast.Binary(line=token.line, op="|", left=node, right=right)
+        return node
+
+    def parse_to_by(self) -> ast.Node:
+        # Tighter than alternation so `1 to 3 | 7 to 9` reads as the
+        # union of two ranges — the pervasive generator idiom.
+        node = self.parse_relational()
+        if self.current.is_reserved("to"):
+            token = self.advance()
+            stop = self.parse_relational()
+            step: Optional[ast.Node] = None
+            if self.current.is_reserved("by"):
+                self.advance()
+                step = self.parse_relational()
+            return ast.ToBy(line=token.line, start=node, stop=stop, step=step)
+        return node
+
+    def parse_relational(self) -> ast.Node:
+        node = self.parse_concat()
+        while self.current.kind is OP and self.current.value in _RELATIONAL:
+            token = self.advance()
+            right = self.parse_concat()
+            node = ast.Binary(line=token.line, op=token.value, left=node, right=right)
+        return node
+
+    def parse_concat(self) -> ast.Node:
+        node = self.parse_additive()
+        while self.current.is_op("||", "|||"):
+            token = self.advance()
+            right = self.parse_additive()
+            node = ast.Binary(line=token.line, op=token.value, left=node, right=right)
+        return node
+
+    def parse_additive(self) -> ast.Node:
+        node = self.parse_multiplicative()
+        while self.current.kind is OP and self.current.value in _ADDITIVE:
+            token = self.advance()
+            right = self.parse_multiplicative()
+            node = ast.Binary(line=token.line, op=token.value, left=node, right=right)
+        return node
+
+    def parse_multiplicative(self) -> ast.Node:
+        node = self.parse_power()
+        while self.current.kind is OP and self.current.value in _MULTIPLICATIVE:
+            token = self.advance()
+            right = self.parse_power()
+            node = ast.Binary(line=token.line, op=token.value, left=node, right=right)
+        return node
+
+    def parse_power(self) -> ast.Node:
+        node = self.parse_limit()
+        if self.current.is_op("^"):
+            token = self.advance()
+            right = self.parse_power()  # right-associative
+            return ast.Binary(line=token.line, op="^", left=node, right=right)
+        return node
+
+    def parse_limit(self) -> ast.Node:
+        node = self.parse_prefix()
+        while self.current.is_op("\\", "@"):
+            token = self.advance()
+            right = self.parse_prefix()
+            if token.value == "@":
+                # v @ c — transmit v into co-expression c.
+                node = ast.Activate(line=token.line, target=right, transmit=node)
+            else:
+                node = ast.Binary(line=token.line, op="\\", left=node, right=right)
+        return node
+
+    def parse_prefix(self) -> ast.Node:
+        token = self.current
+        if token.is_reserved("not"):
+            self.advance()
+            operand = self.parse_prefix()
+            return ast.Unary(line=token.line, op="not", operand=operand)
+        if token.kind is OP and token.value in _PREFIX_OPS:
+            self.advance()
+            operand = self.parse_prefix()
+            if token.value == "<>":
+                return ast.FirstClass(line=token.line, expr=operand)
+            if token.value == "|<>":
+                return ast.CoExprLit(line=token.line, expr=operand)
+            if token.value == "|>":
+                return ast.PipeLit(line=token.line, expr=operand)
+            if token.value == "@":
+                return ast.Activate(line=token.line, target=operand)
+            return ast.Unary(line=token.line, op=token.value, operand=operand)
+        return self.parse_postfix()
+
+    # -- primaries and postfix ----------------------------------------------------
+
+    def parse_postfix(self) -> ast.Node:
+        node = self.parse_primary()
+        while True:
+            token = self.current
+            if token.is_op("("):
+                self.advance()
+                args: List[ast.Node] = []
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expression())
+                    while self.current.is_op(","):
+                        self.advance()
+                        args.append(self.parse_expression())
+                self.expect_op(")")
+                node = ast.Invoke(line=token.line, callee=node, args=args)
+                continue
+            if token.is_op("."):
+                # Distinguish field access from a dangling prefix dot.
+                if self.peek(0).kind is OP and self.peek().kind is IDENT:
+                    self.advance()
+                    name = self.expect_ident()
+                    node = ast.Field(line=token.line, subject=node, name=name)
+                    continue
+                break
+            if token.is_op("::"):
+                self.advance()
+                name = self.expect_ident()
+                args = []
+                if self.current.is_op("("):
+                    self.advance()
+                    if not self.current.is_op(")"):
+                        args.append(self.parse_expression())
+                        while self.current.is_op(","):
+                            self.advance()
+                            args.append(self.parse_expression())
+                    self.expect_op(")")
+                node = ast.NativeInvoke(
+                    line=token.line, subject=node, name=name, args=args
+                )
+                continue
+            if token.is_op("["):
+                self.advance()
+                node = self._parse_subscript(node, token)
+                continue
+            break
+        return node
+
+    def _parse_subscript(self, subject: ast.Node, open_token: Token) -> ast.Node:
+        first = self.parse_expression()
+        if self.current.is_op(":", "+:", "-:"):
+            mode = self.advance().value
+            high = self.parse_expression()
+            self.expect_op("]")
+            return ast.Section(
+                line=open_token.line, subject=subject, low=first, high=high, mode=mode
+            )
+        node = ast.Index(line=open_token.line, subject=subject, index=first)
+        while self.current.is_op(","):
+            self.advance()
+            node = ast.Index(
+                line=open_token.line, subject=node, index=self.parse_expression()
+            )
+        self.expect_op("]")
+        return node
+
+    def parse_primary(self) -> ast.Node:
+        token = self.current
+        if token.kind in (INTEGER, REAL, STRING, CSET):
+            self.advance()
+            return ast.Literal(line=token.line, value=token.value)
+        if token.kind is KEYWORD:
+            self.advance()
+            if token.value == "null":
+                return ast.NullLit(line=token.line)
+            # NOTE: &fail (the empty generator) stays a Keyword — it is not
+            # the `fail` statement, which signals procedure failure.
+            return ast.Keyword(line=token.line, name=token.value)
+        if token.kind is NATIVE:
+            self.advance()
+            return ast.NativeCode(line=token.line, code=token.value)
+        if token.kind is IDENT:
+            self.advance()
+            return ast.Name(line=token.line, id=token.value)
+        if token.is_op("("):
+            self.advance()
+            exprs = [self.parse_expression()]
+            while self.current.is_op(","):
+                self.advance()
+                exprs.append(self.parse_expression())
+            self.expect_op(")")
+            if len(exprs) == 1:
+                return exprs[0]
+            # Mutual evaluation (e1, ..., en): the product yielding en.
+            node = exprs[0]
+            for right in exprs[1:]:
+                node = ast.Binary(line=token.line, op="&", left=node, right=right)
+            return node
+        if token.is_op("["):
+            self.advance()
+            items: List[ast.Node] = []
+            if not self.current.is_op("]"):
+                items.append(self.parse_expression())
+                while self.current.is_op(","):
+                    self.advance()
+                    items.append(self.parse_expression())
+            self.expect_op("]")
+            return ast.ListLit(line=token.line, items=items)
+        if token.is_op("{"):
+            return self.parse_block()
+        if token.kind is RESERVED:
+            return self.parse_control(token)
+        raise ParseError(
+            f"unexpected token {token.value!r}", token.line, token.column
+        )
+
+    # -- control constructs -----------------------------------------------------
+
+    def parse_control(self, token: Token) -> ast.Node:
+        word = token.value
+        if word == "if":
+            self.advance()
+            cond = self.parse_expression()
+            self.expect_reserved("then")
+            then = self.parse_expression()
+            orelse: Optional[ast.Node] = None
+            if self.current.is_reserved("else"):
+                self.advance()
+                orelse = self.parse_expression()
+            return ast.If(line=token.line, cond=cond, then=then, orelse=orelse)
+        if word == "while":
+            self.advance()
+            cond = self.parse_expression()
+            body = self._optional_do_body()
+            return ast.While(line=token.line, cond=cond, body=body)
+        if word == "until":
+            self.advance()
+            cond = self.parse_expression()
+            body = self._optional_do_body()
+            return ast.Until(line=token.line, cond=cond, body=body)
+        if word == "every":
+            self.advance()
+            gen = self.parse_expression()
+            body = self._optional_do_body()
+            return ast.Every(line=token.line, gen=gen, body=body)
+        if word == "repeat":
+            self.advance()
+            body = self.parse_expression()
+            return ast.RepeatLoop(line=token.line, body=body)
+        if word == "case":
+            return self.parse_case()
+        if word == "suspend":
+            self.advance()
+            expr: Optional[ast.Node] = None
+            if not self._at_statement_end():
+                expr = self.parse_expression()
+            do_clause: Optional[ast.Node] = None
+            if self.current.is_reserved("do"):
+                self.advance()
+                do_clause = self.parse_expression()
+            return ast.Suspend(line=token.line, expr=expr, do_clause=do_clause)
+        if word == "return":
+            self.advance()
+            expr = None
+            if not self._at_statement_end():
+                expr = self.parse_expression()
+            return ast.Return(line=token.line, expr=expr)
+        if word == "fail":
+            self.advance()
+            return ast.Fail(line=token.line)
+        if word == "break":
+            self.advance()
+            expr = None
+            if not self._at_statement_end():
+                expr = self.parse_expression()
+            return ast.Break(line=token.line, expr=expr)
+        if word == "next":
+            self.advance()
+            return ast.NextStmt(line=token.line)
+        raise ParseError(f"unexpected keyword {word!r}", token.line, token.column)
+
+    def _optional_do_body(self) -> Optional[ast.Node]:
+        if self.current.is_reserved("do"):
+            self.advance()
+            return self.parse_expression()
+        if self.current.is_op("{"):
+            return self.parse_block()
+        return None
+
+    def _at_statement_end(self) -> bool:
+        token = self.current
+        return (
+            token.kind is EOF
+            or token.is_op(";", "}", ")", "]", ",")
+            or token.is_reserved("do", "else", "end")
+        )
+
+    def parse_case(self) -> ast.Case:
+        token = self.expect_reserved("case")
+        subject = self.parse_expression()
+        self.expect_reserved("of")
+        self.expect_op("{")
+        branches: List[tuple] = []
+        default: Optional[ast.Node] = None
+        self._skip_semis()
+        while not self.current.is_op("}"):
+            if self.current.is_reserved("default"):
+                self.advance()
+                self.expect_op(":")
+                default = self.parse_expression()
+            else:
+                selector = self.parse_expression()
+                self.expect_op(":")
+                body = self.parse_expression()
+                branches.append((selector, body))
+            self._skip_semis()
+        self.expect_op("}")
+        return ast.Case(
+            line=token.line, subject=subject, branches=branches, default=default
+        )
+
+
+def parse(source: str, native_blocks=None) -> ast.Program:
+    """Parse a Junicon translation unit."""
+    return Parser(tokenize(source, native_blocks)).parse_program()
+
+
+def parse_expression(source: str, native_blocks=None) -> ast.Node:
+    """Parse a single Junicon expression (errors on trailing input)."""
+    parser = Parser(tokenize(source, native_blocks))
+    node = parser.parse_expression()
+    parser._skip_semis()
+    if parser.current.kind is not EOF:
+        raise ParseError(
+            f"trailing input {parser.current.value!r}",
+            parser.current.line,
+            parser.current.column,
+        )
+    return node

@@ -1,0 +1,143 @@
+"""Names available to generated code (the transformer's runtime prelude).
+
+Generated modules begin with ``from repro.lang.prelude import *`` and host
+files with embedded expression regions get the same import injected.  The
+exported set is the exact vocabulary :mod:`repro.lang.transform` emits —
+runtime node constructors, the operations module (as ``iops``), and the
+environment helpers.
+"""
+
+from ..runtime import operations as iops
+from ..runtime.failure import FAIL
+from ..runtime.cache import MethodBodyCache
+from ..runtime.combinators import (
+    IconBound,
+    IconConcat,
+    IconEvery,
+    IconIn,
+    IconLimit,
+    IconNot,
+    IconProduct,
+    IconRepeatAlt,
+    IconSequence,
+)
+from ..runtime.control import (
+    IconBreak,
+    IconCase,
+    IconFailStmt,
+    IconIf,
+    IconNext,
+    IconRepeat,
+    IconReturn,
+    IconSuspend,
+    IconUntil,
+    IconWhile,
+)
+from ..runtime.access import IconField, IconIndex, IconSection
+from ..runtime.invoke import IconInvokeIterator, IconMethodBody
+from ..runtime.iterator import (
+    IconFail,
+    IconGenerator,
+    IconIterator,
+    IconLazy,
+    IconNullIterator,
+    IconValue,
+    IconVarIterator,
+)
+from ..runtime.operations import (
+    IconAssign,
+    IconDeref,
+    IconNonNullTest,
+    IconNullTest,
+    IconOperation,
+    IconRevAssign,
+    IconRevSwap,
+    IconSwap,
+    IconToBy,
+)
+from ..runtime.promote import IconActivate, IconPromote
+from ..runtime.refs import FieldRef, IconTmp, IconVar
+from ..runtime.scanning import IconScan, tab_match
+from ..runtime.types import Cset
+from ..runtime.functions import BUILTINS
+from ..coexpr.coexpression import CoExpression
+from ..coexpr.pipe import Pipe
+from ..coexpr.calculus import refresh as _jrefresh
+from .environment import (
+    GlobalRef,
+    IconInitial,
+    class_lookup,
+    KeywordRef,
+    ListBuild,
+    global_value,
+    host_lookup,
+    invoke_value,
+    shadow,
+)
+
+__all__ = [
+    "_jrefresh",
+    "BUILTINS",
+    "CoExpression",
+    "Cset",
+    "FAIL",
+    "FieldRef",
+    "GlobalRef",
+    "IconActivate",
+    "IconAssign",
+    "IconBound",
+    "IconBreak",
+    "IconCase",
+    "IconConcat",
+    "IconDeref",
+    "IconEvery",
+    "IconFail",
+    "IconFailStmt",
+    "IconField",
+    "IconGenerator",
+    "IconIf",
+    "IconIn",
+    "IconIndex",
+    "IconInitial",
+    "IconInvokeIterator",
+    "IconIterator",
+    "IconLazy",
+    "IconLimit",
+    "IconMethodBody",
+    "IconNext",
+    "IconNonNullTest",
+    "IconNot",
+    "IconNullIterator",
+    "IconNullTest",
+    "IconOperation",
+    "IconProduct",
+    "IconPromote",
+    "IconRepeat",
+    "IconRepeatAlt",
+    "IconReturn",
+    "IconRevAssign",
+    "IconRevSwap",
+    "IconScan",
+    "IconSection",
+    "IconSequence",
+    "IconSuspend",
+    "IconSwap",
+    "IconTmp",
+    "IconToBy",
+    "IconUntil",
+    "IconValue",
+    "IconVar",
+    "IconVarIterator",
+    "IconWhile",
+    "KeywordRef",
+    "ListBuild",
+    "MethodBodyCache",
+    "Pipe",
+    "class_lookup",
+    "global_value",
+    "host_lookup",
+    "invoke_value",
+    "iops",
+    "shadow",
+    "tab_match",
+]

@@ -1,0 +1,119 @@
+"""Token definitions for the Junicon dialect (paper Figures 3–5).
+
+The dialect is Unicon with a brace-based surface ("def f(x) { ... }"), the
+concurrency operators of Figure 1 (``<>``, ``|<>``, ``|>``, ``@``, ``!``,
+``^``), ``::`` for native (host) invocation, and — following the paper's
+Junicon figures — ``=`` as assignment (``:=`` also accepted) with ``==``
+as general equality.
+
+Operator tokens are matched longest-first; augmented assignment forms
+(``+:=``, ``||:=``, …) are generated from the binary operator set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+# Token kinds.
+IDENT = "IDENT"
+INTEGER = "INTEGER"
+REAL = "REAL"
+STRING = "STRING"
+CSET = "CSET"
+KEYWORD = "KEYWORD"          # &name
+RESERVED = "RESERVED"        # language keywords (if, while, def, ...)
+OP = "OP"
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+NATIVE = "NATIVE"            # an embedded host-code region (value = code)
+
+RESERVED_WORDS = frozenset(
+    {
+        "break",
+        "by",
+        "case",
+        "class",
+        "def",
+        "default",
+        "do",
+        "else",
+        "end",
+        "every",
+        "fail",
+        "global",
+        "if",
+        "initial",
+        "local",
+        "method",
+        "next",
+        "not",
+        "of",
+        "procedure",
+        "record",
+        "repeat",
+        "return",
+        "static",
+        "suspend",
+        "then",
+        "to",
+        "until",
+        "var",
+        "while",
+    }
+)
+
+#: Binary operators that admit an augmented-assignment form ``op:=``.
+AUGMENTABLE = (
+    "|||", "||", "++", "--", "**",
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "<", ">",
+    "~===", "===", "~==", "==", "~=",
+    "+", "-", "*", "/", "%", "^", "&", "?", "@",
+)
+
+#: All multi-character operators, longest first (single chars handled
+#: separately).  Order matters for maximal-munch lexing.
+MULTI_OPS = tuple(
+    sorted(
+        {
+            "|<>",          # co-expression creation
+            "<>",           # first-class generator
+            "|>",           # pipe
+            "~===", "===",  # same-value (not)
+            "~==", "==",    # equality (dialect: general equality)
+            "<<=", ">>=",   # string comparisons
+            "<<", ">>",
+            "<=", ">=", "~=",
+            ":=:", "<->",   # swaps
+            ":=", "<-",     # assignment, reversible assignment
+            "|||", "||",    # concatenation
+            "++", "--", "**",
+            "::",           # native invocation
+            "+:", "-:",     # section offsets e[i+:n]
+        }
+        | {op + ":=" for op in AUGMENTABLE},
+        key=len,
+        reverse=True,
+    )
+)
+
+SINGLE_OPS = frozenset("+-*/%^<>=~|&?@!\\.,;:()[]{}$")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: Any
+    line: int
+    column: int
+
+    def is_op(self, *symbols: str) -> bool:
+        return self.kind == OP and self.value in symbols
+
+    def is_reserved(self, *words: str) -> bool:
+        return self.kind == RESERVED and self.value in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,23 @@
+"""Execution monitoring for goal-directed programs (paper §IX).
+
+The paper closes with "program monitoring and debugging within a
+transformational framework is an area to be further explored."  This
+package explores it: because translated programs are *trees of iterator
+nodes*, monitoring is a post-transformation pass that wraps each node in
+a transparent probe — no changes to the runtime, no overhead when off.
+
+>>> from repro.monitor import Tracer
+>>> from repro.lang import JuniconInterpreter
+>>> interp = JuniconInterpreter()
+>>> tracer = Tracer()
+>>> node = tracer.instrument(interp.expression("(1 to 2) * (3 to 4)"))
+>>> list(node)
+[3, 4, 6, 8]
+>>> tracer.counts()["produce"]
+16
+"""
+
+from .events import Event, EventKind
+from .tracer import TracedIterator, Tracer, trace
+
+__all__ = ["Event", "EventKind", "TracedIterator", "Tracer", "trace"]

@@ -1,0 +1,50 @@
+"""Monitoring events.
+
+Each observable step of goal-directed evaluation maps onto one event kind,
+mirroring Icon's classic monitoring vocabulary (as in Jeffery's Alamo/MT
+Icon event model, which the paper's future-work points toward):
+
+=========  =============================================================
+enter      a node begins (or restarts) a pass of iteration
+produce    a node yields a result (success)
+suspend    a ``suspend``-ed result passes through the node (envelope)
+resume     a node is re-entered after having produced (backtracking)
+fail       a node's pass ends with no further result
+=========  =============================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind:
+    ENTER = "enter"
+    PRODUCE = "produce"
+    SUSPEND = "suspend"
+    RESUME = "resume"
+    FAIL = "fail"
+
+    ALL = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
+
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One monitoring event: what happened, where, with which value."""
+
+    kind: str
+    node: str          # the wrapped node's label (class name or custom)
+    depth: int         # nesting depth within the instrumented tree
+    value: Any = None  # the produced/suspended value, if any
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    def __str__(self) -> str:
+        indent = "  " * self.depth
+        if self.kind in (EventKind.PRODUCE, EventKind.SUSPEND):
+            return f"{indent}{self.node}: {self.kind} {self.value!r}"
+        return f"{indent}{self.node}: {self.kind}"

@@ -1,0 +1,203 @@
+"""Goal-directed evaluation runtime — the suspendable iterator kernel.
+
+This package is the substrate everything else builds on: the paper's
+``IconIterator`` kernel (failure-driven, suspendable, restartable) plus the
+composition forms, Icon operator semantics, reference semantics, promotion,
+invocation, built-in functions, and string scanning.
+
+Quick taste (the paper's prime-multiples example from Section II.A)::
+
+    from repro.runtime import IconOperation, IconToBy, IconInvoke, operations
+
+    def isprime(n):
+        if n >= 2 and all(n % d for d in range(2, int(n ** 0.5) + 1)):
+            yield n
+
+    expr = IconOperation(
+        operations.times,
+        IconToBy(1, 2),
+        IconInvoke(isprime, IconToBy(4, 7)),
+    )
+    assert list(expr) == [5, 7, 10, 14]
+"""
+
+from .failure import (
+    FAIL,
+    BreakSignal,
+    ControlSignal,
+    FailSignal,
+    NextSignal,
+    ReturnSignal,
+    Suspension,
+    succeeded,
+)
+from .refs import (
+    FieldRef,
+    IconTmp,
+    IconVar,
+    ListRef,
+    ReadOnlyRef,
+    Ref,
+    TableRef,
+    assign,
+    deref,
+)
+from .iterator import (
+    IconGenerator,
+    IconIterator,
+    IconLazy,
+    IconFail,
+    IconNullIterator,
+    IconValue,
+    IconVarIterator,
+    as_iterator,
+    step_bounded,
+    unwrap,
+)
+from .combinators import (
+    IconBound,
+    IconConcat,
+    IconEvery,
+    IconIn,
+    IconLimit,
+    IconNot,
+    IconProduct,
+    IconRepeatAlt,
+    IconSequence,
+)
+from .control import (
+    IconBreak,
+    IconCase,
+    IconFailStmt,
+    IconIf,
+    IconNext,
+    IconRepeat,
+    IconReturn,
+    IconSuspend,
+    IconUntil,
+    IconWhile,
+)
+from .operations import (
+    BINARY_OPS,
+    IconAssign,
+    IconDeref,
+    IconNonNullTest,
+    IconNullTest,
+    IconOperation,
+    IconRevAssign,
+    IconRevSwap,
+    IconSwap,
+    IconToBy,
+    UNARY_OPS,
+    need_integer,
+    need_number,
+    need_string,
+    operation,
+    seed_random,
+)
+from .access import IconField, IconIndex, IconSection, StringRef
+from .promote import IconActivate, IconPromote, activate_value, promote_value
+from .invoke import (
+    IconInvoke,
+    IconInvokeIterator,
+    IconMethodBody,
+    icon_function,
+    is_generator_function,
+)
+from .cache import MethodBodyCache
+from .functions import BUILTINS, keyword, set_keyword
+from .scanning import IconScan, ScanEnv
+from .types import Cset, need_cset
+
+from . import operations
+from . import functions
+from . import scanning
+
+__all__ = [
+    "FAIL",
+    "BUILTINS",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "BreakSignal",
+    "ControlSignal",
+    "Cset",
+    "FailSignal",
+    "FieldRef",
+    "IconActivate",
+    "IconAssign",
+    "IconBound",
+    "IconBreak",
+    "IconCase",
+    "IconConcat",
+    "IconDeref",
+    "IconEvery",
+    "IconFail",
+    "IconFailStmt",
+    "IconField",
+    "IconGenerator",
+    "IconIf",
+    "IconIn",
+    "IconIndex",
+    "IconInvoke",
+    "IconInvokeIterator",
+    "IconIterator",
+    "IconLazy",
+    "IconLimit",
+    "IconMethodBody",
+    "IconNext",
+    "IconNonNullTest",
+    "IconNot",
+    "IconNullIterator",
+    "IconNullTest",
+    "IconOperation",
+    "IconProduct",
+    "IconPromote",
+    "IconRepeat",
+    "IconRepeatAlt",
+    "IconReturn",
+    "IconRevAssign",
+    "IconRevSwap",
+    "IconScan",
+    "IconSection",
+    "IconSequence",
+    "IconSuspend",
+    "IconSwap",
+    "IconTmp",
+    "IconToBy",
+    "IconUntil",
+    "IconValue",
+    "IconVar",
+    "IconVarIterator",
+    "IconWhile",
+    "ListRef",
+    "MethodBodyCache",
+    "NextSignal",
+    "ReadOnlyRef",
+    "Ref",
+    "ReturnSignal",
+    "ScanEnv",
+    "StringRef",
+    "Suspension",
+    "TableRef",
+    "activate_value",
+    "as_iterator",
+    "assign",
+    "deref",
+    "functions",
+    "icon_function",
+    "is_generator_function",
+    "keyword",
+    "need_cset",
+    "need_integer",
+    "need_number",
+    "need_string",
+    "operation",
+    "operations",
+    "promote_value",
+    "scanning",
+    "seed_random",
+    "set_keyword",
+    "step_bounded",
+    "succeeded",
+    "unwrap",
+]

@@ -1,0 +1,200 @@
+"""Subscripting, sectioning, and field access with Icon semantics.
+
+Icon positions are 1-based and lie *between* elements: position 1 precedes
+the first element, position 0 is a synonym for the position after the last,
+-1 for the position before the last, and so on.  Out-of-range subscripts
+and sections **fail** (they are not errors), which lets goal-directed code
+probe structures safely.
+
+Subscripted results are variables where the underlying store is mutable:
+``L[i]`` can be assigned.  A subscripted *string variable* is assignable
+too — Icon rebuilds the string and stores it back — which
+:class:`StringRef` reproduces when the subject expression yielded a
+variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import IconTypeError
+from .failure import FAIL
+from .iterator import IconIterator, as_iterator
+from .refs import FieldRef, ListRef, ReadOnlyRef, Ref, TableRef, deref
+from .operations import need_integer
+
+
+def resolve_position(pos: int, length: int) -> int | None:
+    """Map an Icon position onto 0-based space; None when out of range.
+
+    Valid Icon positions run 1..length+1 (or the nonpositive synonyms
+    0..-length).  The returned value is the 0-based *gap* index in
+    ``0..length``.
+    """
+    if pos >= 1:
+        zero_based = pos - 1
+    else:
+        zero_based = length + pos
+    if 0 <= zero_based <= length:
+        return zero_based
+    return None
+
+
+def resolve_element(pos: int, length: int) -> int | None:
+    """Map an Icon element subscript onto a 0-based element index."""
+    gap = resolve_position(pos, length)
+    if gap is None or gap >= length:
+        return None
+    return gap
+
+
+class StringRef(Ref):
+    """Assignable one-character slice of a string held in a variable.
+
+    ``s[3] := "x"`` replaces the third character of the string bound to
+    ``s`` — Icon rebuilds the (immutable) string and re-assigns the
+    variable; so do we.
+    """
+
+    __slots__ = ("subject", "index")
+
+    def __init__(self, subject: Ref, index: int) -> None:
+        self.subject = subject
+        self.index = index
+
+    def get(self) -> str:
+        return self.subject.get()[self.index]
+
+    def set(self, value: Any) -> Any:
+        text = self.subject.get()
+        if not isinstance(value, str):
+            raise IconTypeError("string subscript assignment needs a string")
+        self.subject.set(text[: self.index] + value + text[self.index + 1:])
+        return value
+
+
+class IconIndex(IconIterator):
+    """``e1[e2]`` — subscript; yields a variable where possible."""
+
+    __slots__ = ("subject", "index")
+
+    def __init__(self, subject: Any, index: Any) -> None:
+        super().__init__()
+        self.subject = as_iterator(subject)
+        self.index = as_iterator(index)
+
+    def iterate(self) -> Iterator[Any]:
+        for subject_result in self.subject.iterate():
+            subject = deref(subject_result)
+            for index_result in self.index.iterate():
+                index = deref(index_result)
+                produced = _subscript(subject_result, subject, index)
+                if produced is not FAIL:
+                    yield produced
+
+
+def _subscript(subject_result: Any, subject: Any, index: Any) -> Any:
+    if isinstance(subject, dict):
+        return TableRef(subject, index)
+    if isinstance(subject, list):
+        element = resolve_element(need_integer(index), len(subject))
+        if element is None:
+            return FAIL
+        return ListRef(subject, element)
+    if isinstance(subject, str):
+        element = resolve_element(need_integer(index), len(subject))
+        if element is None:
+            return FAIL
+        if isinstance(subject_result, Ref):
+            return StringRef(subject_result, element)
+        return ReadOnlyRef(subject[element])
+    if isinstance(subject, tuple):
+        element = resolve_element(need_integer(index), len(subject))
+        if element is None:
+            return FAIL
+        return ReadOnlyRef(subject[element])
+    # Fall back to host indexing for foreign containers (numpy arrays, …).
+    try:
+        return ReadOnlyRef(subject[index])
+    except (TypeError, KeyError, IndexError) as exc:
+        raise IconTypeError(
+            f"cannot subscript {type(subject).__name__}"
+        ) from exc
+
+
+class IconSection(IconIterator):
+    """``e1[e2:e3]`` (and ``+:``/``-:`` forms) — substring / sublist.
+
+    Sections produce *values* (a new list, a substring); out-of-range
+    bounds fail.  ``mode`` is ``":"``, ``"+:"`` or ``"-:"``.
+    """
+
+    __slots__ = ("subject", "low", "high", "mode")
+
+    def __init__(self, subject: Any, low: Any, high: Any, mode: str = ":") -> None:
+        super().__init__()
+        if mode not in (":", "+:", "-:"):
+            raise ValueError(f"bad section mode {mode!r}")
+        self.subject = as_iterator(subject)
+        self.low = as_iterator(low)
+        self.high = as_iterator(high)
+        self.mode = mode
+
+    def iterate(self) -> Iterator[Any]:
+        for subject_result in self.subject.iterate():
+            subject = deref(subject_result)
+            if not isinstance(subject, (str, list, tuple)):
+                raise IconTypeError(
+                    f"cannot section {type(subject).__name__}"
+                )
+            length = len(subject)
+            for low_result in self.low.iterate():
+                low_pos = need_integer(deref(low_result))
+                for high_result in self.high.iterate():
+                    high_raw = need_integer(deref(high_result))
+                    section = _section(subject, length, low_pos, high_raw, self.mode)
+                    if section is not FAIL:
+                        yield section
+
+
+def _section(subject: Any, length: int, low_pos: int, high_raw: int, mode: str) -> Any:
+    start = resolve_position(low_pos, length)
+    if start is None:
+        return FAIL
+    if mode == ":":
+        end = resolve_position(high_raw, length)
+    elif mode == "+:":
+        end = start + high_raw
+    else:  # "-:"
+        end = start - high_raw
+    if end is None or not 0 <= end <= length:
+        return FAIL
+    if end < start:
+        start, end = end, start
+    piece = subject[start:end]
+    if isinstance(subject, list):
+        return list(piece)
+    return piece
+
+
+class IconField(IconIterator):
+    """``e.name`` — field access; yields an updatable field variable."""
+
+    __slots__ = ("subject", "name")
+
+    def __init__(self, subject: Any, name: str) -> None:
+        super().__init__()
+        self.subject = as_iterator(subject)
+        self.name = name
+
+    def iterate(self) -> Iterator[Any]:
+        for subject_result in self.subject.iterate():
+            subject = deref(subject_result)
+            if isinstance(subject, dict):
+                yield TableRef(subject, self.name)
+                continue
+            if not hasattr(subject, self.name):
+                raise IconTypeError(
+                    f"{type(subject).__name__} has no field {self.name!r}"
+                )
+            yield FieldRef(subject, self.name)

@@ -1,0 +1,246 @@
+"""Composition forms over the iterator kernel (paper Sections II.A, V.B).
+
+These are the "stream-like interface for composing suspendable iterators
+using functional forms such as product, concatenation, map, and reduce".
+Each node holds child expression nodes and re-iterates them per pass, which
+is exactly what gives goal-directed evaluation its backtracking: a product
+re-evaluates its right operand for every result of its left operand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .failure import FAIL, BreakSignal, NextSignal, Suspension
+from .iterator import IconIterator, as_iterator, step_bounded
+from .refs import Ref, deref
+
+
+class IconProduct(IconIterator):
+    """``e & e'`` — the iterator (cross) product, Icon's conjunction.
+
+    For each result of the left operand, iterate the right operand fully
+    and yield *its* results.  Embodies both cross-product and conditional
+    evaluation: if the left operand fails at some point, the right operand
+    is not evaluated there.  N-ary for convenience; ``IconProduct(a, b, c)``
+    is ``a & (b & c)``.
+    """
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Any) -> None:
+        super().__init__()
+        if not operands:
+            raise ValueError("IconProduct requires at least one operand")
+        self.operands = tuple(as_iterator(op) for op in operands)
+
+    def iterate(self) -> Iterator[Any]:
+        # The binary case is the translation of every `&` and of every
+        # normalized bound-iterator chain link; avoid the recursion frame.
+        if len(self.operands) == 2:
+            left, right = self.operands
+            for _ in left.iterate():
+                yield from right.iterate()
+            return
+        yield from self._iterate_from(0)
+
+    def _iterate_from(self, index: int) -> Iterator[Any]:
+        node = self.operands[index]
+        if index == len(self.operands) - 1:
+            yield from node.iterate()
+            return
+        for _ in node.iterate():
+            yield from self._iterate_from(index + 1)
+
+
+class IconIn(IconIterator):
+    """Bound iteration ``(x in e)`` introduced by normalization (V.A).
+
+    Assigns each (dereferenced) result of *expr* to *ref* and yields the
+    ref, so downstream pieces of a flattened primary can read the binding
+    while assignment through the result still reaches the variable.
+    """
+
+    __slots__ = ("ref", "expr")
+
+    def __init__(self, ref: Ref, expr: Any) -> None:
+        super().__init__()
+        self.ref = ref
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            self.ref.set(deref(result))
+            yield self.ref
+
+
+class IconConcat(IconIterator):
+    """Alternation ``e | e'`` — concatenation of result sequences.
+
+    N-ary: yields every result of each operand in order.  (Named after the
+    paper's phrase "| means concatenation of generators"; this is Icon's
+    alternation operator, not string concatenation.)
+    """
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Any) -> None:
+        super().__init__()
+        self.operands = tuple(as_iterator(op) for op in operands)
+
+    def iterate(self) -> Iterator[Any]:
+        for node in self.operands:
+            yield from node.iterate()
+
+
+class IconSequence(IconIterator):
+    """``e1; e2; ...; en`` — sequence of bounded expressions.
+
+    Icon evaluates each statement but the last as a *bounded expression*
+    (at most one result, success or failure immaterial) and delegates
+    remaining iteration to the final term, whose results become the
+    sequence's results.
+    """
+
+    __slots__ = ("body", "final")
+
+    def __init__(self, *exprs: Any) -> None:
+        super().__init__()
+        nodes = tuple(as_iterator(e) for e in exprs)
+        if not nodes:
+            nodes = (IconConcat(),)  # empty sequence: fails
+        self.body = nodes[:-1]
+        self.final = nodes[-1]
+
+    def iterate(self) -> Iterator[Any]:
+        for node in self.body:
+            # Bounded evaluation; the outcome is discarded but suspension
+            # envelopes are forwarded toward the procedure root.
+            yield from step_bounded(node)
+        yield from self.final.iterate()
+
+
+class IconBound(IconIterator):
+    """A bounded expression — at most one result (``{e}`` in statement
+    position, loop bodies, conditions)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            yield result
+            if not isinstance(result, Suspension):
+                return
+
+
+class IconLimit(IconIterator):
+    """Limitation ``e \\ n`` — at most *n* results of *e*.
+
+    Icon's full semantics resume the limit expression for further quotas;
+    like most implementations we take the first value of *limit* as the
+    quota for one pass of *expr*.  A failing or non-positive quota yields
+    nothing.
+    """
+
+    __slots__ = ("expr", "limit")
+
+    def __init__(self, expr: Any, limit: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+        self.limit = as_iterator(limit)
+
+    def iterate(self) -> Iterator[Any]:
+        quota = self.limit.first()
+        if quota is FAIL:
+            return
+        quota = int(deref(quota))
+        if quota <= 0:
+            return
+        produced = 0
+        for result in self.expr.iterate():
+            yield result
+            produced += 1
+            if produced >= quota:
+                return
+
+
+class IconRepeatAlt(IconIterator):
+    """Repeated alternation ``|e`` — e's results over and over.
+
+    Terminates (fails) when a pass of *e* produces no result at all,
+    otherwise restarts *e* after each exhausted pass.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        while True:
+            produced = False
+            for result in self.expr.iterate():
+                produced = True
+                yield result
+            if not produced:
+                return
+
+
+class IconNot(IconIterator):
+    """``not e`` — succeeds (with the null value) iff *e* fails."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        if not self.expr.exists():
+            yield None
+
+
+class IconEvery(IconIterator):
+    """``every e1 do e2`` — drive *e1* to exhaustion for side effects.
+
+    For each result of the generator expression, the do-clause (if any) is
+    evaluated as a bounded expression.  ``every`` itself always fails.
+    ``break``/``next`` signals from the body are honoured.
+    """
+
+    __slots__ = ("gen", "body")
+
+    def __init__(self, gen: Any, body: Any | None = None) -> None:
+        super().__init__()
+        self.gen = as_iterator(gen)
+        self.body = as_iterator(body) if body is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        iterator = self.gen.iterate()
+        while True:
+            try:
+                result = next(iterator)
+            except StopIteration:
+                return
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return
+            if isinstance(result, Suspension):
+                yield result
+                continue
+            if self.body is None:
+                continue
+            try:
+                yield from step_bounded(self.body)
+            except NextSignal:
+                continue
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return

@@ -1,0 +1,280 @@
+"""Control constructs as iterator subtypes (paper: "Subtypes of the
+IconIterator class built using the stream operations are then used as
+abbreviations for constructs such as while").
+
+Every construct follows Icon's outcome rules:
+
+* ``if e1 then e2 else e3`` — bounded test, then the selected branch is a
+  full generator whose results are the expression's results.
+* ``while``/``until``/``repeat`` loops evaluate their clauses as bounded
+  expressions and *fail* when they terminate normally; ``break e`` gives
+  the loop e's outcome instead.
+* ``case`` selects the first branch whose selector matches (``===``) the
+  bounded subject value.
+* ``suspend e [do e2]`` delivers each of e's results to the procedure's
+  caller (wrapped in :class:`~repro.runtime.failure.Suspension` envelopes
+  that ride past bounded statements), running the do-clause after each
+  resumption.
+* ``return e`` / ``fail`` terminate the procedure; they are signals caught
+  by :class:`~repro.runtime.invoke.IconMethodBody`.
+
+All clause evaluation goes through
+:func:`~repro.runtime.iterator.step_bounded` so that suspensions nested in
+loop bodies still reach the procedure root.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence, Tuple
+
+from .failure import (
+    FAIL,
+    BreakSignal,
+    FailSignal,
+    NextSignal,
+    ReturnSignal,
+    Suspension,
+)
+from .iterator import IconIterator, as_iterator, step_bounded
+from .refs import deref
+
+
+class IconIf(IconIterator):
+    """``if e1 then e2 else e3``."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Any, then: Any, orelse: Any | None = None) -> None:
+        super().__init__()
+        self.cond = as_iterator(cond)
+        self.then = as_iterator(then)
+        self.orelse = as_iterator(orelse) if orelse is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        outcome = yield from step_bounded(self.cond)
+        if outcome is not FAIL:
+            yield from self.then.iterate()
+        elif self.orelse is not None:
+            yield from self.orelse.iterate()
+
+
+class IconWhile(IconIterator):
+    """``while e1 do e2`` — loop while the bounded test succeeds; fails."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Any, body: Any | None = None) -> None:
+        super().__init__()
+        self.cond = as_iterator(cond)
+        self.body = as_iterator(body) if body is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        while True:
+            try:
+                outcome = yield from step_bounded(self.cond)
+            except NextSignal:
+                continue
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return
+            if outcome is FAIL:
+                return
+            if self.body is None:
+                continue
+            try:
+                yield from step_bounded(self.body)
+            except NextSignal:
+                continue
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return
+
+
+class IconUntil(IconIterator):
+    """``until e1 do e2`` — loop until the bounded test succeeds; fails."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Any, body: Any | None = None) -> None:
+        super().__init__()
+        self.cond = as_iterator(cond)
+        self.body = as_iterator(body) if body is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        while True:
+            try:
+                outcome = yield from step_bounded(self.cond)
+            except NextSignal:
+                continue
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return
+            if outcome is not FAIL:
+                return
+            if self.body is None:
+                continue
+            try:
+                yield from step_bounded(self.body)
+            except NextSignal:
+                continue
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return
+
+
+class IconRepeat(IconIterator):
+    """``repeat e`` — evaluate the bounded body forever (until break)."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Any) -> None:
+        super().__init__()
+        self.body = as_iterator(body)
+
+    def iterate(self) -> Iterator[Any]:
+        while True:
+            try:
+                yield from step_bounded(self.body)
+            except NextSignal:
+                continue
+            except BreakSignal as signal:
+                if signal.value_iterator is not None:
+                    yield from as_iterator(signal.value_iterator).iterate()
+                return
+
+
+class IconCase(IconIterator):
+    """``case e of { s1: b1 ; s2: b2 ; default: bd }``.
+
+    The subject is a bounded expression; each selector is iterated and the
+    first selector result equal (``===``) to the subject selects its
+    branch.  With no match and no default the case expression fails.
+    """
+
+    __slots__ = ("subject", "branches", "default")
+
+    def __init__(
+        self,
+        subject: Any,
+        branches: Sequence[Tuple[Any, Any]],
+        default: Any | None = None,
+    ) -> None:
+        super().__init__()
+        self.subject = as_iterator(subject)
+        self.branches = tuple(
+            (as_iterator(sel), as_iterator(body)) for sel, body in branches
+        )
+        self.default = as_iterator(default) if default is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        subject = yield from step_bounded(self.subject)
+        if subject is FAIL:
+            return
+        subject = deref(subject)
+        for selector, body in self.branches:
+            for candidate in selector.iterate():
+                if isinstance(candidate, Suspension):
+                    yield candidate
+                    continue
+                if _case_match(deref(candidate), subject):
+                    yield from body.iterate()
+                    return
+        if self.default is not None:
+            yield from self.default.iterate()
+
+
+def _case_match(candidate: Any, subject: Any) -> bool:
+    if isinstance(candidate, (list, dict, set)) or isinstance(subject, (list, dict, set)):
+        return candidate is subject
+    return type(candidate) is type(subject) and candidate == subject or (
+        isinstance(candidate, (int, float))
+        and isinstance(subject, (int, float))
+        and not isinstance(candidate, bool)
+        and not isinstance(subject, bool)
+        and candidate == subject
+    )
+
+
+class IconSuspend(IconIterator):
+    """``suspend e [do e2]`` — deliver each result of *e* to the caller.
+
+    Results are wrapped in :class:`Suspension` envelopes so that enclosing
+    bounded statements pass them through to the procedure root, where
+    :class:`~repro.runtime.invoke.IconMethodBody` unwraps them.  On
+    resumption the optional do-clause runs as a bounded expression.
+    As a statement, ``suspend`` itself fails once *e* is exhausted.
+    """
+
+    __slots__ = ("expr", "do_clause")
+
+    def __init__(self, expr: Any, do_clause: Any | None = None) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+        self.do_clause = as_iterator(do_clause) if do_clause is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            if isinstance(result, Suspension):
+                yield result  # a nested suspend's envelope: pass through
+                continue
+            yield Suspension(result)
+            if self.do_clause is not None:
+                yield from step_bounded(self.do_clause)
+
+
+class IconReturn(IconIterator):
+    """``return e`` — signal procedure termination with e's first result.
+
+    If *e* fails, the procedure fails (Icon semantics): the signal carries
+    :data:`FAIL` and the method body turns it into failure.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any | None = None) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr) if expr is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        if self.expr is None:
+            raise ReturnSignal(None)
+        outcome = yield from step_bounded(self.expr)
+        raise ReturnSignal(deref(outcome) if outcome is not FAIL else FAIL)
+
+
+class IconFailStmt(IconIterator):
+    """``fail`` — signal procedure failure."""
+
+    __slots__ = ()
+
+    def iterate(self) -> Iterator[Any]:
+        raise FailSignal()
+        yield  # pragma: no cover - makes this a generator function
+
+
+class IconBreak(IconIterator):
+    """``break [e]`` — signal loop termination, optionally with outcome."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any | None = None) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr) if expr is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        raise BreakSignal(self.expr)
+        yield  # pragma: no cover - makes this a generator function
+
+
+class IconNext(IconIterator):
+    """``next`` — signal continuation of the enclosing loop."""
+
+    __slots__ = ()
+
+    def iterate(self) -> Iterator[Any]:
+        raise NextSignal()
+        yield  # pragma: no cover - makes this a generator function

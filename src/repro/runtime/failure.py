@@ -1,0 +1,121 @@
+"""Failure sentinel and control-flow signals for goal-directed evaluation.
+
+In Icon and Unicon every expression either *succeeds* — producing a value —
+or *fails*, producing nothing.  Failure is not an error: it terminates the
+enclosing iterator and drives backtracking.  The paper's Java kernel models
+this with ``hasNext()`` testing for failure of ``next()``; here the stateful
+stepping API returns the unique :data:`FAIL` sentinel instead of a value.
+
+Loop and procedure control flow (``break``/``next``/``return``/``fail``) is
+modelled with signal exceptions that propagate up through the composed
+generator frames until the matching construct catches them.  They are *not*
+user-visible errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _FailSentinel:
+    """Unique sentinel returned by ``next_value`` when an iterator fails.
+
+    Falsy, unpicklable-by-identity-comparison friendly, and a singleton so
+    that ``value is FAIL`` is the one correct test.
+    """
+
+    _instance: "_FailSentinel | None" = None
+
+    def __new__(cls) -> "_FailSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "FAIL"
+
+    def __reduce__(self):  # keep the singleton property across pickling
+        return (_FailSentinel, ())
+
+
+#: The unique failure sentinel.  ``expr.next_value() is FAIL`` means the
+#: expression produced no (further) result.
+FAIL = _FailSentinel()
+
+
+def succeeded(value: Any) -> bool:
+    """Return True when *value* is an actual result, not failure."""
+    return value is not FAIL
+
+
+class Suspension:
+    """Envelope carrying a ``suspend``-ed result up to the procedure root.
+
+    Bounded evaluation limits a statement to one *ordinary* outcome, but a
+    ``suspend`` nested anywhere inside the statement must still deliver
+    every result to the procedure's caller ("suspend will return a value
+    that is propagated up as the result of the root iterator's next").
+    Constructs that bound their children therefore re-yield
+    :class:`Suspension` envelopes unconsumed; the method-body root unwraps
+    them into caller-visible results.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Suspension({self.value!r})"
+
+
+class ControlSignal(Exception):
+    """Base class for non-error control-flow signals.
+
+    These deliberately subclass :class:`Exception` (not ``BaseException``)
+    so that a signal escaping the constructs that should consume it is
+    still visible in tests, but they carry no error semantics.
+    """
+
+
+class BreakSignal(ControlSignal):
+    """``break e`` — terminate the nearest enclosing loop.
+
+    Icon's ``break`` takes an optional expression whose outcome becomes the
+    outcome of the loop; ``value_iterator`` is the un-evaluated runtime node
+    (or None for a bare ``break``).
+    """
+
+    def __init__(self, value_iterator: Any = None) -> None:
+        super().__init__("break outside loop")
+        self.value_iterator = value_iterator
+
+
+class NextSignal(ControlSignal):
+    """``next`` — continue with the next iteration of the enclosing loop."""
+
+    def __init__(self) -> None:
+        super().__init__("next outside loop")
+
+
+class ReturnSignal(ControlSignal):
+    """``return e`` — terminate the enclosing procedure with e's result.
+
+    ``value`` is the already-computed result, or :data:`FAIL` when the
+    returned expression itself failed (Icon: ``return e`` with failing *e*
+    makes the procedure fail).
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__("return outside procedure")
+        self.value = value
+
+
+class FailSignal(ControlSignal):
+    """``fail`` — terminate the enclosing procedure with failure."""
+
+    def __init__(self) -> None:
+        super().__init__("fail outside procedure")

@@ -1,0 +1,804 @@
+"""Icon's built-in function library (paper Section VI: "as well as most of
+Icon's built-in functions").
+
+Generator-valued builtins are Python generator functions, so invocation
+through :class:`~repro.runtime.invoke.IconInvoke` delegates to them
+naturally; single-valued builtins return their value or :data:`FAIL`.
+:data:`BUILTINS` maps Icon names to callables — the interpreter seeds its
+global scope from it, and generated code imports it.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Any, Iterator
+
+from ..errors import IconTypeError, IconValueError
+from .failure import FAIL
+from .operations import (
+    current_random_seed,
+    need_integer,
+    need_number,
+    need_string,
+    seed_random,
+)
+from .refs import deref
+from .types import (
+    ASCII,
+    CSET_ALL,
+    Cset,
+    DIGITS,
+    LCASE,
+    LETTERS,
+    UCASE,
+    need_cset,
+)
+from . import scanning
+
+
+# ---------------------------------------------------------------------------
+# Type conversion and inspection.
+# ---------------------------------------------------------------------------
+
+
+def icon_integer(x: Any) -> Any:
+    """``integer(x)`` — convert to integer, failing (not erroring) if not."""
+    x = deref(x)
+    try:
+        return need_integer(x)
+    except IconTypeError:
+        return FAIL
+
+
+def icon_numeric(x: Any) -> Any:
+    """``numeric(x)`` — convert to a number or fail."""
+    x = deref(x)
+    try:
+        return need_number(x)
+    except IconTypeError:
+        return FAIL
+
+
+def icon_real(x: Any) -> Any:
+    """``real(x)`` — convert to a float or fail."""
+    x = deref(x)
+    try:
+        return float(need_number(x))
+    except IconTypeError:
+        return FAIL
+
+
+def icon_string(x: Any) -> Any:
+    """``string(x)`` — convert to a string or fail."""
+    x = deref(x)
+    try:
+        return need_string(x)
+    except IconTypeError:
+        return FAIL
+
+
+def icon_cset(x: Any) -> Any:
+    """``cset(x)`` — convert to a cset or fail."""
+    x = deref(x)
+    try:
+        return need_cset(x)
+    except IconTypeError:
+        return FAIL
+
+
+def icon_type(x: Any) -> str:
+    """``type(x)`` — Icon's name for the value's type."""
+    x = deref(x)
+    if x is None:
+        return "null"
+    if isinstance(x, bool):
+        return "boolean"  # host extension: Icon has no booleans
+    if isinstance(x, int):
+        return "integer"
+    if isinstance(x, float):
+        return "real"
+    if isinstance(x, str):
+        return "string"
+    if isinstance(x, Cset):
+        return "cset"
+    if isinstance(x, list):
+        return "list"
+    if isinstance(x, dict):
+        return "table"
+    if isinstance(x, (set, frozenset)):
+        return "set"
+    if callable(x):
+        return "procedure"
+    kind = getattr(x, "icon_type", None)
+    if kind is not None:
+        return kind() if callable(kind) else str(kind)
+    return type(x).__name__
+
+
+def icon_image(x: Any) -> str:
+    """``image(x)`` — a printable diagnostic image of the value."""
+    x = deref(x)
+    if x is None:
+        return "&null"
+    if isinstance(x, str):
+        return '"' + x.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(x, Cset):
+        return "'" + x.string() + "'"
+    if isinstance(x, bool):
+        return "&yes" if x else "&no"
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float):
+        return repr(x)
+    if isinstance(x, list):
+        return f"list_{id(x) % 1000}({len(x)})"
+    if isinstance(x, dict):
+        return f"table_{id(x) % 1000}({len(x)})"
+    if isinstance(x, (set, frozenset)):
+        return f"set_{id(x) % 1000}({len(x)})"
+    if callable(x):
+        name = getattr(x, "__name__", "anonymous")
+        return f"procedure {name}"
+    return repr(x)
+
+
+def icon_copy(x: Any) -> Any:
+    """``copy(x)`` — one-level copy of a structure; values pass through."""
+    x = deref(x)
+    if isinstance(x, list):
+        return list(x)
+    if isinstance(x, dict):
+        return dict(x)
+    if isinstance(x, set):
+        return set(x)
+    refresh = getattr(x, "refresh", None)
+    if refresh is not None and not isinstance(x, (str, int, float)):
+        return refresh()
+    return x
+
+
+def icon_abs(x: Any) -> Any:
+    return abs(need_number(deref(x)))
+
+
+def icon_min(*xs: Any) -> Any:
+    if not xs:
+        return FAIL
+    return min(need_number(deref(x)) for x in xs)
+
+
+def icon_max(*xs: Any) -> Any:
+    if not xs:
+        return FAIL
+    return max(need_number(deref(x)) for x in xs)
+
+
+def icon_char(i: Any) -> str:
+    """``char(i)`` — the character with code *i*."""
+    code = need_integer(deref(i))
+    if not 0 <= code < 0x110000:
+        raise IconValueError(f"char({code}) out of range")
+    return chr(code)
+
+
+def icon_ord(s: Any) -> int:
+    """``ord(s)`` — the code of a one-character string."""
+    text = need_string(deref(s))
+    if len(text) != 1:
+        raise IconValueError("ord() needs a one-character string")
+    return ord(text)
+
+
+# ---------------------------------------------------------------------------
+# Generator-valued builtins.
+# ---------------------------------------------------------------------------
+
+
+def seq(i: Any = 1, j: Any = 1) -> Iterator[int]:
+    """``seq(i, j)`` — the unbounded sequence i, i+j, i+2j, ..."""
+    value = need_integer(deref(i))
+    step = need_integer(deref(j))
+    if step == 0:
+        raise IconValueError("seq() by clause of 0")
+    while True:
+        yield value
+        value += step
+
+
+def key(table: Any) -> Iterator[Any]:
+    """``key(T)`` — generate the keys of a table."""
+    table = deref(table)
+    if not isinstance(table, dict):
+        raise IconTypeError("key() expects a table")
+    yield from list(table)
+
+
+# ---------------------------------------------------------------------------
+# String construction.
+# ---------------------------------------------------------------------------
+
+
+def _pad(s: Any, n: Any, pad: Any) -> tuple[str, int, str]:
+    text = need_string(deref(s))
+    width = need_integer(deref(n))
+    if width < 0:
+        raise IconValueError("negative field width")
+    padding = need_string(deref(pad)) if pad is not None else " "
+    if not padding:
+        padding = " "
+    return text, width, padding
+
+
+def left(s: Any, n: Any, pad: Any = None) -> str:
+    """``left(s, n, p)`` — left-justify *s* in a field of width *n*."""
+    text, width, padding = _pad(s, n, pad)
+    if len(text) >= width:
+        return text[:width]
+    fill = (padding * width)[: width - len(text)]
+    return text + fill
+
+
+def right(s: Any, n: Any, pad: Any = None) -> str:
+    """``right(s, n, p)`` — right-justify *s* in a field of width *n*."""
+    text, width, padding = _pad(s, n, pad)
+    if len(text) >= width:
+        return text[len(text) - width:]
+    fill = (padding * width)[: width - len(text)]
+    return fill + text
+
+
+def center(s: Any, n: Any, pad: Any = None) -> str:
+    """``center(s, n, p)`` — center *s* in a field of width *n*."""
+    text, width, padding = _pad(s, n, pad)
+    if len(text) >= width:
+        start = (len(text) - width) // 2
+        return text[start: start + width]
+    total = width - len(text)
+    left_fill = (padding * width)[: total // 2]
+    right_fill = (padding * width)[: total - total // 2]
+    return left_fill + text + right_fill
+
+
+def repl(s: Any, n: Any) -> str:
+    """``repl(s, n)`` — *n* copies of *s*."""
+    count = need_integer(deref(n))
+    if count < 0:
+        raise IconValueError("repl() with negative count")
+    return need_string(deref(s)) * count
+
+
+def reverse(s: Any) -> Any:
+    """``reverse(x)`` — reversed string (or list, per Unicon)."""
+    x = deref(s)
+    if isinstance(x, list):
+        return x[::-1]
+    return need_string(x)[::-1]
+
+
+def trim(s: Any, c: Any = None) -> str:
+    """``trim(s, c)`` — remove trailing cset characters (default blanks)."""
+    text = need_string(deref(s))
+    charset = need_cset(deref(c)) if c is not None else Cset(" ")
+    end = len(text)
+    while end > 0 and text[end - 1] in charset:
+        end -= 1
+    return text[:end]
+
+
+def icon_map(s: Any, from_: Any = None, to: Any = None) -> str:
+    """``map(s, c1, c2)`` — transliterate characters of *s*."""
+    text = need_string(deref(s))
+    source = need_string(deref(from_)) if from_ is not None else UCASE.string()
+    target = need_string(deref(to)) if to is not None else LCASE.string()
+    if len(source) != len(target):
+        raise IconValueError("map(): unequal translation strings")
+    table = {ord(a): b for a, b in zip(source, target)}
+    return text.translate(table)
+
+
+# ---------------------------------------------------------------------------
+# Structure functions.
+# ---------------------------------------------------------------------------
+
+
+def icon_list(n: Any = 0, x: Any = None) -> list:
+    """``list(n, x)`` — a list of *n* copies of *x*."""
+    return [deref(x)] * need_integer(deref(n))
+
+
+def icon_table(default: Any = None) -> dict:
+    """``table(x)`` — a new table (the default value is recorded).
+
+    Python dicts carry no default, so tables with a non-null default are
+    represented by a dict subclass remembering it; subscripting honours it.
+    """
+    default = deref(default)
+    if default is None:
+        return {}
+    table = _DefaultTable()
+    table.icon_default = default
+    return table
+
+
+class _DefaultTable(dict):
+    icon_default: Any = None
+
+    def get(self, key: Any, default: Any = None) -> Any:  # type: ignore[override]
+        if key in self:
+            return dict.get(self, key)
+        return self.icon_default if default is None else default
+
+
+def icon_set(members: Any = None) -> set:
+    """``set(L)`` — a new set, optionally from a list."""
+    members = deref(members)
+    if members is None:
+        return set()
+    if isinstance(members, (list, tuple, set, frozenset)):
+        return set(members)
+    raise IconTypeError("set() expects a list")
+
+
+def put(lst: Any, *values: Any) -> Any:
+    """``put(L, x, ...)`` — append to the right end; returns the list."""
+    lst = deref(lst)
+    if not isinstance(lst, list):
+        raise IconTypeError("put() expects a list")
+    for value in values:
+        lst.append(deref(value))
+    return lst
+
+
+def push(lst: Any, *values: Any) -> Any:
+    """``push(L, x, ...)`` — prepend to the left end; returns the list."""
+    lst = deref(lst)
+    if not isinstance(lst, list):
+        raise IconTypeError("push() expects a list")
+    for value in values:
+        lst.insert(0, deref(value))
+    return lst
+
+
+def get(lst: Any) -> Any:
+    """``get(L)`` / ``pop(L)`` — remove from the left end; fails if empty."""
+    lst = deref(lst)
+    if not isinstance(lst, list):
+        raise IconTypeError("get() expects a list")
+    if not lst:
+        return FAIL
+    return lst.pop(0)
+
+
+def pull(lst: Any) -> Any:
+    """``pull(L)`` — remove from the right end; fails if empty."""
+    lst = deref(lst)
+    if not isinstance(lst, list):
+        raise IconTypeError("pull() expects a list")
+    if not lst:
+        return FAIL
+    return lst.pop()
+
+
+def insert(target: Any, key: Any, value: Any = None) -> Any:
+    """``insert(X, k, v)`` — add to a table or set; returns X."""
+    target = deref(target)
+    key = deref(key)
+    if isinstance(target, dict):
+        target[key] = deref(value)
+        return target
+    if isinstance(target, set):
+        target.add(key)
+        return target
+    raise IconTypeError("insert() expects a table or set")
+
+
+def delete(target: Any, key: Any) -> Any:
+    """``delete(X, k)`` — remove from a table or set; returns X."""
+    target = deref(target)
+    key = deref(key)
+    if isinstance(target, dict):
+        target.pop(key, None)
+        return target
+    if isinstance(target, set):
+        target.discard(key)
+        return target
+    raise IconTypeError("delete() expects a table or set")
+
+
+def member(target: Any, key: Any) -> Any:
+    """``member(X, k)`` — succeed with *k* iff it is a member/key of X."""
+    target = deref(target)
+    key = deref(key)
+    if isinstance(target, (dict, set, frozenset)):
+        return key if key in target else FAIL
+    if isinstance(target, Cset):
+        return key if key in target else FAIL
+    raise IconTypeError("member() expects a table, set, or cset")
+
+
+def icon_sort(x: Any) -> list:
+    """``sort(X)`` — a sorted list of elements (or [key, value] pairs)."""
+    x = deref(x)
+    if isinstance(x, dict):
+        return [[k, x[k]] for k in sorted(x, key=_sort_key)]
+    if isinstance(x, (list, set, frozenset)):
+        return sorted(x, key=_sort_key)
+    if isinstance(x, Cset):
+        return sorted(x.chars)
+    raise IconTypeError(f"sort() of {type(x).__name__} is undefined")
+
+
+def _sort_key(value: Any) -> tuple:
+    # Icon sorts across types by a fixed type order; numbers before strings.
+    if isinstance(value, bool):
+        return (0, value)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(type(value)), id(value))
+
+
+# ---------------------------------------------------------------------------
+# Math builtins (Icon provides the usual transcendental set).
+# ---------------------------------------------------------------------------
+
+
+def _math1(fn):
+    def wrapped(x: Any) -> float:
+        return fn(need_number(deref(x)))
+
+    wrapped.__name__ = fn.__name__
+    return wrapped
+
+
+icon_sqrt = _math1(math.sqrt)
+icon_exp = _math1(math.exp)
+icon_sin = _math1(math.sin)
+icon_cos = _math1(math.cos)
+icon_tan = _math1(math.tan)
+icon_asin = _math1(math.asin)
+icon_acos = _math1(math.acos)
+
+
+def icon_log(x: Any, base: Any = None) -> float:
+    value = need_number(deref(x))
+    if base is None:
+        return math.log(value)
+    return math.log(value, need_number(deref(base)))
+
+
+def icon_atan(y: Any, x: Any = None) -> float:
+    if x is None:
+        return math.atan(need_number(deref(y)))
+    return math.atan2(need_number(deref(y)), need_number(deref(x)))
+
+
+# ---------------------------------------------------------------------------
+# Bit-manipulation builtins (Icon's iand/ior/ixor/icom/ishift).
+# ---------------------------------------------------------------------------
+
+
+def iand(a: Any, b: Any) -> int:
+    """``iand(i, j)`` — bitwise and."""
+    return need_integer(deref(a)) & need_integer(deref(b))
+
+
+def ior(a: Any, b: Any) -> int:
+    """``ior(i, j)`` — bitwise or."""
+    return need_integer(deref(a)) | need_integer(deref(b))
+
+
+def ixor(a: Any, b: Any) -> int:
+    """``ixor(i, j)`` — bitwise exclusive or."""
+    return need_integer(deref(a)) ^ need_integer(deref(b))
+
+
+def icom(a: Any) -> int:
+    """``icom(i)`` — bitwise complement."""
+    return ~need_integer(deref(a))
+
+
+def ishift(a: Any, b: Any) -> int:
+    """``ishift(i, j)`` — shift left for positive *j*, right for negative."""
+    value = need_integer(deref(a))
+    amount = need_integer(deref(b))
+    if amount >= 0:
+        return value << amount
+    return value >> (-amount)
+
+
+# ---------------------------------------------------------------------------
+# Tab-expansion builtins (Icon's entab/detab).
+# ---------------------------------------------------------------------------
+
+
+def detab(s: Any, *stops: Any) -> str:
+    """``detab(s, i, ...)`` — replace tabs with spaces at the tab stops.
+
+    Default stops every 8 columns, per Icon.
+    """
+    text = need_string(deref(s))
+    interval = need_integer(deref(stops[0])) - 1 if stops else 8
+    if interval < 1:
+        raise IconValueError("detab(): tab stop interval must be >= 2")
+    out: list[str] = []
+    column = 0
+    for char in text:
+        if char == "\t":
+            pad = interval - (column % interval)
+            out.append(" " * pad)
+            column += pad
+        elif char == "\n":
+            out.append(char)
+            column = 0
+        else:
+            out.append(char)
+            column += 1
+    return "".join(out)
+
+
+def entab(s: Any, *stops: Any) -> str:
+    """``entab(s, i, ...)`` — replace runs of spaces with tabs."""
+    text = need_string(deref(s))
+    interval = need_integer(deref(stops[0])) - 1 if stops else 8
+    if interval < 1:
+        raise IconValueError("entab(): tab stop interval must be >= 2")
+    out: list[str] = []
+    for line in text.split("\n"):
+        rebuilt: list[str] = []
+        column = 0
+        pending_spaces = 0
+        for char in line:
+            if char == " ":
+                pending_spaces += 1
+                if (column + pending_spaces) % interval == 0:
+                    rebuilt.append("\t" if pending_spaces > 1 else " ")
+                    column += pending_spaces
+                    pending_spaces = 0
+            else:
+                rebuilt.append(" " * pending_spaces)
+                column += pending_spaces
+                pending_spaces = 0
+                rebuilt.append(char)
+                column += 1
+        rebuilt.append(" " * pending_spaces)
+        out.append("".join(rebuilt))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Environment / process builtins.
+# ---------------------------------------------------------------------------
+
+
+def getenv(name: Any) -> Any:
+    """``getenv(s)`` — environment variable value; fails when unset."""
+    import os
+
+    value = os.environ.get(need_string(deref(name)))
+    return FAIL if value is None else value
+
+
+_SERIAL_COUNTER = 0
+
+
+def serial(x: Any = None) -> Any:
+    """``serial(x)`` — a structure's serial number (host: a stable id);
+    with no argument, a fresh monotonically increasing number."""
+    global _SERIAL_COUNTER
+    x = deref(x)
+    if x is None:
+        _SERIAL_COUNTER += 1
+        return _SERIAL_COUNTER
+    if isinstance(x, (list, dict, set)):
+        return id(x)
+    return FAIL
+
+
+def proc(name: Any, arity: Any = None) -> Any:
+    """``proc(s)`` — the procedure named *s*, or fail.
+
+    Looks through the Icon builtins; generated code's ``GlobalRef``
+    handles module-level procedures, and :func:`proc_in` resolves against
+    an explicit namespace (used by string invocation).
+    """
+    del arity  # Icon's operator-arity selection is not applicable
+    name = deref(name)
+    if callable(name):
+        return name
+    if not isinstance(name, str):
+        return FAIL
+    return BUILTINS.get(name, FAIL)
+
+
+def proc_in(namespace: Any, name: str) -> Any:
+    """Resolve a procedure name against a namespace, then the builtins."""
+    if isinstance(namespace, dict) and name in namespace and callable(namespace[name]):
+        return namespace[name]
+    value = BUILTINS.get(name)
+    return value if callable(value) else FAIL
+
+
+# ---------------------------------------------------------------------------
+# I/O builtins.
+# ---------------------------------------------------------------------------
+
+
+def write(*args: Any) -> Any:
+    """``write(x, ...)`` — print string images with a newline; returns the
+    last argument (or the null value when called with none)."""
+    rendered = [need_string(deref(a)) if deref(a) is not None else "" for a in args]
+    print("".join(rendered))
+    return deref(args[-1]) if args else None
+
+
+def writes(*args: Any) -> Any:
+    """``writes(x, ...)`` — like ``write`` without the trailing newline."""
+    rendered = [need_string(deref(a)) if deref(a) is not None else "" for a in args]
+    print("".join(rendered), end="")
+    return deref(args[-1]) if args else None
+
+
+def read(handle: Any = None) -> Any:
+    """``read(f)`` — next line of a file (default stdin); fails at EOF."""
+    import sys
+
+    stream = deref(handle) if handle is not None else sys.stdin
+    line = stream.readline()
+    if line == "":
+        return FAIL
+    return line.rstrip("\n")
+
+
+def stop(*args: Any) -> Any:
+    """``stop(x, ...)`` — write to stderr and terminate."""
+    import sys
+
+    rendered = [need_string(deref(a)) if deref(a) is not None else "" for a in args]
+    print("".join(rendered), file=sys.stderr)
+    raise SystemExit(1)
+
+
+# ---------------------------------------------------------------------------
+# Keywords (&subject, &pos, &digits, ...).
+# ---------------------------------------------------------------------------
+
+
+_START_TIME = _time.monotonic()
+
+
+def keyword(name: str) -> Any:
+    """Read an Icon keyword value; raises for unknown keywords."""
+    if name == "subject":
+        return scanning.get_subject()
+    if name == "pos":
+        return scanning.get_pos()
+    if name == "null":
+        return None
+    if name == "digits":
+        return DIGITS
+    if name == "letters":
+        return LETTERS
+    if name == "lcase":
+        return LCASE
+    if name == "ucase":
+        return UCASE
+    if name == "cset":
+        return CSET_ALL
+    if name == "ascii":
+        return ASCII
+    if name == "time":
+        return int((_time.monotonic() - _START_TIME) * 1000)
+    if name == "clock":
+        return _time.strftime("%H:%M:%S")
+    if name == "date":
+        return _time.strftime("%Y/%m/%d")
+    if name == "random":
+        return current_random_seed()
+    if name == "version":
+        return "repro concurrent-generators (Junicon-in-Python)"
+    if name == "fail":
+        return FAIL
+    raise IconValueError(f"unknown keyword &{name}")
+
+
+def set_keyword(name: str, value: Any) -> Any:
+    """Assign to an assignable keyword (&pos, &subject, &random)."""
+    if name == "pos":
+        return scanning.set_pos(value)
+    if name == "subject":
+        env = scanning.current_env()
+        env.subject = need_string(deref(value))
+        env.pos = 1
+        return env.subject
+    if name == "random":
+        seed_random(need_integer(deref(value)))
+        return value
+    raise IconValueError(f"keyword &{name} is not assignable")
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+BUILTINS: dict[str, Any] = {
+    # conversion / inspection
+    "abs": icon_abs,
+    "char": icon_char,
+    "copy": icon_copy,
+    "cset": icon_cset,
+    "image": icon_image,
+    "integer": icon_integer,
+    "max": icon_max,
+    "min": icon_min,
+    "numeric": icon_numeric,
+    "ord": icon_ord,
+    "real": icon_real,
+    "string": icon_string,
+    "type": icon_type,
+    # generators
+    "seq": seq,
+    "key": key,
+    "find": scanning.find,
+    "upto": scanning.upto,
+    "bal": scanning.bal,
+    # single-valued analysis
+    "any": scanning.any_,
+    "many": scanning.many,
+    "match": scanning.match,
+    # scanning movement
+    "move": scanning.move,
+    "pos": scanning.pos,
+    "tab": scanning.tab,
+    # string construction
+    "center": center,
+    "left": left,
+    "map": icon_map,
+    "repl": repl,
+    "reverse": reverse,
+    "right": right,
+    "trim": trim,
+    # structures
+    "delete": delete,
+    "get": get,
+    "insert": insert,
+    "list": icon_list,
+    "member": member,
+    "pop": get,
+    "pull": pull,
+    "push": push,
+    "put": put,
+    "set": icon_set,
+    "sort": icon_sort,
+    "table": icon_table,
+    # bits
+    "iand": iand,
+    "icom": icom,
+    "ior": ior,
+    "ishift": ishift,
+    "ixor": ixor,
+    # tabs
+    "detab": detab,
+    "entab": entab,
+    # environment
+    "getenv": getenv,
+    "proc": proc,
+    "serial": serial,
+    # I/O
+    "read": read,
+    "stop": stop,
+    "write": write,
+    "writes": writes,
+    # math
+    "acos": icon_acos,
+    "asin": icon_asin,
+    "atan": icon_atan,
+    "cos": icon_cos,
+    "exp": icon_exp,
+    "log": icon_log,
+    "sin": icon_sin,
+    "sqrt": icon_sqrt,
+    "tan": icon_tan,
+}

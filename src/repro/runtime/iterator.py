@@ -1,0 +1,246 @@
+"""The suspendable, failure-driven iterator kernel (paper Section V.B).
+
+A single kernel contract underlies every composed form:
+
+* ``iterate()`` returns a fresh Python generator over the expression's
+  *successful results* (possibly :class:`~repro.runtime.refs.Ref` objects,
+  preserving Icon's reference semantics).  Exhaustion of the generator *is*
+  failure.  Calling ``iterate()`` again restarts the expression from its
+  beginning state — the paper's ``^`` (restart) and the re-evaluation that
+  product/alternation perform on their right operands.
+
+* ``next_value()`` is the stateful stepping API used by the ``@`` operator
+  and by host code: it returns the next result or the :data:`FAIL`
+  sentinel.  Matching the paper's kernel ("After failure, the iterator is
+  then restarted on the following ``next()``"), a failed iterator restarts
+  on the next call.
+
+* Plain Python iteration (``for x in node``) walks one full pass of
+  dereferenced results and stops at failure — this is how embedded
+  expressions surface as host iterators (Figure 3 uses one in a Java
+  ``for`` statement).
+
+The paper implements suspension with an explicit state machine because Java
+lacks ``yield``; Python generators provide suspension natively, so here each
+node's ``iterate()`` is written as a generator and the kernel preserves the
+paper's *API* (failure-driven ``next``, restart, composition forms) rather
+than its state-machine internals.  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from .failure import FAIL, Suspension
+from .refs import Ref, deref
+
+
+def step_bounded(node: "IconIterator"):
+    """Drive *node* as a bounded expression inside a procedure body.
+
+    A generator to be used as ``outcome = yield from step_bounded(n)``:
+    re-yields any :class:`~repro.runtime.failure.Suspension` envelopes so
+    suspended results keep travelling toward the procedure root, and
+    *returns* the statement's single ordinary outcome (or :data:`FAIL`).
+    """
+    for result in node.iterate():
+        if isinstance(result, Suspension):
+            yield result
+            continue
+        return result
+    return FAIL
+
+
+def unwrap(result: Any) -> Any:
+    """Strip a suspension envelope (host-facing boundaries only)."""
+    if isinstance(result, Suspension):
+        return result.value
+    return result
+
+
+class IconIterator:
+    """Base class of every composed goal-directed expression node."""
+
+    __slots__ = ("_active",)
+
+    def __init__(self) -> None:
+        self._active: Iterator[Any] | None = None
+
+    # -- core contract ------------------------------------------------------
+
+    def iterate(self) -> Iterator[Any]:
+        """Return a fresh generator over this expression's results."""
+        raise NotImplementedError
+
+    # -- stateful stepping (the @ operator / host-facing next) ---------------
+
+    def next_value(self) -> Any:
+        """Produce the next result, or :data:`FAIL`.
+
+        Failure resets the stored generator so a subsequent call restarts
+        the expression, per the paper's kernel contract.
+        """
+        if self._active is None:
+            self._active = self.iterate()
+        try:
+            return unwrap(next(self._active))
+        except StopIteration:
+            self._active = None
+            return FAIL
+
+    def restart(self) -> "IconIterator":
+        """Reset stepping state so the next ``next_value`` starts over."""
+        active, self._active = self._active, None
+        if active is not None:
+            close = getattr(active, "close", None)
+            if close is not None:
+                close()
+        return self
+
+    # Kept as an alias because the paper's generated code calls ``reset()``.
+    reset = restart
+
+    # -- host-language integration -------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        """One full pass of dereferenced results (host-facing view)."""
+        for result in self.iterate():
+            yield deref(unwrap(result))
+
+    def values(self) -> Iterator[Any]:
+        """Alias of ``iter(self)`` for call-site readability."""
+        return iter(self)
+
+    def first(self, default: Any = FAIL) -> Any:
+        """Dereferenced first result, or *default* if the expression fails."""
+        for result in self.iterate():
+            return deref(unwrap(result))
+        return default
+
+    def exists(self) -> bool:
+        """True when the expression produces at least one result."""
+        for _ in self.iterate():
+            return True
+        return False
+
+    def last(self, default: Any = FAIL) -> Any:
+        """Dereferenced final result, or *default* on immediate failure."""
+        value = default
+        for result in self.iterate():
+            value = deref(unwrap(result))
+        return value
+
+    def list(self) -> list:
+        """All dereferenced results as a list (terminates only if e does)."""
+        return [deref(unwrap(result)) for result in self.iterate()]
+
+
+class IconGenerator(IconIterator):
+    """Adapter over a zero-argument *factory* of Python iterables.
+
+    The general-purpose bridge from host code into the kernel: the factory
+    is invoked anew on every pass, which is what makes the node restartable.
+    ``IconGenerator(lambda: range(3))`` behaves like the Icon expression
+    ``0 to 2``.
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, factory: Callable[[], Iterable[Any]]) -> None:
+        super().__init__()
+        self._factory = factory
+
+    def iterate(self) -> Iterator[Any]:
+        yield from self._factory()
+
+
+class IconValue(IconIterator):
+    """Singleton iterator producing one already-computed value.
+
+    The translation of a literal, and of "lifting" a plain host value into
+    goal-directed evaluation (``<>e`` over a constant).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        super().__init__()
+        self.value = value
+
+    def iterate(self) -> Iterator[Any]:
+        # A tuple iterator instead of a generator: literals are everywhere
+        # in translated code and the C-level iterator has no frame cost.
+        return iter((self.value,))
+
+
+class IconLazy(IconIterator):
+    """Singleton iterator over a deferred host computation.
+
+    ``IconLazy(thunk)`` evaluates ``thunk()`` afresh on each pass and
+    succeeds exactly once with its result.  This is the translation of a
+    ``@<script lang="python">`` region embedded *inside* Junicon code: the
+    paper lifts native code "into a singleton iterator over its closure".
+    """
+
+    __slots__ = ("_thunk",)
+
+    def __init__(self, thunk: Callable[[], Any]) -> None:
+        super().__init__()
+        self._thunk = thunk
+
+    def iterate(self) -> Iterator[Any]:
+        yield self._thunk()
+
+
+class IconNullIterator(IconIterator):
+    """Produces the null value (None) exactly once.
+
+    Appears in generated method bodies (Figure 5) as the default outcome of
+    a body that runs off its end.
+    """
+
+    __slots__ = ()
+
+    def iterate(self) -> Iterator[Any]:
+        return iter((None,))
+
+
+class IconFail(IconIterator):
+    """The empty iterator — fails immediately, producing nothing."""
+
+    __slots__ = ()
+
+    def iterate(self) -> Iterator[Any]:
+        return iter(())
+
+
+class IconVarIterator(IconIterator):
+    """Singleton iterator yielding a reference itself (not its value).
+
+    The translation of a bare variable in result position: Icon expressions
+    yield *variables* so the result can be assigned.
+    """
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: Ref) -> None:
+        super().__init__()
+        self.ref = ref
+
+    def iterate(self) -> Iterator[Any]:
+        return iter((self.ref,))
+
+
+def as_iterator(value: Any) -> IconIterator:
+    """Coerce *value* to an :class:`IconIterator`.
+
+    Existing nodes pass through; refs become variable iterators; anything
+    else — including callables, which are first-class *values* in Icon —
+    becomes a singleton.  To adapt a factory of Python iterables, construct
+    :class:`IconGenerator` explicitly.
+    """
+    if isinstance(value, IconIterator):
+        return value
+    if isinstance(value, Ref):
+        return IconVarIterator(value)
+    return IconValue(value)

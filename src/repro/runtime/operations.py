@@ -1,0 +1,620 @@
+"""Icon operator semantics over the iterator kernel (paper Section II.A).
+
+Two layers live here:
+
+* **value functions** (module namespace ``ops``): pure functions over
+  dereferenced operand values that return a result or :data:`FAIL`.  Icon's
+  comparisons *return the right operand* on success so they chain
+  (``1 <= x <= 10``), and coerce strings to numbers for numeric contexts.
+
+* **iterator nodes**: :class:`IconOperation` maps a value function over the
+  cross product of its operand generators (the implicit composition of
+  nested generators), and specialised nodes implement the reference-
+  sensitive operators — assignment (plain, augmented, reversible, swap),
+  the null tests ``/x`` and ``\\x`` (which yield the *variable* so that
+  ``/x := 5`` works), and explicit dereference ``.x``.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random_module
+from typing import Any, Callable, Iterator
+
+from ..errors import IconTypeError, IconValueError
+from .failure import FAIL
+from .iterator import IconIterator, as_iterator
+from .refs import Ref, assign, deref
+from .types import Cset, need_cset
+
+# ---------------------------------------------------------------------------
+# Coercion (Icon's implicit type conversions).
+# ---------------------------------------------------------------------------
+
+
+def need_number(value: Any) -> int | float:
+    """Coerce to a number: numbers pass; numeric strings convert."""
+    if isinstance(value, bool):
+        raise IconTypeError("numeric expected, got boolean")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return float(text)
+            except ValueError:
+                raise IconTypeError(f"numeric expected, got {value!r}") from None
+    raise IconTypeError(f"numeric expected, got {type(value).__name__}")
+
+
+def need_integer(value: Any) -> int:
+    """Coerce to an integer; floats must be integral (Icon error 101)."""
+    number = need_number(value)
+    if isinstance(number, float):
+        if not number.is_integer():
+            raise IconTypeError(f"integer expected, got {value!r}")
+        return int(number)
+    return number
+
+
+def need_string(value: Any) -> str:
+    """Coerce to a string: strings pass; numbers and csets convert."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        raise IconTypeError("string expected, got boolean")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, Cset):
+        return value.string()
+    raise IconTypeError(f"string expected, got {type(value).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic value functions.
+# ---------------------------------------------------------------------------
+
+
+def plus(a: Any, b: Any) -> Any:
+    return need_number(a) + need_number(b)
+
+
+def minus(a: Any, b: Any) -> Any:
+    return need_number(a) - need_number(b)
+
+
+def times(a: Any, b: Any) -> Any:
+    return need_number(a) * need_number(b)
+
+
+def divide(a: Any, b: Any) -> Any:
+    """Icon ``/``: truncating division for integers, float otherwise."""
+    x, y = need_number(a), need_number(b)
+    if y == 0:
+        raise IconValueError("division by zero")
+    if isinstance(x, int) and isinstance(y, int):
+        quotient = abs(x) // abs(y)
+        return quotient if (x >= 0) == (y >= 0) else -quotient
+    return x / y
+
+
+def modulo(a: Any, b: Any) -> Any:
+    """Icon ``%``: remainder with the sign of the dividend (C-style)."""
+    x, y = need_number(a), need_number(b)
+    if y == 0:
+        raise IconValueError("remainder by zero")
+    remainder = math.fmod(x, y)
+    if isinstance(x, int) and isinstance(y, int):
+        return int(remainder)
+    return remainder
+
+
+def power(a: Any, b: Any) -> Any:
+    x, y = need_number(a), need_number(b)
+    if isinstance(x, int) and isinstance(y, int) and y < 0:
+        return float(x) ** y
+    return x ** y
+
+
+def negate(a: Any) -> Any:
+    return -need_number(a)
+
+
+def numerate(a: Any) -> Any:
+    """Unary ``+``: numeric coercion (and validation)."""
+    return need_number(a)
+
+
+# ---------------------------------------------------------------------------
+# Comparison value functions — succeed with the *right* operand, or FAIL.
+# ---------------------------------------------------------------------------
+
+
+def _numeric_compare(test: Callable[[Any, Any], bool]) -> Callable[[Any, Any], Any]:
+    def compare(a: Any, b: Any) -> Any:
+        x, y = need_number(a), need_number(b)
+        return y if test(x, y) else FAIL
+
+    return compare
+
+
+num_lt = _numeric_compare(lambda x, y: x < y)
+num_le = _numeric_compare(lambda x, y: x <= y)
+num_eq = _numeric_compare(lambda x, y: x == y)
+num_ne = _numeric_compare(lambda x, y: x != y)
+num_ge = _numeric_compare(lambda x, y: x >= y)
+num_gt = _numeric_compare(lambda x, y: x > y)
+
+
+def _string_compare(test: Callable[[str, str], bool]) -> Callable[[Any, Any], Any]:
+    def compare(a: Any, b: Any) -> Any:
+        x, y = need_string(a), need_string(b)
+        return y if test(x, y) else FAIL
+
+    return compare
+
+
+lex_lt = _string_compare(lambda x, y: x < y)      # <<
+lex_le = _string_compare(lambda x, y: x <= y)     # <<=
+lex_eq = _string_compare(lambda x, y: x == y)     # ==
+lex_ne = _string_compare(lambda x, y: x != y)     # ~==
+lex_ge = _string_compare(lambda x, y: x >= y)     # >>=
+lex_gt = _string_compare(lambda x, y: x > y)      # >>
+
+
+def value_eq(a: Any, b: Any) -> Any:
+    """``===``: same value — identity for mutables, equality otherwise."""
+    if _same_value(a, b):
+        return b
+    return FAIL
+
+
+def value_ne(a: Any, b: Any) -> Any:
+    """``~===``: not the same value."""
+    if _same_value(a, b):
+        return FAIL
+    return b
+
+
+def _same_value(a: Any, b: Any) -> bool:
+    if isinstance(a, (list, dict, set)) or isinstance(b, (list, dict, set)):
+        return a is b
+    if type(a) is not type(b) and not (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+    ):
+        return False
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# Concatenation and set-algebra value functions.
+# ---------------------------------------------------------------------------
+
+
+def concat(a: Any, b: Any) -> str:
+    """``||`` string concatenation (with coercion)."""
+    return need_string(a) + need_string(b)
+
+
+def list_concat(a: Any, b: Any) -> list:
+    """``|||`` list concatenation."""
+    if not isinstance(a, list) or not isinstance(b, list):
+        raise IconTypeError("list expected for |||")
+    return a + b
+
+
+def union(a: Any, b: Any) -> Any:
+    """``++``: cset/set union."""
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        return set(a) | set(b)
+    return need_cset(a).union(need_cset(b))
+
+
+def difference(a: Any, b: Any) -> Any:
+    """``--``: cset/set difference."""
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        return set(a) - set(b)
+    return need_cset(a).difference(need_cset(b))
+
+
+def intersection(a: Any, b: Any) -> Any:
+    """``**``: cset/set intersection."""
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        return set(a) & set(b)
+    return need_cset(a).intersection(need_cset(b))
+
+
+def complement(a: Any) -> Cset:
+    """Unary ``~``: cset complement over the Latin-1 universe."""
+    return need_cset(a).complement()
+
+
+# ---------------------------------------------------------------------------
+# Size, random, tab-matching helpers.
+# ---------------------------------------------------------------------------
+
+
+def size(a: Any) -> int:
+    """Unary ``*``: size of a string/list/table/set/cset.
+
+    Co-expressions override this via their ``icon_size`` hook (number of
+    results produced so far, per Icon).
+    """
+    hook = getattr(a, "icon_size", None)
+    if hook is not None:
+        return hook()
+    if isinstance(a, (str, list, dict, set, frozenset, tuple, Cset)):
+        return len(a)
+    if isinstance(a, (int, float)):
+        return len(need_string(a))
+    raise IconTypeError(f"size of {type(a).__name__} is undefined")
+
+
+#: Process-wide random stream for ``?`` (reseed via :func:`seed_random`,
+#: Icon's ``&random := n``).
+_random = _random_module.Random()
+_random_seed = 0
+
+
+def seed_random(seed: int) -> None:
+    """Reseed the ``?`` operator's stream (Icon ``&random := n``)."""
+    global _random_seed
+    _random_seed = seed
+    _random.seed(seed)
+
+
+def current_random_seed() -> int:
+    """The last value assigned to ``&random`` (its readable face)."""
+    return _random_seed
+
+
+def random_of(a: Any) -> Any:
+    """Unary ``?``: random integer in 1..x, or random element/character."""
+    if isinstance(a, bool):
+        raise IconTypeError("? of boolean is undefined")
+    if isinstance(a, int):
+        if a < 0:
+            raise IconValueError("? of negative integer")
+        if a == 0:
+            return _random.random()
+        return _random.randint(1, a)
+    if isinstance(a, float):
+        return _random.uniform(0.0, a)
+    if isinstance(a, str):
+        if not a:
+            return FAIL
+        return a[_random.randrange(len(a))]
+    if isinstance(a, list):
+        if not a:
+            return FAIL
+        return a[_random.randrange(len(a))]
+    if isinstance(a, (set, frozenset, Cset)):
+        items = sorted(a) if isinstance(a, Cset) else list(a)
+        if not items:
+            return FAIL
+        return items[_random.randrange(len(items))]
+    if isinstance(a, dict):
+        if not a:
+            return FAIL
+        keys = list(a)
+        return a[keys[_random.randrange(len(keys))]]
+    raise IconTypeError(f"? of {type(a).__name__} is undefined")
+
+
+# ---------------------------------------------------------------------------
+# Operator registries (used by the interpreter and the code generator).
+# ---------------------------------------------------------------------------
+
+BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": plus,
+    "-": minus,
+    "*": times,
+    "/": divide,
+    "%": modulo,
+    "^": power,
+    "<": num_lt,
+    "<=": num_le,
+    "=": num_eq,
+    "~=": num_ne,
+    ">=": num_ge,
+    ">": num_gt,
+    "<<": lex_lt,
+    "<<=": lex_le,
+    "==": lex_eq,
+    "~==": lex_ne,
+    ">>=": lex_ge,
+    ">>": lex_gt,
+    "===": value_eq,
+    "~===": value_ne,
+    "||": concat,
+    "|||": list_concat,
+    "++": union,
+    "--": difference,
+    "**": intersection,
+}
+
+UNARY_OPS: dict[str, Callable[[Any], Any]] = {
+    "-": negate,
+    "+": numerate,
+    "*": size,
+    "~": complement,
+    "?": random_of,
+}
+
+
+class IconOperation(IconIterator):
+    """Map a value function over the cross product of operand generators.
+
+    ``IconOperation(ops.plus, e1, e2)`` is the translation of ``e1 + e2``:
+    for each result of e1, for each result of e2, apply the function to the
+    dereferenced values; a :data:`FAIL` return means "no result here" and
+    the search continues (this is how comparisons filter).
+    """
+
+    __slots__ = ("fn", "operands", "name")
+
+    def __init__(self, fn: Callable[..., Any], *operands: Any, name: str = "") -> None:
+        super().__init__()
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "operation")
+        self.operands = tuple(as_iterator(op) for op in operands)
+
+    def iterate(self) -> Iterator[Any]:
+        # Unrolled unary/binary paths: operations dominate translated
+        # arithmetic, and the recursive cross-product costs a generator
+        # frame per operand per result.
+        operands = self.operands
+        fn = self.fn
+        if len(operands) == 1:
+            for a in operands[0].iterate():
+                result = fn(deref(a))
+                if result is not FAIL:
+                    yield result
+            return
+        if len(operands) == 2:
+            left, right = operands
+            for a in left.iterate():
+                a_value = deref(a)
+                for b in right.iterate():
+                    result = fn(a_value, deref(b))
+                    if result is not FAIL:
+                        yield result
+            return
+        yield from self._cross(0, [])
+
+    def _cross(self, index: int, values: list) -> Iterator[Any]:
+        if index == len(self.operands):
+            result = self.fn(*values)
+            if result is not FAIL:
+                yield result
+            return
+        for result in self.operands[index].iterate():
+            values.append(deref(result))
+            yield from self._cross(index + 1, values)
+            values.pop()
+
+
+def operation(symbol: str, *operands: Any) -> IconOperation:
+    """Build the :class:`IconOperation` for an operator symbol.
+
+    Arity selects the registry: two operands use :data:`BINARY_OPS`, one
+    uses :data:`UNARY_OPS`.
+    """
+    if len(operands) == 2:
+        try:
+            fn = BINARY_OPS[symbol]
+        except KeyError:
+            raise IconValueError(f"unknown binary operator {symbol!r}") from None
+    elif len(operands) == 1:
+        try:
+            fn = UNARY_OPS[symbol]
+        except KeyError:
+            raise IconValueError(f"unknown unary operator {symbol!r}") from None
+    else:
+        raise IconValueError(f"operator {symbol!r} with {len(operands)} operands")
+    return IconOperation(fn, *operands, name=symbol)
+
+
+# ---------------------------------------------------------------------------
+# Reference-sensitive operator nodes.
+# ---------------------------------------------------------------------------
+
+
+class IconToBy(IconIterator):
+    """``e1 to e2 by e3`` — arithmetic progression generator.
+
+    All three bounds are themselves generators; the progression is produced
+    for every combination of their results (cross product), per Icon.
+    """
+
+    __slots__ = ("start", "stop", "step")
+
+    def __init__(self, start: Any, stop: Any, step: Any | None = None) -> None:
+        super().__init__()
+        self.start = as_iterator(start)
+        self.stop = as_iterator(stop)
+        self.step = as_iterator(step) if step is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        for start_result in self.start.iterate():
+            start = need_number(deref(start_result))
+            for stop_result in self.stop.iterate():
+                stop = need_number(deref(stop_result))
+                if self.step is None:
+                    yield from self._walk(start, stop, 1)
+                else:
+                    for step_result in self.step.iterate():
+                        step = need_number(deref(step_result))
+                        yield from self._walk(start, stop, step)
+
+    @staticmethod
+    def _walk(start: Any, stop: Any, step: Any) -> Iterator[Any]:
+        if step == 0:
+            raise IconValueError("to-by: by clause of 0")
+        value = start
+        if step > 0:
+            while value <= stop:
+                yield value
+                value += step
+        else:
+            while value >= stop:
+                yield value
+                value += step
+
+
+class IconAssign(IconIterator):
+    """``x := e`` (and augmented ``x op:= e``) — assignment.
+
+    The left operand must yield a variable; the result of the assignment is
+    that variable (so assignments chain and can be further assigned).
+    Augmented assignment applies *augment* to (old value, rhs value) and may
+    fail (e.g. ``x <:= y`` assigns only when the comparison succeeds).
+    """
+
+    __slots__ = ("target", "expr", "augment")
+
+    def __init__(
+        self,
+        target: Any,
+        expr: Any,
+        augment: Callable[[Any, Any], Any] | None = None,
+    ) -> None:
+        super().__init__()
+        self.target = as_iterator(target)
+        self.expr = as_iterator(expr)
+        self.augment = augment
+
+    def iterate(self) -> Iterator[Any]:
+        for target in self.target.iterate():
+            for result in self.expr.iterate():
+                value = deref(result)
+                if self.augment is not None:
+                    value = self.augment(deref(target), value)
+                    if value is FAIL:
+                        continue
+                if assign(target, value) is FAIL:
+                    continue  # the reference vetoed (e.g. &pos range)
+                yield target
+
+
+class IconRevAssign(IconIterator):
+    """``x <- e`` — reversible assignment.
+
+    Assigns and suspends; if the surrounding expression backtracks into it,
+    the old value is restored and the assignment fails (producing no more
+    results).  The backbone of Icon's "try, and undo on failure" idiom.
+    """
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, target: Any, expr: Any) -> None:
+        super().__init__()
+        self.target = as_iterator(target)
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for target in self.target.iterate():
+            if not isinstance(target, Ref):
+                raise IconTypeError("reversible assignment to a non-variable")
+            for result in self.expr.iterate():
+                saved = target.get()
+                target.set(deref(result))
+                yield target
+                # Reached only on backtracking (generator resumed); if the
+                # overall expression succeeded and stopped, the assignment
+                # stands — so no try/finally, which would also run on close.
+                target.set(saved)
+
+
+class IconSwap(IconIterator):
+    """``x :=: y`` — exchange two variables; result is the left variable."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any) -> None:
+        super().__init__()
+        self.left = as_iterator(left)
+        self.right = as_iterator(right)
+
+    def iterate(self) -> Iterator[Any]:
+        for left in self.left.iterate():
+            for right in self.right.iterate():
+                if not isinstance(left, Ref) or not isinstance(right, Ref):
+                    raise IconTypeError("swap of a non-variable")
+                left_value, right_value = left.get(), right.get()
+                left.set(right_value)
+                right.set(left_value)
+                yield left
+
+
+class IconRevSwap(IconIterator):
+    """``x <-> y`` — reversible exchange (undone on backtracking)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any) -> None:
+        super().__init__()
+        self.left = as_iterator(left)
+        self.right = as_iterator(right)
+
+    def iterate(self) -> Iterator[Any]:
+        for left in self.left.iterate():
+            for right in self.right.iterate():
+                if not isinstance(left, Ref) or not isinstance(right, Ref):
+                    raise IconTypeError("swap of a non-variable")
+                left_value, right_value = left.get(), right.get()
+                left.set(right_value)
+                right.set(left_value)
+                yield left
+                # Backtracking only (see IconRevAssign).
+                left.set(left_value)
+                right.set(right_value)
+
+
+class IconNullTest(IconIterator):
+    """``/x`` — succeed with the variable iff its value is null."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            if deref(result) is None:
+                yield result
+
+
+class IconNonNullTest(IconIterator):
+    """``\\x`` — succeed with the variable iff its value is not null."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            if deref(result) is not None:
+                yield result
+
+
+class IconDeref(IconIterator):
+    """``.x`` — explicit dereference: results become plain values."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            yield deref(result)

@@ -1,0 +1,140 @@
+"""Promotion — the ``!`` operator (paper Sections III, V.A).
+
+``!e`` "lifts lists as well as co-expressions to iterators": it generates
+the elements of a collection, the characters of a string, the lines of a
+file, or the remaining results of a first-class generator / co-expression /
+pipe.  Elements of mutable collections are produced as *variables*
+(:class:`~repro.runtime.refs.ListRef` / ``TableRef``) so they can be
+assigned, matching Icon's reference semantics.
+
+Objects can opt into promotion by exposing an ``icon_promote()`` method
+returning an iterator of results — co-expressions and pipes use this hook
+so that ``!c`` keeps stepping them until failure without this module
+depending on the concurrency layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import IconTypeError
+from .failure import FAIL
+from .iterator import IconIterator, as_iterator
+from .refs import ListRef, Ref, TableRef, deref
+from .operations import need_string
+from .types import Cset
+
+
+def promote_value(value: Any) -> Iterator[Any]:
+    """Return an iterator of results for ``!value`` (already dereferenced)."""
+    hook = getattr(value, "icon_promote", None)
+    if hook is not None:
+        return hook()
+    if isinstance(value, IconIterator):
+        return value.iterate()
+    if isinstance(value, list):
+        return _promote_list(value)
+    if isinstance(value, str):
+        return iter(value)
+    if isinstance(value, dict):
+        return _promote_table(value)
+    if isinstance(value, (set, frozenset)):
+        return iter(list(value))
+    if isinstance(value, Cset):
+        return iter(value)
+    if isinstance(value, tuple):
+        return iter(value)
+    if isinstance(value, (int, float)):
+        return iter(need_string(value))
+    if hasattr(value, "readline"):
+        return _promote_file(value)
+    if hasattr(value, "__next__"):
+        return value  # an in-flight Python iterator: delegate, single-shot
+    if hasattr(value, "__iter__"):
+        return iter(value)
+    raise IconTypeError(f"cannot promote {type(value).__name__} to a generator")
+
+
+def _promote_list(values: list) -> Iterator[Any]:
+    # Index-based walk so concurrent growth/shrink during generation behaves
+    # like Icon's element generation (bounded by the live length).
+    index = 0
+    while index < len(values):
+        yield ListRef(values, index)
+        index += 1
+
+
+def _promote_table(table: dict) -> Iterator[Any]:
+    for key in list(table):
+        yield TableRef(table, key)
+
+
+def _promote_file(handle: Any) -> Iterator[str]:
+    while True:
+        line = handle.readline()
+        if line == "" or line is None:
+            return
+        yield line.rstrip("\n")
+
+
+class IconPromote(IconIterator):
+    """The ``!e`` node: promote each result of *e* in turn.
+
+    For each result of the operand (usually exactly one — a collection or a
+    first-class generator), generate that value's elements/results.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Any) -> None:
+        super().__init__()
+        self.expr = as_iterator(expr)
+
+    def iterate(self) -> Iterator[Any]:
+        for result in self.expr.iterate():
+            yield from promote_value(deref(result))
+
+
+class IconActivate(IconIterator):
+    """The ``@c`` node: step a first-class generator one iteration.
+
+    Succeeds with the next result or fails when the stepped entity is
+    exhausted.  Optionally transmits a value into the co-expression
+    (``v @ c``).  Anything exposing ``icon_activate(value)`` (co-expressions,
+    pipes) is stepped through that hook; a bare :class:`IconIterator` is
+    stepped with its stateful ``next_value``.
+    """
+
+    __slots__ = ("target", "transmit")
+
+    def __init__(self, target: Any, transmit: Any | None = None) -> None:
+        super().__init__()
+        self.target = as_iterator(target)
+        self.transmit = as_iterator(transmit) if transmit is not None else None
+
+    def iterate(self) -> Iterator[Any]:
+        for target_result in self.target.iterate():
+            target = deref(target_result)
+            sent = None
+            if self.transmit is not None:
+                sent = self.transmit.first()
+                if sent is FAIL:
+                    return
+            result = activate_value(target, sent)
+            if result is not FAIL:
+                yield result
+
+
+def activate_value(target: Any, transmit: Any = None) -> Any:
+    """Step *target* one iteration; return the result or :data:`FAIL`."""
+    hook = getattr(target, "icon_activate", None)
+    if hook is not None:
+        return hook(transmit)
+    if isinstance(target, IconIterator):
+        return target.next_value()
+    if hasattr(target, "__next__"):
+        try:
+            return next(target)
+        except StopIteration:
+            return FAIL
+    raise IconTypeError(f"cannot activate {type(target).__name__}")

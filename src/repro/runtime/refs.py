@@ -1,0 +1,209 @@
+"""Reified variables — Icon's first-class reference semantics.
+
+Icon expressions can yield *variables* (not just values) so that results can
+be assigned: ``every !L := 0`` zeroes a list because ``!L`` generates element
+variables.  Section V.A of the paper calls this *lifting*: "Lifting a
+variable x turns it into a property with get and set methods, i.e. ``()->x``
+and ``(r)->x=r``".  Section V.C exposes class fields in dual plain/reified
+form (``Object x; IconVar x_r = new IconVar(()->x, (rhs)->x=rhs)``).
+
+Here every reference kind is a :class:`Ref` with ``get``/``set``;
+:func:`deref` collapses a reference to its value and is applied by every
+operation before computing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, MutableMapping, MutableSequence
+
+from ..errors import IconIndexError, IconNotAssignableError
+
+_UNSET = object()
+
+
+class Ref:
+    """Abstract updatable reference (an Icon *variable*)."""
+
+    __slots__ = ()
+
+    def get(self) -> Any:
+        raise NotImplementedError
+
+    def set(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    # Icon variables print as their value in most contexts.
+    def __repr__(self) -> str:
+        try:
+            return f"{type(self).__name__}({self.get()!r})"
+        except Exception:
+            return f"{type(self).__name__}(<unset>)"
+
+
+class IconVar(Ref):
+    """A named variable cell.
+
+    Used both directly (interpreter locals, reified class fields) and as the
+    translation of ``local x`` in generated code.  Mirrors the paper's
+    ``IconVar`` including the closure-backed form: pass ``getter``/``setter``
+    to alias external storage (a plain Python attribute, a host variable),
+    or neither for a self-contained cell.
+    """
+
+    __slots__ = ("name", "_value", "_getter", "_setter", "_is_local")
+
+    def __init__(
+        self,
+        name: str = "",
+        getter: Callable[[], Any] | None = None,
+        setter: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.name = name
+        self._value: Any = None
+        self._getter = getter
+        self._setter = setter
+        self._is_local = False
+
+    def local(self) -> "IconVar":
+        """Mark as method-local (fluent, as in the paper's ``.local()``)."""
+        self._is_local = True
+        return self
+
+    @property
+    def is_local(self) -> bool:
+        return self._is_local
+
+    def get(self) -> Any:
+        if self._getter is not None:
+            return self._getter()
+        return self._value
+
+    def set(self, value: Any) -> Any:
+        if self._setter is not None:
+            self._setter(value)
+        else:
+            self._value = value
+        return value
+
+
+class IconTmp(Ref):
+    """A compiler temporary produced by normalization (paper: ``IconTmp``).
+
+    Temporaries hold intermediate bound-iteration results while flattening
+    primaries; they are plain slots with no aliasing.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def get(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> Any:
+        self._value = value
+        return value
+
+
+class ListRef(Ref):
+    """Reference to ``lst[index]`` (already-normalized, 0-based index)."""
+
+    __slots__ = ("sequence", "index")
+
+    def __init__(self, sequence: MutableSequence, index: int) -> None:
+        self.sequence = sequence
+        self.index = index
+
+    def get(self) -> Any:
+        try:
+            return self.sequence[self.index]
+        except IndexError as exc:
+            raise IconIndexError(f"subscript {self.index} out of range") from exc
+
+    def set(self, value: Any) -> Any:
+        try:
+            self.sequence[self.index] = value
+        except IndexError as exc:
+            raise IconIndexError(f"subscript {self.index} out of range") from exc
+        return value
+
+
+class TableRef(Ref):
+    """Reference to ``table[key]``.
+
+    Icon tables yield a variable for any key; reading a missing key gives
+    the table's default (here: None), and assigning creates the entry.
+    """
+
+    __slots__ = ("table", "key", "default")
+
+    def __init__(self, table: MutableMapping, key: Any, default: Any = None) -> None:
+        self.table = table
+        self.key = key
+        self.default = default
+
+    def get(self) -> Any:
+        return self.table.get(self.key, self.default)
+
+    def set(self, value: Any) -> Any:
+        self.table[self.key] = value
+        return value
+
+
+class FieldRef(Ref):
+    """Reference to ``obj.name`` — the plain half of the plain/reified dual.
+
+    When the owning object also carries a reified field ``name_r`` (as
+    emitted by the class transformation, Section V.C) the two stay
+    consistent automatically because the reified var aliases the plain
+    attribute through closures; ``FieldRef`` reads/writes the plain side.
+    """
+
+    __slots__ = ("obj", "name")
+
+    def __init__(self, obj: Any, name: str) -> None:
+        self.obj = obj
+        self.name = name
+
+    def get(self) -> Any:
+        return getattr(self.obj, self.name)
+
+    def set(self, value: Any) -> Any:
+        setattr(self.obj, self.name, value)
+        return value
+
+
+class ReadOnlyRef(Ref):
+    """A value masquerading as a reference; assignment is an error.
+
+    Icon calls such results *dereferenced* values — e.g. ``!s`` on a string
+    generates one-character substrings that cannot be assigned.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def get(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> Any:
+        raise IconNotAssignableError("assignment to a non-variable")
+
+
+def deref(value: Any) -> Any:
+    """Collapse a reference to its value; pass plain values through."""
+    if isinstance(value, Ref):
+        return value.get()
+    return value
+
+
+def assign(target: Any, value: Any) -> Any:
+    """Assign *value* through *target*, which must be a :class:`Ref`."""
+    if not isinstance(target, Ref):
+        raise IconNotAssignableError(
+            f"assignment target is a {type(target).__name__}, not a variable"
+        )
+    return target.set(value)

@@ -1,0 +1,313 @@
+"""String scanning — ``s ? e``, ``&subject``/``&pos``, and the analysis
+builtins (``tab``, ``move``, ``find``, ``upto``, ``many``, ``any``,
+``match``, ``bal``) that make Icon "the forte of string processing" the
+paper leans on for its word-count workloads.
+
+Scanning state is a per-thread stack of (subject, pos) environments so
+scans nest and co-expressions running in pipe threads each get their own
+scanning context.  ``tab`` and ``move`` are *reversible*: implemented as
+generator functions, they restore ``&pos`` when the surrounding expression
+backtracks into them — delegation via
+:class:`~repro.runtime.invoke.IconInvoke` makes that automatic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from ..errors import IconValueError
+from .access import resolve_position
+from .failure import FAIL, Suspension
+from .iterator import IconIterator, as_iterator, step_bounded
+from .operations import need_integer, need_string
+from .refs import deref
+from .types import Cset, need_cset
+
+
+class ScanEnv:
+    """One scanning environment: the subject string and a 1-based position."""
+
+    __slots__ = ("subject", "pos")
+
+    def __init__(self, subject: str, pos: int = 1) -> None:
+        self.subject = subject
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"ScanEnv({self.subject!r}, pos={self.pos})"
+
+
+class _ScanState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[ScanEnv] = []
+
+
+_state = _ScanState()
+
+
+def current_env(required: bool = True) -> ScanEnv:
+    """The innermost scanning environment for this thread."""
+    if not _state.stack:
+        if required:
+            raise IconValueError("no string scanning in progress (&subject)")
+        return ScanEnv("", 1)
+    return _state.stack[-1]
+
+
+def push_env(env: ScanEnv) -> None:
+    _state.stack.append(env)
+
+
+def pop_env() -> ScanEnv:
+    return _state.stack.pop()
+
+
+def get_subject() -> str:
+    return current_env().subject
+
+
+def get_pos() -> int:
+    return current_env().pos
+
+
+def set_pos(pos: Any) -> Any:
+    """Assign ``&pos`` — fails (returns FAIL) when out of range."""
+    env = current_env()
+    resolved = resolve_position(need_integer(pos), len(env.subject))
+    if resolved is None:
+        return FAIL
+    env.pos = resolved + 1
+    return env.pos
+
+
+class IconScan(IconIterator):
+    """``e1 ? e2`` — evaluate *e2* in a new scanning environment over *e1*.
+
+    The subject expression is bounded; the scan's results are the body's
+    results.  The environment nests: it is pushed for the duration of each
+    body step and popped afterwards, so scans can suspend results outward
+    and interleave with other scans on the same thread.
+    """
+
+    __slots__ = ("subject", "body")
+
+    def __init__(self, subject: Any, body: Any) -> None:
+        super().__init__()
+        self.subject = as_iterator(subject)
+        self.body = as_iterator(body)
+
+    def iterate(self) -> Iterator[Any]:
+        outcome = yield from step_bounded(self.subject)
+        if outcome is FAIL:
+            return
+        env = ScanEnv(need_string(deref(outcome)), 1)
+        iterator = self.body.iterate()
+        while True:
+            push_env(env)
+            try:
+                result = next(iterator)
+                # Dereference inside the scanning window: a result that is
+                # a keyword or position reference (&pos, &subject) must be
+                # read while this scan's environment is still in force.
+                if isinstance(result, Suspension):
+                    result = Suspension(deref(result.value))
+                else:
+                    result = deref(result)
+            except StopIteration:
+                return
+            finally:
+                pop_env()
+            yield result
+
+
+def _span(subject: Any, i: Any, j: Any) -> tuple[str, int, int] | None:
+    """Resolve (s, i, j) defaults and positions to a 0-based [lo, hi) span.
+
+    With *subject* omitted (None), defaults are ``&subject`` and ``&pos``;
+    otherwise i defaults to 1 and j to 0 (end of string).  Returns None
+    (failure) when a position is out of range.
+    """
+    if subject is None:
+        env = current_env()
+        text = env.subject
+        start_default = env.pos
+    else:
+        text = need_string(deref(subject))
+        start_default = 1
+    i = start_default if i is None else need_integer(deref(i))
+    j = 0 if j is None else need_integer(deref(j))
+    lo = resolve_position(i, len(text))
+    hi = resolve_position(j, len(text))
+    if lo is None or hi is None:
+        return None
+    if lo > hi:
+        lo, hi = hi, lo
+    return text, lo, hi
+
+
+# ---------------------------------------------------------------------------
+# Position-moving builtins (reversible generators).
+# ---------------------------------------------------------------------------
+
+
+def tab(i: Any) -> Iterator[str]:
+    """``tab(i)`` — move ``&pos`` to *i*; produce the intervening substring.
+
+    Reversible: backtracking into a suspended ``tab`` restores ``&pos``.
+    """
+    env = current_env()
+    target = resolve_position(need_integer(deref(i)), len(env.subject))
+    if target is None:
+        return
+    old = env.pos
+    new_pos = target + 1
+    lo, hi = sorted((old, new_pos))
+    env.pos = new_pos
+    yield env.subject[lo - 1: hi - 1]
+    # Reached only when the surrounding expression *backtracks into* the
+    # suspended tab (generator resumed); acceptance of the result abandons
+    # the generator instead, leaving &pos moved.  No try/finally: a close
+    # (GeneratorExit) must NOT restore.
+    env.pos = old
+
+
+def move(n: Any) -> Iterator[str]:
+    """``move(n)`` — advance ``&pos`` by *n*; produce the moved-over text.
+
+    Reversible, like ``tab``.  Fails when the move leaves the subject.
+    """
+    env = current_env()
+    offset = need_integer(deref(n))
+    new_pos = env.pos + offset
+    if not 1 <= new_pos <= len(env.subject) + 1:
+        return
+    old = env.pos
+    lo, hi = sorted((old, new_pos))
+    env.pos = new_pos
+    yield env.subject[lo - 1: hi - 1]
+    env.pos = old  # resumption = backtracking; see tab()
+
+
+def pos(i: Any) -> Iterator[int]:
+    """``pos(i)`` — succeed with ``&pos`` iff it equals position *i*."""
+    env = current_env()
+    target = resolve_position(need_integer(deref(i)), len(env.subject))
+    if target is not None and target + 1 == env.pos:
+        yield env.pos
+
+
+def tab_match(s: Any) -> Iterator[str]:
+    """Unary ``=s`` in scanning — ``tab(match(s))``."""
+    env = current_env()
+    text = need_string(deref(s))
+    start = env.pos - 1
+    if env.subject.startswith(text, start):
+        old = env.pos
+        env.pos = old + len(text)
+        yield text
+        env.pos = old  # resumption = backtracking; see tab()
+
+
+# ---------------------------------------------------------------------------
+# String-analysis builtins (pure; usable inside or outside scanning).
+# ---------------------------------------------------------------------------
+
+
+def find(s1: Any, s2: Any = None, i: Any = None, j: Any = None) -> Iterator[int]:
+    """``find(s1, s2, i, j)`` — generate positions where *s1* occurs."""
+    needle = need_string(deref(s1))
+    span = _span(s2, i, j)
+    if span is None:
+        return
+    text, lo, hi = span
+    position = lo
+    limit = hi - len(needle)
+    while position <= limit:
+        hit = text.find(needle, position, hi)
+        if hit < 0 or hit > limit:
+            return
+        yield hit + 1
+        position = hit + 1
+
+
+def upto(c: Any, s: Any = None, i: Any = None, j: Any = None) -> Iterator[int]:
+    """``upto(c, s, i, j)`` — generate positions of characters in cset *c*."""
+    charset = need_cset(deref(c))
+    span = _span(s, i, j)
+    if span is None:
+        return
+    text, lo, hi = span
+    for index in range(lo, hi):
+        if text[index] in charset:
+            yield index + 1
+
+
+def many(c: Any, s: Any = None, i: Any = None, j: Any = None) -> Iterator[int]:
+    """``many(c, s, i, j)`` — position after the longest run of cset chars."""
+    charset = need_cset(deref(c))
+    span = _span(s, i, j)
+    if span is None:
+        return
+    text, lo, hi = span
+    index = lo
+    while index < hi and text[index] in charset:
+        index += 1
+    if index > lo:
+        yield index + 1
+
+
+def any_(c: Any, s: Any = None, i: Any = None, j: Any = None) -> Iterator[int]:
+    """``any(c, s, i, j)`` — position after one cset character."""
+    charset = need_cset(deref(c))
+    span = _span(s, i, j)
+    if span is None:
+        return
+    text, lo, hi = span
+    if lo < hi and text[lo] in charset:
+        yield lo + 2
+
+
+def match(s1: Any, s2: Any = None, i: Any = None, j: Any = None) -> Iterator[int]:
+    """``match(s1, s2, i, j)`` — position after *s1* as an initial substring."""
+    needle = need_string(deref(s1))
+    span = _span(s2, i, j)
+    if span is None:
+        return
+    text, lo, hi = span
+    if lo + len(needle) <= hi and text.startswith(needle, lo):
+        yield lo + len(needle) + 1
+
+
+def bal(
+    c1: Any = None,
+    c2: Any = None,
+    c3: Any = None,
+    s: Any = None,
+    i: Any = None,
+    j: Any = None,
+) -> Iterator[int]:
+    """``bal(c1, c2, c3, s, i, j)`` — positions of balanced cset characters.
+
+    Generates positions p where s[p] is in *c1* and s[i:p] is balanced with
+    respect to opener cset *c2* (default ``(``) and closer *c3* (default
+    ``)``).  Defaults: c1 = ``&cset`` (any character).
+    """
+    charset = need_cset(deref(c1)) if c1 is not None else None
+    openers = need_cset(deref(c2)) if c2 is not None else Cset("(")
+    closers = need_cset(deref(c3)) if c3 is not None else Cset(")")
+    span = _span(s, i, j)
+    if span is None:
+        return
+    text, lo, hi = span
+    depth = 0
+    for index in range(lo, hi):
+        char = text[index]
+        if depth == 0 and (charset is None or char in charset):
+            yield index + 1
+        if char in openers:
+            depth += 1
+        elif char in closers:
+            depth -= 1
+            if depth < 0:
+                return

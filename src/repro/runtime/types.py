@@ -1,0 +1,106 @@
+"""Icon-specific value types: csets and the null value convention.
+
+Icon's *cset* (character set) underlies the string-analysis builtins
+(``upto``, ``many``, ``any``, ``bal``) and the ``~``/``++``/``--``/``**``
+operators.  Here a :class:`Cset` wraps a frozenset of single characters
+over the 256-character Latin-1 universe (Icon's historical universe), so
+complement is well defined.  Builtins accept plain strings or Python sets
+wherever a cset is expected — :func:`need_cset` coerces.
+
+Icon's null value maps to Python ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..errors import IconTypeError
+
+#: The Icon cset universe: Latin-1 (256 characters), per the classic
+#: implementations.
+UNIVERSE = frozenset(chr(code) for code in range(256))
+
+
+class Cset:
+    """An immutable character set with Icon's operator algebra."""
+
+    __slots__ = ("chars",)
+
+    def __init__(self, chars: Iterable[str] = ()) -> None:
+        collected = set()
+        for item in chars:
+            if not isinstance(item, str):
+                raise IconTypeError(f"cset member must be a character, got {item!r}")
+            collected.update(item)  # strings contribute each character
+        object.__setattr__(self, "chars", frozenset(collected))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Cset is immutable")
+
+    # -- algebra ------------------------------------------------------------
+
+    def union(self, other: "Cset") -> "Cset":
+        return _wrap(self.chars | other.chars)
+
+    def difference(self, other: "Cset") -> "Cset":
+        return _wrap(self.chars - other.chars)
+
+    def intersection(self, other: "Cset") -> "Cset":
+        return _wrap(self.chars & other.chars)
+
+    def complement(self) -> "Cset":
+        return _wrap(UNIVERSE - self.chars)
+
+    # -- container protocol --------------------------------------------------
+
+    def __contains__(self, char: str) -> bool:
+        return char in self.chars
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.chars))
+
+    def __len__(self) -> int:
+        return len(self.chars)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Cset):
+            return self.chars == other.chars
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.chars)
+
+    def __repr__(self) -> str:
+        return f"Cset({self.string()!r})"
+
+    def string(self) -> str:
+        """The cset as a sorted string (Icon's string conversion)."""
+        return "".join(sorted(self.chars))
+
+
+def _wrap(chars: frozenset) -> Cset:
+    cset = Cset.__new__(Cset)
+    object.__setattr__(cset, "chars", chars)
+    return cset
+
+
+def need_cset(value: Any) -> Cset:
+    """Coerce *value* to a cset (cset, string, or set of characters)."""
+    if isinstance(value, Cset):
+        return value
+    if isinstance(value, str):
+        return Cset(value)
+    if isinstance(value, (set, frozenset)):
+        return Cset(value)
+    if isinstance(value, (int, float)):
+        return Cset(str(value))
+    raise IconTypeError(f"cset expected, got {type(value).__name__}")
+
+
+#: Common csets, as provided by Icon keywords.
+ASCII = _wrap(frozenset(chr(code) for code in range(128)))
+CSET_ALL = _wrap(UNIVERSE)
+DIGITS = Cset("0123456789")
+LCASE = Cset("abcdefghijklmnopqrstuvwxyz")
+UCASE = Cset("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+LETTERS = _wrap(LCASE.chars | UCASE.chars)

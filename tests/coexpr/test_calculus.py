@@ -1,0 +1,178 @@
+"""The Figure 1 calculus: <>  |<>  |>  @  !  ^ — host-facing semantics."""
+
+import pytest
+
+from repro.runtime.failure import FAIL
+from repro.runtime.iterator import IconGenerator, IconIterator, IconValue
+from repro.coexpr.calculus import (
+    activate,
+    coexpr,
+    first_class,
+    future,
+    pipe,
+    promote,
+    refresh,
+    results,
+)
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.pipe import Pipe
+
+
+class TestFirstClass:
+    def test_reifies_factory(self):
+        node = first_class(lambda: [1, 2])
+        assert isinstance(node, IconIterator)
+        assert activate(node) == 1
+        assert activate(node) == 2
+        assert activate(node) is FAIL
+
+    def test_node_passthrough(self):
+        node = IconValue(9)
+        assert first_class(node) is node
+
+    def test_plain_value_singleton(self):
+        node = first_class(42)
+        assert list(node) == [42]
+
+
+class TestCoexprOperator:
+    def test_env_snapshot(self):
+        x = {"v": 1}
+        c = coexpr(lambda snapshot: iter([snapshot]), env=lambda: (x["v"],))
+        x["v"] = 2
+        assert activate(c) == 1
+
+    def test_env_as_sequence(self):
+        c = coexpr(lambda a, b: iter([a * b]), env=(3, 4))
+        assert activate(c) == 12
+
+    def test_no_env(self):
+        c = coexpr(lambda: iter("ab"))
+        assert list(results(c)) == ["a", "b"]
+
+    def test_named(self):
+        c = coexpr(lambda: iter([]), name="my-co")
+        assert c.name == "my-co"
+
+
+class TestPipeOperator:
+    def test_returns_pipe(self):
+        p = pipe(lambda: range(3))
+        assert isinstance(p, Pipe)
+        assert list(p) == [0, 1, 2]
+
+    def test_capacity_forwarded(self):
+        p = pipe(lambda: range(3), capacity=7)
+        assert p.capacity == 7
+        assert p.out.capacity == 7
+
+
+class TestActivate:
+    def test_steps_coexpr(self):
+        c = coexpr(lambda: iter([5]))
+        assert activate(c) == 5
+        assert activate(c) is FAIL
+
+    def test_transmission(self):
+        def body():
+            got = yield "first"
+            yield got
+
+        c = coexpr(body)
+        assert activate(c) == "first"
+        assert activate(c, "sent") == "sent"
+
+    def test_steps_python_iterator(self):
+        it = iter([1])
+        assert activate(it) == 1
+        assert activate(it) is FAIL
+
+
+class TestPromote:
+    def test_promote_coexpr_remaining_results(self):
+        c = coexpr(lambda: iter([1, 2, 3]))
+        activate(c)  # consume one
+        assert list(promote(c)) == [2, 3]
+
+    def test_promote_pipe(self):
+        assert list(promote(pipe(lambda: "xy"))) == ["x", "y"]
+
+    def test_promote_list(self):
+        assert list(promote([1, 2])) == [1, 2]
+
+    def test_promote_node_passthrough(self):
+        node = IconGenerator(lambda: [1])
+        assert promote(node) is node
+
+    def test_results_helper(self):
+        assert list(results([7, 8])) == [7, 8]
+
+
+class TestRefresh:
+    def test_refresh_coexpr(self):
+        c = coexpr(lambda: iter([1]))
+        assert activate(c) == 1
+        fresh = refresh(c)
+        assert activate(fresh) == 1
+
+    def test_refresh_pipe(self):
+        p = pipe(lambda: [1])
+        assert list(p) == [1]
+        assert list(refresh(p)) == [1]
+
+    def test_refresh_node_restarts(self):
+        node = IconGenerator(lambda: [1, 2])
+        node.next_value()
+        refresh(node)
+        assert node.next_value() == 1
+
+    def test_refresh_plain_value_identity(self):
+        assert refresh(5) == 5
+
+
+class TestFuture:
+    def test_future_from_expression(self):
+        f = future(lambda: iter([10]))
+        assert f.get() == 10
+
+
+class TestPaperExamples:
+    def test_figure1_pipeline_expression(self):
+        """x * ! |> factorial(! |> sqrt(y)) — the paper's pipeline,
+        with small stand-ins for factorial/sqrt."""
+        import math
+
+        ys = [1, 4, 9]
+
+        def sqrt_stage():
+            for y in ys:
+                yield int(math.sqrt(y))
+
+        inner = pipe(sqrt_stage)
+
+        def fact_stage():
+            for value in results(inner):
+                yield math.factorial(value)
+
+        outer = pipe(fact_stage)
+        from repro.runtime.operations import IconOperation, times
+
+        node = IconOperation(times, IconValue(10), promote(outer))
+        assert list(node) == [10 * 1, 10 * 2, 10 * 6]
+
+    def test_interleaving_with_two_coexprs(self):
+        """@ alternates between two co-expressions (interleaving)."""
+        evens = coexpr(lambda: iter([0, 2, 4]))
+        odds = coexpr(lambda: iter([1, 3, 5]))
+        woven = []
+        for _ in range(3):
+            woven.append(activate(evens))
+            woven.append(activate(odds))
+        assert woven == [0, 1, 2, 3, 4, 5]
+
+    def test_singleton_pipe_is_a_future(self):
+        """Paper: 'a singleton piped iterator that produces one result
+        forms a future'."""
+        p = pipe(lambda: [42], capacity=1)
+        assert activate(p) == 42
+        assert activate(p) is FAIL

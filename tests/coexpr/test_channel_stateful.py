@@ -1,0 +1,91 @@
+"""Stateful property testing of Channel against a queue model.
+
+A hypothesis rule-based machine drives a bounded channel through
+interleaved put/take/poll/close operations and checks it against a plain
+deque model: FIFO order, capacity discipline, and close semantics.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.errors import ChannelClosedError
+from repro.coexpr.channel import CLOSED, Channel
+
+CAPACITY = 4
+
+
+class ChannelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.channel = Channel(capacity=CAPACITY)
+        self.model: deque = deque()
+        self.closed = False
+
+    @rule(value=st.integers())
+    def put(self, value):
+        if self.closed:
+            try:
+                self.channel.put(value, timeout=0.01)
+                raise AssertionError("put on closed channel must raise")
+            except ChannelClosedError:
+                return
+        if len(self.model) >= CAPACITY:
+            # would block: verify it times out rather than succeeding
+            try:
+                self.channel.put(value, timeout=0.01)
+                raise AssertionError("put into a full channel must block")
+            except TimeoutError:
+                return
+        self.channel.put(value)
+        self.model.append(value)
+
+    @rule()
+    def take(self):
+        if self.model:
+            assert self.channel.take() == self.model.popleft()
+        elif self.closed:
+            assert self.channel.take() is CLOSED
+        else:
+            try:
+                self.channel.take(timeout=0.01)
+                raise AssertionError("take from empty open channel must block")
+            except TimeoutError:
+                pass
+
+    @rule()
+    def poll(self):
+        if self.model:
+            assert self.channel.poll() == self.model.popleft()
+        elif self.closed:
+            assert self.channel.poll() is CLOSED
+        else:
+            assert self.channel.poll() is None
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def close(self):
+        self.channel.close()
+        self.closed = True
+
+    @invariant()
+    def length_matches_model(self):
+        assert len(self.channel) == len(self.model)
+
+    @invariant()
+    def closed_flag_matches(self):
+        assert self.channel.closed == self.closed
+
+
+ChannelMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestChannelStateful = ChannelMachine.TestCase

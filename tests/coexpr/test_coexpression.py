@@ -1,0 +1,146 @@
+"""Co-expressions: shadowing, activation, refresh, transmission."""
+
+import pytest
+
+from repro.errors import InactiveCoExpressionError
+from repro.runtime.failure import FAIL
+from repro.runtime.iterator import IconGenerator
+from repro.runtime.operations import size
+from repro.coexpr.coexpression import CoExpression, coexpr_of
+
+
+class TestActivation:
+    def test_steps_one_at_a_time(self):
+        c = CoExpression(lambda: iter([1, 2]))
+        assert c.activate() == 1
+        assert c.activate() == 2
+        assert c.activate() is FAIL
+
+    def test_exhausted_stays_failed(self):
+        """Unlike a bare iterator node, a co-expression does not restart."""
+        c = CoExpression(lambda: iter([1]))
+        c.activate()
+        assert c.activate() is FAIL
+        assert c.activate() is FAIL
+
+    def test_body_evaluated_lazily(self):
+        built = []
+        c = CoExpression(lambda: built.append(1) or iter([9]))
+        assert built == []
+        c.activate()
+        assert built == [1]
+
+    def test_icon_iterator_body(self):
+        c = CoExpression(lambda: IconGenerator(lambda: [5]))
+        assert c.activate() == 5
+
+    def test_plain_iterable_body(self):
+        c = coexpr_of([1, 2])
+        assert c.activate() == 1
+
+    def test_results_drains(self):
+        c = CoExpression(lambda: iter("ab"))
+        assert list(c.results()) == ["a", "b"]
+
+
+class TestShadowing:
+    def test_environment_snapshot_at_creation(self):
+        x = [10]
+
+        def body(x_snapshot):
+            yield x_snapshot
+
+        c = CoExpression(body, lambda: (x[0],))
+        x[0] = 99  # mutate after creation
+        assert c.activate() == 10  # the snapshot is isolated
+
+    def test_multiple_env_values(self):
+        c = CoExpression(lambda a, b: iter([a + b]), lambda: (1, 2))
+        assert c.activate() == 3
+
+    def test_refresh_reuses_original_snapshot(self):
+        source = [5]
+        c = CoExpression(lambda v: iter([v]), lambda: (source[0],))
+        source[0] = 7
+        assert c.activate() == 5
+        fresh = c.refresh()
+        assert fresh.activate() == 5  # the *original* snapshot, not 7
+
+
+class TestRefresh:
+    def test_refresh_restarts(self):
+        c = CoExpression(lambda: iter([1, 2]))
+        assert list(c.results()) == [1, 2]
+        assert c.activate() is FAIL
+        fresh = c.refresh()
+        assert fresh is not c
+        assert list(fresh.results()) == [1, 2]
+
+    def test_refresh_preserves_name(self):
+        c = CoExpression(lambda: iter([]), name="worker")
+        assert c.refresh().name == "worker"
+
+
+class TestTransmission:
+    def test_send_into_suspended_body(self):
+        def body():
+            received = yield "ready"
+            yield f"got {received}"
+
+        c = CoExpression(body)
+        assert c.activate() == "ready"
+        assert c.activate("msg") == "got msg"
+
+    def test_transmit_before_start_rejected(self):
+        c = CoExpression(lambda: iter([1]))
+        with pytest.raises(InactiveCoExpressionError):
+            c.activate("early")
+
+    def test_transmit_into_plain_iterator_ignored(self):
+        c = coexpr_of([1, 2])
+        assert c.activate() == 1
+        assert c.activate("ignored") == 2
+
+
+class TestProtocolHooks:
+    def test_icon_size_counts_results(self):
+        c = CoExpression(lambda: iter([1, 2, 3]))
+        assert size(c) == 0
+        c.activate()
+        c.activate()
+        assert size(c) == 2
+
+    def test_icon_promote(self):
+        c = CoExpression(lambda: iter("xy"))
+        assert list(c.icon_promote()) == ["x", "y"]
+
+    def test_icon_type(self):
+        assert CoExpression(lambda: iter([])).icon_type() == "co-expression"
+
+    def test_repr_states(self):
+        c = CoExpression(lambda: iter([1]), name="n")
+        assert "new" in repr(c)
+        c.activate()
+        assert "active" in repr(c)
+        c.activate()
+        assert "done" in repr(c)
+
+    def test_coexpr_of_passthrough(self):
+        c = CoExpression(lambda: iter([]))
+        assert coexpr_of(c) is c
+
+
+class TestSuspensionUnwrapping:
+    def test_method_suspensions_surface_as_values(self):
+        from repro.runtime.combinators import IconSequence
+        from repro.runtime.control import IconSuspend
+        from repro.runtime.invoke import IconMethodBody
+        from repro.runtime.iterator import IconFail
+
+        body = IconMethodBody(
+            IconSequence(IconSuspend(IconGenerator(lambda: [1, 2])), IconFail())
+        )
+        c = CoExpression(lambda: body)
+        assert c.activate() == 1
+        assert c.activate() == 2
+        assert c.activate() is FAIL

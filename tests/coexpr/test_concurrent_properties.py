@@ -1,0 +1,100 @@
+"""Property-based tests over the concurrency layer.
+
+The concurrency abstractions have sequential models: a pipeline is
+function composition, map-reduce over a monoid is a serial fold, fan-out
+plus merge is a permutation.  Hypothesis checks the equivalences over
+random inputs and parameters.
+"""
+
+import operator
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.coexpr.channel import CLOSED, Channel
+from repro.coexpr.dataparallel import DataParallel
+from repro.coexpr.patterns import merge, pipeline
+
+values = st.lists(st.integers(-1000, 1000), max_size=30)
+chunk_sizes = st.integers(1, 9)
+capacities = st.integers(0, 4)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPipelineModel:
+    @given(values, capacities)
+    @relaxed
+    def test_pipeline_is_composition(self, data, capacity):
+        fn1 = lambda x: x * 2 + 1  # noqa: E731
+        fn2 = lambda x: x - 3  # noqa: E731
+        got = list(pipeline(list(data), fn1, fn2, capacity=capacity))
+        assert got == [fn2(fn1(x)) for x in data]
+
+    @given(values)
+    @relaxed
+    def test_identity_stage(self, data):
+        assert list(pipeline(list(data), lambda x: x)) == data
+
+
+class TestMapReduceModel:
+    @given(values, chunk_sizes)
+    @relaxed
+    def test_sum_matches_serial_fold(self, data, chunk_size):
+        dp = DataParallel(chunk_size=chunk_size)
+        assert dp.reduce(lambda x: x, list(data), operator.add, 0) == sum(data)
+
+    @given(values, chunk_sizes)
+    @relaxed
+    def test_map_flat_preserves_order(self, data, chunk_size):
+        dp = DataParallel(chunk_size=chunk_size)
+        assert list(dp.map_flat(lambda x: x * x, list(data))) == [x * x for x in data]
+
+    @given(values, chunk_sizes, st.integers(1, 4))
+    @relaxed
+    def test_max_pending_does_not_change_results(self, data, chunk_size, pending):
+        bounded = DataParallel(chunk_size=chunk_size, max_pending=pending)
+        unbounded = DataParallel(chunk_size=chunk_size)
+        fn = lambda x: x + 7  # noqa: E731
+        assert list(bounded.map_flat(fn, list(data))) == list(
+            unbounded.map_flat(fn, list(data))
+        )
+
+    @given(st.lists(st.text(max_size=5), max_size=15), chunk_sizes)
+    @relaxed
+    def test_string_concatenation_monoid(self, strings, chunk_size):
+        dp = DataParallel(chunk_size=chunk_size)
+        assert dp.reduce(lambda s: s, list(strings), operator.add, "") == "".join(
+            strings
+        )
+
+
+class TestMergeModel:
+    @given(values, values)
+    @relaxed
+    def test_merge_is_a_permutation(self, a, b):
+        merged = list(merge(list(a), list(b)))
+        assert sorted(merged) == sorted(a + b)
+
+
+class TestChannelModel:
+    @given(values, capacities)
+    @relaxed
+    def test_channel_is_fifo(self, data, capacity):
+        import threading
+
+        channel = Channel(capacity)
+
+        def producer():
+            for item in data:
+                channel.put(item)
+            channel.close()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        drained = list(channel)
+        thread.join()
+        assert drained == data

@@ -1,0 +1,185 @@
+"""Failure injection and stress — the concurrency layer under abuse."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ChannelClosedError
+from repro.runtime.failure import FAIL
+from repro.coexpr.channel import CLOSED, Channel
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.dataparallel import DataParallel
+from repro.coexpr.pipe import Pipe
+from repro.coexpr.patterns import pipeline
+
+
+class TestProducerCrashes:
+    def test_immediate_crash(self):
+        def body():
+            raise RuntimeError("died before first result")
+            yield
+
+        pipe = Pipe(CoExpression(body))
+        with pytest.raises(RuntimeError, match="died before"):
+            pipe.take()
+        assert pipe.take() is FAIL  # channel closed after the error
+
+    def test_crash_mid_stream_after_buffered_results(self):
+        def body():
+            yield 1
+            yield 2
+            raise ValueError("mid-stream")
+
+        pipe = Pipe(CoExpression(body))
+        pipe.start()
+        time.sleep(0.05)  # let the producer buffer everything
+        assert pipe.take() == 1
+        assert pipe.take() == 2
+        with pytest.raises(ValueError):
+            pipe.take()
+
+    def test_crash_in_one_mapreduce_task_does_not_hang(self):
+        def mapper(x):
+            if x == 13:
+                raise KeyError("unlucky")
+            return x
+
+        dp = DataParallel(chunk_size=5)
+        with pytest.raises(KeyError):
+            list(dp.map_flat(mapper, range(20)))
+
+    def test_crash_in_middle_pipeline_stage(self):
+        def bad_stage(x):
+            if x > 2:
+                raise OSError("stage blew up")
+            return x
+
+        chain = pipeline(range(10), lambda x: x, bad_stage, str)
+        collected = []
+        with pytest.raises(OSError):
+            for value in chain:
+                collected.append(value)
+        assert collected == ["0", "1", "2"]
+
+
+class TestConsumerAbandonment:
+    def test_abandoned_pipe_can_be_cancelled(self):
+        produced = []
+
+        def body():
+            for i in range(10_000):
+                produced.append(i)
+                yield i
+
+        pipe = Pipe(CoExpression(body), capacity=2)
+        iterator = iter(pipe)
+        next(iterator)
+        del iterator
+        pipe.cancel()
+        time.sleep(0.1)
+        count = len(produced)
+        time.sleep(0.1)
+        assert len(produced) == count
+
+    def test_double_cancel_is_safe(self):
+        pipe = Pipe(CoExpression(lambda: iter(range(100))), capacity=1)
+        pipe.take()
+        pipe.cancel()
+        pipe.cancel()
+        assert pipe.take() in (FAIL, 1)  # drains or fails, never hangs
+
+    def test_cancel_before_start(self):
+        pipe = Pipe(CoExpression(lambda: iter([1])))
+        pipe.cancel()
+        assert pipe.take() is FAIL
+
+
+class TestChannelMisuse:
+    def test_put_error_then_close_then_drain(self):
+        channel = Channel()
+        channel.put(1)
+        channel.put_error(RuntimeError("x"))
+        channel.close()
+        assert channel.take() == 1
+        with pytest.raises(RuntimeError):
+            channel.take()
+        assert channel.take() is CLOSED
+
+    def test_many_threads_racing_close(self):
+        channel = Channel(capacity=4)
+        stop = threading.Event()
+        errors = []
+
+        def producer():
+            try:
+                while not stop.is_set():
+                    channel.put(1, timeout=0.5)
+            except (ChannelClosedError, TimeoutError):
+                pass
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=producer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(50):
+            channel.take()
+        channel.close()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=2)
+        assert not errors
+
+
+class TestStress:
+    def test_many_short_pipes(self):
+        total = 0
+        for i in range(150):
+            pipe = Pipe(CoExpression(lambda i=i: iter([i])))
+            total += pipe.take()
+        assert total == sum(range(150))
+
+    def test_deep_pipeline(self):
+        stages = [lambda x: x + 1] * 12
+        chain = pipeline(range(50), *stages, capacity=4)
+        assert list(chain) == [x + 12 for x in range(50)]
+
+    def test_interleaved_coexpr_stepping_from_threads(self):
+        """Co-expression activation is internally locked."""
+        c = CoExpression(lambda: iter(range(1000)))
+        seen = []
+        lock = threading.Lock()
+
+        def stepper():
+            while True:
+                value = c.activate()
+                if value is FAIL:
+                    return
+                with lock:
+                    seen.append(value)
+
+        threads = [threading.Thread(target=stepper) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert sorted(seen) == list(range(1000))  # nothing lost or doubled
+
+    def test_mapreduce_many_tiny_chunks(self):
+        dp = DataParallel(chunk_size=1, max_pending=8)
+        results = list(dp.map_reduce(lambda x: x, range(120), lambda a, b: a + b, 0))
+        assert results == list(range(120))
+
+
+class TestEmbeddedConcurrencyFaults:
+    def test_junicon_pipe_body_error_surfaces(self, interp):
+        interp.namespace["explode"] = lambda x: 1 // 0
+        interp.load("def gen() { suspend explode(1 to 3); }")
+        with pytest.raises(ZeroDivisionError):
+            interp.results("! |> gen()")
+
+    def test_junicon_pipe_failure_is_clean(self, interp):
+        """A failing (empty) piped expression is failure, not an error."""
+        assert interp.results("! |> &fail") == []
+        assert interp.eval("@ |> &fail") is FAIL

@@ -1,0 +1,157 @@
+"""Futures and M-vars — the singleton-pipe building block."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.failure import FAIL
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.future import Future, MVar
+
+
+class TestMVar:
+    def test_put_take(self):
+        cell = MVar()
+        cell.put(1)
+        assert cell.take() == 1
+
+    def test_put_blocks_while_full(self):
+        cell = MVar()
+        cell.put(1)
+        done = threading.Event()
+
+        def writer():
+            cell.put(2)
+            done.set()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        assert not done.wait(0.1)
+        assert cell.take() == 1
+        assert done.wait(2)
+        assert cell.take() == 2
+
+    def test_take_blocks_while_empty(self):
+        cell = MVar()
+        result = []
+
+        def reader():
+            result.append(cell.take())
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        cell.put("v")
+        thread.join(timeout=2)
+        assert result == ["v"]
+
+    def test_read_does_not_empty(self):
+        cell = MVar()
+        cell.put(5)
+        assert cell.read() == 5
+        assert cell.full
+        assert cell.take() == 5
+        assert not cell.full
+
+    def test_try_take(self):
+        cell = MVar()
+        assert cell.try_take() is FAIL
+        cell.put(1)
+        assert cell.try_take() == 1
+
+    def test_timeouts(self):
+        cell = MVar()
+        with pytest.raises(TimeoutError):
+            cell.take(timeout=0.05)
+        cell.put(1)
+        with pytest.raises(TimeoutError):
+            cell.put(2, timeout=0.05)
+
+    def test_synchronizes_two_threads(self):
+        request, reply = MVar(), MVar()
+
+        def server():
+            value = request.take()
+            reply.put(value * 2)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        request.put(21)
+        assert reply.take() == 42
+        thread.join()
+
+
+class TestFuture:
+    def test_get_blocks_until_value(self):
+        def slow():
+            time.sleep(0.05)
+            yield 99
+
+        future = Future(CoExpression(slow))
+        assert future.get() == 99
+
+    def test_get_memoizes(self):
+        calls = []
+
+        def body():
+            calls.append(1)
+            yield 1
+
+        future = Future(CoExpression(body))
+        assert future.get() == 1
+        assert future.get() == 1
+        assert calls == [1]
+
+    def test_failing_expression_fails(self):
+        future = Future(CoExpression(lambda: iter([])))
+        assert future.get() is FAIL
+
+    def test_error_reraises(self):
+        def body():
+            raise ValueError("async boom")
+            yield
+
+        future = Future(CoExpression(body))
+        with pytest.raises(ValueError, match="async boom"):
+            future.get()
+
+    def test_of_callable(self):
+        future = Future.of_callable(lambda: 7)
+        assert future.get() == 7
+
+    def test_done_flag(self):
+        gate = threading.Event()
+
+        def body():
+            gate.wait(2)
+            yield 1
+
+        future = Future(CoExpression(body))
+        assert not future.done
+        gate.set()
+        assert future.get() == 1
+        assert future.done
+
+    def test_producer_stops_after_first_result(self):
+        produced = []
+
+        def body():
+            for i in range(1000):
+                produced.append(i)
+                yield i
+
+        future = Future(CoExpression(body))
+        assert future.get() == 0
+        time.sleep(0.1)
+        assert len(produced) <= 4  # capacity-1 pipe + cancel
+
+    def test_icon_hooks(self):
+        future = Future(CoExpression(lambda: iter([3])))
+        assert future.icon_type() == "future"
+        assert list(future.icon_promote()) == [3]
+
+    def test_activation_single_shot(self):
+        future = Future(CoExpression(lambda: iter([3])))
+        assert future.icon_activate() == 3
+        assert future.icon_activate() is FAIL

@@ -1,0 +1,141 @@
+"""Pipeline composition patterns (Figure 2)."""
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.coexpr.patterns import fan_out, merge, pipeline, source_pipe, stage
+
+
+class TestSourcePipe:
+    def test_streams_source(self):
+        assert list(source_pipe(range(5))) == [0, 1, 2, 3, 4]
+
+    def test_factory_source(self):
+        assert list(source_pipe(lambda: iter("ab"))) == ["a", "b"]
+
+
+class TestStage:
+    def test_maps_elementwise(self):
+        assert list(stage(lambda x: x * 2, range(3))) == [0, 2, 4]
+
+    def test_generator_stage_fans_out(self):
+        def split(s):
+            yield from s.split()
+
+        assert list(stage(split, ["a b", "c"])) == ["a", "b", "c"]
+
+    def test_stage_over_pipe(self):
+        upstream = source_pipe(range(3))
+        assert list(stage(lambda x: x + 1, upstream)) == [1, 2, 3]
+
+    def test_runs_in_own_thread(self):
+        main = threading.get_ident()
+        seen = []
+
+        def probe(x):
+            seen.append(threading.get_ident())
+            return x
+
+        list(stage(probe, [1]))
+        assert seen and seen[0] != main
+
+
+class TestPipeline:
+    def test_chained_stages(self):
+        result = list(pipeline(range(10), lambda x: x * x, math.sqrt))
+        assert result == [float(x) for x in range(10)]
+
+    def test_no_stages_is_source(self):
+        assert list(pipeline([3, 4])) == [3, 4]
+
+    def test_each_stage_own_thread(self):
+        threads = {}
+
+        def tag(label):
+            def fn(x):
+                threads.setdefault(label, threading.get_ident())
+                return x
+
+            fn.__name__ = label
+            return fn
+
+        list(pipeline(range(3), tag("s1"), tag("s2")))
+        assert threads["s1"] != threads["s2"]
+
+    def test_capacity_throttles_whole_chain(self):
+        produced = []
+
+        def source():
+            for i in range(1000):
+                produced.append(i)
+                yield i
+
+        chain = pipeline(source, lambda x: x, capacity=2)
+        assert chain.take() == 0
+        time.sleep(0.1)
+        assert len(produced) < 50
+
+    def test_stage_error_propagates(self):
+        def explode(x):
+            raise ValueError("stage error")
+
+        with pytest.raises(ValueError, match="stage error"):
+            list(pipeline([1], explode))
+
+
+class TestFanOut:
+    def test_partitions_work(self):
+        parts = fan_out(range(30), 3)
+        collected = []
+        lock = threading.Lock()
+
+        def drain(part):
+            for value in part:
+                with lock:
+                    collected.append(value)
+
+        threads = [threading.Thread(target=drain, args=(p,)) for p in parts]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert sorted(collected) == list(range(30))
+
+    def test_work_sharing_not_broadcast(self):
+        parts = fan_out(range(10), 2)
+        all_values = list(parts[0]) + list(parts[1])
+        assert sorted(all_values) == list(range(10))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            fan_out([1], 0)
+
+
+class TestMerge:
+    def test_merges_all_items(self):
+        merged = merge(range(5), range(10, 15))
+        assert sorted(merged) == sorted(list(range(5)) + list(range(10, 15)))
+
+    def test_empty_merge_closes(self):
+        assert list(merge()) == []
+
+    def test_merge_of_stages(self):
+        left = stage(lambda x: x * 2, range(3))
+        right = stage(lambda x: x + 100, range(3))
+        merged = sorted(merge(left, right))
+        assert merged == [0, 2, 4, 100, 101, 102]
+
+
+class TestFigure2Shapes:
+    def test_pipeline_vs_dataparallel_same_answer(self):
+        """Figure 2: both decompositions compute the same stream."""
+        from repro.coexpr.dataparallel import DataParallel
+
+        data = list(range(40))
+        fn = lambda x: x * 3 + 1  # noqa: E731
+        via_pipeline = list(pipeline(data, fn))
+        via_chunks = list(DataParallel(chunk_size=7).map_flat(fn, data))
+        assert via_pipeline == via_chunks == [fn(x) for x in data]

@@ -1,0 +1,112 @@
+"""Pipe schedulers: dedicated threads, pooling, the default swap."""
+
+import threading
+import time
+
+from repro.coexpr.scheduler import (
+    PipeScheduler,
+    default_scheduler,
+    set_default_scheduler,
+    use_scheduler,
+)
+
+
+class TestDedicated:
+    def test_runs_bodies_concurrently(self):
+        barrier = threading.Barrier(3, timeout=2)
+        scheduler = PipeScheduler()
+
+        def body():
+            barrier.wait()
+
+        scheduler.submit(body)
+        scheduler.submit(body)
+        barrier.wait()  # only reached if both bodies run in parallel
+
+    def test_gate_caps_concurrency(self):
+        scheduler = PipeScheduler(max_workers=1)
+        running = []
+        overlap = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                running.append(1)
+                if len(running) > 1:
+                    overlap.append(1)
+            time.sleep(0.05)
+            with lock:
+                running.pop()
+
+        for _ in range(4):
+            scheduler.submit(body)
+        deadline = time.monotonic() + 3
+        while scheduler.active and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not overlap
+
+    def test_active_counter(self):
+        scheduler = PipeScheduler()
+        gate = threading.Event()
+        scheduler.submit(lambda: gate.wait(2))
+        time.sleep(0.05)
+        assert scheduler.active == 1
+        gate.set()
+        deadline = time.monotonic() + 2
+        while scheduler.active and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert scheduler.active == 0
+
+
+class TestPooled:
+    def test_pool_executes(self):
+        scheduler = PipeScheduler(max_workers=2, pooled=True)
+        done = threading.Event()
+        scheduler.submit(done.set)
+        assert done.wait(2)
+        scheduler.shutdown()
+
+    def test_shutdown_idempotent(self):
+        scheduler = PipeScheduler(pooled=True)
+        scheduler.submit(lambda: None)
+        scheduler.shutdown()
+        scheduler.shutdown()
+
+
+class TestDefaultScheduler:
+    def test_default_exists(self):
+        assert isinstance(default_scheduler(), PipeScheduler)
+
+    def test_set_returns_previous(self):
+        original = default_scheduler()
+        replacement = PipeScheduler()
+        previous = set_default_scheduler(replacement)
+        try:
+            assert previous is original
+            assert default_scheduler() is replacement
+        finally:
+            set_default_scheduler(original)
+
+    def test_use_scheduler_context(self):
+        original = default_scheduler()
+        replacement = PipeScheduler()
+        with use_scheduler(replacement) as active:
+            assert active is replacement
+            assert default_scheduler() is replacement
+        assert default_scheduler() is original
+
+    def test_pipes_use_installed_default(self):
+        from repro.coexpr.pipe import Pipe
+        from repro.coexpr.coexpression import CoExpression
+
+        submissions = []
+
+        class Spy(PipeScheduler):
+            def submit(self, body, name="pipe"):
+                submissions.append(name)
+                super().submit(body, name)
+
+        with use_scheduler(Spy()):
+            pipe = Pipe(CoExpression(lambda: iter([1]), name="tagged"))
+            assert pipe.take() == 1
+        assert any("tagged" in name for name in submissions)

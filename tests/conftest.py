@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import seed_random
+from repro.runtime.cache import MethodBodyCache
+
+
+@pytest.fixture(autouse=True)
+def _stable_random():
+    """Make the ? operator deterministic inside every test."""
+    seed_random(1234)
+    yield
+
+
+@pytest.fixture
+def cache_disabled():
+    """Disable the method-body cache for the duration of a test."""
+    MethodBodyCache.enabled_globally = False
+    try:
+        yield
+    finally:
+        MethodBodyCache.enabled_globally = True
+
+
+@pytest.fixture
+def interp():
+    """A fresh Junicon interpreter session."""
+    from repro.lang.interp import JuniconInterpreter
+
+    return JuniconInterpreter()

@@ -1,0 +1,152 @@
+"""The cascading interpreter harness: engines, meta-dispatch, REPL."""
+
+import io
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.runtime.failure import FAIL
+from repro.harness.engine import PythonEngine
+from repro.harness.meta import MetaInterpreter
+from repro.harness.repl import Repl, render
+
+
+class TestPythonEngine:
+    def test_expression_evaluates(self):
+        engine = PythonEngine()
+        assert engine.execute("1 + 2") == 3
+
+    def test_statements_execute(self):
+        engine = PythonEngine()
+        assert engine.execute("x = 5") is None
+        assert engine.namespace["x"] == 5
+
+    def test_namespace_persists(self):
+        engine = PythonEngine()
+        engine.execute("a = 1")
+        assert engine.execute("a + 1") == 2
+
+
+class TestMetaInterpreter:
+    def test_default_junicon(self):
+        meta = MetaInterpreter()
+        assert meta.execute("2 + 3") == 5
+
+    def test_declarations_persist(self):
+        meta = MetaInterpreter()
+        meta.execute("def sq(x) { return x * x; }")
+        assert meta.execute("sq(6)") == 36
+
+    def test_python_region_dispatch(self):
+        meta = MetaInterpreter()
+        meta.execute('@<script lang="python">host = 21@</script>')
+        assert meta.execute("host * 2") == 42
+
+    def test_junicon_sees_python_definitions_and_back(self):
+        meta = MetaInterpreter()
+        meta.execute('@<script lang="python">\ndef triple(x):\n    return 3 * x\n@</script>')
+        meta.execute("def nine(x) { return triple(triple(x)); }")
+        assert meta.execute("nine(1)") == 9
+        # and python sees the junicon method
+        assert meta.execute(
+            '@<script lang="python">nine(2).first()@</script>'
+        ) == 18
+
+    def test_mixed_input_interleaves(self):
+        meta = MetaInterpreter()
+        result = meta.execute(
+            'a := 1\n@<script lang="python">b = 2@</script>\na + b'
+        )
+        assert result == 3
+
+    def test_python_default_language(self):
+        meta = MetaInterpreter(default_lang="python")
+        assert meta.execute("40 + 2") == 42
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(AnnotationError):
+            MetaInterpreter(default_lang="cobol")
+
+    def test_execute_file(self, tmp_path):
+        path = tmp_path / "prog.py.jun"
+        path.write_text(
+            '@<script lang="junicon">\n'
+            "def halve(x) { return x / 2; }\n"
+            "@</script>\n"
+            "result = halve(10).first()\n"
+        )
+        meta = MetaInterpreter()
+        meta.execute_file(str(path))
+        assert meta.namespace["result"] == 5
+
+
+class TestRender:
+    def test_failure(self):
+        assert render(FAIL) == "«failure»"
+
+    def test_null(self):
+        assert render(None) == "&null"
+
+    def test_string_image(self):
+        assert render("hi") == '"hi"'
+
+    def test_number(self):
+        assert render(5) == "5"
+
+
+class TestRepl:
+    def _run(self, text):
+        repl = Repl()
+        stdout = io.StringIO()
+        repl.run(io.StringIO(text), stdout)
+        return stdout.getvalue()
+
+    def test_evaluates_expression(self):
+        out = self._run("6 * 7\n:quit\n")
+        assert "42" in out
+
+    def test_multiline_definition(self):
+        out = self._run("def d(x) {\n  return 2 * x;\n}\nd(4)\n:quit\n")
+        assert "8" in out
+
+    def test_failure_rendering(self):
+        out = self._run("1 < 0\n:quit\n")
+        assert "«failure»" in out
+
+    def test_error_reported_not_fatal(self):
+        out = self._run("1 +\n+ 1\n2 + 2\n:quit\n")
+        assert "4" in out
+
+    def test_python_directive(self):
+        out = self._run(":python 1 + 1\n:quit\n")
+        assert "2" in out
+
+    def test_unknown_directive(self):
+        out = self._run(":wat\n:quit\n")
+        assert "unknown directive" in out
+
+    def test_help(self):
+        out = self._run(":help\n:quit\n")
+        assert "directives" in out.lower() or "translate" in out
+
+    def test_eof_exits(self):
+        out = self._run("1\n")
+        assert "1" in out
+
+    def test_load_directive(self, tmp_path):
+        path = tmp_path / "lib.jun.py"
+        path.write_text(
+            '@<script lang="junicon">\ndef nine() { return 9; }\n@</script>\n'
+        )
+        repl = Repl()
+        stdout = io.StringIO()
+        repl.run(io.StringIO(f":load {path}\nnine()\n:quit\n"), stdout)
+        assert "9" in stdout.getvalue()
+
+    def test_translate_directive(self, tmp_path):
+        path = tmp_path / "t.py"
+        path.write_text('@<script lang="junicon">\ndef t() { return 1; }\n@</script>\n')
+        repl = Repl()
+        stdout = io.StringIO()
+        repl.run(io.StringIO(f":translate {path}\n:quit\n"), stdout)
+        assert "IconMethodBody" in stdout.getvalue()

@@ -1,0 +1,38 @@
+"""Every example script must run clean (the examples are executable docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every demo narrates what it shows
+
+
+def test_expression_parser_grammar_reusable(interp):
+    """The parser example's grammar is importable source, not just a demo."""
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "examples" / (
+        "expression_parser.py"
+    )
+    spec = importlib.util.spec_from_file_location("expr_example", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # runs main()? no: only on __main__
+    interp.load(module.GRAMMAR)
+    assert interp.namespace["calc"]("6 * 7").first() == 42

@@ -1,0 +1,58 @@
+"""The README's code blocks must actually run (docs-as-tests)."""
+
+import pathlib
+import re
+
+import pytest
+
+README = (pathlib.Path(__file__).resolve().parents[2] / "README.md").read_text()
+
+
+def python_blocks():
+    return re.findall(r"```python\n(.*?)```", README, re.DOTALL)
+
+
+BLOCKS = python_blocks()
+
+
+def test_readme_has_python_blocks():
+    assert len(BLOCKS) >= 3
+
+
+@pytest.mark.parametrize("index", range(len(BLOCKS)), ids=lambda i: f"block{i}")
+def test_readme_python_block_executes(index, capsys):
+    namespace: dict = {}
+    exec(compile(BLOCKS[index], f"<README block {index}>", "exec"), namespace)
+
+
+def test_quickstart_block_results():
+    """The first block's claims hold, not just execute."""
+    from repro import DataParallel, activate, coexpr, promote
+
+    c = coexpr(lambda x: iter(range(x)), env=(3,))
+    assert (activate(c), activate(c)) == (0, 1)
+    assert list(promote(c)) == [2]
+    dp = DataParallel(chunk_size=1000)
+    assert dp.reduce(lambda x: x * x, range(10_000), lambda a, b: a + b, 0) == sum(
+        x * x for x in range(10_000)
+    )
+
+
+def test_interpreter_block_results():
+    from repro.lang import JuniconInterpreter
+
+    junicon = JuniconInterpreter()
+    junicon.load(
+        """
+        def isprime(n) {
+            local d;
+            if n < 2 then fail;
+            every d := 2 to n - 1 do { if n % d == 0 then fail; };
+            return n;
+        }
+        """
+    )
+    assert junicon.results("(1 to 2) * isprime(4 to 7)") == [5, 7, 10, 14]
+    assert junicon.results("! |> isprime(2 to 30)") == [
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+    ]

@@ -1,0 +1,149 @@
+"""Scoped annotations — the grammar-oblivious metaparser (Section IV)."""
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.lang.annotations import (
+    ScopedAnnotation,
+    find_annotations,
+    parse_annotation_tag,
+)
+
+
+class TestTagParsing:
+    def test_xml_attribute_form(self):
+        tag, attrs, _pos, closing = parse_annotation_tag(
+            '@<script lang="junicon">', 0
+        )
+        assert tag == "script"
+        assert attrs == {"lang": "junicon"}
+        assert not closing
+
+    def test_multiple_attributes(self):
+        _tag, attrs, _pos, _c = parse_annotation_tag(
+            '@<script lang="junicon" context="class">', 0
+        )
+        assert attrs == {"lang": "junicon", "context": "class"}
+
+    def test_paren_form(self):
+        tag, attrs, _pos, _c = parse_annotation_tag(
+            '@<script(lang=junicon, mode="strict")>', 0
+        )
+        assert tag == "script"
+        assert attrs == {"lang": "junicon", "mode": "strict"}
+
+    def test_self_closing_forms(self):
+        _t, _a, _p, closing = parse_annotation_tag("@<marker/>", 0)
+        assert closing
+        _t, _a, _p, closing = parse_annotation_tag("@<marker(x=1)/>", 0)
+        assert closing
+
+    def test_unquoted_values(self):
+        _t, attrs, _p, _c = parse_annotation_tag("@<t a=1 b=two>", 0)
+        assert attrs == {"a": "1", "b": "two"}
+
+    def test_valueless_attribute(self):
+        _t, attrs, _p, _c = parse_annotation_tag("@<t flag>", 0)
+        assert attrs == {"flag": ""}
+
+    def test_qualified_tag_names(self):
+        tag, _a, _p, _c = parse_annotation_tag("@<edu.uidaho.junicon:script>", 0)
+        assert tag == "edu.uidaho.junicon:script"
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation_tag("@<>", 0)
+
+    def test_unterminated_paren_form(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation_tag("@<t(a=1>", 0)
+
+
+class TestRegionDiscovery:
+    def test_single_region(self):
+        source = 'before @<script lang="junicon"> x := 1 @</script> after'
+        regions = find_annotations(source)
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.lang == "junicon"
+        assert region.body(source).strip() == "x := 1"
+        assert source[region.start:].startswith("@<script")
+        assert source[: region.end].endswith("@</script>")
+
+    def test_multiple_regions(self):
+        source = "@<a>1@</a> mid @<b>2@</b>"
+        regions = find_annotations(source)
+        assert [r.tag for r in regions] == ["a", "b"]
+
+    def test_nested_regions(self):
+        source = '@<script lang="junicon"> a @<script lang="python"> py @</script> b @</script>'
+        regions = find_annotations(source)
+        assert len(regions) == 1
+        children = regions[0].children
+        assert len(children) == 1
+        assert children[0].lang == "python"
+        assert children[0].body(source).strip() == "py"
+
+    def test_deep_nesting(self):
+        source = "@<a>@<b>@<c/>@</b>@</a>"
+        outer = find_annotations(source)[0]
+        assert outer.children[0].tag == "b"
+        assert outer.children[0].children[0].self_closing
+
+    def test_self_closing_at_top_level(self):
+        regions = find_annotations("x @<marker attr=1/> y")
+        assert regions[0].self_closing
+        assert regions[0].attrs == {"attr": "1"}
+
+    def test_mismatched_close(self):
+        with pytest.raises(AnnotationError):
+            find_annotations("@<a> x @</b>")
+
+    def test_unclosed_region(self):
+        with pytest.raises(AnnotationError):
+            find_annotations("@<a> x")
+
+    def test_dangling_close(self):
+        with pytest.raises(AnnotationError):
+            find_annotations("x @</a>")
+
+
+class TestGrammarObliviousness:
+    def test_marker_inside_host_string_ignored(self):
+        source = 'text = "@<script>not a region@</script>"'
+        assert find_annotations(source) == []
+
+    def test_marker_inside_host_comment_ignored(self):
+        source = "# @<script> commented out @</script>\nx = 1"
+        assert find_annotations(source) == []
+
+    def test_marker_inside_triple_quoted_string(self):
+        source = '"""docstring with @<script> marker @</script>"""\ny = 2'
+        assert find_annotations(source) == []
+
+    def test_marker_inside_junicon_string_ignored(self):
+        source = '@<script lang="junicon"> s := "@</script>"; t := 1 @</script>'
+        regions = find_annotations(source)
+        assert len(regions) == 1
+        assert 't := 1' in regions[0].body(source)
+
+    def test_host_syntax_never_parsed(self):
+        # Deliberately broken host syntax around the region: irrelevant.
+        source = "def broken(:::\n@<t>inner@</t>\n}}}"
+        regions = find_annotations(source)
+        assert regions[0].body(source) == "inner"
+
+    def test_email_like_at_signs_ignored(self):
+        assert find_annotations("user@example.com < x") == []
+
+
+class TestAnnotationObject:
+    def test_lang_default_empty(self):
+        region = find_annotations("@<t>x@</t>")[0]
+        assert region.lang == ""
+
+    def test_body_extraction_exact(self):
+        source = "@<t>payload@</t>"
+        region = find_annotations(source)[0]
+        assert region.body(source) == "payload"
+        assert isinstance(region, ScopedAnnotation)

@@ -1,0 +1,147 @@
+"""Edge cases across the language pipeline: unicode, bignums, emission
+corners, and embedding variants."""
+
+import pytest
+
+from repro.lang.embed import transform_source
+from repro.lang.transform import transform_program
+from repro.runtime.failure import FAIL
+
+
+class TestUnicode:
+    def test_unicode_string_literals(self, interp):
+        assert interp.eval('"héllo wörld"') == "héllo wörld"
+
+    def test_unicode_concat_and_size(self, interp):
+        assert interp.eval('"über" || "—" || "µ"') == "über—µ"
+        assert interp.eval('*"日本語"') == 3
+
+    def test_unicode_promotion(self, interp):
+        assert interp.results('!"héllo"') == list("héllo")
+
+    def test_unicode_scanning(self, interp):
+        # find works over arbitrary unicode subjects
+        assert interp.results('find("ö", "höhö")') == [2, 4]
+
+    def test_unicode_identifiers_in_host_namespace(self, interp):
+        interp.namespace["café"] = 7
+        assert interp.eval("café + 1") == 8
+
+
+class TestBignums:
+    def test_arbitrary_precision_arithmetic(self, interp):
+        assert interp.eval("2 ^ 200") == 2 ** 200
+
+    def test_base36_words_like_the_benchmark(self, interp):
+        interp.namespace["W2N"] = lambda w: int(w, 36)
+        assert interp.eval('W2N("zzzzzzzzzz")') == int("z" * 10, 36)
+
+    def test_bignum_through_pipe(self, interp):
+        interp.load("def bigs() { suspend (10 ^ 50) to (10 ^ 50 + 2); }")
+        got = interp.results("! |> bigs()")
+        assert got == [10 ** 50, 10 ** 50 + 1, 10 ** 50 + 2]
+
+    def test_bignum_comparisons(self, interp):
+        assert interp.eval("(10^30) < (10^30 + 1)") == 10 ** 30 + 1
+
+    def test_size_of_bignum(self, interp):
+        assert interp.eval("*(10 ^ 20)") == 21
+
+
+class TestEmissionCorners:
+    def test_class_with_superclass(self):
+        namespace = {"object": object}
+        code = transform_program("class Child : Base { def who() { return 1; } }")
+        # provide the base in the exec namespace
+        exec_ns = {"Base": type("Base", (), {"host_method": lambda self: 2})}
+        exec(compile(code, "<t>", "exec"), exec_ns)
+        child = exec_ns["Child"]()
+        assert child.who().first() == 1
+        assert child.host_method() == 2
+        del namespace
+
+    def test_multiple_top_level_statements_ordered(self):
+        code = transform_program(
+            "global log; log := []; put(log, 1); put(log, 2); put(log, 3);"
+        )
+        namespace: dict = {}
+        exec(compile(code, "<t>", "exec"), namespace)
+        assert namespace["log"] == [1, 2, 3]
+
+    def test_var_decl_with_multiple_initializers(self, interp):
+        interp.load("def f() { local a := 1, b := 2, c; return [a, b, c]; }")
+        assert interp.eval("f()") == [1, 2, None]
+
+    def test_empty_method_body_fails(self, interp):
+        interp.load("def nothing() { }")
+        assert interp.eval("nothing()") is FAIL
+
+    def test_empty_class(self, interp):
+        interp.load("class Empty { }")
+        assert interp.namespace["Empty"]() is not None
+
+    def test_record_with_no_args(self, interp):
+        interp.load("record r3(a, b, c)")
+        instance = interp.eval("r3()")
+        assert (instance.a, instance.b, instance.c) == (None, None, None)
+
+    def test_deeply_nested_generators(self, interp):
+        got = interp.results("((((1 to 2)))) * (((3 | 4)))")
+        assert got == [3, 4, 6, 8]
+
+    def test_method_named_like_builtin_shadows_it(self, interp):
+        interp.load("def sqrt(x) { return x; }")  # shadows the builtin
+        assert interp.eval("sqrt(16)") == 16
+
+
+class TestEmbeddingVariants:
+    def test_java_region_passes_through(self):
+        # lang="java" is a host language: the body is passed through
+        # untouched (here it happens to be valid Python).
+        out = transform_source('@<script lang="java">x = 1@</script>\n')
+        assert "x = 1" in out
+
+    def test_region_at_end_of_file_without_newline(self):
+        out = transform_source('@<script lang="junicon">global z; z := 9;@</script>')
+        namespace: dict = {}
+        exec(compile(out, "<t>", "exec"), namespace)
+        assert namespace["z"] == 9
+
+    def test_adjacent_regions(self):
+        source = (
+            '@<script lang="junicon">\nglobal a; a := 1;\n@</script>\n'
+            '@<script lang="junicon">\nglobal b; b := a + 1;\n@</script>\n'
+        )
+        namespace: dict = {}
+        exec(compile(transform_source(source), "<t>", "exec"), namespace)
+        assert namespace["b"] == 2
+
+    def test_expression_region_inside_fstring_like_context(self):
+        source = (
+            "values = [v * 2 for v in "
+            '@<script lang="junicon"> 1 to 3 @</script>]\n'
+        )
+        namespace: dict = {}
+        exec(compile(transform_source(source), "<t>", "exec"), namespace)
+        assert namespace["values"] == [2, 4, 6]
+
+    def test_crlf_source_handled(self):
+        source = '@<script lang="junicon">\r\nglobal w; w := 5;\r\n@</script>\r\n'
+        namespace: dict = {}
+        exec(compile(transform_source(source), "<t>", "exec"), namespace)
+        assert namespace["w"] == 5
+
+
+class TestScanningAcrossThreads:
+    def test_pipe_body_has_its_own_scanning_world(self, interp):
+        """Scanning environments are thread-local: a pipe inside a scan
+        does NOT inherit &subject (documented substrate behaviour) — the
+        piped expression must establish its own scan."""
+        interp.load(
+            """
+            def pipe_words(s) {
+                suspend ! |> (s ? tab(many(&letters)));
+            }
+            """
+        )
+        assert interp.results('pipe_words("abc")') == ["abc"]

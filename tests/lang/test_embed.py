@@ -1,0 +1,205 @@
+"""Mixed-language embedding: transform_source end to end."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.lang.embed import transform_source
+
+
+def run_embedded(source):
+    code = transform_source(textwrap.dedent(source))
+    namespace = {}
+    exec(compile(code, "<embedded>", "exec"), namespace)
+    return namespace, code
+
+
+class TestStatementRegions:
+    def test_module_level_method(self):
+        namespace, _ = run_embedded(
+            '''
+            @<script lang="junicon">
+            def evens(n) { suspend 0 to n by 2; }
+            @</script>
+            result = list(evens(4))
+            '''
+        )
+        assert namespace["result"] == [0, 2, 4]
+
+    def test_top_level_statement_region(self):
+        namespace, _ = run_embedded(
+            '''
+            @<script lang="junicon">
+            global total;
+            total := 2 + 3;
+            @</script>
+            '''
+        )
+        assert namespace["total"] == 5
+
+    def test_region_inside_class_with_context(self):
+        namespace, _ = run_embedded(
+            '''
+            class Greeter:
+                prefix = "hi "
+
+                @<script lang="junicon" context="class">
+                def greet(name) { return this::get_prefix() || name; }
+                @</script>
+
+                def get_prefix(self):
+                    return self.prefix
+            '''
+        )
+        greeter = namespace["Greeter"]()
+        assert greeter.greet("bob").first() == "hi bob"
+
+    def test_class_region_calls_sibling_junicon_method(self):
+        namespace, _ = run_embedded(
+            '''
+            class Chain:
+                @<script lang="junicon" context="class">
+                def base() { return 10; }
+                def derived() { return base() + 1; }
+                @</script>
+            '''
+        )
+        assert namespace["Chain"]().derived().first() == 11
+
+    def test_prelude_injected_once(self):
+        _, code = run_embedded(
+            '''
+            @<script lang="junicon">
+            def f() { return 1; }
+            @</script>
+            '''
+        )
+        assert code.count("from repro.lang.prelude import *") == 1
+
+    def test_prelude_respects_docstring_and_future(self):
+        code = transform_source(
+            '"""doc"""\nfrom __future__ import annotations\n'
+            '@<script lang="junicon">\ndef f() { return 1; }\n@</script>\n'
+        )
+        lines = code.splitlines()
+        assert lines[0] == '"""doc"""'
+        assert lines[1].startswith("from __future__")
+        assert "prelude" in lines[2]
+
+    def test_no_annotations_passthrough(self):
+        source = "x = 1\n"
+        assert transform_source(source) == source
+
+
+class TestExpressionRegions:
+    def test_inline_expression(self):
+        namespace, _ = run_embedded(
+            '''
+            values = list(@<script lang="junicon"> (1 to 3) * 2 @</script>)
+            '''
+        )
+        assert namespace["values"] == [2, 4, 6]
+
+    def test_inline_expression_reads_host_locals(self):
+        namespace, _ = run_embedded(
+            '''
+            def compute():
+                limit = 4
+                return list(@<script lang="junicon"> 1 to limit @</script>)
+            result = compute()
+            '''
+        )
+        assert namespace["result"] == [1, 2, 3, 4]
+
+    def test_inline_in_for_statement(self):
+        """Figure 3's for (Object i : @<script ...>) shape."""
+        namespace, _ = run_embedded(
+            '''
+            total = 0
+            for i in @<script lang="junicon"> (1 to 10) \\ 3 @</script>:
+                total += i
+            '''
+        )
+        assert namespace["total"] == 6
+
+    def test_inline_region_with_region_local_assignment(self):
+        namespace, _ = run_embedded(
+            '''
+            got = list(@<script lang="junicon"> (x := 1 to 3) & x * x @</script>)
+            '''
+        )
+        assert namespace["got"] == [1, 4, 9]
+
+
+class TestNestedNativeRegions:
+    def test_python_inside_junicon_is_singleton(self):
+        namespace, _ = run_embedded(
+            '''
+            HOST = 5
+            @<script lang="junicon">
+            global lifted;
+            lifted := @<script lang="python"> HOST * 2 @</script> + 1;
+            @</script>
+            '''
+        )
+        assert namespace["lifted"] == 11
+
+    def test_python_region_outside_junicon_untouched(self):
+        namespace, _ = run_embedded(
+            '''
+            @<script lang="python">
+            plain = 40 + 2
+            @</script>
+            '''
+        )
+        assert namespace["plain"] == 42
+
+
+class TestErrors:
+    def test_unknown_language(self):
+        with pytest.raises(AnnotationError):
+            transform_source('@<script lang="cobol"> x @</script>')
+
+
+class TestFigure3EndToEnd:
+    def test_wordcount_embedding(self):
+        namespace, _ = run_embedded(
+            '''
+            import math
+
+            class WordCount:
+                lines = ["ab cd", "ef"]
+
+                @<script lang="junicon" context="class">
+                def readLines() { suspend ! this::get_lines(); }
+                def splitWords(line) { suspend ! line::split(); }
+                def hashWords(line) {
+                    suspend this::hashNumber(this::wordToNumber(splitWords(line)));
+                }
+                @</script>
+
+                def get_lines(self):
+                    return WordCount.lines
+
+                def wordToNumber(self, word):
+                    return int(str(word), 36)
+
+                def hashNumber(self, number):
+                    return math.sqrt(float(number))
+
+                def runPipeline(self):
+                    total = 0.0
+                    for i in @<script lang="junicon"> this::hashNumber( ! (|> this::wordToNumber( splitWords(readLines()) ) ) ) @</script>:
+                        total += i
+                    return total
+
+            wc = WordCount()
+            import math as m
+            expected = sum(
+                m.sqrt(int(w, 36)) for line in WordCount.lines for w in line.split()
+            )
+            actual = wc.runPipeline()
+            '''
+        )
+        assert namespace["actual"] == pytest.approx(namespace["expected"])

@@ -1,0 +1,494 @@
+"""Goal-directed language semantics through the interpreter.
+
+These are the language-level acceptance tests: every construct of the
+dialect evaluated end-to-end (parse → normalize → transform → exec).
+"""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.runtime.failure import FAIL
+from repro.lang.interp import JuniconInterpreter, is_complete
+
+
+class TestGoalDirectedBasics:
+    def test_paper_section2_product(self, interp):
+        assert interp.results("(1 to 2) * (4 to 7)") == [
+            4, 5, 6, 7, 8, 10, 12, 14
+        ]
+
+    def test_prime_multiples_with_filter(self, interp):
+        interp.load(
+            """
+            def isprime(n) {
+                local d;
+                if n < 2 then fail;
+                every d := 2 to n - 1 do { if n % d == 0 then fail; };
+                return n;
+            }
+            """
+        )
+        assert interp.results("(1 to 2) * isprime(4 to 7)") == [5, 7, 10, 14]
+
+    def test_failure_is_not_an_error(self, interp):
+        assert interp.eval("1 < 0") is FAIL
+
+    def test_comparison_returns_right_operand(self, interp):
+        assert interp.eval("1 < 2") == 2
+
+    def test_comparison_chaining(self, interp):
+        assert interp.eval("1 <= 5 <= 10") == 10
+        assert interp.eval("1 <= 50 <= 10") is FAIL
+
+    def test_alternation(self, interp):
+        assert interp.results('1 | "two" | 3') == [1, "two", 3]
+
+    def test_conjunction_filters(self, interp):
+        # only even numbers survive the test
+        assert interp.results("(x := 1 to 6) & x % 2 == 0 & x") == [2, 4, 6]
+
+    def test_backtracking_search(self, interp):
+        # find pairs summing to 5
+        got = interp.results(
+            "(a := 1 to 4) & (b := 1 to 4) & (a + b == 5) & [a, b]"
+        )
+        assert got == [[1, 4], [2, 3], [3, 2], [4, 1]]
+
+    def test_limitation(self, interp):
+        assert interp.results("(1 to 100) \\ 4") == [1, 2, 3, 4]
+
+    def test_repeated_alternation(self, interp):
+        assert interp.results("|(1 | 2) \\ 5") == [1, 2, 1, 2, 1]
+
+    def test_not(self, interp):
+        assert interp.eval("not (1 < 0)") is None
+        assert interp.eval("not (0 < 1)") is FAIL
+
+    def test_mutual_evaluation_parens(self, interp):
+        assert interp.results("(1, 2, 3)") == [3]
+
+
+class TestValuesAndOperators:
+    def test_arithmetic(self, interp):
+        assert interp.eval("7 / 2") == 3
+        assert interp.eval("7.0 / 2") == 3.5
+        assert interp.eval("2 ^ 10") == 1024
+        assert interp.eval("-7 % 3") == -1
+
+    def test_string_ops(self, interp):
+        assert interp.eval('"ab" || "cd"') == "abcd"
+        assert interp.eval('*"hello"') == 5
+        assert interp.eval('"a" << "b"') == "b"
+
+    def test_list_ops(self, interp):
+        assert interp.eval("[1] ||| [2, 3]") == [1, 2, 3]
+        assert interp.eval("*[1, 2]") == 2
+
+    def test_cset_literal_and_ops(self, interp):
+        assert interp.eval("*('ab' ++ 'bc')") == 3
+
+    def test_value_equality(self, interp):
+        assert interp.eval("3 == 3") == 3
+        assert interp.eval('"x" == "x"') == "x"
+        assert interp.eval('3 == "3"') is FAIL
+
+    def test_null_tests(self, interp):
+        interp.load("global u; u := &null;")
+        assert interp.eval("/u") is None
+        assert interp.eval("\\u") is FAIL
+        interp.load("global w; w := 1;")
+        assert interp.eval("\\w") == 1
+
+    def test_default_value_idiom(self, interp):
+        interp.load("global cfg;")
+        interp.eval("/cfg := 10")
+        assert interp.eval("cfg") == 10
+        interp.eval("/cfg := 99")  # already bound: no effect
+        assert interp.eval("cfg") == 10
+
+    def test_swap(self, interp):
+        interp.load("global a, b; a := 1; b := 2; a :=: b;")
+        assert interp.eval("a") == 2
+        assert interp.eval("b") == 1
+
+    def test_size_of_coexpression(self, interp):
+        interp.load("global c; c := |<> (1 to 5); @c; @c;")
+        assert interp.eval("*c") == 2
+
+    def test_random_operator(self, interp):
+        value = interp.eval("?10")
+        assert 1 <= value <= 10
+
+    def test_radix_literal(self, interp):
+        assert interp.eval("16rff") == 255
+
+    def test_explicit_deref(self, interp):
+        interp.load("global dv; dv := 5;")
+        assert interp.eval(".dv + 1") == 6
+
+    def test_leading_dot_real(self, interp):
+        assert interp.eval(".5 + 1") == 1.5  # .5 lexes as a real literal
+
+
+class TestSubscripts:
+    def test_one_based_indexing(self, interp):
+        interp.load("global L; L := [10, 20, 30];")
+        assert interp.eval("L[1]") == 10
+        assert interp.eval("L[-1]") == 30
+        assert interp.eval("L[9]") is FAIL
+
+    def test_subscript_assignment(self, interp):
+        interp.load("global L; L := [1, 2]; L[2] := 99;")
+        assert interp.eval("L") == [1, 99]
+
+    def test_string_section(self, interp):
+        assert interp.eval('"abcdef"[2:4]') == "bc"
+        assert interp.eval('"abcdef"[2+:3]') == "bcd"
+
+    def test_table_autovivification(self, interp):
+        interp.load('global T; T := table(); T["k"] := 5;')
+        assert interp.eval('T["k"]') == 5
+        assert interp.eval('T["missing"]') is None
+
+    def test_element_generation_assigns(self, interp):
+        interp.load("global L; L := [1, 2, 3]; every !L +:= 10;")
+        assert interp.eval("L") == [11, 12, 13]
+
+    def test_bang_string(self, interp):
+        assert interp.results('!"abc"') == ["a", "b", "c"]
+
+
+class TestControlFlow:
+    def test_if_expression_value(self, interp):
+        assert interp.eval('if 1 < 2 then "yes" else "no"') == "yes"
+        assert interp.eval('if 2 < 1 then "yes" else "no"') == "no"
+
+    def test_while_accumulates(self, interp):
+        interp.load(
+            """
+            def squares_below(n) {
+                local out, i;
+                out := [];
+                i := 1;
+                while i * i < n do { put(out, i * i); i +:= 1; };
+                return out;
+            }
+            """
+        )
+        assert interp.eval("squares_below(30)") == [1, 4, 9, 16, 25]
+
+    def test_until(self, interp):
+        interp.load(
+            """
+            def count_to(n) {
+                local i; i := 0;
+                until i >= n do i +:= 1;
+                return i;
+            }
+            """
+        )
+        assert interp.eval("count_to(4)") == 4
+
+    def test_every_with_break_value(self, interp):
+        interp.load(
+            """
+            def first_multiple(n, limit) {
+                every i := 1 to limit do {
+                    if i % n == 0 then break i;
+                };
+            }
+            """
+        )
+        # `break i` gives the loop i's outcome; the method falls off the
+        # end afterwards, so wrap with suspend to see it.
+        interp.load(
+            """
+            def fm(n, limit) {
+                suspend every i := 1 to limit do {
+                    if i % n == 0 then break i;
+                };
+            }
+            """
+        )
+        assert interp.eval("fm(7, 30)") == 7
+
+    def test_repeat_with_break(self, interp):
+        interp.load(
+            """
+            def three() {
+                local n; n := 0;
+                repeat { n +:= 1; if n == 3 then break; };
+                return n;
+            }
+            """
+        )
+        assert interp.eval("three()") == 3
+
+    def test_case(self, interp):
+        interp.load(
+            """
+            def describe(x) {
+                return case x of {
+                    0: "zero";
+                    1 | 2 | 3: "small";
+                    default: "big"
+                };
+            }
+            """
+        )
+        assert interp.eval("describe(0)") == "zero"
+        assert interp.eval("describe(2)") == "small"
+        assert interp.eval("describe(50)") == "big"
+
+    def test_next_statement(self, interp):
+        interp.load(
+            """
+            def odds_only(n) {
+                local out; out := [];
+                every i := 1 to n do {
+                    if i % 2 == 0 then next;
+                    put(out, i);
+                };
+                return out;
+            }
+            """
+        )
+        assert interp.eval("odds_only(6)") == [1, 3, 5]
+
+
+class TestProcedures:
+    def test_suspend_generates(self, interp):
+        interp.load("def evens(n) { suspend 0 to n by 2; }")
+        assert interp.results("evens(8)") == [0, 2, 4, 6, 8]
+
+    def test_procedure_failure(self, interp):
+        interp.load("def nope() { fail; }")
+        assert interp.eval("nope()") is FAIL
+        assert interp.results("nope()") == []
+
+    def test_fall_off_end_fails(self, interp):
+        interp.load("def noresult() { 1 + 1; }")
+        assert interp.eval("noresult()") is FAIL
+
+    def test_recursion(self, interp):
+        interp.load(
+            """
+            def fib(n) {
+                if n <= 1 then return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            """
+        )
+        assert interp.eval("fib(10)") == 55
+
+    def test_variadic_calls(self, interp):
+        interp.load("def second(a, b) { return b; }")
+        assert interp.eval("second(1, 2)") == 2
+        assert interp.eval("second(1)") is None
+
+    def test_procedure_as_value(self, interp):
+        interp.load(
+            """
+            def inc(x) { return x + 1; }
+            def apply_twice(f, x) { return f(f(x)); }
+            """
+        )
+        assert interp.eval("apply_twice(inc, 5)") == 7
+
+    def test_alternation_of_procedures(self, interp):
+        """(f | g)(x) applies each procedure in turn (Section II.A)."""
+        interp.load(
+            """
+            def double(x) { return 2 * x; }
+            def square(x) { return x * x; }
+            """
+        )
+        assert interp.results("(double | square)(5)") == [10, 25]
+
+    def test_mutual_recursion(self, interp):
+        interp.load(
+            """
+            def is_even(n) { if n == 0 then return "yes"; return is_odd(n - 1); }
+            def is_odd(n) { if n == 0 then fail; return is_even(n - 1); }
+            """
+        )
+        assert interp.eval("is_even(10)") == "yes"
+        assert interp.eval("is_even(7)") is FAIL
+
+    def test_classic_procedure_end_form(self, interp):
+        interp.load(
+            """
+            procedure triple(x)
+                return 3 * x
+            end
+            """
+        )
+        assert interp.eval("triple(4)") == 12
+
+
+class TestStringScanning:
+    def test_scan_expression(self, interp):
+        assert interp.results('"a b c" ? upto(&letters)') == [1, 3, 5]
+
+    def test_word_splitter(self, interp):
+        interp.load(
+            r"""
+            def words(s) {
+                s ? while tab(upto(&letters)) do
+                    suspend tab(many(&letters)) \ 1;
+            }
+            """
+        )
+        assert interp.results('words("the quick fox")') == ["the", "quick", "fox"]
+
+    def test_pos_and_subject_keywords(self, interp):
+        assert interp.eval('"hello" ? (tab(3) & &pos)') == 3
+        assert interp.eval('"hello" ? &subject') == "hello"
+
+    def test_tab_match_prefix(self, interp):
+        assert interp.eval('"icon rocks" ? (="icon" & &pos)') == 5
+
+
+class TestClassesAndRecords:
+    def test_class_with_methods(self, interp):
+        interp.load(
+            """
+            class Stack(items) {
+                def push_item(x) { items::append(x); return self; }
+                def depth() { return *items; }
+            }
+            """
+        )
+        ns = interp.namespace
+        stack = ns["Stack"]([])
+        stack.push_item(1).first()
+        stack.push_item(2).first()
+        assert stack.depth().first() == 2
+
+    def test_field_access_from_junicon(self, interp):
+        interp.load(
+            """
+            record pair(a, b)
+            def sum_pair(p) { return p.a + p.b; }
+            """
+        )
+        ns = interp.namespace
+        assert interp.namespace["sum_pair"](ns["pair"](3, 4)).first() == 7
+
+    def test_field_assignment_from_junicon(self, interp):
+        interp.load(
+            """
+            record cellr(v)
+            def bump(c) { c.v +:= 1; return c.v; }
+            """
+        )
+        ns = interp.namespace
+        cell = ns["cellr"](5)
+        assert ns["bump"](cell).first() == 6
+        assert cell.v == 6
+
+
+class TestConcurrency:
+    def test_pipe_generator(self, interp):
+        interp.load("def doubles(L) { suspend 2 * !L; }")
+        assert interp.results("! |> doubles([1, 2, 3])") == [2, 4, 6]
+
+    def test_coexpr_stepping(self, interp):
+        interp.load("global c; c := |<> (10 to 30 by 10);")
+        assert interp.eval("@c") == 10
+        assert interp.eval("@c") == 20
+        assert interp.eval("@c") == 30
+        assert interp.eval("@c") is FAIL
+
+    def test_refresh(self, interp):
+        interp.load("global c, d; c := |<> (1 to 2); @c; @c; d := ^c;")
+        assert interp.eval("@d") == 1
+
+    def test_coexpr_shadows_locals(self, interp):
+        interp.load(
+            """
+            def snapshot() {
+                local x, c;
+                x := 1;
+                c := |<> x;
+                x := 99;
+                return @c;
+            }
+            """
+        )
+        assert interp.eval("snapshot()") == 1
+
+    def test_first_class_generator(self, interp):
+        interp.load("global g; g := <> (5 to 7);")
+        assert interp.eval("@g") == 5
+        assert interp.eval("@g") == 6
+
+    def test_pipeline_in_expression(self, interp):
+        interp.load("def halves(L) { suspend (!L) / 2; }")
+        got = interp.results("! |> halves([10, 20, 30])")
+        assert got == [5, 10, 15]
+
+
+class TestNativeInterop:
+    def test_native_method_invocation(self, interp):
+        assert interp.eval('"a,b,c"::split(",")') == ["a", "b", "c"]
+
+    def test_native_call_chains(self, interp):
+        assert interp.eval('" pad "::strip()::upper()') == "PAD"
+
+    def test_python_function_in_namespace(self, interp):
+        interp.namespace["pyfn"] = lambda x: x * 3
+        assert interp.eval("pyfn(7)") == 21
+
+    def test_python_generator_function_delegates(self, interp):
+        def pairs(n):
+            for i in range(n):
+                yield i
+
+        interp.namespace["pairs"] = pairs
+        assert interp.results("pairs(3)") == [0, 1, 2]
+
+    def test_builtin_fallback(self, interp):
+        assert interp.eval("sqrt(16)") == 4.0
+
+
+class TestSessionBehaviour:
+    def test_run_mixed_declarations_and_statements(self, interp):
+        result = interp.run("def f(x) { return x * 2; }\nf(21)")
+        assert result == 42
+
+    def test_run_only_declarations_returns_none(self, interp):
+        assert interp.run("def g() { return 1; }") is None
+
+    def test_globals_persist_across_inputs(self, interp):
+        interp.run("counter := 10")
+        assert interp.run("counter + 1") == 11
+
+    def test_expression_node_reusable(self, interp):
+        node = interp.expression("1 to 3")
+        assert list(node) == [1, 2, 3]
+        assert list(node) == [1, 2, 3]
+
+    def test_results_limit(self, interp):
+        assert interp.results("seq(1)", limit=4) == [1, 2, 3, 4]
+
+    def test_iter_lazy(self, interp):
+        stream = interp.iter("seq(0, 5)")
+        assert next(stream) == 0
+        assert next(stream) == 5
+
+
+class TestIsComplete:
+    def test_complete_expressions(self):
+        assert is_complete("1 + 2")
+        assert is_complete("def f() { return 1; }")
+
+    def test_unbalanced_braces(self):
+        assert not is_complete("def f() {")
+        assert not is_complete("f(1,")
+
+    def test_open_string(self):
+        assert not is_complete('"abc')
+
+    def test_parse_error_means_incomplete(self):
+        assert not is_complete("if x then")

@@ -1,0 +1,191 @@
+"""Second round of language semantics: errors, scanning assignment,
+structure mutation, and interop edge cases."""
+
+import pytest
+
+from repro.errors import IconTypeError, IconValueError
+from repro.runtime.failure import FAIL
+
+
+class TestRuntimeErrors:
+    def test_type_errors_surface_as_icon_errors(self, interp):
+        with pytest.raises(IconTypeError):
+            interp.eval('"abc" + 1')
+
+    def test_division_by_zero(self, interp):
+        with pytest.raises(IconValueError):
+            interp.eval("1 / 0")
+
+    def test_size_of_number_is_digit_count(self, interp):
+        assert interp.eval("*1234") == 4
+
+    def test_invocation_of_null_errors(self, interp):
+        from repro.errors import IconNotAFunctionError
+
+        interp.load("global nothing;")
+        with pytest.raises(IconNotAFunctionError):
+            interp.eval("nothing(1)")
+
+
+class TestScanningAssignment:
+    def test_assign_pos(self, interp):
+        assert interp.eval('"abcdef" ? (&pos := 3 & tab(0))') == "cdef"
+
+    def test_assign_subject_resets_pos(self, interp):
+        got = interp.eval('"xx" ? (&subject := "hello" & tab(0))')
+        assert got == "hello"
+
+    def test_pos_out_of_range_fails(self, interp):
+        assert interp.eval('"ab" ? (&pos := 99)') is FAIL
+
+    def test_move_consumes(self, interp):
+        assert interp.eval('"hello" ? (move(2) || move(1))') == "hel"
+
+    def test_scan_is_expression(self, interp):
+        # scanning yields the body's results; usable mid-expression
+        assert interp.eval('("abc" ? tab(0)) || "!"') == "abc!"
+
+
+class TestStructureMutation:
+    def test_augmented_subscript(self, interp):
+        interp.load("global L; L := [1, 2, 3]; L[2] +:= 10;")
+        assert interp.eval("L") == [1, 12, 3]
+
+    def test_table_augmented_update(self, interp):
+        interp.load('global T; T := table(0); T["k"] +:= 1; T["k"] +:= 1;')
+        assert interp.eval('T["k"]') == 2
+
+    def test_string_subscript_replacement(self, interp):
+        interp.load('global s; s := "abc"; s[2] := "X";')
+        assert interp.eval("s") == "aXc"
+
+    def test_record_field_swap(self, interp):
+        interp.load(
+            """
+            record pt(x, y)
+            global p; p := pt(1, 2);
+            p.x :=: p.y;
+            """
+        )
+        assert interp.eval("p.x") == 2
+        assert interp.eval("p.y") == 1
+
+    def test_push_pop_queue_stack(self, interp):
+        interp.load("global q; q := [];")
+        interp.eval("put(q, 1) & put(q, 2) & push(q, 0)")
+        assert interp.eval("q") == [0, 1, 2]
+        assert interp.eval("pop(q)") == 0
+        assert interp.eval("pull(q)") == 2
+
+
+class TestGeneratorSubtleties:
+    def test_every_drives_generator_with_side_effects(self, interp):
+        interp.load(
+            """
+            global log; log := [];
+            def noisy(n) {
+                local i;
+                every i := 1 to n do { put(log, i); suspend i; };
+            }
+            """
+        )
+        assert interp.results("noisy(3)") == [1, 2, 3]
+        assert interp.eval("log") == [1, 2, 3]
+
+    def test_bounded_expression_stops_generation(self, interp):
+        interp.load(
+            """
+            global count; count := 0;
+            def counted() { count +:= 1; suspend count; }
+            def once() { counted(); return count; }
+            """
+        )
+        assert interp.eval("once()") == 1  # statement bounding: one result
+
+    def test_alternation_backtracks_assignments(self, interp):
+        # x gets 1; the conjunction fails; alternation retries with 10
+        got = interp.eval("((x := 1) & (x > 5) & x) | x")
+        assert got == 1  # plain := is NOT reversible: x stays 1
+
+    def test_reversible_assignment_in_search(self, interp):
+        interp.load("global y; y := 0;")
+        got = interp.eval("((y <- 7) & (y > 10) & y) | y")
+        assert got == 0  # <- undid the 7 when the test failed
+
+    def test_limit_applies_to_suspension(self, interp):
+        interp.load("def infinite() { suspend seq(1); }")
+        assert interp.results("infinite() \\ 5") == [1, 2, 3, 4, 5]
+
+    def test_nested_every_products(self, interp):
+        interp.load(
+            """
+            def grid(n) {
+                local out, i, j;
+                out := [];
+                every (i := 1 to n) & (j := 1 to n) do put(out, [i, j]);
+                return out;
+            }
+            """
+        )
+        assert interp.eval("grid(2)") == [[1, 1], [1, 2], [2, 1], [2, 2]]
+
+
+class TestKeywordsInLanguage:
+    def test_digits_and_letters(self, interp):
+        assert interp.eval("*&digits") == 10
+        assert interp.eval('"3" ? tab(upto(&digits))') == ""
+
+    def test_random_seeding(self, interp):
+        interp.eval("&random := 42")
+        first = interp.eval("?1000")
+        interp.eval("&random := 42")
+        assert interp.eval("?1000") == first
+
+    def test_time_advances(self, interp):
+        assert isinstance(interp.eval("&time"), int)
+
+    def test_null_propagation(self, interp):
+        assert interp.eval("&null") is None
+        assert interp.eval("type(&null)") == "null"
+
+
+class TestHostInterop:
+    def test_junicon_method_usable_as_python_callable(self, interp):
+        interp.load("def triple(x) { return 3 * x; }")
+        triple = interp.namespace["triple"]
+        assert [triple(i).first() for i in range(3)] == [0, 3, 6]
+
+    def test_host_dict_as_icon_table(self, interp):
+        interp.namespace["cfg"] = {"depth": 3}
+        assert interp.eval('cfg["depth"]') == 3
+        interp.eval('cfg["width"] := 4')
+        assert interp.namespace["cfg"]["width"] == 4
+
+    def test_host_list_mutated_in_place(self, interp):
+        shared = [1, 2, 3]
+        interp.namespace["shared"] = shared
+        interp.eval("every !shared *:= 2")
+        assert shared == [2, 4, 6]
+
+    def test_icon_sizes_on_host_objects(self, interp):
+        interp.namespace["arr"] = [0] * 7
+        assert interp.eval("*arr") == 7
+
+    def test_python_exception_propagates_with_traceback(self, interp):
+        def boom():
+            raise ConnectionError("host failure")
+
+        interp.namespace["boom"] = boom
+        with pytest.raises(ConnectionError, match="host failure"):
+            interp.eval("boom()")
+
+
+class TestCsetsInLanguage:
+    def test_cset_literal_membership_via_upto(self, interp):
+        assert interp.results("upto('ab', \"xaby\")") == [2, 3]
+
+    def test_complement_operator(self, interp):
+        assert interp.eval("*(~'a')") == 255
+
+    def test_set_algebra_chain(self, interp):
+        assert interp.eval("string(('ab' ++ 'cd') -- 'b')") == "acd"

@@ -1,0 +1,152 @@
+"""Language extensions: initial clauses, static variables, string
+invocation, and the extended builtin set."""
+
+import pytest
+
+from repro.runtime.failure import FAIL
+
+
+class TestInitialClause:
+    def test_runs_once_across_invocations(self, interp):
+        interp.load(
+            """
+            def counter() {
+                static count;
+                initial count := 100;
+                count +:= 1;
+                return count;
+            }
+            """
+        )
+        assert [interp.eval("counter()") for _ in range(3)] == [101, 102, 103]
+
+    def test_initial_with_global(self, interp):
+        interp.load(
+            """
+            global seen;
+            def touch() {
+                initial seen := [];
+                put(seen, 1);
+                return *seen;
+            }
+            """
+        )
+        assert interp.eval("touch()") == 1
+        assert interp.eval("touch()") == 2
+
+    def test_separate_methods_have_separate_flags(self, interp):
+        interp.load(
+            """
+            def a() { static n; initial n := 0; n +:= 1; return n; }
+            def b() { static n; initial n := 10; n +:= 1; return n; }
+            """
+        )
+        assert interp.eval("a()") == 1
+        assert interp.eval("b()") == 11
+        assert interp.eval("a()") == 2
+
+
+class TestStaticVariables:
+    def test_static_persists_across_calls(self, interp):
+        interp.load(
+            """
+            def remember(x) {
+                static last;
+                local previous;
+                previous := last;
+                last := x;
+                return previous;
+            }
+            """
+        )
+        assert interp.eval("remember(1)") is None
+        assert interp.eval("remember(2)") == 1
+        assert interp.eval("remember(3)") == 2
+
+    def test_locals_still_reset(self, interp):
+        interp.load(
+            """
+            def mix(x) {
+                static total;
+                local tmp;
+                initial total := 0;
+                tmp := x * 10;
+                total +:= tmp;
+                return [tmp, total];
+            }
+            """
+        )
+        assert interp.eval("mix(1)") == [10, 10]
+        assert interp.eval("mix(2)") == [20, 30]
+
+    def test_static_shared_across_cached_bodies(self, interp):
+        """Two concurrently-live bodies of the same method observe the
+        same static cell."""
+        interp.load(
+            """
+            def tick() { static n; initial n := 0; n +:= 1; suspend n to n; }
+            """
+        )
+        first = interp.namespace["tick"]()
+        stepper = first.iterate()
+        next(stepper)  # keep the first body live mid-iteration
+        assert interp.eval("tick()") == 2  # a second body: shared static
+
+
+class TestStringInvocation:
+    def test_builtin_by_name(self, interp):
+        assert interp.eval('"sqrt"(16)') == 4.0
+
+    def test_computed_name(self, interp):
+        interp.load('global which; which := "re" || "verse";')
+        assert interp.eval('which("abc")') == "cba"
+
+    def test_unknown_name_fails(self, interp):
+        assert interp.eval('"nosuchproc"(1)') is FAIL
+
+    def test_proc_builtin(self, interp):
+        assert interp.eval('proc("sqrt")(25)') == 5.0
+        assert interp.eval('proc("not_a_proc")') is FAIL
+
+    def test_proc_passthrough_for_callables(self, interp):
+        interp.namespace["host_fn"] = lambda: 9
+        assert interp.eval("proc(host_fn)()") == 9
+
+
+class TestExtendedBuiltins:
+    def test_bit_operations(self, interp):
+        assert interp.eval("iand(12, 10)") == 8
+        assert interp.eval("ior(12, 10)") == 14
+        assert interp.eval("ixor(12, 10)") == 6
+        assert interp.eval("icom(0)") == -1
+        assert interp.eval("ishift(1, 3)") == 8
+        assert interp.eval("ishift(8, -3)") == 1
+
+    def test_detab(self, interp):
+        assert interp.eval('detab("a\\tb")') == "a       b"
+        assert interp.eval('detab("a\\tb", 5)') == "a   b"
+
+    def test_entab_roundtrip(self, interp):
+        assert interp.eval('detab(entab("a       b"))') == "a       b"
+
+    def test_getenv(self, interp, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_VAR", "42")
+        assert interp.eval('getenv("REPRO_TEST_VAR")') == "42"
+        assert interp.eval('getenv("REPRO_UNSET_VAR_XYZ")') is FAIL
+
+    def test_serial(self, interp):
+        first = interp.eval("serial()")
+        second = interp.eval("serial()")
+        assert second == first + 1
+        assert interp.eval("serial([1, 2])") > 0
+        assert interp.eval("serial(5)") is FAIL
+
+
+class TestDetabEntabEdges:
+    def test_detab_multiline(self, interp):
+        assert interp.eval('detab("x\\ty\\nz\\tw")') == "x       y\nz       w"
+
+    def test_entab_single_space_kept(self, interp):
+        from repro.runtime.functions import entab
+
+        assert entab("abcdefg h") == "abcdefg h"  # one space, not a tab run

@@ -1,0 +1,141 @@
+"""Property-based tests over the language pipeline.
+
+Arithmetic in the dialect must agree with a Python model; lexer/parser
+roundtrips must be stable; goal-directed expression algebra must match
+the kernel it compiles to.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lang.interp import JuniconInterpreter
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_session = JuniconInterpreter()
+
+ints = st.integers(-999, 999)
+small = st.integers(1, 30)
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s
+    not in {
+        "if", "then", "else", "while", "until", "every", "repeat", "do",
+        "to", "by", "break", "next", "return", "suspend", "fail", "case",
+        "of", "default", "not", "def", "method", "procedure", "class",
+        "record", "end", "local", "var", "static", "global", "initial",
+        "self", "this",
+    }
+)
+
+
+class TestArithmeticModel:
+    @given(ints, ints)
+    @relaxed
+    def test_addition(self, a, b):
+        assert _session.eval(f"({a}) + ({b})") == a + b
+
+    @given(ints, ints)
+    @relaxed
+    def test_multiplication(self, a, b):
+        assert _session.eval(f"({a}) * ({b})") == a * b
+
+    @given(ints, ints.filter(lambda n: n != 0))
+    @relaxed
+    def test_division_truncates(self, a, b):
+        assert _session.eval(f"({a}) / ({b})") == int(a / b)
+
+    @given(small, small)
+    @relaxed
+    def test_to_matches_range(self, a, b):
+        assert _session.results(f"{a} to {b}") == list(range(a, b + 1))
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    @relaxed
+    def test_comparison_model(self, a, b):
+        from repro.runtime.failure import FAIL
+
+        result = _session.eval(f"({a}) < ({b})")
+        if a < b:
+            assert result == b
+        else:
+            assert result is FAIL
+
+
+class TestGeneratorAlgebra:
+    @given(small, small, small)
+    @relaxed
+    def test_alternation_concatenates_ranges(self, a, b, c):
+        got = _session.results(f"(1 to {a}) | ({b} to {b + c})")
+        assert got == list(range(1, a + 1)) + list(range(b, b + c + 1))
+
+    @given(small, st.integers(0, 10))
+    @relaxed
+    def test_limit_prefix(self, n, k):
+        got = _session.results(f"(1 to {n}) \\ {k}")
+        assert got == list(range(1, n + 1))[:k]
+
+    @given(small, small)
+    @relaxed
+    def test_product_counts(self, a, b):
+        got = _session.results(f"(1 to {a}) & (1 to {b})")
+        assert len(got) == a * b
+
+    @given(st.lists(ints, min_size=1, max_size=6))
+    @relaxed
+    def test_list_literal_roundtrip(self, values):
+        literal = "[" + ", ".join(str(v) for v in values) + "]"
+        assert _session.eval(literal) == values
+
+    @given(st.lists(ints, max_size=6))
+    @relaxed
+    def test_bang_generates_elements(self, values):
+        literal = "[" + ", ".join(str(v) for v in values) + "]"
+        assert _session.results(f"!{literal}") == values
+
+
+class TestLexerRoundtrips:
+    @given(ints)
+    @relaxed
+    def test_integer_literals(self, n):
+        tokens = tokenize(str(abs(n)))
+        assert tokens[0].value == abs(n)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                          exclude_characters='"\\'),
+                   max_size=15))
+    @relaxed
+    def test_string_literal_roundtrip(self, text):
+        tokens = tokenize('"' + text + '"')
+        assert tokens[0].value == text
+
+    @given(identifiers)
+    @relaxed
+    def test_identifier_roundtrip(self, name):
+        tokens = tokenize(name)
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == name
+
+
+class TestParserStability:
+    @given(identifiers, identifiers, ints)
+    @relaxed
+    def test_assignment_structure(self, target, other, value):
+        node = parse_expression(f"{target} := {other} + {value}")
+        from repro.lang import ast_nodes as ast
+
+        assert isinstance(node, ast.Assign)
+        assert node.target.id == target
+
+    @given(st.integers(0, 5))
+    @relaxed
+    def test_deep_parenthesization(self, depth):
+        source = "(" * depth + "1" + ")" * depth
+        node = parse_expression(source)
+        from repro.lang import ast_nodes as ast
+
+        assert isinstance(node, ast.Literal)

@@ -1,0 +1,106 @@
+"""The import hook: .jun and .jun.py files as Python modules."""
+
+import sys
+
+import pytest
+
+from repro.lang.loader import (
+    JuniconFinder,
+    install,
+    load_file,
+    uninstall,
+)
+
+
+@pytest.fixture
+def hook(tmp_path):
+    finder = install([str(tmp_path)])
+    yield finder, tmp_path
+    uninstall()
+    for name in list(sys.modules):
+        if name.startswith("junmod_"):
+            del sys.modules[name]
+
+
+class TestPureJuniconModules:
+    def test_import_jun_file(self, hook):
+        _finder, tmp_path = hook
+        (tmp_path / "junmod_pure.jun").write_text(
+            "def evens(n) { suspend 0 to n by 2; }\n"
+            "global answer;\n"
+            "answer := 6 * 7;\n"
+        )
+        import junmod_pure  # noqa: F401
+
+        assert junmod_pure.answer == 42
+        assert list(junmod_pure.evens(4)) == [0, 2, 4]
+
+    def test_module_methods_are_host_callables(self, hook):
+        _finder, tmp_path = hook
+        (tmp_path / "junmod_callable.jun").write_text(
+            "def dbl(x) { return 2 * x; }\n"
+        )
+        import junmod_callable
+
+        assert junmod_callable.dbl(21).first() == 42
+
+
+class TestMixedModules:
+    def test_import_mixed_file(self, hook):
+        _finder, tmp_path = hook
+        (tmp_path / "junmod_mixed.jun.py").write_text(
+            "BASE = 10\n"
+            '@<script lang="junicon">\n'
+            "def scaled(n) { suspend BASE * (1 to n); }\n"
+            "@</script>\n"
+            "values = list(scaled(3))\n"
+        )
+        import junmod_mixed
+
+        assert junmod_mixed.values == [10, 20, 30]
+
+    def test_mixed_takes_precedence_over_pure(self, hook):
+        _finder, tmp_path = hook
+        (tmp_path / "junmod_both.jun").write_text("global marker; marker := 1;\n")
+        (tmp_path / "junmod_both.jun.py").write_text("marker = 2\n")
+        import junmod_both
+
+        assert junmod_both.marker == 2
+
+
+class TestLoadFile:
+    def test_direct_load_without_hook(self, tmp_path):
+        path = tmp_path / "standalone.jun"
+        path.write_text("def nine() { return 9; }\n")
+        module = load_file(str(path))
+        assert module.nine().first() == 9
+
+    def test_direct_load_mixed(self, tmp_path):
+        path = tmp_path / "standalone2.jun.py"
+        path.write_text(
+            '@<script lang="junicon">\ndef one() { return 1; }\n@</script>\n'
+            "x = one().first()\n"
+        )
+        module = load_file(str(path), module_name="standalone2")
+        assert module.x == 1
+
+
+class TestHookLifecycle:
+    def test_install_idempotent(self, tmp_path):
+        first = install([str(tmp_path)])
+        second = install()
+        try:
+            assert first is second
+            assert sys.meta_path.count(first) == 1
+        finally:
+            uninstall()
+
+    def test_uninstall_removes_finder(self, tmp_path):
+        finder = install([str(tmp_path)])
+        uninstall()
+        assert finder not in sys.meta_path
+        uninstall()  # idempotent
+
+    def test_finder_misses_regular_modules(self):
+        finder = JuniconFinder()
+        assert finder.find_spec("os") is None

@@ -1,0 +1,141 @@
+"""Normalization — flattening primaries into bound-iterator products."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.normalize import (
+    BoundIn,
+    TempRef,
+    count_temps,
+    is_atomic,
+    normalize_expr,
+    normalize_method,
+)
+from repro.lang.parser import parse, parse_expression
+
+
+def norm(source):
+    return normalize_expr(parse_expression(source))
+
+
+class TestAtoms:
+    def test_atomic_nodes(self):
+        assert is_atomic(ast.Literal(value=1))
+        assert is_atomic(ast.Name(id="x"))
+        assert is_atomic(ast.NullLit())
+        assert is_atomic(TempRef(index=0))
+        assert is_atomic(ast.Keyword(name="pos"))
+
+    def test_non_atomic_nodes(self):
+        assert not is_atomic(parse_expression("f(x)"))
+        assert not is_atomic(parse_expression("a + b"))
+
+    def test_atoms_normalize_to_themselves(self):
+        node = norm("x")
+        assert isinstance(node, ast.Name)
+
+
+class TestCallFlattening:
+    def test_atomic_args_left_in_place(self):
+        node = norm("f(x, 1)")
+        assert isinstance(node, ast.Invoke)
+        assert isinstance(node.args[0], ast.Name)
+        assert isinstance(node.args[1], ast.Literal)
+
+    def test_generator_arg_hoisted(self):
+        node = norm("f(1 to 3)")
+        # (t0 in 1 to 3) & f(t0)
+        assert isinstance(node, ast.Binary) and node.op == "&"
+        assert isinstance(node.left, BoundIn)
+        assert isinstance(node.left.expr, ast.ToBy)
+        call = node.right
+        assert isinstance(call, ast.Invoke)
+        assert isinstance(call.args[0], TempRef)
+        assert call.args[0].index == node.left.index
+
+    def test_nested_calls_flatten_recursively(self):
+        node = norm("f(g(x))")
+        # (t0 in g(x)) & f(t0)
+        assert isinstance(node.left, BoundIn)
+        assert isinstance(node.left.expr, ast.Invoke)  # g(x) itself atomic args
+        assert isinstance(node.right.args[0], TempRef)
+
+    def test_paper_v_a_example_shape(self):
+        """e(ex, ey) with generator-valued pieces becomes a product chain."""
+        node = norm("(f | g)(1 to 2, h(y))")
+        # ((t0 in f|g) & ((t1 in 1 to 2) & ((t2 in h(y)) & t0(t1, t2))))
+        bindings = []
+        current = node
+        while isinstance(current, ast.Binary) and current.op == "&":
+            bindings.append(current.left)
+            current = current.right
+        assert len(bindings) == 3
+        assert all(isinstance(b, BoundIn) for b in bindings)
+        assert isinstance(current, ast.Invoke)
+        assert isinstance(current.callee, TempRef)
+        assert all(isinstance(a, TempRef) for a in current.args)
+
+    def test_distinct_temporaries(self):
+        node = norm("f(g(1), h(2))")
+        temps = {t.index for t in ast.walk(node) if isinstance(t, TempRef)}
+        assert len(temps) == 2
+
+    def test_native_invoke_flattened_too(self):
+        node = norm("x::m(g(y))")
+        assert isinstance(node, ast.Binary)
+        assert isinstance(node.right, ast.NativeInvoke)
+        assert isinstance(node.right.args[0], TempRef)
+
+    def test_native_invoke_generator_subject_hoisted(self):
+        node = norm("(a | b)::m()")
+        assert isinstance(node.left, BoundIn)
+        assert isinstance(node.right.subject, TempRef)
+
+
+class TestStructuralRecursion:
+    def test_normalizes_inside_control(self):
+        node = norm("while f(g(x)) do h(k(y))")
+        assert isinstance(node, ast.While)
+        assert isinstance(node.cond, ast.Binary)  # flattened
+        assert isinstance(node.body, ast.Binary)
+
+    def test_normalizes_inside_blocks(self):
+        program = parse("def m() { f(g(1)); }")
+        method, temps = normalize_method(program.body[0])
+        assert temps == 1
+        statement = method.body.body[0]
+        assert isinstance(statement, ast.Binary)
+
+    def test_normalizes_inside_pipes(self):
+        node = norm("|> f(g(x))")
+        assert isinstance(node, ast.PipeLit)
+        assert isinstance(node.expr, ast.Binary)
+
+    def test_normalizes_list_items(self):
+        node = norm("[f(g(x))]")
+        assert isinstance(node, ast.ListLit)
+        assert isinstance(node.items[0], ast.Binary)
+
+    def test_operator_operands_not_hoisted(self):
+        """Binary operations handle generator operands natively; only
+        invocation sites need temporaries."""
+        node = norm("(1 to 2) + (3 to 4)")
+        assert isinstance(node, ast.Binary) and node.op == "+"
+        assert isinstance(node.left, ast.ToBy)
+
+    def test_assignment_value_normalized(self):
+        node = norm("x := f(g(1))")
+        assert isinstance(node, ast.Assign)
+        assert isinstance(node.value, ast.Binary)
+
+
+class TestTempCounting:
+    def test_count_temps(self):
+        node = norm("f(g(1), h(2))")
+        assert count_temps(node) == 2
+
+    def test_count_zero(self):
+        assert count_temps(norm("x + 1")) == 0
+
+    def test_method_temp_budget(self):
+        program = parse("def m(a) { f(g(a)); k(h(a)); }")
+        _method, temps = normalize_method(program.body[0])
+        assert temps == count_temps(_method.body) == 2

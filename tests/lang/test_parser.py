@@ -1,0 +1,296 @@
+"""Junicon parser: precedence, constructs, declarations."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse, parse_expression
+
+
+def expr(source):
+    return parse_expression(source)
+
+
+class TestPrecedence:
+    def test_conjunction_lowest(self):
+        node = expr("a := 1 & b := 2")
+        assert isinstance(node, ast.Binary) and node.op == "&"
+        assert isinstance(node.left, ast.Assign)
+        assert isinstance(node.right, ast.Assign)
+
+    def test_scan_above_conjunction(self):
+        node = expr("s ? x & y")
+        assert isinstance(node, ast.Binary) and node.op == "&"
+        assert isinstance(node.left, ast.Scan)
+
+    def test_assignment_right_associative(self):
+        node = expr("a := b := 1")
+        assert isinstance(node, ast.Assign)
+        assert isinstance(node.value, ast.Assign)
+
+    def test_to_by_binds_above_alternation(self):
+        # the generator idiom: (1 to 3) | (7 to 9)
+        node = expr("1 to 3 | 7 to 9")
+        assert isinstance(node, ast.Binary) and node.op == "|"
+        assert isinstance(node.left, ast.ToBy)
+        assert isinstance(node.right, ast.ToBy)
+
+    def test_relational_binds_above_alternation(self):
+        # Icon: comparisons are tighter than |, so x = (1|2) needs parens
+        node = expr("x < 1 | 2")
+        assert isinstance(node, ast.Binary) and node.op == "|"
+        assert node.left.op == "<"
+
+    def test_arithmetic_ladder(self):
+        node = expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_power_right_associative(self):
+        node = expr("2 ^ 3 ^ 2")
+        assert node.op == "^"
+        assert node.right.op == "^"
+
+    def test_concat_between_additive_and_relational(self):
+        node = expr('a || b == c')
+        assert node.op == "=="
+        assert node.left.op == "||"
+
+    def test_limit_binds_tight(self):
+        node = expr("a | b \\ 1")
+        assert node.op == "|"
+        assert isinstance(node.right, ast.Binary) and node.right.op == "\\"
+
+    def test_parenthesized_mutual_evaluation(self):
+        node = expr("(1, 2, 3)")
+        assert isinstance(node, ast.Binary) and node.op == "&"
+
+
+class TestPrefixOperators:
+    def test_concurrency_literals(self):
+        assert isinstance(expr("<> x"), ast.FirstClass)
+        assert isinstance(expr("|<> x"), ast.CoExprLit)
+        assert isinstance(expr("|> x"), ast.PipeLit)
+
+    def test_activation(self):
+        node = expr("@c")
+        assert isinstance(node, ast.Activate) and node.transmit is None
+
+    def test_binary_activation_transmits(self):
+        node = expr("v @ c")
+        assert isinstance(node, ast.Activate)
+        assert isinstance(node.transmit, ast.Name)
+
+    def test_bang_and_tests(self):
+        assert expr("!x").op == "!"
+        assert expr("/x").op == "/"
+        assert expr("\\x").op == "\\"
+        assert expr(".x").op == "."
+        assert expr("=x").op == "="
+
+    def test_repeated_alternation(self):
+        node = expr("|x")
+        assert isinstance(node, ast.Unary) and node.op == "|"
+
+    def test_not(self):
+        assert expr("not x").op == "not"
+
+    def test_stacked_prefixes(self):
+        node = expr("! |> f(x)")
+        assert node.op == "!"
+        assert isinstance(node.operand, ast.PipeLit)
+
+
+class TestPostfix:
+    def test_invocation(self):
+        node = expr("f(1, 2)")
+        assert isinstance(node, ast.Invoke)
+        assert len(node.args) == 2
+
+    def test_field_chain(self):
+        node = expr("a.b.c")
+        assert isinstance(node, ast.Field) and node.name == "c"
+        assert isinstance(node.subject, ast.Field)
+
+    def test_index(self):
+        node = expr("L[3]")
+        assert isinstance(node, ast.Index)
+
+    def test_multi_index_nests(self):
+        node = expr("M[1, 2]")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.subject, ast.Index)
+
+    def test_sections(self):
+        node = expr("s[2:4]")
+        assert isinstance(node, ast.Section) and node.mode == ":"
+        assert expr("s[2+:3]").mode == "+:"
+        assert expr("s[4-:2]").mode == "-:"
+
+    def test_native_invocation(self):
+        node = expr('line::split("x")')
+        assert isinstance(node, ast.NativeInvoke)
+        assert node.name == "split"
+        assert len(node.args) == 1
+
+    def test_native_invocation_no_parens(self):
+        node = expr("x::upper")
+        assert isinstance(node, ast.NativeInvoke) and node.args == []
+
+    def test_mixed_primary(self):
+        node = expr("o.f(x)[2]")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.subject, ast.Invoke)
+
+
+class TestLiterals:
+    def test_list(self):
+        node = expr("[1, 2]")
+        assert isinstance(node, ast.ListLit) and len(node.items) == 2
+
+    def test_empty_list(self):
+        assert expr("[]").items == []
+
+    def test_null_keyword(self):
+        assert isinstance(expr("&null"), ast.NullLit)
+
+    def test_fail_keyword_stays_keyword(self):
+        node = expr("&fail")
+        assert isinstance(node, ast.Keyword) and node.name == "fail"
+
+    def test_amp_keywords(self):
+        assert expr("&subject").name == "subject"
+
+
+class TestControl:
+    def test_if_then_else(self):
+        node = expr("if a then b else c")
+        assert isinstance(node, ast.If) and node.orelse is not None
+
+    def test_if_without_else(self):
+        assert expr("if a then b").orelse is None
+
+    def test_while_do(self):
+        node = expr("while a do b")
+        assert isinstance(node, ast.While) and node.body is not None
+
+    def test_while_block_without_do(self):
+        node = expr("while a { b; c }")
+        assert isinstance(node.body, ast.Block)
+
+    def test_until(self):
+        assert isinstance(expr("until a do b"), ast.Until)
+
+    def test_every(self):
+        node = expr("every x := 1 to 3 do f(x)")
+        assert isinstance(node, ast.Every)
+        assert isinstance(node.gen, ast.Assign)
+
+    def test_repeat(self):
+        assert isinstance(expr("repeat f()"), ast.RepeatLoop)
+
+    def test_case(self):
+        node = expr('case x of { 1: "one"; 2 | 3: "few"; default: "many" }')
+        assert isinstance(node, ast.Case)
+        assert len(node.branches) == 2
+        assert node.default is not None
+
+    def test_suspend_with_do(self):
+        node = expr("suspend x do y")
+        assert isinstance(node, ast.Suspend) and node.do_clause is not None
+
+    def test_bare_control_words(self):
+        assert isinstance(expr("fail"), ast.Fail)
+        assert isinstance(expr("next"), ast.NextStmt)
+        assert isinstance(expr("return"), ast.Return)
+        assert isinstance(expr("break"), ast.Break)
+
+    def test_return_with_value(self):
+        assert expr("return 5").expr is not None
+
+    def test_break_with_value(self):
+        assert expr("break 5").expr is not None
+
+
+class TestDeclarations:
+    def test_method_brace_form(self):
+        program = parse("def f(a, b) { return a; }")
+        method = program.body[0]
+        assert isinstance(method, ast.MethodDecl)
+        assert method.params == ["a", "b"]
+
+    def test_procedure_end_form(self):
+        program = parse("procedure f(x)\n  return x\nend")
+        method = program.body[0]
+        assert isinstance(method, ast.MethodDecl)
+        assert method.name == "f"
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse("procedure f() return 1")
+
+    def test_class_with_field_list(self):
+        program = parse("class Point(x, y) { def mag() { return x; } }")
+        decl = program.body[0]
+        assert isinstance(decl, ast.ClassDecl)
+        assert decl.fields[0].names == ["x", "y"]
+        assert decl.methods[0].name == "mag"
+
+    def test_class_with_declared_fields(self):
+        program = parse("class C { local a; var b = 5; def m() { } }")
+        decl = program.body[0]
+        names = [n for fd in decl.fields for n in fd.names]
+        assert names == ["a", "b"]
+
+    def test_class_with_supers(self):
+        decl = parse("class D : A, B { }").body[0]
+        assert decl.supers == ["A", "B"]
+
+    def test_record(self):
+        decl = parse("record point(x, y)").body[0]
+        assert isinstance(decl, ast.RecordDecl)
+        assert decl.fields == ["x", "y"]
+
+    def test_global(self):
+        decl = parse("global a, b").body[0]
+        assert isinstance(decl, ast.GlobalDecl) and decl.names == ["a", "b"]
+
+    def test_local_with_initializers(self):
+        program = parse("def f() { local a = 1, b; }")
+        var_decl = program.body[0].body.body[0]
+        assert isinstance(var_decl, ast.VarDecl)
+        assert var_decl.names == ["a", "b"]
+        assert var_decl.inits[0] is not None and var_decl.inits[1] is None
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 2")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse("def f() { a;")
+
+    def test_error_carries_position(self):
+        try:
+            parse_expression("f(,)")
+        except ParseError as error:
+            assert error.line == 1
+        else:
+            pytest.fail("no error")
+
+    def test_unexpected_keyword(self):
+        with pytest.raises(ParseError):
+            parse_expression("then")
+
+
+class TestWalk:
+    def test_walk_visits_descendants(self):
+        node = expr("f(a + b)")
+        names = [n.id for n in ast.walk(node) if isinstance(n, ast.Name)]
+        assert set(names) == {"f", "a", "b"}

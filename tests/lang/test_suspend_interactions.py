@@ -1,0 +1,139 @@
+"""Suspension interacting with every construct — the hardest corner of
+the kernel (envelopes must ride past every bounded statement)."""
+
+import pytest
+
+from repro.runtime.failure import FAIL
+
+
+class TestSuspendThroughConstructs:
+    def test_through_if_branches(self, interp):
+        interp.load(
+            """
+            def pick(flag) {
+                if flag == 1 then suspend "a" | "b"
+                else suspend "x" | "y";
+            }
+            """
+        )
+        assert interp.results("pick(1)") == ["a", "b"]
+        assert interp.results("pick(0)") == ["x", "y"]
+
+    def test_through_case_branches(self, interp):
+        interp.load(
+            """
+            def variants(kind) {
+                case kind of {
+                    "low": suspend 1 to 3;
+                    "high": suspend 8 to 9;
+                };
+            }
+            """
+        )
+        assert interp.results('variants("low")') == [1, 2, 3]
+        assert interp.results('variants("high")') == [8, 9]
+        assert interp.results('variants("none")') == []
+
+    def test_through_nested_loops(self, interp):
+        interp.load(
+            """
+            def pairs(n) {
+                local i, j;
+                every i := 1 to n do
+                    every j := 1 to n do
+                        suspend [i, j];
+            }
+            """
+        )
+        assert interp.results("pairs(2)") == [[1, 1], [1, 2], [2, 1], [2, 2]]
+
+    def test_through_until(self, interp):
+        interp.load(
+            """
+            def countdown(n) {
+                until n <= 0 do { suspend n; n -:= 1; };
+            }
+            """
+        )
+        assert interp.results("countdown(3)") == [3, 2, 1]
+
+    def test_through_scan(self, interp):
+        interp.load(
+            r"""
+            def letters_of(s) {
+                s ? while tab(upto(&letters)) do
+                    suspend tab(many(&letters)) \ 1;
+            }
+            """
+        )
+        assert interp.results('letters_of("a bb ccc")') == ["a", "bb", "ccc"]
+
+    def test_multiple_suspends_in_sequence(self, interp):
+        interp.load(
+            """
+            def phased() {
+                suspend "one" | "two";
+                suspend "three";
+                return "four";
+            }
+            """
+        )
+        assert interp.results("phased()") == ["one", "two", "three", "four"]
+
+    def test_suspend_with_do_clause_counts_resumptions(self, interp):
+        interp.load(
+            """
+            global resumed; resumed := 0;
+            def watched() {
+                suspend 1 to 3 do resumed +:= 1;
+            }
+            """
+        )
+        assert interp.results("watched()") == [1, 2, 3]
+        # The do-clause runs on each resumption: after results 1 and 2,
+        # and once more when the final resumption exhausts the range.
+        assert interp.eval("resumed") == 3
+
+    def test_return_after_suspend_loop(self, interp):
+        interp.load(
+            """
+            def upto_then(n) {
+                local i;
+                every i := 1 to n do suspend i;
+                return "done";
+            }
+            """
+        )
+        assert interp.results("upto_then(2)") == [1, 2, "done"]
+
+
+class TestSuspendedGeneratorsAsValues:
+    def test_coexpr_over_suspender(self, interp):
+        interp.load(
+            """
+            def src() { suspend 10 | 20; }
+            global c; c := |<> src();
+            """
+        )
+        assert interp.eval("@c") == 10
+        assert interp.eval("@c") == 20
+        assert interp.eval("@c") is FAIL
+
+    def test_pipe_over_suspender_with_shared_static(self, interp):
+        interp.load(
+            """
+            def ticket() { static n; initial n := 0; n +:= 1; return n; }
+            def stream(k) { local i; every i := 1 to k do suspend ticket(); }
+            """
+        )
+        got = interp.results("! |> stream(4)")
+        assert got == [1, 2, 3, 4]
+
+    def test_limited_suspension_is_resumable_generator(self, interp):
+        interp.load("def nums() { suspend 1 to 100; }")
+        node = interp.namespace["nums"]()
+        stepper = iter(node)
+        assert [next(stepper) for _ in range(3)] == [1, 2, 3]
+        # abandoning mid-generation must not wedge the cache
+        del stepper
+        assert interp.results("nums() \\ 2") == [1, 2]

@@ -1,0 +1,217 @@
+"""Transformation to Python: generated code shape and executability."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.lang.parser import parse
+from repro.lang.transform import (
+    CodeWriter,
+    ExpressionCompiler,
+    Scope,
+    emit_method,
+    transform_expression,
+    transform_program,
+)
+
+
+def run_module(source):
+    """Transform a Junicon unit and exec it; returns the namespace."""
+    code = transform_program(source)
+    namespace = {}
+    exec(compile(code, "<test>", "exec"), namespace)
+    return namespace
+
+
+class TestGeneratedShape:
+    def test_module_prelude(self):
+        code = transform_program("def f() { return 1; }")
+        assert "from repro.lang.prelude import *" in code
+        assert "_ns = globals()" in code
+        assert "_method_cache = MethodBodyCache()" in code
+
+    def test_method_shape_mirrors_figure5(self):
+        """The emitted method has the same skeleton as the paper's
+        Figure 5: cache probe, reified parameters, unpack closure,
+        IconMethodBody, cache registration."""
+        code = transform_program("def spawnMap(f, chunk) { suspend ! (|> f(!chunk)); }")
+        assert "_body = _method_cache.get_free('spawnMap')" in code
+        assert "return _body.reset().unpack_args(*_args)" in code
+        assert "f_r = IconVar('f').local()" in code
+        assert "chunk_r = IconVar('chunk').local()" in code
+        assert "def _unpack(*_p):" in code
+        assert "IconMethodBody(" in code
+        assert "_body.set_cache(_method_cache, 'spawnMap')" in code
+
+    def test_spawnmap_figure5_coexpression_synthesis(self):
+        """The pipe literal becomes CoExpression(factory, env_getter)
+        .create_pipe() with the referenced locals shadowed."""
+        code = transform_program("def spawnMap(f, chunk) { suspend ! (|> f(!chunk)); }")
+        assert "CoExpression(" in code
+        assert ".create_pipe()" in code
+        assert "shadow(" in code            # copied local environment
+        assert "chunk_r.get()" in code      # env getter reads current values
+        assert "IconPromote" in code
+        assert "IconSuspend" in code
+
+    def test_marker_attribute(self):
+        code = transform_program("def f() { return 1; }")
+        assert "f._icon_function = True" in code
+
+    def test_temporaries_declared(self):
+        code = transform_program("def f(x) { return g(h(x)); }")
+        assert "_t0 = IconTmp()" in code
+
+    def test_globals_hoisted(self):
+        code = transform_program("def f(x) { return g(h(x)); }")
+        assert "_g_g = GlobalRef(_ns, 'g')" in code
+        assert "_g_h = GlobalRef(_ns, 'h')" in code
+
+
+class TestExecutedPrograms:
+    def test_simple_return(self):
+        ns = run_module("def one() { return 1; }")
+        assert ns["one"]().first() == 1
+
+    def test_params_bind_positionally_and_default_null(self):
+        ns = run_module("def pair(a, b) { return [a, b]; }")
+        assert ns["pair"](1, 2).first() == [1, 2]
+        assert ns["pair"](1).first() == [1, None]
+        assert ns["pair"]().first() == [None, None]
+
+    def test_method_body_cache_reuse(self):
+        ns = run_module("def f(x) { return x; }")
+        first = ns["f"](1)
+        assert first.first() == 1
+        second = ns["f"](2)
+        assert second is first  # recycled body
+        assert second.first() == 2
+
+    def test_top_level_statements_execute(self):
+        ns = run_module("global acc; acc := 5; acc +:= 2;")
+        assert ns["acc"] == 7
+
+    def test_record(self):
+        ns = run_module("record point(x, y)")
+        point = ns["point"](1, 2)
+        assert (point.x, point.y) == (1, 2)
+        assert point.icon_type() == "point"
+
+    def test_class_reified_duals(self):
+        ns = run_module("class Box(v) { def get_v() { return v; } }")
+        box = ns["Box"](5)
+        assert box.v == 5
+        assert box.v_r.get() == 5
+        box.v_r.set(6)
+        assert box.v == 6
+        assert box.get_v().first() == 6
+
+    def test_class_field_initializer(self):
+        ns = run_module("class C { var n = 2 + 3; def get() { return n; } }")
+        assert ns["C"]().n == 5
+
+    def test_class_kwargs_constructor(self):
+        ns = run_module("class P(x, y) { }")
+        p = ns["P"](y=2)
+        assert p.x is None and p.y == 2
+
+    def test_generated_functions_interop_with_host(self):
+        ns = run_module("def evens(n) { suspend 0 to n by 2; }")
+        assert list(ns["evens"](6)) == [0, 2, 4, 6]
+
+
+class TestInlineExpressions:
+    def test_expression_compiles_to_single_python_expression(self):
+        code = transform_expression("1 + 2")
+        import ast as pyast
+
+        tree = pyast.parse(code, mode="eval")  # must be a pure expression
+        assert tree is not None
+
+    def test_assigned_names_become_region_locals(self):
+        code = transform_expression("x := 5 & x + 1")
+        assert "_jx_x=IconVar('x')" in code
+
+    def test_read_only_names_resolve_to_host(self):
+        code = transform_expression("hostvalue + 1")
+        assert "host_lookup" in code
+
+    def test_this_maps_to_self(self):
+        code = transform_expression("this::m(1)")
+        assert "(self).m(1)" in code
+
+    def test_inline_expression_evaluates(self):
+        import repro.lang.prelude as prelude
+
+        namespace = {name: getattr(prelude, name) for name in prelude.__all__}
+        namespace["hostvalue"] = 10
+        node = eval(transform_expression("hostvalue * (1 to 3)"), namespace)
+        assert list(node) == [10, 20, 30]
+
+
+class TestOperatorLowering:
+    def test_value_equality_dialect(self):
+        code = transform_expression("a == b")
+        assert "iops.value_eq" in code
+
+    def test_swap_forms(self):
+        assert "IconSwap" in transform_expression("a :=: b")
+        assert "IconRevSwap" in transform_expression("a <-> b")
+        assert "IconRevAssign" in transform_expression("a <- b")
+
+    def test_augmented_assignment(self):
+        code = transform_expression("a +:= 1")
+        assert "augment=iops.plus" in code
+
+    def test_unknown_augment_rejected(self):
+        from repro.lang import ast_nodes as ast
+
+        compiler = ExpressionCompiler(Scope())
+        bad = ast.Assign(op="@:=", target=ast.Name(id="a"), value=ast.Literal(value=1))
+        with pytest.raises(TransformError):
+            compiler.c(bad)
+
+    def test_keyword_fail_is_empty_iterator(self):
+        assert "IconFail()" in transform_expression("&fail")
+
+    def test_scan_lowering(self):
+        assert "IconScan" in transform_expression('s ? tab(0)')
+
+    def test_section_lowering(self):
+        assert "IconSection" in transform_expression("s[1:3]")
+
+    def test_refresh_operator(self):
+        assert "_jrefresh" in transform_expression("^c")
+
+
+class TestScopeResolution:
+    def test_locals_from_assignment(self):
+        from repro.lang.transform import collect_locals
+
+        program = parse("def f() { x := 1; global g; g := 2; }")
+        names = collect_locals(program.body[0].body, [])
+        assert "x" in names and "g" not in names
+
+    def test_fields_take_precedence_over_implicit_locals(self):
+        from repro.lang.transform import collect_locals
+
+        program = parse("def f() { count := count + 1; }")
+        names = collect_locals(program.body[0].body, [], fields={"count"})
+        assert "count" not in names
+
+    def test_explicit_local_shadows_field(self):
+        from repro.lang.transform import collect_locals
+
+        program = parse("def f() { local count; count := 1; }")
+        names = collect_locals(program.body[0].body, [], fields={"count"})
+        assert "count" in names
+
+
+class TestCodeWriter:
+    def test_indentation(self):
+        writer = CodeWriter()
+        writer.emit("a")
+        writer.indent()
+        writer.emit("b")
+        writer.dedent()
+        writer.emit("")
+        assert writer.text() == "a\n    b\n\n"

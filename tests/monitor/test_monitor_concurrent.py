@@ -1,0 +1,71 @@
+"""Monitoring across threads: probes inside pipe workers."""
+
+import threading
+
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.pipe import Pipe
+from repro.runtime.iterator import IconGenerator
+from repro.monitor import Tracer
+
+
+class TestTracedPipeBodies:
+    def test_events_flow_from_worker_thread(self):
+        tracer = Tracer()
+
+        def body():
+            node = tracer.instrument(IconGenerator(lambda: range(3)))
+            yield from node
+
+        pipe = Pipe(CoExpression(body))
+        assert list(pipe) == [0, 1, 2]
+        assert tracer.counts()["produce"] == 3
+
+    def test_worker_thread_identity_observable_via_sink(self):
+        main_thread = threading.get_ident()
+        event_threads = []
+
+        def sink(_event):
+            event_threads.append(threading.get_ident())
+
+        tracer = Tracer(sink=sink)
+
+        def body():
+            node = tracer.instrument(IconGenerator(lambda: [1]))
+            yield from node
+
+        pipe = Pipe(CoExpression(body))
+        list(pipe)
+        assert event_threads
+        assert all(tid != main_thread for tid in event_threads)
+
+    def test_concurrent_tracers_do_not_interfere(self):
+        tracer_a, tracer_b = Tracer(), Tracer()
+
+        def make_pipe(tracer, count):
+            def body():
+                yield from tracer.instrument(
+                    IconGenerator(lambda: range(count))
+                )
+
+            return Pipe(CoExpression(body))
+
+        pipe_a = make_pipe(tracer_a, 5)
+        pipe_b = make_pipe(tracer_b, 7)
+        assert len(list(pipe_a)) == 5
+        assert len(list(pipe_b)) == 7
+        assert tracer_a.counts()["produce"] == 5
+        assert tracer_b.counts()["produce"] == 7
+
+    def test_shared_tracer_from_many_threads_loses_nothing(self):
+        tracer = Tracer()
+        pipes = []
+        for index in range(6):
+            def body(index=index):
+                yield from tracer.instrument(
+                    IconGenerator(lambda index=index: range(10))
+                )
+
+            pipes.append(Pipe(CoExpression(body)))
+        totals = [len(list(p)) for p in pipes]
+        assert totals == [10] * 6
+        assert tracer.counts()["produce"] == 60  # list.append is atomic

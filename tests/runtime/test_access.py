@@ -1,0 +1,180 @@
+"""Subscripting, sections, field access — Icon positions and variables."""
+
+import pytest
+
+from repro.errors import IconTypeError
+from repro.runtime.access import (
+    IconField,
+    IconIndex,
+    IconSection,
+    StringRef,
+    resolve_element,
+    resolve_position,
+)
+from repro.runtime.iterator import IconGenerator, IconValue, IconVarIterator
+from repro.runtime.refs import IconVar
+
+
+def cell(value, name="v"):
+    var = IconVar(name)
+    var.set(value)
+    return var
+
+
+class TestPositions:
+    def test_positive_positions(self):
+        assert resolve_position(1, 3) == 0
+        assert resolve_position(4, 3) == 3
+
+    def test_nonpositive_positions(self):
+        assert resolve_position(0, 3) == 3  # after the last element
+        assert resolve_position(-1, 3) == 2
+        assert resolve_position(-3, 3) == 0
+
+    def test_out_of_range(self):
+        assert resolve_position(5, 3) is None
+        assert resolve_position(-4, 3) is None
+
+    def test_element_resolution(self):
+        assert resolve_element(1, 3) == 0
+        assert resolve_element(3, 3) == 2
+        assert resolve_element(4, 3) is None  # the position after the end
+        assert resolve_element(-1, 3) == 2
+        assert resolve_element(0, 3) is None
+
+
+class TestListIndexing:
+    def test_one_based(self):
+        values = [10, 20, 30]
+        node = IconIndex(IconValue(values), IconValue(1))
+        assert list(node) == [10]
+
+    def test_negative_from_right(self):
+        node = IconIndex(IconValue([10, 20, 30]), IconValue(-1))
+        assert list(node) == [30]
+
+    def test_out_of_range_fails_not_errors(self):
+        node = IconIndex(IconValue([1]), IconValue(9))
+        assert list(node) == []
+
+    def test_result_is_assignable(self):
+        values = [1, 2, 3]
+        ref = IconIndex(IconValue(values), IconValue(2)).first(default=None)
+        node = IconIndex(IconValue(values), IconValue(2))
+        result = next(node.iterate())
+        result.set(99)
+        assert values == [1, 99, 3]
+        del ref
+
+    def test_generator_subscript(self):
+        node = IconIndex(IconValue([10, 20, 30]), IconGenerator(lambda: [1, 3]))
+        assert list(node) == [10, 30]
+
+
+class TestStringIndexing:
+    def test_character(self):
+        node = IconIndex(IconValue("abc"), IconValue(2))
+        assert list(node) == ["b"]
+
+    def test_string_variable_subscript_is_assignable(self):
+        var = cell("abc")
+        node = IconIndex(IconVarIterator(var), IconValue(2))
+        result = next(node.iterate())
+        assert isinstance(result, StringRef)
+        result.set("X")
+        assert var.get() == "aXc"
+
+    def test_string_value_subscript_not_assignable(self):
+        node = IconIndex(IconValue("abc"), IconValue(1))
+        result = next(node.iterate())
+        with pytest.raises(Exception):
+            result.set("X")
+
+    def test_string_ref_assignment_needs_string(self):
+        var = cell("abc")
+        ref = StringRef(var, 0)
+        with pytest.raises(IconTypeError):
+            ref.set(5)
+
+
+class TestTableIndexing:
+    def test_any_key_yields_variable(self):
+        table = {}
+        node = IconIndex(IconValue(table), IconValue("k"))
+        result = next(node.iterate())
+        assert result.get() is None
+        result.set(5)
+        assert table == {"k": 5}
+
+
+class TestForeignIndexing:
+    def test_tuple(self):
+        node = IconIndex(IconValue((1, 2)), IconValue(2))
+        assert list(node) == [2]
+
+    def test_unsubscriptable_raises(self):
+        with pytest.raises(IconTypeError):
+            list(IconIndex(IconValue(3.5), IconValue(1)))
+
+
+class TestSections:
+    def test_string_section(self):
+        node = IconSection(IconValue("abcdef"), IconValue(2), IconValue(4))
+        assert list(node) == ["bc"]
+
+    def test_whole_string_via_zero(self):
+        node = IconSection(IconValue("abc"), IconValue(1), IconValue(0))
+        assert list(node) == ["abc"]
+
+    def test_reversed_bounds_normalize(self):
+        node = IconSection(IconValue("abc"), IconValue(3), IconValue(1))
+        assert list(node) == ["ab"]
+
+    def test_plus_colon(self):
+        node = IconSection(IconValue("abcdef"), IconValue(2), IconValue(3), mode="+:")
+        assert list(node) == ["bcd"]
+
+    def test_minus_colon(self):
+        node = IconSection(IconValue("abcdef"), IconValue(4), IconValue(2), mode="-:")
+        assert list(node) == ["bc"]
+
+    def test_list_section_copies(self):
+        values = [1, 2, 3, 4]
+        node = IconSection(IconValue(values), IconValue(1), IconValue(3))
+        section = next(iter(node))
+        assert section == [1, 2]
+        section.append(99)
+        assert values == [1, 2, 3, 4]
+
+    def test_out_of_range_fails(self):
+        node = IconSection(IconValue("abc"), IconValue(1), IconValue(9))
+        assert list(node) == []
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            IconSection(IconValue("a"), IconValue(1), IconValue(1), mode="??")
+
+    def test_non_sequence_errors(self):
+        with pytest.raises(IconTypeError):
+            list(IconSection(IconValue(5), IconValue(1), IconValue(1)))
+
+
+class TestFieldAccess:
+    def test_object_field_is_variable(self):
+        class Point:
+            x = 0
+
+        point = Point()
+        node = IconField(IconValue(point), "x")
+        result = next(node.iterate())
+        result.set(7)
+        assert point.x == 7
+
+    def test_missing_field_errors(self):
+        with pytest.raises(IconTypeError):
+            list(IconField(IconValue(object()), "nope"))
+
+    def test_dict_field_access_as_table(self):
+        table = {"name": "icon"}
+        node = IconField(IconValue(table), "name")
+        assert list(node) == ["icon"]

@@ -1,0 +1,224 @@
+"""Composition forms: product, alternation, sequence, limit, every, ..."""
+
+import pytest
+
+from repro.runtime.failure import FAIL
+from repro.runtime.combinators import (
+    IconBound,
+    IconConcat,
+    IconEvery,
+    IconIn,
+    IconLimit,
+    IconNot,
+    IconProduct,
+    IconRepeatAlt,
+    IconSequence,
+)
+from repro.runtime.control import IconBreak, IconNext
+from repro.runtime.iterator import IconFail, IconGenerator, IconValue
+from repro.runtime.operations import IconAssign, IconToBy
+from repro.runtime.refs import IconTmp, IconVar
+
+
+def gen(*values):
+    return IconGenerator(lambda: values)
+
+
+class TestProduct:
+    def test_yields_right_operand_results(self):
+        node = IconProduct(gen(1, 2), gen("a", "b"))
+        assert list(node) == ["a", "b", "a", "b"]
+
+    def test_left_failure_short_circuits(self):
+        effects = []
+        right = IconGenerator(lambda: effects.append("evaluated") or [1])
+        node = IconProduct(IconFail(), right)
+        assert list(node) == []
+        assert effects == []
+
+    def test_right_reevaluated_per_left_result(self):
+        counter = {"n": 0}
+
+        def factory():
+            counter["n"] += 1
+            return [counter["n"]]
+
+        node = IconProduct(gen(0, 0, 0), IconGenerator(factory))
+        assert list(node) == [1, 2, 3]
+
+    def test_nary(self):
+        node = IconProduct(gen(1, 2), gen(0), gen("x", "y"))
+        assert list(node) == ["x", "y", "x", "y"]
+
+    def test_requires_operands(self):
+        with pytest.raises(ValueError):
+            IconProduct()
+
+
+class TestIn:
+    def test_binds_each_result(self):
+        tmp = IconTmp()
+        seen = []
+        node = IconProduct(
+            IconIn(tmp, gen(1, 2, 3)),
+            IconGenerator(lambda: [tmp.get() * 10]),
+        )
+        seen = list(node)
+        assert seen == [10, 20, 30]
+
+    def test_yields_the_ref(self):
+        tmp = IconTmp()
+        results = list(IconIn(tmp, gen(5)).iterate())
+        assert results == [tmp]
+
+    def test_derefs_before_binding(self):
+        cell = IconVar("x")
+        cell.set(9)
+        tmp = IconTmp()
+        list(IconIn(tmp, IconGenerator(lambda: [cell])).iterate())
+        assert tmp.get() == 9
+
+
+class TestConcat:
+    def test_alternation_order(self):
+        assert list(IconConcat(gen(1), gen(2, 3))) == [1, 2, 3]
+
+    def test_empty_operands(self):
+        assert list(IconConcat(IconFail(), gen(7), IconFail())) == [7]
+
+    def test_no_operands_fails(self):
+        assert list(IconConcat()) == []
+
+
+class TestSequence:
+    def test_delegates_to_last(self):
+        assert list(IconSequence(gen(1, 2), gen(3, 4))) == [3, 4]
+
+    def test_non_final_bounded_to_one_result(self):
+        counter = {"n": 0}
+
+        def count():
+            counter["n"] += 1
+            return [counter["n"], counter["n"] + 100]  # 2 results available
+
+        node = IconSequence(IconGenerator(count), gen("end"))
+        assert list(node) == ["end"]
+        assert counter["n"] == 1  # evaluated once, bounded
+
+    def test_failing_statement_does_not_stop_sequence(self):
+        assert list(IconSequence(IconFail(), gen("ok"))) == ["ok"]
+
+    def test_empty_sequence_fails(self):
+        assert list(IconSequence()) == []
+
+
+class TestBound:
+    def test_limits_to_one(self):
+        assert list(IconBound(gen(1, 2, 3))) == [1]
+
+    def test_propagates_failure(self):
+        assert list(IconBound(IconFail())) == []
+
+
+class TestLimit:
+    def test_limits_results(self):
+        assert list(IconLimit(IconToBy(1, 100), IconValue(3))) == [1, 2, 3]
+
+    def test_limit_beyond_length(self):
+        assert list(IconLimit(gen(1, 2), IconValue(10))) == [1, 2]
+
+    def test_zero_limit(self):
+        assert list(IconLimit(gen(1), IconValue(0))) == []
+
+    def test_failing_limit(self):
+        assert list(IconLimit(gen(1), IconFail())) == []
+
+
+class TestRepeatAlt:
+    def test_repeats_until_empty_pass(self):
+        remaining = {"passes": 3}
+
+        def factory():
+            if remaining["passes"] == 0:
+                return []
+            remaining["passes"] -= 1
+            return [remaining["passes"]]
+
+        node = IconRepeatAlt(IconGenerator(factory))
+        assert list(node) == [2, 1, 0]
+
+    def test_immediately_empty(self):
+        assert list(IconRepeatAlt(IconFail())) == []
+
+    def test_limited_infinite(self):
+        node = IconLimit(IconRepeatAlt(gen(1, 2)), IconValue(5))
+        assert list(node) == [1, 2, 1, 2, 1]
+
+
+class TestNot:
+    def test_succeeds_on_failure(self):
+        assert list(IconNot(IconFail())) == [None]
+
+    def test_fails_on_success(self):
+        assert list(IconNot(gen(1))) == []
+
+
+class TestEvery:
+    def test_drains_generator_and_fails(self):
+        seen = []
+        body = IconGenerator(lambda: [seen.append("tick")])
+        node = IconEvery(gen(1, 2, 3), body)
+        assert list(node) == []
+        assert seen == ["tick"] * 3
+
+    def test_no_body(self):
+        node = IconEvery(gen(1, 2))
+        assert list(node) == []
+
+    def test_break_in_body_stops(self):
+        cell = IconVar("count")
+        cell.set(0)
+        node = IconEvery(
+            IconIn(cell, IconToBy(1, 100)),
+            IconSequence(
+                # break when cell reaches 3
+                _break_if_three(cell),
+            ),
+        )
+        assert list(node) == []
+        assert cell.get() == 3
+
+    def test_break_with_value_becomes_outcome(self):
+        node = IconEvery(gen(1), IconBreak(IconValue("done")))
+        assert list(node) == ["done"]
+
+    def test_next_in_body_continues(self):
+        ticks = []
+        node = IconEvery(
+            gen(1, 2),
+            IconConcat(IconNext(), IconGenerator(lambda: [ticks.append(1)])),
+        )
+        assert list(node) == []
+        assert ticks == []  # next skipped the rest of the body both times
+
+    def test_assignment_driver(self):
+        """every x := 1 to 3 — the common driving idiom."""
+        cell = IconVar("x")
+        collected = []
+        node = IconEvery(
+            IconAssign(cell, IconToBy(1, 3)),
+            IconGenerator(lambda: [collected.append(cell.get())]),
+        )
+        list(node)
+        assert collected == [1, 2, 3]
+
+
+def _break_if_three(cell):
+    from repro.runtime.control import IconIf
+    from repro.runtime.operations import IconOperation, num_ge, plus
+
+    bump = IconAssign(cell, IconOperation(plus, cell, IconValue(1)))
+    return IconSequence(
+        bump,
+        IconIf(IconOperation(num_ge, cell, IconValue(3)), IconBreak()),
+    )

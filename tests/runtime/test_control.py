@@ -1,0 +1,271 @@
+"""Control constructs: if/while/until/repeat/case/suspend/return/fail."""
+
+import pytest
+
+from repro.runtime.failure import FAIL, FailSignal, ReturnSignal
+from repro.runtime.combinators import IconConcat, IconIn, IconSequence
+from repro.runtime.control import (
+    IconBreak,
+    IconCase,
+    IconFailStmt,
+    IconIf,
+    IconNext,
+    IconRepeat,
+    IconReturn,
+    IconSuspend,
+    IconUntil,
+    IconWhile,
+)
+from repro.runtime.invoke import IconMethodBody
+from repro.runtime.iterator import IconFail, IconGenerator, IconValue, IconVarIterator
+from repro.runtime.operations import IconAssign, IconOperation, IconToBy, num_lt, plus
+from repro.runtime.refs import IconVar
+
+
+def gen(*values):
+    return IconGenerator(lambda: values)
+
+
+def cell(value=None):
+    var = IconVar("v")
+    var.set(value)
+    return var
+
+
+class TestIf:
+    def test_then_branch_generates_all_results(self):
+        node = IconIf(IconValue(1), gen(1, 2, 3))
+        assert list(node) == [1, 2, 3]
+
+    def test_else_branch(self):
+        node = IconIf(IconFail(), gen(1), gen("e1", "e2"))
+        assert list(node) == ["e1", "e2"]
+
+    def test_no_else_fails(self):
+        assert list(IconIf(IconFail(), gen(1))) == []
+
+    def test_condition_is_bounded(self):
+        counter = {"n": 0}
+
+        def cond():
+            counter["n"] += 1
+            return [1, 2, 3]
+
+        node = IconIf(IconGenerator(cond), IconValue("t"))
+        assert list(node) == ["t"]
+        assert counter["n"] == 1
+
+
+class TestWhile:
+    def test_loops_until_cond_fails_then_fails(self):
+        var = cell(0)
+        node = IconWhile(
+            IconOperation(num_lt, var, IconValue(3)),
+            IconAssign(var, IconOperation(plus, var, IconValue(1))),
+        )
+        assert list(node) == []
+        assert var.get() == 3
+
+    def test_break_value_is_loop_outcome(self):
+        node = IconWhile(IconValue(1), IconBreak(IconValue(42)))
+        assert list(node) == [42]
+
+    def test_bare_break(self):
+        node = IconWhile(IconValue(1), IconBreak())
+        assert list(node) == []
+
+    def test_next_skips_rest_of_body(self):
+        var = cell(0)
+        effects = []
+        node = IconWhile(
+            IconOperation(num_lt, var, IconValue(2)),
+            IconSequence(
+                IconAssign(var, IconOperation(plus, var, IconValue(1))),
+                IconNext(),
+                IconGenerator(lambda: [effects.append("never")]),
+            ),
+        )
+        list(node)
+        assert effects == []
+        assert var.get() == 2
+
+
+class TestUntil:
+    def test_loops_until_cond_succeeds(self):
+        var = cell(0)
+        node = IconUntil(
+            IconOperation(lambda a, b: b if a >= b else FAIL, var, IconValue(3)),
+            IconAssign(var, IconOperation(plus, var, IconValue(1))),
+        )
+        assert list(node) == []
+        assert var.get() == 3
+
+    def test_break_in_body(self):
+        node = IconUntil(IconFail(), IconBreak(IconValue("out")))
+        assert list(node) == ["out"]
+
+
+class TestRepeat:
+    def test_loops_forever_until_break(self):
+        var = cell(0)
+        node = IconRepeat(
+            IconSequence(
+                IconAssign(var, IconOperation(plus, var, IconValue(1))),
+                IconIf(
+                    IconOperation(lambda a, b: b if a >= b else FAIL, var, IconValue(5)),
+                    IconBreak(),
+                ),
+            )
+        )
+        assert list(node) == []
+        assert var.get() == 5
+
+
+class TestCase:
+    def _case(self, subject):
+        return IconCase(
+            IconValue(subject),
+            [
+                (IconValue(1), IconValue("one")),
+                (IconConcat(IconValue(2), IconValue(3)), IconValue("few")),
+            ],
+            default=IconValue("many"),
+        )
+
+    def test_first_match(self):
+        assert list(self._case(1)) == ["one"]
+
+    def test_alternation_selector(self):
+        assert list(self._case(3)) == ["few"]
+
+    def test_default(self):
+        assert list(self._case(99)) == ["many"]
+
+    def test_no_default_fails(self):
+        node = IconCase(IconValue(9), [(IconValue(1), IconValue("one"))])
+        assert list(node) == []
+
+    def test_failing_subject_fails(self):
+        node = IconCase(IconFail(), [(IconValue(1), IconValue("one"))])
+        assert list(node) == []
+
+    def test_no_numeric_string_cross_match(self):
+        node = IconCase(IconValue("1"), [(IconValue(1), IconValue("int"))])
+        assert list(node) == []
+
+    def test_branch_body_generates(self):
+        node = IconCase(IconValue(1), [(IconValue(1), gen("a", "b"))])
+        assert list(node) == ["a", "b"]
+
+
+class TestSuspendInProcedures:
+    def _method(self, body):
+        return IconMethodBody(IconSequence(body, IconFail()))
+
+    def test_suspend_generates_all(self):
+        body = self._method(IconSuspend(gen(1, 2, 3)))
+        assert list(body) == [1, 2, 3]
+
+    def test_suspend_through_while(self):
+        var = cell(0)
+        body = self._method(
+            IconWhile(
+                IconOperation(num_lt, var, IconValue(3)),
+                IconSequence(
+                    IconSuspend(IconVarIterator(var)),
+                    IconAssign(var, IconOperation(plus, var, IconValue(1))),
+                ),
+            )
+        )
+        assert list(body) == [0, 1, 2]
+
+    def test_do_clause_runs_between_results(self):
+        ticks = []
+        body = self._method(
+            IconSuspend(gen("a", "b"), IconGenerator(lambda: [ticks.append(1)]))
+        )
+        out = []
+        for value in body:
+            out.append((value, len(ticks)))
+        # the do-clause runs on *resumption*, i.e. after each yield
+        assert out == [("a", 0), ("b", 1)]
+        assert len(ticks) == 2
+
+    def test_statements_after_suspend_run(self):
+        effects = []
+        body = self._method(
+            IconSequence(
+                IconSuspend(gen(1)),
+                IconGenerator(lambda: [effects.append("after")]),
+                IconFail(),
+            )
+        )
+        assert list(body) == [1]
+        assert effects == ["after"]
+
+
+class TestReturnFail:
+    def test_return_value(self):
+        body = IconMethodBody(IconSequence(IconReturn(IconValue(9)), IconFail()))
+        assert list(body) == [9]
+
+    def test_return_of_failing_expr_means_failure(self):
+        body = IconMethodBody(IconReturn(IconFail()))
+        assert list(body) == []
+
+    def test_bare_return_is_null(self):
+        body = IconMethodBody(IconReturn())
+        assert list(body) == [None]
+
+    def test_fail_statement(self):
+        body = IconMethodBody(IconSequence(IconFailStmt(), IconValue(1)))
+        assert list(body) == []
+
+    def test_return_signal_outside_body_escapes(self):
+        with pytest.raises(ReturnSignal):
+            list(IconReturn(IconValue(1)).iterate())
+
+    def test_fail_signal_outside_body_escapes(self):
+        with pytest.raises(FailSignal):
+            list(IconFailStmt().iterate())
+
+    def test_falling_off_end_fails(self):
+        body = IconMethodBody(IconSequence(IconValue(1), IconFail()))
+        assert list(body) == []
+
+    def test_return_stops_suspension(self):
+        body = IconMethodBody(
+            IconSequence(
+                IconSuspend(gen(1, 2)),
+                IconReturn(IconValue("done")),
+                IconFail(),
+            )
+        )
+        assert list(body) == [1, 2, "done"]
+
+    def test_return_first_result_only(self):
+        body = IconMethodBody(IconReturn(gen(5, 6, 7)))
+        assert list(body) == [5]
+
+
+class TestSuspendInEveryLoop:
+    def test_suspend_inside_every_do(self):
+        var = IconVar("i")
+        body = IconMethodBody(
+            IconSequence(
+                # every i := 1 to 3 do suspend i * 10
+                _every_suspend(var),
+                IconFail(),
+            )
+        )
+        assert list(body) == [10, 20, 30]
+
+
+def _every_suspend(var):
+    from repro.runtime.combinators import IconEvery
+    from repro.runtime.operations import times
+
+    return IconEvery(
+        IconAssign(var, IconToBy(1, 3)),
+        IconSuspend(IconOperation(times, var, IconValue(10))),
+    )

@@ -1,0 +1,75 @@
+"""The failure sentinel, control signals, and suspension envelopes."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.failure import (
+    FAIL,
+    BreakSignal,
+    ControlSignal,
+    FailSignal,
+    NextSignal,
+    ReturnSignal,
+    Suspension,
+    _FailSentinel,
+    succeeded,
+)
+
+
+class TestFailSentinel:
+    def test_singleton(self):
+        assert _FailSentinel() is FAIL
+
+    def test_falsy(self):
+        assert not FAIL
+        assert bool(FAIL) is False
+
+    def test_repr(self):
+        assert repr(FAIL) == "FAIL"
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(FAIL)) is FAIL
+
+    def test_succeeded(self):
+        assert succeeded(0)
+        assert succeeded(None)
+        assert succeeded("")
+        assert not succeeded(FAIL)
+
+
+class TestSignals:
+    def test_signals_are_exceptions_not_base_exceptions(self):
+        for cls in (BreakSignal, NextSignal, ReturnSignal, FailSignal):
+            assert issubclass(cls, ControlSignal)
+            assert issubclass(cls, Exception)
+
+    def test_break_carries_value_iterator(self):
+        marker = object()
+        assert BreakSignal(marker).value_iterator is marker
+        assert BreakSignal().value_iterator is None
+
+    def test_return_carries_value(self):
+        assert ReturnSignal(42).value == 42
+        assert ReturnSignal(FAIL).value is FAIL
+        assert ReturnSignal().value is None
+
+    def test_signals_raisable(self):
+        with pytest.raises(NextSignal):
+            raise NextSignal()
+        with pytest.raises(FailSignal):
+            raise FailSignal()
+
+
+class TestSuspension:
+    def test_carries_value(self):
+        envelope = Suspension(7)
+        assert envelope.value == 7
+
+    def test_repr(self):
+        assert "7" in repr(Suspension(7))
+
+    def test_nesting_preserved(self):
+        inner = Suspension(1)
+        outer = Suspension(inner)
+        assert outer.value is inner

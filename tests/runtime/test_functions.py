@@ -1,0 +1,282 @@
+"""Icon built-in function library."""
+
+import math
+
+import pytest
+
+from repro.errors import IconTypeError, IconValueError
+from repro.runtime.failure import FAIL
+from repro.runtime import functions as fn
+from repro.runtime.functions import BUILTINS, keyword, set_keyword
+from repro.runtime.types import Cset
+
+
+class TestConversions:
+    def test_integer_converts_or_fails(self):
+        assert fn.icon_integer("42") == 42
+        assert fn.icon_integer(3.0) == 3
+        assert fn.icon_integer("x") is FAIL
+        assert fn.icon_integer(3.5) is FAIL
+
+    def test_numeric(self):
+        assert fn.icon_numeric("2.5") == 2.5
+        assert fn.icon_numeric([1]) is FAIL
+
+    def test_real(self):
+        assert fn.icon_real("2") == 2.0
+        assert fn.icon_real("zap") is FAIL
+
+    def test_string(self):
+        assert fn.icon_string(12) == "12"
+        assert fn.icon_string([1]) is FAIL
+
+    def test_cset(self):
+        assert fn.icon_cset("ab") == Cset("ab")
+        assert fn.icon_cset([1]) is FAIL
+
+
+class TestTypeAndImage:
+    def test_type_names(self):
+        assert fn.icon_type(1) == "integer"
+        assert fn.icon_type(1.5) == "real"
+        assert fn.icon_type("s") == "string"
+        assert fn.icon_type(None) == "null"
+        assert fn.icon_type([]) == "list"
+        assert fn.icon_type({}) == "table"
+        assert fn.icon_type(set()) == "set"
+        assert fn.icon_type(Cset("a")) == "cset"
+        assert fn.icon_type(len) == "procedure"
+
+    def test_image(self):
+        assert fn.icon_image("a\"b") == '"a\\"b"'
+        assert fn.icon_image(None) == "&null"
+        assert fn.icon_image(5) == "5"
+        assert fn.icon_image(Cset("ab")) == "'ab'"
+        assert fn.icon_image([1, 2]).startswith("list_")
+        assert "procedure" in fn.icon_image(len)
+
+    def test_copy_is_one_level(self):
+        nested = [1, [2]]
+        duplicate = fn.icon_copy(nested)
+        assert duplicate == nested and duplicate is not nested
+        assert duplicate[1] is nested[1]
+
+    def test_copy_table_and_set(self):
+        assert fn.icon_copy({"a": 1}) == {"a": 1}
+        assert fn.icon_copy({1, 2}) == {1, 2}
+
+    def test_copy_scalar_passthrough(self):
+        assert fn.icon_copy("x") == "x"
+
+
+class TestNumericBuiltins:
+    def test_abs_min_max(self):
+        assert fn.icon_abs("-5") == 5
+        assert fn.icon_min(3, "1", 2) == 1
+        assert fn.icon_max(3, "10", 2) == 10
+        assert fn.icon_min() is FAIL
+
+    def test_char_ord(self):
+        assert fn.icon_char(65) == "A"
+        assert fn.icon_ord("A") == 65
+        with pytest.raises(IconValueError):
+            fn.icon_ord("AB")
+        with pytest.raises(IconValueError):
+            fn.icon_char(-1)
+
+    def test_math(self):
+        assert fn.icon_sqrt(4) == 2.0
+        assert fn.icon_exp(0) == 1.0
+        assert abs(fn.icon_sin(math.pi)) < 1e-9
+        assert fn.icon_log(math.e) == pytest.approx(1.0)
+        assert fn.icon_log(8, 2) == pytest.approx(3.0)
+        assert fn.icon_atan(1) == pytest.approx(math.pi / 4)
+        assert fn.icon_atan(1, 1) == pytest.approx(math.pi / 4)
+
+
+class TestGenerators:
+    def test_seq_unbounded(self):
+        stream = fn.seq(5, 10)
+        assert [next(stream) for _ in range(3)] == [5, 15, 25]
+
+    def test_seq_zero_step_errors(self):
+        with pytest.raises(IconValueError):
+            next(fn.seq(1, 0))
+
+    def test_key_generates_table_keys(self):
+        assert sorted(fn.key({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_key_requires_table(self):
+        with pytest.raises(IconTypeError):
+            list(fn.key([1]))
+
+
+class TestStringBuiltins:
+    def test_left_right_center(self):
+        assert fn.left("ab", 5) == "ab   "
+        assert fn.left("abcdef", 3) == "abc"
+        assert fn.right("ab", 5) == "   ab"
+        assert fn.right("abcdef", 3) == "def"
+        assert fn.center("ab", 6, "-") == "--ab--"
+        assert fn.center("abcdef", 2) == "cd"
+
+    def test_pad_characters(self):
+        assert fn.left("x", 4, "ab") == "xaba"
+
+    def test_negative_width_errors(self):
+        with pytest.raises(IconValueError):
+            fn.left("x", -1)
+
+    def test_repl(self):
+        assert fn.repl("ab", 3) == "ababab"
+        assert fn.repl("ab", 0) == ""
+        with pytest.raises(IconValueError):
+            fn.repl("a", -1)
+
+    def test_reverse(self):
+        assert fn.reverse("abc") == "cba"
+        assert fn.reverse([1, 2, 3]) == [3, 2, 1]
+
+    def test_trim(self):
+        assert fn.trim("abc   ") == "abc"
+        assert fn.trim("abcxxx", Cset("x")) == "abc"
+
+    def test_map_transliteration(self):
+        assert fn.icon_map("HELLO") == "hello"  # default: upper→lower
+        assert fn.icon_map("abc", "abc", "xyz") == "xyz"
+        with pytest.raises(IconValueError):
+            fn.icon_map("a", "ab", "x")
+
+
+class TestStructureBuiltins:
+    def test_list_constructor(self):
+        assert fn.icon_list(3, 0) == [0, 0, 0]
+        assert fn.icon_list() == []
+
+    def test_table_with_default(self):
+        table = fn.icon_table("none")
+        assert table.get("missing") == "none"
+        table["k"] = 1
+        assert table.get("k") == 1
+
+    def test_set_constructor(self):
+        assert fn.icon_set([1, 2, 2]) == {1, 2}
+        assert fn.icon_set() == set()
+        with pytest.raises(IconTypeError):
+            fn.icon_set("abc")
+
+    def test_put_push_get_pull(self):
+        values = [2]
+        fn.put(values, 3, 4)
+        fn.push(values, 1)
+        assert values == [1, 2, 3, 4]
+        assert fn.get(values) == 1
+        assert fn.pull(values) == 4
+        assert values == [2, 3]
+
+    def test_get_pull_fail_on_empty(self):
+        assert fn.get([]) is FAIL
+        assert fn.pull([]) is FAIL
+
+    def test_put_requires_list(self):
+        with pytest.raises(IconTypeError):
+            fn.put("x", 1)
+
+    def test_insert_delete_member(self):
+        table = {}
+        fn.insert(table, "k", 1)
+        assert fn.member(table, "k") == "k"
+        fn.delete(table, "k")
+        assert fn.member(table, "k") is FAIL
+
+        members = set()
+        fn.insert(members, 5)
+        assert fn.member(members, 5) == 5
+        fn.delete(members, 5)
+        assert fn.member(members, 5) is FAIL
+
+    def test_sort(self):
+        assert fn.icon_sort([3, 1, 2]) == [1, 2, 3]
+        assert fn.icon_sort({"b": 2, "a": 1}) == [["a", 1], ["b", 2]]
+        assert fn.icon_sort({2, 1}) == [1, 2]
+        assert fn.icon_sort(Cset("ba")) == ["a", "b"]
+        assert fn.icon_sort([2, "a", 1]) == [1, 2, "a"]  # numbers before strings
+
+
+class TestIO:
+    def test_write_returns_last_argument(self, capsys):
+        assert fn.write("total=", 5) == 5
+        assert capsys.readouterr().out == "total=5\n"
+
+    def test_writes_no_newline(self, capsys):
+        fn.writes("a")
+        assert capsys.readouterr().out == "a"
+
+    def test_write_nulls_are_empty(self, capsys):
+        fn.write(None, "x")
+        assert capsys.readouterr().out == "x\n"
+
+    def test_read_from_handle(self):
+        import io
+
+        handle = io.StringIO("line1\nline2\n")
+        assert fn.read(handle) == "line1"
+        assert fn.read(handle) == "line2"
+        assert fn.read(handle) is FAIL
+
+    def test_stop_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            fn.stop("bye")
+        assert "bye" in capsys.readouterr().err
+
+
+class TestKeywords:
+    def test_constant_keywords(self):
+        assert keyword("null") is None
+        assert keyword("digits") == Cset("0123456789")
+        assert len(keyword("lcase")) == 26
+        assert len(keyword("ucase")) == 26
+        assert len(keyword("letters")) == 52
+        assert len(keyword("ascii")) == 128
+        assert len(keyword("cset")) == 256
+        assert keyword("fail") is FAIL
+
+    def test_clock_and_date_shapes(self):
+        assert len(keyword("clock").split(":")) == 3
+        assert len(keyword("date").split("/")) == 3
+
+    def test_time_monotonic(self):
+        assert isinstance(keyword("time"), int)
+
+    def test_version(self):
+        assert "Junicon" in keyword("version") or "junicon" in keyword("version").lower()
+
+    def test_unknown_keyword(self):
+        with pytest.raises(IconValueError):
+            keyword("nosuch")
+
+    def test_random_assignable(self):
+        set_keyword("random", 5)
+        from repro.runtime.operations import random_of
+
+        first = random_of(1000)
+        set_keyword("random", 5)
+        assert random_of(1000) == first
+
+    def test_unassignable_keyword(self):
+        with pytest.raises(IconValueError):
+            set_keyword("digits", "x")
+
+
+class TestRegistry:
+    def test_registry_contains_core_names(self):
+        for name in (
+            "abs", "center", "char", "copy", "find", "image", "insert",
+            "integer", "left", "many", "map", "match", "move", "pos", "pull",
+            "push", "put", "read", "repl", "reverse", "right", "seq", "sort",
+            "sqrt", "tab", "table", "trim", "type", "upto", "write",
+        ):
+            assert name in BUILTINS, name
+
+    def test_registry_callables(self):
+        assert all(callable(value) for value in BUILTINS.values())

@@ -1,0 +1,231 @@
+"""Invocation: delegation rules, method bodies, the body cache."""
+
+import threading
+
+import pytest
+
+from repro.errors import IconNotAFunctionError
+from repro.runtime.cache import MethodBodyCache
+from repro.runtime.control import IconSuspend
+from repro.runtime.combinators import IconSequence
+from repro.runtime.failure import FAIL
+from repro.runtime.invoke import (
+    IconInvoke,
+    IconInvokeIterator,
+    IconMethodBody,
+    icon_function,
+    is_generator_function,
+    iterate_call_result,
+)
+from repro.runtime.iterator import IconFail, IconGenerator, IconValue
+
+
+class TestDelegationRules:
+    def test_plain_function_promotes_to_singleton(self):
+        node = IconInvoke(IconValue(len), IconValue("abc"))
+        assert list(node) == [3]
+
+    def test_list_result_not_iterated(self):
+        node = IconInvoke(IconValue(lambda: [1, 2, 3]))
+        assert list(node) == [[1, 2, 3]]
+
+    def test_generator_function_delegates(self):
+        def firsts(n):
+            yield from range(n)
+
+        node = IconInvoke(IconValue(firsts), IconValue(3))
+        assert list(node) == [0, 1, 2]
+
+    def test_failing_generator_function(self):
+        def nothing(x):
+            return
+            yield
+
+        node = IconInvoke(IconValue(nothing), IconValue(1))
+        assert list(node) == []
+
+    def test_icon_function_marker(self):
+        @icon_function
+        def wrapped(x):
+            return iter([x, x + 1])
+
+        assert is_generator_function(wrapped)
+        node = IconInvoke(IconValue(wrapped), IconValue(5))
+        assert list(node) == [5, 6]
+
+    def test_fail_return_means_failure(self):
+        node = IconInvoke(IconValue(lambda: FAIL))
+        assert list(node) == []
+
+    def test_native_flag_forces_singleton(self):
+        def gen(n):
+            yield from range(n)
+
+        produced = gen(2)
+        node = IconInvoke(IconValue(lambda: produced), native=True)
+        results = list(node.iterate())
+        assert results == [produced]
+
+    def test_cross_product_of_args(self):
+        node = IconInvoke(
+            IconValue(lambda a, b: a * b),
+            IconGenerator(lambda: [1, 2]),
+            IconGenerator(lambda: [10, 100]),
+        )
+        assert list(node) == [10, 100, 20, 200]
+
+    def test_callee_generator(self):
+        node = IconInvoke(
+            IconGenerator(lambda: [lambda x: x + 1, lambda x: x * 10]),
+            IconValue(5),
+        )
+        assert list(node) == [6, 50]
+
+    def test_mutual_evaluation(self):
+        node = IconInvoke(IconValue(2), IconValue("a"), IconValue("b"))
+        assert list(node) == ["b"]
+        node = IconInvoke(IconValue(-1), IconValue("a"), IconValue("b"))
+        assert list(node) == ["b"]
+        node = IconInvoke(IconValue(5), IconValue("a"))
+        assert list(node) == []
+
+    def test_string_invocation_resolves_builtins(self):
+        node = IconInvoke(IconValue("sqrt"), IconValue(9))
+        assert list(node) == [3.0]
+
+    def test_string_invocation_unknown_name_fails(self):
+        node = IconInvoke(IconValue("no_such_procedure"), IconValue(1))
+        assert list(node) == []
+
+    def test_non_callable_raises(self):
+        with pytest.raises(IconNotAFunctionError):
+            list(IconInvoke(IconValue(3.5), IconValue(1)))
+
+
+class TestInvokeIterator:
+    def test_closure_reinvoked_per_pass(self):
+        counter = {"n": 0}
+
+        def closure():
+            counter["n"] += 1
+            return counter["n"]
+
+        node = IconInvokeIterator(closure)
+        assert list(node) == [1]
+        assert list(node) == [2]
+
+    def test_icon_iterator_result_delegated(self):
+        node = IconInvokeIterator(lambda: IconGenerator(lambda: [1, 2]))
+        assert list(node) == [1, 2]
+
+    def test_fail_result(self):
+        node = IconInvokeIterator(lambda: FAIL)
+        assert list(node) == []
+
+    def test_iterate_call_result_helper(self):
+        assert list(iterate_call_result(FAIL)) == []
+        assert list(iterate_call_result(5)) == [5]
+        assert list(iterate_call_result(iter([1, 2]))) == [1, 2]
+
+
+class TestMethodBody:
+    def _body(self):
+        return IconMethodBody(
+            IconSequence(IconSuspend(IconGenerator(lambda: [1, 2])), IconFail())
+        )
+
+    def test_unpack_closure(self):
+        captured = []
+        body = IconMethodBody(IconFail(), unpack=lambda *a: captured.append(a))
+        body.unpack_args(1, 2)
+        assert captured == [(1, 2)]
+
+    def test_fluent_api_aliases(self):
+        body = IconMethodBody(IconFail())
+        assert body.setUnpackClosure(lambda *a: None) is body
+        assert body.unpackArgs() is body
+
+    def test_released_to_cache_on_completion(self):
+        cache = MethodBodyCache()
+        body = self._body().set_cache(cache, "m")
+        assert list(body) == [1, 2]
+        assert cache.get_free("m") is body
+
+    def test_cache_roundtrip_reuse(self):
+        cache = MethodBodyCache()
+        body = self._body().set_cache(cache, "m")
+        list(body)
+        again = cache.get_free("m")
+        assert again is body
+        assert list(again.reset()) == [1, 2]
+
+
+class TestMethodBodyCache:
+    def test_miss_then_hit(self):
+        cache = MethodBodyCache()
+        assert cache.get_free("k") is None
+        cache.release("k", "body")
+        assert cache.get_free("k") == "body"
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_lifo(self):
+        cache = MethodBodyCache()
+        cache.release("k", "a")
+        cache.release("k", "b")
+        assert cache.get_free("k") == "b"
+        assert cache.get_free("k") == "a"
+
+    def test_capacity_bound(self):
+        cache = MethodBodyCache(max_per_method=2)
+        for body in ("a", "b", "c"):
+            cache.release("k", body)
+        # deque(maxlen=2) keeps the two most recent
+        assert cache.get_free("k") == "c"
+        assert cache.get_free("k") == "b"
+        assert cache.get_free("k") is None
+
+    def test_double_release_filtered(self):
+        cache = MethodBodyCache()
+        cache.release("k", "x")
+        cache.release("k", "x")
+        assert cache.get_free("k") == "x"
+        assert cache.get_free("k") is None
+
+    def test_disabled_instance(self):
+        cache = MethodBodyCache(enabled=False)
+        cache.release("k", "x")
+        assert cache.get_free("k") is None
+
+    def test_disabled_globally(self, cache_disabled):
+        cache = MethodBodyCache()
+        cache.release("k", "x")
+        assert cache.get_free("k") is None
+
+    def test_clear(self):
+        cache = MethodBodyCache()
+        cache.release("k", "x")
+        cache.clear()
+        assert cache.get_free("k") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MethodBodyCache(max_per_method=-1)
+
+    def test_thread_safety_smoke(self):
+        cache = MethodBodyCache(max_per_method=64)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(500):
+                    cache.release("k", f"{tag}-{i}")
+                    cache.get_free("k")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

@@ -1,0 +1,182 @@
+"""The iterator kernel: failure-driven stepping, restart, host views."""
+
+import pytest
+
+from repro.runtime.failure import FAIL, Suspension
+from repro.runtime.iterator import (
+    IconFail,
+    IconGenerator,
+    IconIterator,
+    IconLazy,
+    IconNullIterator,
+    IconValue,
+    IconVarIterator,
+    as_iterator,
+    step_bounded,
+    unwrap,
+)
+from repro.runtime.refs import IconVar
+
+
+class TestIconValue:
+    def test_singleton(self):
+        assert list(IconValue(5)) == [5]
+
+    def test_restartable(self):
+        node = IconValue("x")
+        assert list(node) == ["x"]
+        assert list(node) == ["x"]
+
+
+class TestIconFail:
+    def test_empty(self):
+        assert list(IconFail()) == []
+        assert IconFail().first() is FAIL
+        assert not IconFail().exists()
+
+
+class TestIconNull:
+    def test_produces_none_once(self):
+        assert list(IconNullIterator()) == [None]
+
+
+class TestIconLazy:
+    def test_defers_computation(self):
+        calls = []
+        node = IconLazy(lambda: calls.append(1) or len(calls))
+        assert not calls
+        assert node.first() == 1
+        assert node.first() == 2  # re-evaluated per pass
+
+
+class TestIconGenerator:
+    def test_factory_restart(self):
+        node = IconGenerator(lambda: range(3))
+        assert list(node) == [0, 1, 2]
+        assert list(node) == [0, 1, 2]  # a fresh pass re-invokes the factory
+
+    def test_single_shot_source_exhausts(self):
+        source = iter([1, 2])
+        node = IconGenerator(lambda: source)
+        assert list(node) == [1, 2]
+        assert list(node) == []
+
+
+class TestStatefulStepping:
+    def test_next_value_walks_results(self):
+        node = IconGenerator(lambda: [10, 20])
+        assert node.next_value() == 10
+        assert node.next_value() == 20
+        assert node.next_value() is FAIL
+
+    def test_restart_after_failure(self):
+        """The paper's kernel contract: after failure the iterator is
+        restarted on the following next()."""
+        node = IconGenerator(lambda: [1])
+        assert node.next_value() == 1
+        assert node.next_value() is FAIL
+        assert node.next_value() == 1
+
+    def test_explicit_restart(self):
+        node = IconGenerator(lambda: [1, 2, 3])
+        assert node.next_value() == 1
+        node.restart()
+        assert node.next_value() == 1
+
+    def test_reset_alias(self):
+        node = IconValue(1)
+        assert node.reset() is node
+
+
+class TestHostViews:
+    def test_iter_derefs(self):
+        cell = IconVar("x")
+        cell.set(42)
+        assert list(IconVarIterator(cell)) == [42]
+
+    def test_first_default(self):
+        assert IconFail().first(default="d") == "d"
+
+    def test_last(self):
+        assert IconGenerator(lambda: [1, 2, 3]).last() == 3
+        assert IconFail().last(default=0) == 0
+
+    def test_list(self):
+        assert IconGenerator(lambda: "ab").list() == ["a", "b"]
+
+    def test_values_alias(self):
+        assert list(IconValue(1).values()) == [1]
+
+    def test_exists(self):
+        assert IconValue(None).exists()  # null is still a result
+
+
+class TestAsIterator:
+    def test_node_passthrough(self):
+        node = IconValue(1)
+        assert as_iterator(node) is node
+
+    def test_ref_becomes_variable_iterator(self):
+        cell = IconVar("x")
+        node = as_iterator(cell)
+        assert isinstance(node, IconVarIterator)
+
+    def test_callable_is_a_value(self):
+        fn = lambda: 1  # noqa: E731
+        node = as_iterator(fn)
+        assert list(node.iterate()) == [fn]
+
+    def test_plain_value(self):
+        assert list(as_iterator(99)) == [99]
+
+
+class TestStepBounded:
+    def test_returns_first_ordinary_result(self):
+        def drive():
+            outcome = yield from step_bounded(IconGenerator(lambda: [7, 8]))
+            return outcome
+
+        gen = drive()
+        with pytest.raises(StopIteration) as info:
+            next(gen)
+        assert info.value.value == 7
+
+    def test_fail_outcome(self):
+        def drive():
+            return (yield from step_bounded(IconFail()))
+
+        gen = drive()
+        with pytest.raises(StopIteration) as info:
+            next(gen)
+        assert info.value.value is FAIL
+
+    def test_forwards_envelopes(self):
+        class Suspender(IconIterator):
+            def iterate(self):
+                yield Suspension("s")
+                yield "ordinary"
+
+        def drive():
+            return (yield from step_bounded(Suspender()))
+
+        gen = drive()
+        first = next(gen)
+        assert isinstance(first, Suspension) and first.value == "s"
+        with pytest.raises(StopIteration) as info:
+            next(gen)
+        assert info.value.value == "ordinary"
+
+
+class TestUnwrap:
+    def test_unwraps_envelope(self):
+        assert unwrap(Suspension(3)) == 3
+
+    def test_passthrough(self):
+        assert unwrap(3) == 3
+
+    def test_next_value_unwraps(self):
+        class Suspender(IconIterator):
+            def iterate(self):
+                yield Suspension("v")
+
+        assert Suspender().next_value() == "v"

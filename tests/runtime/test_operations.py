@@ -1,0 +1,340 @@
+"""Icon operator semantics: coercion, arithmetic, comparisons, assignment."""
+
+import pytest
+
+from repro.errors import IconTypeError, IconValueError
+from repro.runtime.failure import FAIL
+from repro.runtime.combinators import IconProduct
+from repro.runtime.iterator import IconFail, IconGenerator, IconValue, IconVarIterator
+from repro.runtime import operations as ops
+from repro.runtime.operations import (
+    IconAssign,
+    IconDeref,
+    IconNonNullTest,
+    IconNullTest,
+    IconOperation,
+    IconRevAssign,
+    IconRevSwap,
+    IconSwap,
+    IconToBy,
+    operation,
+    seed_random,
+)
+from repro.runtime.refs import IconVar, ReadOnlyRef
+from repro.runtime.types import Cset
+
+
+def cell(value=None, name="v"):
+    var = IconVar(name)
+    var.set(value)
+    return var
+
+
+class TestCoercion:
+    def test_numeric_strings_convert(self):
+        assert ops.need_number("42") == 42
+        assert ops.need_number(" 3.5 ") == 3.5
+
+    def test_non_numeric_string_raises(self):
+        with pytest.raises(IconTypeError):
+            ops.need_number("zap")
+
+    def test_boolean_rejected(self):
+        with pytest.raises(IconTypeError):
+            ops.need_number(True)
+
+    def test_integer_from_integral_float(self):
+        assert ops.need_integer(4.0) == 4
+
+    def test_integer_from_fractional_float_raises(self):
+        with pytest.raises(IconTypeError):
+            ops.need_integer(4.5)
+
+    def test_string_from_number(self):
+        assert ops.need_string(12) == "12"
+        assert ops.need_string(1.5) == "1.5"
+
+    def test_string_from_cset(self):
+        assert ops.need_string(Cset("ba")) == "ab"
+
+
+class TestArithmetic:
+    def test_plus_coerces(self):
+        assert ops.plus("2", 3) == 5
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert ops.divide(7, 2) == 3
+        assert ops.divide(-7, 2) == -3
+        assert ops.divide(7, -2) == -3
+
+    def test_float_division(self):
+        assert ops.divide(7.0, 2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(IconValueError):
+            ops.divide(1, 0)
+
+    def test_modulo_sign_of_dividend(self):
+        assert ops.modulo(7, 3) == 1
+        assert ops.modulo(-7, 3) == -1
+        assert ops.modulo(7, -3) == 1
+
+    def test_power(self):
+        assert ops.power(2, 10) == 1024
+        assert ops.power(2, -1) == 0.5
+
+    def test_negate_and_numerate(self):
+        assert ops.negate("5") == -5
+        assert ops.numerate("6") == 6
+
+
+class TestComparisons:
+    def test_numeric_lt_returns_right_operand(self):
+        assert ops.num_lt(1, 2) == 2
+        assert ops.num_lt(2, 1) is FAIL
+
+    def test_chaining_via_right_operand(self):
+        # 1 <= x <= 10 with x = 5
+        node = IconOperation(
+            ops.num_le,
+            IconOperation(ops.num_le, IconValue(1), IconValue(5)),
+            IconValue(10),
+        )
+        assert list(node) == [10]
+
+    def test_numeric_comparison_coerces_strings(self):
+        assert ops.num_eq("5", 5.0) == 5.0
+
+    def test_lexical_comparisons(self):
+        assert ops.lex_lt("abc", "abd") == "abd"
+        assert ops.lex_eq("x", "x") == "x"
+        assert ops.lex_eq("x", "y") is FAIL
+        assert ops.lex_ge("b", "a") == "a"
+
+    def test_value_eq_same_type(self):
+        assert ops.value_eq(3, 3) == 3
+        assert ops.value_eq("3", 3) is FAIL
+
+    def test_value_eq_mutables_by_identity(self):
+        shared = [1]
+        assert ops.value_eq(shared, shared) is shared
+        assert ops.value_eq([1], [1]) is FAIL
+
+    def test_value_ne(self):
+        assert ops.value_ne(1, 2) == 2
+        assert ops.value_ne(1, 1) is FAIL
+
+
+class TestConcatAndSets:
+    def test_string_concat_coerces(self):
+        assert ops.concat("a", 1) == "a1"
+
+    def test_list_concat(self):
+        assert ops.list_concat([1], [2]) == [1, 2]
+        with pytest.raises(IconTypeError):
+            ops.list_concat([1], "x")
+
+    def test_cset_union_difference_intersection(self):
+        assert ops.union("ab", "bc") == Cset("abc")
+        assert ops.difference("abc", "b") == Cset("ac")
+        assert ops.intersection("abc", "bcd") == Cset("bc")
+
+    def test_set_algebra_on_python_sets(self):
+        assert ops.union({1}, {2}) == {1, 2}
+        assert ops.difference({1, 2}, {2}) == {1}
+        assert ops.intersection({1, 2}, {2, 3}) == {2}
+
+    def test_complement(self):
+        comp = ops.complement("a")
+        assert "a" not in comp
+        assert "b" in comp
+        assert len(comp) == 255
+
+
+class TestSizeAndRandom:
+    def test_size_of_containers(self):
+        assert ops.size("abc") == 3
+        assert ops.size([1, 2]) == 2
+        assert ops.size({"k": 1}) == 1
+        assert ops.size(Cset("ab")) == 2
+
+    def test_size_of_number_is_string_length(self):
+        assert ops.size(1234) == 4
+
+    def test_size_undefined(self):
+        with pytest.raises(IconTypeError):
+            ops.size(object())
+
+    def test_random_integer_range(self):
+        seed_random(1)
+        for _ in range(50):
+            value = ops.random_of(6)
+            assert 1 <= value <= 6
+
+    def test_random_reproducible(self):
+        seed_random(99)
+        first = [ops.random_of(100) for _ in range(5)]
+        seed_random(99)
+        assert [ops.random_of(100) for _ in range(5)] == first
+
+    def test_random_of_empty_fails(self):
+        assert ops.random_of("") is FAIL
+        assert ops.random_of([]) is FAIL
+
+
+class TestOperationNode:
+    def test_cross_product(self):
+        node = IconOperation(ops.times, IconGenerator(lambda: [1, 2]),
+                             IconGenerator(lambda: [10, 20]))
+        assert list(node) == [10, 20, 20, 40]
+
+    def test_fail_filters(self):
+        node = IconOperation(ops.num_lt, IconGenerator(lambda: [1, 5]),
+                             IconValue(3))
+        assert list(node) == [3]  # only 1 < 3 succeeds
+
+    def test_three_operands(self):
+        node = IconOperation(
+            lambda a, b, c: a + b + c, IconValue(1), IconValue(2), IconValue(3)
+        )
+        assert list(node) == [6]
+
+    def test_operation_by_symbol(self):
+        assert list(operation("+", IconValue(1), IconValue(2))) == [3]
+        assert list(operation("*", IconValue("abc"))) == [3]
+
+    def test_unknown_symbol(self):
+        with pytest.raises(IconValueError):
+            operation("???", IconValue(1), IconValue(2))
+
+
+class TestToBy:
+    def test_basic_range(self):
+        assert list(IconToBy(1, 4)) == [1, 2, 3, 4]
+
+    def test_step(self):
+        assert list(IconToBy(0, 10, 3)) == [0, 3, 6, 9]
+
+    def test_negative_step(self):
+        assert list(IconToBy(5, 1, -2)) == [5, 3, 1]
+
+    def test_empty_range(self):
+        assert list(IconToBy(5, 1)) == []
+
+    def test_zero_step_errors(self):
+        with pytest.raises(IconValueError):
+            list(IconToBy(1, 5, 0))
+
+    def test_generator_bounds_cross_product(self):
+        node = IconToBy(IconGenerator(lambda: [1, 10]), IconValue(2))
+        # 1 to 2 yields 1,2; 10 to 2 yields nothing
+        assert list(node) == [1, 2]
+
+    def test_float_progression(self):
+        assert list(IconToBy(0, 1, 0.5)) == [0, 0.5, 1.0]
+
+
+class TestAssignment:
+    def test_plain_assignment_yields_variable(self):
+        var = cell()
+        results = list(IconAssign(IconVarIterator(var), IconValue(5)).iterate())
+        assert var.get() == 5
+        assert results == [var]
+
+    def test_assignment_chains(self):
+        a, b = cell(name="a"), cell(name="b")
+        node = IconAssign(IconVarIterator(a), IconAssign(IconVarIterator(b), IconValue(1)))
+        list(node)
+        assert a.get() == 1 and b.get() == 1
+
+    def test_augmented(self):
+        var = cell(10)
+        list(IconAssign(IconVarIterator(var), IconValue(5), augment=ops.plus))
+        assert var.get() == 15
+
+    def test_augmented_comparison_assigns_only_on_success(self):
+        var = cell(10)
+        # var <:= 5 — fails, no assignment
+        assert list(IconAssign(IconVarIterator(var), IconValue(5), augment=ops.num_lt)) == []
+        assert var.get() == 10
+        # var <:= 20 — succeeds, assigns the right operand
+        list(IconAssign(IconVarIterator(var), IconValue(20), augment=ops.num_lt))
+        assert var.get() == 20
+
+    def test_assignment_generates_per_rhs_result(self):
+        var = cell()
+        node = IconAssign(IconVarIterator(var), IconGenerator(lambda: [1, 2]))
+        assert list(node) == [1, 2]
+        assert var.get() == 2
+
+
+class TestReversibleAssignment:
+    def test_kept_when_accepted(self):
+        var = cell(1)
+        node = IconRevAssign(IconVarIterator(var), IconValue(9))
+        assert node.first() == 9  # bounded acceptance
+        assert var.get() == 9
+
+    def test_reversed_on_backtracking(self):
+        var = cell(1)
+        node = IconProduct(IconRevAssign(IconVarIterator(var), IconValue(9)), IconFail())
+        assert list(node) == []
+        assert var.get() == 1
+
+    def test_non_variable_target_raises(self):
+        node = IconRevAssign(IconValue(1), IconValue(2))
+        with pytest.raises(IconTypeError):
+            list(node)
+
+
+class TestSwap:
+    def test_swap(self):
+        a, b = cell(1, "a"), cell(2, "b")
+        node = IconSwap(IconVarIterator(a), IconVarIterator(b))
+        assert node.first() == 2  # yields the left variable (now 2)
+        assert (a.get(), b.get()) == (2, 1)
+
+    def test_reversible_swap_undone_on_backtracking(self):
+        a, b = cell(1, "a"), cell(2, "b")
+        node = IconProduct(
+            IconRevSwap(IconVarIterator(a), IconVarIterator(b)), IconFail()
+        )
+        assert list(node) == []
+        assert (a.get(), b.get()) == (1, 2)
+
+    def test_swap_requires_variables(self):
+        with pytest.raises(IconTypeError):
+            list(IconSwap(IconValue(1), IconValue(2)))
+
+
+class TestNullTests:
+    def test_null_test_yields_variable_when_null(self):
+        var = cell(None)
+        results = list(IconNullTest(IconVarIterator(var)).iterate())
+        assert results == [var]
+
+    def test_null_test_fails_when_bound(self):
+        var = cell(5)
+        assert list(IconNullTest(IconVarIterator(var))) == []
+
+    def test_null_test_enables_default_idiom(self):
+        # /x := 5 — assign only if currently null
+        var = cell(None)
+        list(IconAssign(IconNullTest(IconVarIterator(var)), IconValue(5)))
+        assert var.get() == 5
+        list(IconAssign(IconNullTest(IconVarIterator(var)), IconValue(99)))
+        assert var.get() == 5  # second assignment did not fire
+
+    def test_non_null_test(self):
+        var = cell(5)
+        assert list(IconNonNullTest(IconVarIterator(var))) == [5]
+        var.set(None)
+        assert list(IconNonNullTest(IconVarIterator(var))) == []
+
+
+class TestDeref:
+    def test_results_become_values(self):
+        var = cell(3)
+        results = list(IconDeref(IconVarIterator(var)).iterate())
+        assert results == [3]
+        assert not isinstance(results[0], ReadOnlyRef)

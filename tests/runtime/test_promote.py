@@ -1,0 +1,127 @@
+"""Promotion (!) and activation (@) over host values and iterators."""
+
+import io
+
+import pytest
+
+from repro.errors import IconTypeError
+from repro.runtime.failure import FAIL
+from repro.runtime.iterator import IconGenerator, IconValue
+from repro.runtime.promote import (
+    IconActivate,
+    IconPromote,
+    activate_value,
+    promote_value,
+)
+from repro.runtime.refs import ListRef, TableRef
+from repro.runtime.types import Cset
+
+
+class TestPromoteValues:
+    def test_list_elements_are_variables(self):
+        values = [1, 2]
+        results = list(promote_value(values))
+        assert all(isinstance(r, ListRef) for r in results)
+        results[0].set(10)
+        assert values == [10, 2]
+
+    def test_list_growth_during_promotion(self):
+        values = [1]
+        out = []
+        for ref in promote_value(values):
+            out.append(ref.get())
+            if len(values) < 3:
+                values.append(len(values) + 1)
+        assert out == [1, 2, 3]
+
+    def test_string_characters(self):
+        assert list(promote_value("abc")) == ["a", "b", "c"]
+
+    def test_integer_promotes_through_string(self):
+        assert list(promote_value(123)) == ["1", "2", "3"]
+
+    def test_table_values_are_variables(self):
+        table = {"a": 1}
+        results = list(promote_value(table))
+        assert isinstance(results[0], TableRef)
+        assert results[0].get() == 1
+
+    def test_set_elements(self):
+        assert sorted(promote_value({3, 1, 2})) == [1, 2, 3]
+
+    def test_cset_sorted_characters(self):
+        assert list(promote_value(Cset("ba"))) == ["a", "b"]
+
+    def test_file_lines(self):
+        handle = io.StringIO("one\ntwo\n")
+        assert list(promote_value(handle)) == ["one", "two"]
+
+    def test_python_generator_delegates(self):
+        assert list(promote_value(iter([1, 2]))) == [1, 2]
+
+    def test_icon_iterator_delegates(self):
+        assert list(promote_value(IconGenerator(lambda: [5, 6]))) == [5, 6]
+
+    def test_float_promotes_through_string_image(self):
+        assert list(promote_value(2.5)) == ["2", ".", "5"]
+
+    def test_unpromotable_raises(self):
+        with pytest.raises(IconTypeError):
+            list(promote_value(object()))
+
+    def test_hook_protocol(self):
+        class Custom:
+            def icon_promote(self):
+                return iter(["hooked"])
+
+        assert list(promote_value(Custom())) == ["hooked"]
+
+
+class TestIconPromoteNode:
+    def test_promotes_each_operand_result(self):
+        node = IconPromote(IconGenerator(lambda: ["ab", "cd"]))
+        assert list(node) == ["a", "b", "c", "d"]
+
+    def test_derefs_before_promoting(self):
+        from repro.runtime.refs import IconVar
+
+        var = IconVar("x")
+        var.set([1, 2])
+        node = IconPromote(IconGenerator(lambda: [var]))
+        assert list(node) == [1, 2]
+
+
+class TestActivation:
+    def test_steps_icon_iterator(self):
+        node = IconGenerator(lambda: [1, 2])
+        assert activate_value(node) == 1
+        assert activate_value(node) == 2
+        assert activate_value(node) is FAIL
+
+    def test_steps_python_iterator(self):
+        it = iter([9])
+        assert activate_value(it) == 9
+        assert activate_value(it) is FAIL
+
+    def test_unactivatable_raises(self):
+        with pytest.raises(IconTypeError):
+            activate_value(42)
+
+    def test_hook_protocol(self):
+        class Custom:
+            def icon_activate(self, transmit=None):
+                return ("stepped", transmit)
+
+        assert activate_value(Custom(), "msg") == ("stepped", "msg")
+
+    def test_activate_node(self):
+        stepper = IconGenerator(lambda: iter([7, 8]))
+        # Note: a fresh pass per target result; target yields the stepper
+        node = IconActivate(IconValue(stepper))
+        assert node.first() == 7
+        assert node.first() == 8
+
+    def test_activate_node_failure_filtered(self):
+        exhausted = iter([])
+        node = IconActivate(IconValue(exhausted))
+        assert list(node) == []

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the goal-directed kernel.
+
+The kernel combinators have clean algebraic models over finite result
+sequences; these properties pin them against itertools references.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.access import resolve_position
+from repro.runtime.combinators import (
+    IconConcat,
+    IconLimit,
+    IconProduct,
+    IconSequence,
+)
+from repro.runtime.iterator import IconGenerator, IconValue
+from repro.runtime.operations import IconToBy, divide, modulo
+from repro.runtime.types import Cset, need_cset
+
+values = st.lists(st.integers(-50, 50), max_size=8)
+small_ints = st.integers(-30, 30)
+charsets = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=255), max_size=12
+)
+
+
+def gen(seq):
+    return IconGenerator(lambda: list(seq))
+
+
+class TestCombinatorAlgebra:
+    @given(values, values)
+    def test_product_result_counts_multiply(self, left, right):
+        node = IconProduct(gen(left), gen(right))
+        assert len(list(node)) == len(left) * len(right)
+
+    @given(values, values)
+    def test_product_yields_repeated_right(self, left, right):
+        node = IconProduct(gen(left), gen(right))
+        assert list(node) == right * len(left)
+
+    @given(values, values, values)
+    def test_product_associativity(self, a, b, c):
+        left_assoc = IconProduct(IconProduct(gen(a), gen(b)), gen(c))
+        right_assoc = IconProduct(gen(a), IconProduct(gen(b), gen(c)))
+        assert list(left_assoc) == list(right_assoc)
+
+    @given(values, values)
+    def test_concat_is_concatenation(self, a, b):
+        assert list(IconConcat(gen(a), gen(b))) == a + b
+
+    @given(values, values, values)
+    def test_concat_associativity(self, a, b, c):
+        assert list(IconConcat(IconConcat(gen(a), gen(b)), gen(c))) == list(
+            IconConcat(gen(a), IconConcat(gen(b), gen(c)))
+        )
+
+    @given(values)
+    def test_empty_is_product_annihilator(self, a):
+        assert list(IconProduct(gen([]), gen(a))) == []
+        assert list(IconProduct(gen(a), gen([]))) == []
+
+    @given(values, st.integers(0, 12))
+    def test_limit_is_prefix(self, a, n):
+        node = IconLimit(gen(a), IconValue(n))
+        assert list(node) == a[:n]
+
+    @given(values, values)
+    def test_sequence_is_last_operand(self, a, b):
+        assert list(IconSequence(gen(a), gen(b))) == b
+
+    @given(values)
+    def test_restartability(self, a):
+        node = gen(a)
+        assert list(node) == list(node)
+
+
+class TestToByModel:
+    @given(st.integers(-40, 40), st.integers(-40, 40),
+           st.integers(-5, 5).filter(lambda n: n != 0))
+    def test_matches_python_range_model(self, start, stop, step):
+        got = list(IconToBy(start, stop, step))
+        inclusive = stop + (1 if step > 0 else -1)
+        assert got == list(range(start, inclusive, step))
+
+    @given(st.integers(-40, 40), st.integers(-40, 40))
+    def test_default_step_is_one(self, start, stop):
+        assert list(IconToBy(start, stop)) == list(range(start, stop + 1))
+
+
+class TestArithmeticModels:
+    @given(small_ints, small_ints.filter(lambda n: n != 0))
+    def test_divide_truncates_toward_zero(self, a, b):
+        assert divide(a, b) == int(a / b)
+
+    @given(small_ints, small_ints.filter(lambda n: n != 0))
+    def test_mod_identity(self, a, b):
+        # a == (a / b) * b + (a % b) with truncating division
+        assert divide(a, b) * b + modulo(a, b) == a
+
+    @given(small_ints, small_ints.filter(lambda n: n != 0))
+    def test_mod_sign_of_dividend(self, a, b):
+        remainder = modulo(a, b)
+        assert remainder == 0 or (remainder > 0) == (a > 0)
+
+
+class TestCsetLaws:
+    @given(charsets, charsets)
+    def test_union_commutes(self, a, b):
+        x, y = Cset(a), Cset(b)
+        assert x.union(y) == y.union(x)
+
+    @given(charsets, charsets)
+    def test_de_morgan(self, a, b):
+        x, y = Cset(a), Cset(b)
+        assert x.union(y).complement() == x.complement().intersection(y.complement())
+
+    @given(charsets)
+    def test_difference_with_self_is_empty(self, a):
+        x = Cset(a)
+        assert len(x.difference(x)) == 0
+
+    @given(charsets)
+    def test_coercion_roundtrip(self, a):
+        assert need_cset(Cset(a).string()) == Cset(a)
+
+
+class TestPositionModel:
+    @given(st.integers(-20, 20), st.integers(0, 10))
+    def test_resolution_in_bounds_or_none(self, position, length):
+        resolved = resolve_position(position, length)
+        if resolved is not None:
+            assert 0 <= resolved <= length
+
+    @given(st.integers(1, 10))
+    def test_position_symmetry(self, length):
+        # position 0 is a synonym for length+1; -k for length+1-k
+        for offset in range(length + 1):
+            assert resolve_position(-offset, length) == resolve_position(
+                length + 1 - offset, length
+            )
+
+
+class TestKernelInvariants:
+    @given(values)
+    @settings(max_examples=40)
+    def test_next_value_then_fail_then_restart(self, a):
+        node = gen(a)
+        walked = []
+        while True:
+            from repro.runtime.failure import FAIL
+
+            value = node.next_value()
+            if value is FAIL:
+                break
+            walked.append(value)
+        assert walked == a
+        # restart-after-failure: a fresh walk reproduces the sequence
+        assert node.next_value() == (a[0] if a else node.next_value())

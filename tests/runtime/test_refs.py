@@ -1,0 +1,128 @@
+"""Reified variables: IconVar, IconTmp, structure refs, deref/assign."""
+
+import pytest
+
+from repro.errors import IconIndexError, IconNotAssignableError
+from repro.runtime.refs import (
+    FieldRef,
+    IconTmp,
+    IconVar,
+    ListRef,
+    ReadOnlyRef,
+    TableRef,
+    assign,
+    deref,
+)
+
+
+class TestIconVar:
+    def test_self_contained_cell(self):
+        cell = IconVar("x")
+        assert cell.get() is None
+        assert cell.set(5) == 5
+        assert cell.get() == 5
+
+    def test_closure_backed_cell_aliases_external_storage(self):
+        store = {"x": 1}
+        cell = IconVar("x", lambda: store["x"], lambda v: store.__setitem__("x", v))
+        assert cell.get() == 1
+        cell.set(9)
+        assert store["x"] == 9
+
+    def test_local_marking_is_fluent(self):
+        cell = IconVar("x").local()
+        assert cell.is_local
+        assert not IconVar("y").is_local
+
+    def test_repr_shows_value(self):
+        cell = IconVar("x")
+        cell.set(3)
+        assert "3" in repr(cell)
+
+
+class TestIconTmp:
+    def test_slot_semantics(self):
+        tmp = IconTmp()
+        assert tmp.get() is None
+        tmp.set("v")
+        assert tmp.get() == "v"
+
+    def test_initial_value(self):
+        assert IconTmp(10).get() == 10
+
+
+class TestListRef:
+    def test_read_write(self):
+        values = [1, 2, 3]
+        ref = ListRef(values, 1)
+        assert ref.get() == 2
+        ref.set(20)
+        assert values == [1, 20, 3]
+
+    def test_out_of_range_read_raises(self):
+        with pytest.raises(IconIndexError):
+            ListRef([1], 5).get()
+
+    def test_out_of_range_write_raises(self):
+        with pytest.raises(IconIndexError):
+            ListRef([1], 5).set(0)
+
+
+class TestTableRef:
+    def test_missing_key_reads_default(self):
+        table = {}
+        ref = TableRef(table, "k")
+        assert ref.get() is None
+        ref.set(1)
+        assert table == {"k": 1}
+
+    def test_custom_default(self):
+        assert TableRef({}, "k", default=0).get() == 0
+
+
+class TestFieldRef:
+    def test_read_write(self):
+        class Obj:
+            x = 1
+
+        obj = Obj()
+        ref = FieldRef(obj, "x")
+        assert ref.get() == 1
+        ref.set(2)
+        assert obj.x == 2
+
+
+class TestReadOnlyRef:
+    def test_read(self):
+        assert ReadOnlyRef("a").get() == "a"
+
+    def test_write_rejected(self):
+        with pytest.raises(IconNotAssignableError):
+            ReadOnlyRef("a").set("b")
+
+
+class TestHelpers:
+    def test_deref_collapses_refs(self):
+        cell = IconVar("x")
+        cell.set(7)
+        assert deref(cell) == 7
+
+    def test_deref_passthrough(self):
+        assert deref(7) == 7
+        assert deref(None) is None
+
+    def test_deref_is_single_level(self):
+        inner = IconVar("i")
+        inner.set(1)
+        outer = IconVar("o")
+        outer.set(inner)
+        assert deref(outer) is inner
+
+    def test_assign_requires_ref(self):
+        with pytest.raises(IconNotAssignableError):
+            assign(42, 1)
+
+    def test_assign_through_ref(self):
+        cell = IconVar("x")
+        assert assign(cell, 3) == 3
+        assert cell.get() == 3

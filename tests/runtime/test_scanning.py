@@ -1,0 +1,205 @@
+"""String scanning: environments, tab/move reversibility, analysis fns."""
+
+import threading
+
+import pytest
+
+from repro.errors import IconValueError
+from repro.runtime.failure import FAIL
+from repro.runtime.combinators import IconProduct
+from repro.runtime.invoke import IconInvoke
+from repro.runtime.iterator import IconFail, IconValue
+from repro.runtime.scanning import (
+    IconScan,
+    ScanEnv,
+    bal,
+    current_env,
+    find,
+    get_pos,
+    get_subject,
+    many,
+    match,
+    move,
+    pop_env,
+    pos,
+    push_env,
+    set_pos,
+    tab,
+    tab_match,
+    upto,
+    any_,
+)
+from repro.runtime.types import Cset
+
+LC = Cset("abcdefghijklmnopqrstuvwxyz")
+
+
+@pytest.fixture
+def env():
+    scan_env = ScanEnv("hello world", 1)
+    push_env(scan_env)
+    yield scan_env
+    pop_env()
+
+
+class TestEnvironment:
+    def test_no_env_raises(self):
+        with pytest.raises(IconValueError):
+            current_env()
+
+    def test_subject_and_pos(self, env):
+        assert get_subject() == "hello world"
+        assert get_pos() == 1
+
+    def test_set_pos(self, env):
+        assert set_pos(3) == 3
+        assert get_pos() == 3
+
+    def test_set_pos_nonpositive(self, env):
+        set_pos(0)
+        assert get_pos() == len("hello world") + 1
+
+    def test_set_pos_out_of_range_fails(self, env):
+        assert set_pos(99) is FAIL
+        assert get_pos() == 1
+
+    def test_envs_nest(self, env):
+        inner = ScanEnv("inner", 1)
+        push_env(inner)
+        assert get_subject() == "inner"
+        pop_env()
+        assert get_subject() == "hello world"
+
+    def test_envs_are_thread_local(self, env):
+        seen = []
+
+        def worker():
+            try:
+                current_env()
+            except IconValueError:
+                seen.append("no-env")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen == ["no-env"]
+
+
+class TestTabMove:
+    def test_tab_moves_and_returns_span(self, env):
+        piece = next(tab(6))
+        assert piece == "hello"
+        assert get_pos() == 6
+
+    def test_tab_backward(self, env):
+        set_pos(6)
+        assert next(tab(1)) == "hello"
+        assert get_pos() == 1
+
+    def test_tab_out_of_range_fails(self, env):
+        assert list(tab(99)) == []
+
+    def test_tab_reverses_on_resumption_only(self, env):
+        stepper = tab(6)
+        next(stepper)
+        assert get_pos() == 6
+        # Resumption (backtracking) restores and exhausts:
+        assert list(stepper) == []
+        assert get_pos() == 1
+
+    def test_tab_acceptance_keeps_position(self, env):
+        stepper = tab(6)
+        next(stepper)
+        stepper.close()  # the surrounding expression accepted the result
+        assert get_pos() == 6
+
+    def test_move(self, env):
+        assert next(move(5)) == "hello"
+        assert get_pos() == 6
+        assert next(move(1)) == " "
+
+    def test_move_negative(self, env):
+        set_pos(6)
+        assert next(move(-2)) == "lo"
+        assert get_pos() == 4
+
+    def test_move_out_of_bounds_fails(self, env):
+        assert list(move(99)) == []
+
+    def test_pos_test(self, env):
+        assert next(pos(1)) == 1
+        assert list(pos(3)) == []
+
+    def test_tab_match(self, env):
+        assert next(tab_match("hello")) == "hello"
+        assert get_pos() == 6
+
+    def test_tab_match_miss(self, env):
+        assert list(tab_match("world")) == []
+
+
+class TestAnalysis:
+    def test_find_all_positions(self):
+        assert list(find("ab", "xabyab")) == [2, 5]
+
+    def test_find_with_range(self):
+        assert list(find("a", "aaaa", 2, 4)) == [2, 3]
+
+    def test_find_in_subject(self, env):
+        assert list(find("o")) == [5, 8]
+
+    def test_find_respects_pos(self, env):
+        set_pos(6)
+        assert list(find("o")) == [8]
+
+    def test_upto(self):
+        assert list(upto(LC, " ab c")) == [2, 3, 5]
+
+    def test_many(self):
+        assert list(many(LC, "abc de")) == [4]
+        assert list(many(LC, " abc")) == []
+
+    def test_any(self):
+        assert list(any_(LC, "abc")) == [2]
+        assert list(any_(LC, " abc")) == []
+
+    def test_match(self):
+        assert list(match("ab", "abc")) == [3]
+        assert list(match("zz", "abc")) == []
+
+    def test_bal_parens(self):
+        # positions where a char lies at depth 0
+        assert list(bal(Cset("+"), s="(a+b)+c")) == [6]
+
+    def test_bal_default_csets(self):
+        assert 1 in list(bal(s="x(y)z"))
+
+    def test_bal_unbalanced_stops(self):
+        assert list(bal(Cset("+"), s=")+")) == []
+
+    def test_empty_needle_find(self):
+        # an empty needle matches at every position up to the end
+        assert list(find("", "ab")) == [1, 2, 3]
+
+
+class TestScanNode:
+    def test_scan_establishes_env(self):
+        node = IconScan(IconValue("abc"), IconInvoke(IconValue(tab), IconValue(0)))
+        assert list(node) == ["abc"]
+
+    def test_scan_failing_subject(self):
+        node = IconScan(IconFail(), IconValue(1))
+        assert list(node) == []
+
+    def test_scan_results_are_body_results(self):
+        node = IconScan(IconValue("a b"), IconInvoke(IconValue(upto), IconValue(LC)))
+        assert list(node) == [1, 3]
+
+    def test_nested_scans(self):
+        inner = IconScan(IconValue("xy"), IconInvoke(IconValue(tab), IconValue(0)))
+        node = IconScan(IconValue("abc"), IconProduct(inner, IconInvoke(IconValue(tab), IconValue(0))))
+        assert list(node) == ["abc"]
+
+    def test_scan_subject_coerced_to_string(self):
+        node = IconScan(IconValue(123), IconInvoke(IconValue(tab), IconValue(0)))
+        assert list(node) == ["123"]

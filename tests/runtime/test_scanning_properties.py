@@ -1,0 +1,102 @@
+"""Property-based tests pinning string-analysis builtins to Python models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.scanning import ScanEnv, find, many, match, pop_env, push_env, tab, upto, any_
+from repro.runtime.types import Cset
+
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=25
+)
+needles = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=4,
+)
+charsets = st.text(alphabet="abcxyz ", min_size=1, max_size=5)
+
+relaxed = settings(max_examples=60, deadline=None)
+
+
+class TestFindModel:
+    @given(needles, texts)
+    @relaxed
+    def test_positions_match_str_find(self, needle, text):
+        expected = []
+        start = 0
+        while True:
+            hit = text.find(needle, start)
+            if hit < 0:
+                break
+            expected.append(hit + 1)
+            start = hit + 1
+        assert list(find(needle, text)) == expected
+
+    @given(needles, texts)
+    @relaxed
+    def test_every_position_is_a_real_occurrence(self, needle, text):
+        for position in find(needle, text):
+            assert text[position - 1: position - 1 + len(needle)] == needle
+
+
+class TestUptoModel:
+    @given(charsets, texts)
+    @relaxed
+    def test_positions_are_exactly_member_indices(self, chars, text):
+        charset = Cset(chars)
+        expected = [i + 1 for i, ch in enumerate(text) if ch in charset]
+        assert list(upto(charset, text)) == expected
+
+
+class TestManyAnyModels:
+    @given(charsets, texts)
+    @relaxed
+    def test_many_is_longest_prefix_run(self, chars, text):
+        charset = Cset(chars)
+        run = 0
+        while run < len(text) and text[run] in charset:
+            run += 1
+        expected = [run + 1] if run else []
+        assert list(many(charset, text)) == expected
+
+    @given(charsets, texts)
+    @relaxed
+    def test_any_matches_first_character_only(self, chars, text):
+        charset = Cset(chars)
+        expected = [2] if text and text[0] in charset else []
+        assert list(any_(charset, text)) == expected
+
+
+class TestMatchModel:
+    @given(needles, texts)
+    @relaxed
+    def test_match_is_startswith(self, needle, text):
+        expected = [len(needle) + 1] if text.startswith(needle) else []
+        assert list(match(needle, text)) == expected
+
+
+class TestTabInvariants:
+    @given(texts.filter(bool), st.data())
+    @relaxed
+    def test_tab_moves_exactly_to_target(self, text, data):
+        target = data.draw(st.integers(1, len(text) + 1))
+        env = ScanEnv(text, 1)
+        push_env(env)
+        try:
+            piece = next(tab(target))
+            assert piece == text[: target - 1]
+            assert env.pos == target
+        finally:
+            pop_env()
+
+    @given(texts.filter(bool))
+    @relaxed
+    def test_tab_roundtrip_reconstructs_subject(self, text):
+        env = ScanEnv(text, 1)
+        push_env(env)
+        try:
+            first_half = next(tab(len(text) // 2 + 1))
+            second_half = next(tab(0))
+            assert first_half + second_half == text
+        finally:
+            pop_env()

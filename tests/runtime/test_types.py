@@ -1,0 +1,103 @@
+"""Cset algebra and coercion."""
+
+import pytest
+
+from repro.errors import IconTypeError
+from repro.runtime.types import (
+    ASCII,
+    CSET_ALL,
+    Cset,
+    DIGITS,
+    LCASE,
+    LETTERS,
+    UCASE,
+    UNIVERSE,
+    need_cset,
+)
+
+
+class TestConstruction:
+    def test_from_string_deduplicates(self):
+        assert len(Cset("aab")) == 2
+
+    def test_multicharacter_pieces_contribute_each_char(self):
+        assert Cset(["ab", "c"]) == Cset("abc")
+
+    def test_non_string_member_rejected(self):
+        with pytest.raises(IconTypeError):
+            Cset([1])
+
+    def test_immutable(self):
+        charset = Cset("a")
+        with pytest.raises(AttributeError):
+            charset.chars = frozenset()
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert Cset("ab").union(Cset("bc")) == Cset("abc")
+
+    def test_difference(self):
+        assert Cset("abc").difference(Cset("b")) == Cset("ac")
+
+    def test_intersection(self):
+        assert Cset("abc").intersection(Cset("bcd")) == Cset("bc")
+
+    def test_complement_is_involutive(self):
+        charset = Cset("xyz")
+        assert charset.complement().complement() == charset
+
+    def test_complement_against_universe(self):
+        charset = Cset("a")
+        comp = charset.complement()
+        assert len(comp) == len(UNIVERSE) - 1
+        assert "a" not in comp
+
+
+class TestProtocol:
+    def test_contains(self):
+        assert "a" in Cset("abc")
+        assert "z" not in Cset("abc")
+
+    def test_iteration_sorted(self):
+        assert list(Cset("cba")) == ["a", "b", "c"]
+
+    def test_string_conversion_sorted(self):
+        assert Cset("ba").string() == "ab"
+
+    def test_equality_and_hash(self):
+        assert Cset("ab") == Cset("ba")
+        assert hash(Cset("ab")) == hash(Cset("ba"))
+        assert Cset("a") != Cset("b")
+        assert (Cset("a") == "a") is False
+
+    def test_repr(self):
+        assert repr(Cset("ab")) == "Cset('ab')"
+
+
+class TestNeedCset:
+    def test_accepts_cset_string_set(self):
+        charset = Cset("ab")
+        assert need_cset(charset) is charset
+        assert need_cset("ab") == charset
+        assert need_cset({"a", "b"}) == charset
+
+    def test_numbers_coerce_through_strings(self):
+        assert need_cset(121) == Cset("12")
+
+    def test_rejects_other_types(self):
+        with pytest.raises(IconTypeError):
+            need_cset([1, 2])
+
+
+class TestStandardCsets:
+    def test_sizes(self):
+        assert len(DIGITS) == 10
+        assert len(LCASE) == 26
+        assert len(UCASE) == 26
+        assert len(LETTERS) == 52
+        assert len(ASCII) == 128
+        assert len(CSET_ALL) == 256
+
+    def test_letters_union(self):
+        assert LETTERS == LCASE.union(UCASE)

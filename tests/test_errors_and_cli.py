@@ -1,0 +1,159 @@
+"""Exception hierarchy and command-line entry points."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_roots_at_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_icon_errors_carry_classic_numbers(self):
+        assert errors.IconTypeError.number == 102
+        assert errors.IconIndexError.number == 205
+
+    def test_icon_errors_double_as_python_errors(self):
+        assert issubclass(errors.IconTypeError, TypeError)
+        assert issubclass(errors.IconValueError, ValueError)
+        assert issubclass(errors.IconIndexError, IndexError)
+
+    def test_language_errors_carry_positions(self):
+        error = errors.ParseError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_language_error_without_position(self):
+        error = errors.LexError("bad")
+        assert "line" not in str(error)
+
+    def test_catching_by_family(self):
+        with pytest.raises(errors.LanguageError):
+            raise errors.ParseError("x")
+        with pytest.raises(errors.ConcurrencyError):
+            raise errors.ChannelClosedError("y")
+
+
+class TestTranslateCli:
+    def test_translate_to_stdout(self, tmp_path):
+        source = tmp_path / "prog.py"
+        source.write_text(
+            '@<script lang="junicon">\ndef f() { return 1; }\n@</script>\n'
+        )
+        from repro.lang.embed import main
+
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main([str(source)]) == 0
+        assert "IconMethodBody" in buffer.getvalue()
+
+    def test_translate_to_file(self, tmp_path):
+        source = tmp_path / "prog.py"
+        out = tmp_path / "out.py"
+        source.write_text(
+            '@<script lang="junicon">\ndef g() { return 2; }\n@</script>\n'
+            "answer = g().first()\n"
+        )
+        from repro.lang.embed import main
+
+        assert main([str(source), "-o", str(out)]) == 0
+        namespace = {}
+        exec(compile(out.read_text(), str(out), "exec"), namespace)
+        assert namespace["answer"] == 2
+
+    def test_no_prelude_flag(self, tmp_path):
+        source = tmp_path / "prog.py"
+        source.write_text('@<script lang="junicon">\n1 + 1;\n@</script>\n')
+        from repro.lang.embed import main
+
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            main([str(source), "--no-prelude"])
+        assert "prelude" not in buffer.getvalue()
+
+
+class TestBenchCli:
+    def test_report_main_tiny_run(self, capsys):
+        from repro.bench.report import main
+
+        assert (
+            main(
+                [
+                    "--weight", "light",
+                    "--lines", "4",
+                    "--words", "3",
+                    "--warmup", "0",
+                    "--iterations", "1",
+                    "--chunk", "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Junicon" in out
+
+
+class TestReplCli:
+    def test_repl_main_runs_file(self, tmp_path, capsys):
+        from repro.harness.repl import main
+
+        path = tmp_path / "prog.py"
+        path.write_text(
+            '@<script lang="junicon">\ndef h() { return 3; }\n@</script>\n'
+            "print('value is', h().first())\n"
+        )
+        assert main([str(path)]) == 0
+        assert "value is 3" in capsys.readouterr().out
+
+
+class TestModuleExecution:
+    def test_python_dash_m_report_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.bench.report", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "Figure 6" in result.stdout
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_lazy_lang_attributes(self):
+        import repro
+
+        assert callable(repro.compile_junicon)
+        assert callable(repro.transform_source)
+        with pytest.raises(AttributeError):
+            repro.no_such_attribute
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_prelude_all_resolves(self):
+        import repro.lang.prelude as prelude
+
+        for name in prelude.__all__:
+            assert hasattr(prelude, name), name
