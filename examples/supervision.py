@@ -1,0 +1,132 @@
+"""Fault tolerance for pipelines: deadlines, retries, leak-free shutdown.
+
+Pipes (paper §III.B) are long-lived worker threads; this demo shows the
+supervised runtime around them: a flaky stage retried with exponential
+backoff, a stalled stage caught by a deadline, cancellation propagating
+through a whole chain, and the scheduler proving no thread leaked.  Run:
+
+    python examples/supervision.py
+"""
+
+import threading
+import time
+
+from repro.coexpr import (
+    BackoffPolicy,
+    FaultPlan,
+    PipeScheduler,
+    pipeline,
+    supervise,
+    supervised_pipeline,
+    use_scheduler,
+)
+from repro.errors import PipeTimeoutError, RetryExhaustedError
+from repro.monitor import EventKind, Tracer
+from repro.runtime.failure import FAIL
+
+
+# ---------------------------------------------------------------------------
+# 1. A flaky middle stage, retried in place.
+# ---------------------------------------------------------------------------
+
+def demo_retry(scheduler: PipeScheduler) -> None:
+    print("-- retry/backoff " + "-" * 40)
+    # Deterministic failure: stage 1 crashes at body start on its first
+    # two attempts, then behaves.  The injected sleep records the backoff
+    # schedule instead of actually sleeping.
+    plan = FaultPlan().fail_stage(1, on_attempts=(1, 2), error=ValueError)
+    slept: list[float] = []
+
+    tracer = Tracer()
+    with tracer.lifecycle():
+        chain = supervised_pipeline(
+            range(8),
+            lambda x: x * x,           # stage 1: flaky per the plan
+            lambda x: f"sq={x}",       # stage 2: clean
+            max_retries=3,
+            backoff=BackoffPolicy(initial=0.05, multiplier=2.0, max_delay=1.0),
+            sleep=slept.append,
+            fault_plan=plan,
+        )
+        print("results:   ", list(chain))
+    print("attempts:  ", plan.attempts(1), "(two crashes absorbed)")
+    print("backoffs:  ", slept)
+    retries = [e for e in tracer.events if e.kind == EventKind.RETRY]
+    for event in retries:
+        print("observed:  ", event)
+
+
+# ---------------------------------------------------------------------------
+# 2. A permanent failure exhausts its budget.
+# ---------------------------------------------------------------------------
+
+def demo_exhaust(scheduler: PipeScheduler) -> None:
+    print("-- retry exhaustion " + "-" * 37)
+
+    def always_dies():
+        raise OSError("backend unreachable")
+        yield
+
+    sp = supervise(always_dies, max_retries=2, sleep=lambda d: None)
+    try:
+        sp.take()
+    except RetryExhaustedError as error:
+        print("gave up:   ", error)
+        print("caused by: ", repr(error.__cause__))
+
+
+# ---------------------------------------------------------------------------
+# 3. Deadlines: a stalled stage surfaces within the timeout.
+# ---------------------------------------------------------------------------
+
+def demo_deadline(scheduler: PipeScheduler) -> None:
+    print("-- deadlines " + "-" * 44)
+    release = threading.Event()
+
+    def stalls(x):
+        if x == 3:
+            release.wait(60)  # simulates a hung backend call
+        return x
+
+    chain = pipeline(range(10), stalls, take_timeout=0.25)
+    got = []
+    start = time.monotonic()
+    try:
+        while True:
+            value = chain.take()
+            if value is FAIL:
+                break
+            got.append(value)
+    except PipeTimeoutError as error:
+        elapsed = time.monotonic() - start
+        print(f"timed out after {elapsed:.2f}s: {error}")
+    print("delivered before the stall:", got)
+    release.set()                       # let the worker finish cooperatively
+    chain.cancel(join=True, timeout=2)  # tear down the whole chain
+
+
+# ---------------------------------------------------------------------------
+# 4. Leak-checked shutdown.
+# ---------------------------------------------------------------------------
+
+def demo_shutdown(scheduler: PipeScheduler) -> None:
+    print("-- leak-checked shutdown " + "-" * 32)
+    # Abandon a throttled pipeline mid-stream: its producers are blocked
+    # on full channels.  cancel() propagates upstream; shutdown joins.
+    chain = pipeline(range(1_000_000), lambda x: x + 1, capacity=2)
+    print("first:     ", chain.take())
+    chain.cancel(join=True, timeout=2)
+    scheduler.shutdown(wait=True, timeout=2)
+    print("leaked:    ", scheduler.leaked())
+
+
+def main() -> None:
+    with use_scheduler(PipeScheduler()) as scheduler:
+        demo_retry(scheduler)
+        demo_exhaust(scheduler)
+        demo_deadline(scheduler)
+        demo_shutdown(scheduler)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from .pipe import Pipe
 from .future import Future, MVar
 from .scheduler import (
     PipeScheduler,
+    WorkerHandle,
     default_scheduler,
     set_default_scheduler,
     use_scheduler,
@@ -37,17 +38,31 @@ from .calculus import (
 )
 from .dataparallel import DataParallel, apply_mapped, iter_source, map_reduce
 from .patterns import fan_out, merge, pipeline, source_pipe, stage
+from .supervision import (
+    NO_BACKOFF,
+    BackoffPolicy,
+    FaultPlan,
+    SupervisedPipe,
+    supervise,
+    supervised_pipeline,
+    supervised_stage,
+)
 
 __all__ = [
     "CLOSED",
+    "BackoffPolicy",
     "Channel",
     "CoExpression",
     "DataParallel",
+    "FaultPlan",
     "Future",
     "MVar",
+    "NO_BACKOFF",
     "Pipe",
     "PipeScheduler",
     "RaiseEnvelope",
+    "SupervisedPipe",
+    "WorkerHandle",
     "activate",
     "apply_mapped",
     "coexpr",
@@ -67,5 +82,8 @@ __all__ = [
     "set_default_scheduler",
     "source_pipe",
     "stage",
+    "supervise",
+    "supervised_pipeline",
+    "supervised_stage",
     "use_scheduler",
 ]

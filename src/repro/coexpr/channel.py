@@ -13,15 +13,23 @@ behaviours a generator proxy needs on top of a plain bounded queue:
 A *bounded* channel throttles its producer (the paper: "Bounding the
 output queue buffer size can also be used to throttle a threaded
 co-expression"); capacity 0 means unbounded.
+
+Timeouts are **deadline-correct**: the deadline is computed once from
+``time.monotonic()`` and each condition wait gets only the remaining
+time, so the total wait never exceeds the requested timeout no matter
+how many spurious wakeups occur.  Timeouts raise
+:class:`~repro.errors.PipeTimeoutError` (a :class:`TimeoutError`
+subclass).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Iterator
 
-from ..errors import ChannelClosedError
+from ..errors import ChannelClosedError, PipeTimeoutError
 
 
 class _ClosedSentinel:
@@ -52,6 +60,35 @@ class RaiseEnvelope:
         self.error = error
 
 
+def deadline_of(timeout: float | None) -> float | None:
+    """A monotonic deadline for *timeout* seconds from now (None = never)."""
+    if timeout is None:
+        return None
+    return time.monotonic() + timeout
+
+
+def remaining(deadline: float | None) -> float | None:
+    """Seconds left until *deadline* (clamped at 0), or None if unbounded."""
+    if deadline is None:
+        return None
+    return max(0.0, deadline - time.monotonic())
+
+
+def deadline_wait(
+    condition: threading.Condition, deadline: float | None, what: str
+) -> None:
+    """One deadline-aware condition wait; raises on an expired deadline.
+
+    Shared by every blocking primitive (channels, M-vars) so that a
+    timeout means "total wall-clock", not "per wakeup".
+    """
+    left = remaining(deadline)
+    if left is not None and left <= 0:
+        raise PipeTimeoutError(f"{what} timed out")
+    if not condition.wait(left):
+        raise PipeTimeoutError(f"{what} timed out")
+
+
 class Channel:
     """A bounded blocking queue with close semantics.
 
@@ -77,20 +114,35 @@ class Channel:
         Raises :class:`ChannelClosedError` if the channel is (or becomes)
         closed while waiting — that is how a consumer-side ``close``
         unblocks and terminates a producer.
+
+        On an unbounded channel (``capacity=0``) there is nothing to wait
+        for, so *timeout* is ignored: the put either succeeds immediately
+        or raises :class:`ChannelClosedError` immediately after a close.
+        On a bounded channel the timeout is a monotonic deadline over the
+        whole wait; expiry raises :class:`PipeTimeoutError`.
         """
+        deadline = deadline_of(timeout) if self.capacity else None
         with self._not_full:
             if self.capacity:
                 while len(self._items) >= self.capacity and not self._closed:
-                    if not self._not_full.wait(timeout):
-                        raise TimeoutError("Channel.put timed out")
+                    deadline_wait(self._not_full, deadline, "Channel.put")
             if self._closed:
                 raise ChannelClosedError("put on a closed channel")
             self._items.append(item)
             self._not_empty.notify()
 
     def put_error(self, error: BaseException) -> None:
-        """Enqueue an exception to re-raise at the consumer."""
-        self.put(RaiseEnvelope(error))
+        """Enqueue an exception to re-raise at the consumer.
+
+        Error delivery bypasses the capacity bound: a crash report must
+        never block behind a full queue (a producer that dies while its
+        consumer is slow would otherwise hang forever trying to say so).
+        """
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("put_error on a closed channel")
+            self._items.append(RaiseEnvelope(error))
+            self._not_empty.notify()
 
     def close(self) -> None:
         """Close the channel; queued items remain takeable.
@@ -110,11 +162,13 @@ class Channel:
         """Block until an item is available; :data:`CLOSED` after drain.
 
         Re-raises a producer exception delivered via :meth:`put_error`.
+        *timeout* is a monotonic deadline over the whole wait; expiry
+        raises :class:`PipeTimeoutError`.
         """
+        deadline = deadline_of(timeout)
         with self._not_empty:
             while not self._items and not self._closed:
-                if not self._not_empty.wait(timeout):
-                    raise TimeoutError("Channel.take timed out")
+                deadline_wait(self._not_empty, deadline, "Channel.take")
             if self._items:
                 item = self._items.popleft()
                 self._not_full.notify()

@@ -100,6 +100,31 @@ class CoExpression:
             self._produced += 1
             return deref(unwrap(result))
 
+    def close(self) -> None:
+        """Shut the body down: mark the co-expression done and close a
+        started generator body (running its ``finally`` blocks).
+
+        Used by pipe cancellation so an abandoned producer releases any
+        resources its body holds.  Best-effort from another thread: if
+        the body is mid-activation (the lock is held), only the done flag
+        is set and the next activation fails immediately.
+        """
+        acquired = self._lock.acquire(timeout=0.2)
+        self._done = True
+        if not acquired:
+            return
+        try:
+            iterator = self._iterator
+            if iterator is not None:
+                closer = getattr(iterator, "close", None)
+                if closer is not None:
+                    try:
+                        closer()
+                    except (RuntimeError, ValueError):
+                        pass  # body is executing on another thread; flag suffices
+        finally:
+            self._lock.release()
+
     def refresh(self) -> "CoExpression":
         """``^c`` — a new co-expression from the original snapshot."""
         fresh = CoExpression.__new__(CoExpression)

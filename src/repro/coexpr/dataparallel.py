@@ -167,20 +167,34 @@ class DataParallel:
     def _run_tasks(
         self, task_body: Callable[..., Iterator[Any]], source: Any
     ) -> Iterator[Any]:
+        # Cancellation propagates to siblings: if the drain stops early —
+        # one task raised, or the consumer abandoned the generator — every
+        # outstanding task pipe is cancelled, so no chunk worker is left
+        # blocked on a bounded full channel.
         if self.max_pending is None:
             # The paper's shape: spawn a task per chunk, then drain in order.
             tasks = [self._spawn(task_body, chunk) for chunk in self.chunk(source)]
-            for task in tasks:
-                yield from task.iterate()
+            done = 0
+            try:
+                for task in tasks:
+                    yield from task.iterate()
+                    done += 1
+            finally:
+                for task in tasks[done:]:
+                    task.cancel()
             return
         # Bounded-pending variant: a sliding window of live tasks.
         window: List[Pipe] = []
-        for chunk in self.chunk(source):
-            window.append(self._spawn(task_body, chunk))
-            if len(window) >= self.max_pending:
+        try:
+            for chunk in self.chunk(source):
+                window.append(self._spawn(task_body, chunk))
+                if len(window) >= self.max_pending:
+                    yield from window.pop(0).iterate()
+            while window:
                 yield from window.pop(0).iterate()
-        for task in window:
-            yield from task.iterate()
+        finally:
+            for task in window:
+                task.cancel()
 
 
 def map_reduce(

@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterator
 
 from ..errors import PipeError
 from ..runtime.failure import FAIL
+from .channel import deadline_of, deadline_wait
 from .coexpression import CoExpression
 from .pipe import Pipe
 from .scheduler import PipeScheduler
@@ -36,20 +37,24 @@ class MVar:
         self._emptied = threading.Condition(self._lock)
 
     def put(self, value: Any, timeout: float | None = None) -> None:
-        """Store a value; blocks while the cell is full."""
+        """Store a value; blocks while the cell is full.
+
+        *timeout* is a monotonic deadline over the whole wait (never
+        reset by wakeups); expiry raises :class:`PipeTimeoutError`.
+        """
+        deadline = deadline_of(timeout)
         with self._emptied:
             while self._value is not _EMPTY:
-                if not self._emptied.wait(timeout):
-                    raise TimeoutError("MVar.put timed out")
+                deadline_wait(self._emptied, deadline, "MVar.put")
             self._value = value
             self._filled.notify()
 
     def take(self, timeout: float | None = None) -> Any:
         """Remove and return the value; blocks while the cell is empty."""
+        deadline = deadline_of(timeout)
         with self._filled:
             while self._value is _EMPTY:
-                if not self._filled.wait(timeout):
-                    raise TimeoutError("MVar.take timed out")
+                deadline_wait(self._filled, deadline, "MVar.take")
             value, self._value = self._value, _EMPTY
             self._emptied.notify()
             return value
@@ -57,10 +62,10 @@ class MVar:
     def read(self, timeout: float | None = None) -> Any:
         """Return the value without emptying; blocks while empty (CML's
         wait-until-defined synchronization variable)."""
+        deadline = deadline_of(timeout)
         with self._filled:
             while self._value is _EMPTY:
-                if not self._filled.wait(timeout):
-                    raise TimeoutError("MVar.read timed out")
+                deadline_wait(self._filled, deadline, "MVar.read")
             return self._value
 
     def try_take(self) -> Any:

@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterator
 
 import threading
 
+from ..errors import ChannelClosedError
 from ..runtime.failure import FAIL
 from .coexpression import CoExpression
 from .dataparallel import apply_mapped, iter_source
@@ -31,6 +32,7 @@ def source_pipe(
     source: Any,
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
+    take_timeout: float | None = None,
 ) -> Pipe:
     """``|> s`` — stream a source from its own thread."""
 
@@ -41,6 +43,7 @@ def source_pipe(
         CoExpression(body, lambda: (source,), name="source"),
         capacity=capacity,
         scheduler=scheduler,
+        take_timeout=take_timeout,
     )
 
 
@@ -49,12 +52,18 @@ def stage(
     upstream: Any,
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
+    take_timeout: float | None = None,
 ) -> Pipe:
     """``|> fn(!upstream)`` — one pipeline stage in its own thread.
 
     Maps *fn* (generator or plain function) over the upstream's elements
     and streams the results.  ``capacity`` bounds the stage's output
     queue, throttling it relative to its consumer.
+
+    When *upstream* is a pipe, the new stage records it as its
+    ``upstream``: if this stage dies or is cancelled, cancellation
+    propagates up the chain so no producer is left blocked on a full
+    channel.
     """
 
     def body(up: Any) -> Iterator[Any]:
@@ -62,11 +71,15 @@ def stage(
             yield from apply_mapped(fn, value)
 
     name = getattr(fn, "__name__", "stage")
-    return Pipe(
+    piped = Pipe(
         CoExpression(body, lambda: (upstream,), name=name),
         capacity=capacity,
         scheduler=scheduler,
+        take_timeout=take_timeout,
     )
+    if hasattr(upstream, "cancel"):
+        piped.upstream = upstream
+    return piped
 
 
 def pipeline(
@@ -74,16 +87,31 @@ def pipeline(
     *stages: Callable[[Any], Any],
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
+    take_timeout: float | None = None,
 ) -> Pipe:
     """Chain *stages* over *source*, one thread per stage.
 
     ``pipeline(s, f, g)`` is ``|> g(! |> f(! |> s))``: consuming the
     returned pipe drives every stage concurrently.  With no stages the
     result is just the source pipe.
+
+    The stages are linked for cancellation: when any stage crashes or
+    the returned pipe is cancelled, every upstream producer is cancelled
+    too (never orphaned blocked on a full channel).  ``take_timeout``
+    becomes the per-take deadline of every stage, so a stall anywhere in
+    the chain surfaces as :class:`~repro.errors.PipeTimeoutError`.
     """
-    current: Pipe = source_pipe(source, capacity=capacity, scheduler=scheduler)
+    current: Pipe = source_pipe(
+        source, capacity=capacity, scheduler=scheduler, take_timeout=take_timeout
+    )
     for fn in stages:
-        current = stage(fn, current, capacity=capacity, scheduler=scheduler)
+        current = stage(
+            fn,
+            current,
+            capacity=capacity,
+            scheduler=scheduler,
+            take_timeout=take_timeout,
+        )
     return current
 
 
@@ -154,6 +182,8 @@ def merge(
                 if value is FAIL:
                     return
                 out.out.put(value)
+        except ChannelClosedError:
+            src.cancel()  # consumer abandoned the merge: stop this source
         finally:
             with lock:
                 remaining -= 1

@@ -12,6 +12,16 @@ pipelines.
 Per the paper, the output queue ``out`` "is exposed as a public field to
 permit further manipulation", and bounding its capacity throttles the
 producer thread.
+
+Robustness (the supervision layer, :mod:`repro.coexpr.supervision`)
+builds on three hooks here:
+
+* ``take(timeout=...)`` / a per-pipe ``take_timeout`` — deadline-correct
+  blocking that raises :class:`~repro.errors.PipeTimeoutError`;
+* ``cancel(join=True, timeout=...)`` — graceful-or-forced teardown that
+  closes the co-expression body, unblocks the worker, and propagates to
+  an ``upstream`` pipe so no producer is left blocked on a full channel;
+* lifecycle events (start/cancel/timeout) on the monitor bus.
 """
 
 from __future__ import annotations
@@ -19,12 +29,15 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterator
 
-from ..errors import ChannelClosedError, PipeError
+from ..errors import ChannelClosedError, PipeError, PipeTimeoutError
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
 from ..runtime.failure import FAIL
 from ..runtime.iterator import IconIterator
 from .channel import CLOSED, Channel
 from .coexpression import CoExpression, coexpr_of
-from .scheduler import PipeScheduler, default_scheduler
+from .scheduler import PipeScheduler, WorkerHandle, default_scheduler
+
+_UNSET = object()
 
 
 class Pipe(IconIterator):
@@ -42,10 +55,14 @@ class Pipe(IconIterator):
         "coexpr",
         "out",
         "capacity",
+        "take_timeout",
+        "upstream",
         "_scheduler",
         "_started",
         "_start_lock",
         "_cancelled",
+        "_worker",
+        "_errored",
     )
 
     def __init__(
@@ -53,30 +70,47 @@ class Pipe(IconIterator):
         expr: Any,
         capacity: int = 0,
         scheduler: PipeScheduler | None = None,
+        take_timeout: float | None = None,
     ) -> None:
         """Wrap *expr* (a co-expression, iterator node, generator factory,
         or iterable) in a threaded proxy with an output channel of
-        *capacity* (0 = unbounded)."""
+        *capacity* (0 = unbounded).  ``take_timeout`` is the default
+        deadline applied to every :meth:`take` (None = wait forever)."""
         super().__init__()
         self.coexpr: CoExpression = coexpr_of(expr)
         self.capacity = capacity
         #: The output blocking queue — public, as in the paper.
         self.out = Channel(capacity)
+        #: Default per-take deadline in seconds (None = block forever).
+        self.take_timeout = take_timeout
+        #: The pipe feeding this one, when built by ``patterns.stage`` —
+        #: cancellation propagates through it so a dead stage never
+        #: leaves its producer blocked on a full channel.
+        self.upstream: Any = None
         self._scheduler = scheduler
         self._started = False
         self._start_lock = threading.Lock()
         self._cancelled = False
+        self._worker: WorkerHandle | None = None
+        self._errored = False
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def _emit(self, kind: str, value: Any = None) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"pipe:{self.coexpr.name}", 0, value))
 
     # -- worker --------------------------------------------------------------
 
     def start(self) -> "Pipe":
-        """Spawn the producer thread (idempotent)."""
+        """Spawn the producer thread (idempotent; no-op once cancelled)."""
         with self._start_lock:
-            if self._started:
+            if self._started or self._cancelled:
                 return self
             self._started = True
         scheduler = self._scheduler or default_scheduler()
-        scheduler.submit(self._run, name=f"pipe-{self.coexpr.name}")
+        self._worker = scheduler.submit(self._run, name=f"pipe-{self.coexpr.name}")
+        self._emit(EventKind.START)
         return self
 
     def _run(self) -> None:
@@ -91,20 +125,47 @@ class Pipe(IconIterator):
         except ChannelClosedError:
             pass  # the consumer cancelled the pipe; just exit
         except Exception as error:  # noqa: BLE001 - forwarded to consumer
+            self._errored = True
             try:
-                out.put_error(error)
+                out.put_error(error)  # unthrottled: never blocks on a full queue
             except ChannelClosedError:
                 pass  # cancelled while reporting: consumer is gone
         finally:
             out.close()
+            # A worker that died (error) or was cancelled abandons its
+            # upstream mid-stream; propagate so the producer chain above
+            # is not left blocked on a full channel.
+            if self._cancelled or self._errored:
+                self._cancel_upstream()
+
+    def _cancel_upstream(self) -> None:
+        upstream = self.upstream
+        if upstream is None:
+            return
+        canceller = getattr(upstream, "cancel", None)
+        if canceller is not None:
+            canceller()
 
     # -- consumer ------------------------------------------------------------
 
-    def take(self) -> Any:
+    def take(self, timeout: Any = _UNSET) -> Any:
         """One blocking step: the next result or :data:`FAIL` (paper: "an
-        @ operation on a pipe is out.take()")."""
+        @ operation on a pipe is out.take()").
+
+        *timeout* overrides the pipe's ``take_timeout`` for this call;
+        expiry raises :class:`PipeTimeoutError` (the pipe stays usable —
+        cancel it to tear the producer down).
+        """
+        if timeout is _UNSET:
+            timeout = self.take_timeout
         self.start()
-        item = self.out.take()
+        try:
+            item = self.out.take(timeout)
+        except PipeTimeoutError:
+            self._emit(EventKind.TIMEOUT, timeout)
+            raise PipeTimeoutError(
+                f"pipe {self.coexpr.name!r}: no result within {timeout}s"
+            ) from None
         if item is CLOSED:
             return FAIL
         return item
@@ -117,22 +178,53 @@ class Pipe(IconIterator):
         channel closed and fails immediately (use :meth:`refresh`)."""
         self.start()
         while True:
-            item = self.out.take()
-            if item is CLOSED:
+            item = self.take()
+            if item is FAIL:
                 return
             yield item
 
     # -- lifecycle -----------------------------------------------------------
 
-    def cancel(self) -> None:
-        """Stop the producer: close the channel (unblocking a blocked
-        ``put``) and flag the worker loop to exit."""
-        self._cancelled = True
+    def cancel(self, join: bool = False, timeout: float | None = None) -> bool:
+        """Stop the producer (idempotent).
+
+        Closes the output channel (unblocking a blocked ``put``), flags
+        the worker loop to exit, closes the co-expression body (running
+        its ``finally`` blocks), and propagates to :attr:`upstream`.
+
+        With ``join=True`` this is the *graceful* form: it also waits up
+        to *timeout* seconds for the worker thread to finish.  Returns
+        True when the worker is known to be done (or never started).
+        """
+        first = False
+        with self._start_lock:
+            if not self._cancelled:
+                self._cancelled = True
+                first = True
+        if first:
+            self._emit(EventKind.CANCEL)
         self.out.close()
+        self.coexpr.close()
+        self._cancel_upstream()
+        worker = self._worker
+        if worker is None:
+            return True
+        if join:
+            return worker.join(timeout)
+        return not worker.is_alive()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     def refresh(self) -> "Pipe":
         """``^p`` — a new pipe over a refreshed copy of the co-expression."""
-        return Pipe(self.coexpr.refresh(), self.capacity, self._scheduler)
+        return Pipe(
+            self.coexpr.refresh(),
+            self.capacity,
+            self._scheduler,
+            take_timeout=self.take_timeout,
+        )
 
     # -- runtime protocol hooks ------------------------------------------------
 

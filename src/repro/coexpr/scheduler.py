@@ -8,9 +8,17 @@ A :class:`PipeScheduler` hands worker threads to pipes.  Two modes:
   long-lived streamers that block on their output channel, so a pool of
   reusable workers mostly adds queueing latency; dedicated threads match
   what the JVM implementation effectively does for streaming stages.
+  ``max_workers`` genuinely bounds thread creation: the semaphore is
+  acquired *before* the thread is spawned, so ``submit`` blocks once the
+  cap is reached instead of stacking up idle threads.
 * **pooled** — a bounded pool with a semaphore cap, for workloads that
   spawn many short-lived pipes (the map-reduce chunk tasks); prevents
   unbounded thread creation.
+
+The scheduler also owns the **leak-checked shutdown** story: every
+dedicated thread it spawns is tracked until it exits, ``shutdown(wait=True)``
+joins them, and :meth:`leaked` reports any survivors — the test suite's
+per-test fixture asserts that list is empty.
 
 The module-level default scheduler is what ``|>`` uses when no scheduler
 is given; :func:`use_scheduler` swaps it (also usable as a context
@@ -22,8 +30,36 @@ from __future__ import annotations
 import contextlib
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator
+from typing import Callable, Iterator, List
+
+from ..errors import SchedulerShutdownError
+
+
+class WorkerHandle:
+    """A joinable handle on one submitted pipe body."""
+
+    __slots__ = ("_thread", "_done")
+
+    def __init__(self, thread: threading.Thread | None = None) -> None:
+        self._thread = thread
+        self._done = threading.Event()
+
+    def _mark_done(self) -> None:
+        self._done.set()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the body to finish; True if it has."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            return not self._thread.is_alive()
+        return self._done.wait(timeout if timeout is not None else None)
+
+    def is_alive(self) -> bool:
+        if self._thread is not None:
+            return self._thread.is_alive()
+        return not self._done.is_set()
 
 
 class PipeScheduler:
@@ -35,8 +71,8 @@ class PipeScheduler:
         """With ``pooled=True`` run bodies on a shared
         :class:`~concurrent.futures.ThreadPoolExecutor` of *max_workers*
         threads; otherwise spawn a dedicated daemon thread per body
-        (max_workers then caps *concurrent* dedicated threads via a
-        semaphore, None = unlimited)."""
+        (max_workers then caps concurrent dedicated threads — ``submit``
+        blocks at the cap, None = unlimited)."""
         self.pooled = pooled
         self.max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
@@ -45,9 +81,18 @@ class PipeScheduler:
         )
         self._active = 0
         self._lock = threading.Lock()
+        self._threads: set[threading.Thread] = set()
+        self._shutdown = False
 
-    def submit(self, body: Callable[[], None], name: str = "pipe") -> None:
-        """Run *body* asynchronously; returns immediately."""
+    def submit(self, body: Callable[[], None], name: str = "pipe") -> WorkerHandle:
+        """Run *body* asynchronously; returns a joinable handle.
+
+        In dedicated mode with ``max_workers`` set this blocks until a
+        worker slot frees up (that is what bounds thread creation).
+        Raises :class:`SchedulerShutdownError` after :meth:`shutdown`.
+        """
+        if self._shutdown:
+            raise SchedulerShutdownError("submit on a shut-down PipeScheduler")
         if self.pooled:
             with self._lock:
                 if self._pool is None:
@@ -55,24 +100,43 @@ class PipeScheduler:
                         max_workers=self.max_workers or 4,
                         thread_name_prefix="repro-pipe",
                     )
-            self._pool.submit(self._run, body)
-            return
+                pool = self._pool
+            handle = WorkerHandle()
+            pool.submit(self._run_pooled, body, handle)
+            return handle
+        if self._gate is not None:
+            # Acquire *before* spawning: the cap bounds thread creation,
+            # not just concurrent execution.
+            self._gate.acquire()
         thread = threading.Thread(
             target=self._run_gated,
             args=(body,),
             name=f"repro-{name}-{next(self._ids)}",
             daemon=True,
         )
+        with self._lock:
+            if self._shutdown:
+                if self._gate is not None:
+                    self._gate.release()
+                raise SchedulerShutdownError("submit on a shut-down PipeScheduler")
+            self._threads.add(thread)
         thread.start()
+        return WorkerHandle(thread)
 
     def _run_gated(self, body: Callable[[], None]) -> None:
-        if self._gate is not None:
-            self._gate.acquire()
         try:
             self._run(body)
         finally:
             if self._gate is not None:
                 self._gate.release()
+            with self._lock:
+                self._threads.discard(threading.current_thread())
+
+    def _run_pooled(self, body: Callable[[], None], handle: WorkerHandle) -> None:
+        try:
+            self._run(body)
+        finally:
+            handle._mark_done()
 
     def _run(self, body: Callable[[], None]) -> None:
         with self._lock:
@@ -89,10 +153,45 @@ class PipeScheduler:
         with self._lock:
             return self._active
 
-    def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+    # -- lifecycle ------------------------------------------------------------
+
+    def leaked(self, join_timeout: float = 0.0) -> List[threading.Thread]:
+        """Dedicated worker threads that are still alive.
+
+        With *join_timeout* > 0, gives stragglers that long (total) to
+        exit before reporting them — the leak-check fixture uses a short
+        grace period so threads mid-teardown are not false positives.
+        """
+        with self._lock:
+            threads = [t for t in self._threads if t.is_alive()]
+        if join_timeout > 0 and threads:
+            deadline = time.monotonic() + join_timeout
+            for thread in threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+            threads = [t for t in threads if t.is_alive()]
+        return threads
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and (optionally) join in-flight workers.
+
+        Idempotent and safe to call with pipes still running: their
+        threads are daemons, so an expired *timeout* leaves them to die
+        with the process rather than hanging the caller; :meth:`leaked`
+        then reports them.  ``wait=False`` just flips the flag.
+        """
+        with self._lock:
+            self._shutdown = True
+            threads = list(self._threads)
+            pool = self._pool
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        if wait and threads:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for thread in threads:
+                if deadline is None:
+                    thread.join()
+                else:
+                    thread.join(max(0.0, deadline - time.monotonic()))
 
 
 _default = PipeScheduler()

@@ -1,0 +1,518 @@
+"""Supervised pipes — restart policies, deadlines, and fault injection.
+
+The paper's pipes (III.B) are long-lived worker threads; this module is
+the lifecycle discipline around them, in the spirit of hProlog's
+high-level multi-threading (explicit management built over message
+queues) and of snapshot-based restartable computation: the calculus
+already has the restart primitive — ``^c`` (refresh) rebuilds a
+co-expression from its original environment snapshot — so supervision is
+"retry via refresh" with a budget and a backoff.
+
+Three pieces:
+
+* :class:`BackoffPolicy` — exponential backoff with an injectable
+  ``sleep`` (tests pass a fake and run deterministically).
+* :class:`SupervisedPipe` / :func:`supervise` — wraps an expression the
+  way ``|>`` does, but a producer crash consumes a retry instead of
+  poisoning the channel: the co-expression is refreshed and re-run.  Two
+  restart modes:
+
+  - ``"replay"`` (self-contained sources): the refreshed body reproduces
+    the stream from the beginning, so already-delivered results are
+    skipped — exactly-once delivery for deterministic bodies.
+  - ``"resume"`` (channel-fed stages): the body iterates a shared
+    upstream whose consumed items are gone; the refreshed body simply
+    continues from the upstream's current position.
+
+* :class:`FaultPlan` — deterministic fault injection for tests: fail
+  stage *N* on attempt *K* (at body start or after *M* items), or delay
+  a stage's puts by a fixed amount, with attempt counters exposed.
+
+Every supervision decision (start, retry, cancel, timeout, exhaust) is
+emitted on the monitor lifecycle bus, so a
+:class:`~repro.monitor.Tracer` can observe exactly what the supervisor
+did and when.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..errors import PipeError, PipeTimeoutError, RetryExhaustedError
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconIterator
+from .coexpression import CoExpression, coexpr_of
+from .dataparallel import apply_mapped, iter_source
+from .pipe import Pipe
+from .scheduler import PipeScheduler
+
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Backoff
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: ``initial * multiplier**(retry-1)``, capped.
+
+    Purely arithmetic — the *sleep* (and any clock) is injected where the
+    policy is used, so tests can run restart schedules instantly while
+    asserting the exact delays that would have been slept.
+    """
+
+    initial: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.initial < 0 or self.max_delay < 0 or self.multiplier < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def delay(self, retry: int) -> float:
+        """Delay before the *retry*-th restart (1-based)."""
+        if retry < 1:
+            raise ValueError("retry is 1-based")
+        return min(self.initial * (self.multiplier ** (retry - 1)), self.max_delay)
+
+
+#: Sleep-free policy for tests and "retry immediately" callers.
+NO_BACKOFF = BackoffPolicy(initial=0.0, multiplier=1.0, max_delay=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class _FaultContext:
+    """Per-run view of a plan: one body execution of one stage."""
+
+    __slots__ = ("_plan", "_stage", "attempt", "_items")
+
+    def __init__(self, plan: "FaultPlan", stage: Any, attempt: int) -> None:
+        self._plan = plan
+        self._stage = stage
+        self.attempt = attempt
+        self._items = 0
+        self._check(at_start=True)
+
+    def _check(self, at_start: bool) -> None:
+        for rule in self._plan._rules_for(self._stage):
+            on_attempts, after_items, error_factory = rule
+            if self.attempt not in on_attempts:
+                continue
+            if at_start and after_items == 0:
+                raise error_factory(
+                    f"injected fault: stage {self._stage!r} attempt {self.attempt}"
+                )
+            if not at_start and 0 < after_items <= self._items:
+                raise error_factory(
+                    f"injected fault: stage {self._stage!r} attempt "
+                    f"{self.attempt} after {self._items} items"
+                )
+
+    def on_item(self, item: Any) -> None:
+        """Call before yielding each result: applies delays and
+        after-items failures."""
+        delay = self._plan._delay_for(self._stage)
+        if delay:
+            self._plan._sleep(delay)
+        self._items += 1
+        self._check(at_start=False)
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by stage.
+
+    Stages are identified by whatever key the caller uses (an int index
+    from :func:`supervised_pipeline`, or any hashable for hand-built
+    stages).  The plan is thread-safe; attempt counters are per-stage and
+    increment each time a stage body (re)starts.
+    """
+
+    def __init__(self, sleep: Callable[[float], None] = time.sleep) -> None:
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._attempts: dict[Any, int] = {}
+        self._rules: dict[Any, list] = {}
+        self._delays: dict[Any, float] = {}
+
+    # -- authoring -----------------------------------------------------------
+
+    def fail_stage(
+        self,
+        stage: Any,
+        on_attempts: tuple = (1,),
+        error: Callable[[str], BaseException] = RuntimeError,
+        after_items: int = 0,
+    ) -> "FaultPlan":
+        """Make *stage* raise on the given attempts: immediately at body
+        start (``after_items=0``) or after producing that many items."""
+        with self._lock:
+            self._rules.setdefault(stage, []).append(
+                (tuple(on_attempts), after_items, error)
+            )
+        return self
+
+    def delay_stage(self, stage: Any, delay: float) -> "FaultPlan":
+        """Delay each of *stage*'s puts by *delay* seconds (via the
+        plan's injectable sleep)."""
+        with self._lock:
+            self._delays[stage] = delay
+        return self
+
+    # -- runtime hooks -------------------------------------------------------
+
+    def enter(self, stage: Any) -> _FaultContext:
+        """Record a body (re)start for *stage*; may raise an injected
+        fault before anything is consumed."""
+        with self._lock:
+            attempt = self._attempts.get(stage, 0) + 1
+            self._attempts[stage] = attempt
+        return _FaultContext(self, stage, attempt)
+
+    def attempts(self, stage: Any) -> int:
+        """How many times *stage*'s body has started."""
+        with self._lock:
+            return self._attempts.get(stage, 0)
+
+    def _rules_for(self, stage: Any) -> list:
+        with self._lock:
+            return list(self._rules.get(stage, ()))
+
+    def _delay_for(self, stage: Any) -> float:
+        with self._lock:
+            return self._delays.get(stage, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+class SupervisedPipe(IconIterator):
+    """A pipe with a restart budget.
+
+    Takes behave like :meth:`Pipe.take` until the producer raises; then,
+    while retries remain, the co-expression is refreshed (``^c``) and run
+    on a fresh pipe after the policy's backoff, instead of the error
+    reaching the consumer.  When the budget is exhausted the take raises
+    :class:`RetryExhaustedError` chained to the last producer error.
+
+    Deadline expiry (:class:`PipeTimeoutError`) is *not* retried — a slow
+    producer is not a crashed one; the caller decides whether to cancel.
+    """
+
+    __slots__ = (
+        "name",
+        "max_retries",
+        "backoff",
+        "capacity",
+        "take_timeout",
+        "restart",
+        "upstream",
+        "_scheduler",
+        "_sleep",
+        "_coexpr",
+        "_pipe",
+        "_failures",
+        "_delivered",
+        "_skip",
+        "_lock",
+        "_cancelled",
+    )
+
+    def __init__(
+        self,
+        expr: Any,
+        *,
+        max_retries: int = 3,
+        backoff: BackoffPolicy | None = None,
+        capacity: int = 0,
+        scheduler: PipeScheduler | None = None,
+        take_timeout: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        restart: str = "replay",
+        upstream: Any = None,
+        name: str | None = None,
+    ) -> None:
+        if restart not in ("replay", "resume"):
+            raise ValueError("restart must be 'replay' or 'resume'")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        super().__init__()
+        self._coexpr = coexpr_of(expr)
+        self.name = name or self._coexpr.name
+        self.max_retries = max_retries
+        self.backoff = backoff or BackoffPolicy()
+        self.capacity = capacity
+        self.take_timeout = take_timeout
+        self.restart = restart
+        #: Optional upstream pipe to cancel when supervision gives up
+        #: (exhaust) or is cancelled — keeps the producer chain leak-free.
+        self.upstream = upstream
+        self._scheduler = scheduler
+        self._sleep = sleep
+        self._pipe = self._make_pipe()
+        self._failures = 0       # producer crashes seen so far
+        self._delivered = 0      # results handed to the consumer
+        self._skip = 0           # replayed results to discard after a restart
+        self._lock = threading.RLock()
+        self._cancelled = False
+
+    def _make_pipe(self) -> Pipe:
+        return Pipe(
+            self._coexpr,
+            capacity=self.capacity,
+            scheduler=self._scheduler,
+            take_timeout=self.take_timeout,
+        )
+
+    # -- lifecycle events -----------------------------------------------------
+
+    def _emit(self, kind: str, value: Any = None) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"supervise:{self.name}", 0, value))
+
+    # -- consumer -------------------------------------------------------------
+
+    def take(self, timeout: Any = _UNSET) -> Any:
+        """The next result, transparently restarting a crashed producer."""
+        if timeout is _UNSET:
+            timeout = self.take_timeout
+        with self._lock:
+            while True:
+                if self._cancelled:
+                    return FAIL
+                try:
+                    value = self._pipe.take(timeout)
+                except PipeTimeoutError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - producer crash
+                    self._on_crash(error)
+                    continue
+                if value is FAIL:
+                    return FAIL
+                if self._skip > 0:
+                    self._skip -= 1
+                    continue
+                self._delivered += 1
+                return value
+
+    def _on_crash(self, error: BaseException) -> None:
+        self._failures += 1
+        if self._failures > self.max_retries:
+            self._emit(EventKind.EXHAUST, self._failures)
+            raise RetryExhaustedError(
+                f"supervise {self.name!r}: producer failed "
+                f"{self._failures} times (max_retries={self.max_retries})",
+                attempts=self._failures,
+            ) from error
+        delay = self.backoff.delay(self._failures)
+        self._emit(
+            EventKind.RETRY,
+            {"attempt": self._failures, "delay": delay, "error": repr(error)},
+        )
+        if delay:
+            self._sleep(delay)
+        self._pipe.cancel()
+        self._coexpr = self._coexpr.refresh()
+        self._pipe = self._make_pipe()
+        if self._cancelled:
+            self._pipe.cancel()  # raced with a concurrent cancel(): stay down
+        if self.restart == "replay":
+            self._skip = self._delivered
+
+    def next_value(self) -> Any:
+        return self.take()
+
+    def iterate(self) -> Iterator[Any]:
+        while True:
+            value = self.take()
+            if value is FAIL:
+                return
+            yield value
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def cancel(self, join: bool = False, timeout: float | None = None) -> bool:
+        """Cancel the current pipe (and the upstream chain, when given).
+
+        Deliberately lock-free: a consumer blocked inside :meth:`take`
+        holds the lock, and cancel is how another thread unblocks it
+        (closing the channel makes the take return :data:`FAIL`).
+        """
+        self._cancelled = True
+        done = self._pipe.cancel(join=join, timeout=timeout)
+        upstream = self.upstream
+        if upstream is not None:
+            canceller = getattr(upstream, "cancel", None)
+            if canceller is not None:
+                canceller()
+        return done
+
+    @property
+    def failures(self) -> int:
+        """Producer crashes absorbed (or re-raised) so far."""
+        return self._failures
+
+    @property
+    def delivered(self) -> int:
+        """Results handed to the consumer so far."""
+        return self._delivered
+
+    # -- runtime protocol hooks ------------------------------------------------
+
+    def icon_activate(self, transmit: Any = None) -> Any:
+        if transmit is not None:
+            raise PipeError("cannot transmit a value into a supervised pipe")
+        return self.take()
+
+    def icon_promote(self) -> Iterator[Any]:
+        return self.iterate()
+
+    def icon_type(self) -> str:
+        return "supervised-pipe"
+
+    def __repr__(self) -> str:
+        return (
+            f"SupervisedPipe({self.name}, failures={self._failures}/"
+            f"{self.max_retries}, delivered={self._delivered})"
+        )
+
+
+def supervise(
+    expr: Any,
+    *,
+    max_retries: int = 3,
+    backoff: BackoffPolicy | None = None,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+    take_timeout: float | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    restart: str = "replay",
+    name: str | None = None,
+) -> SupervisedPipe:
+    """``|>`` with a restart budget: wrap *expr* in a supervised pipe.
+
+    *expr* is anything :func:`~repro.coexpr.coexpr_of` accepts.  See
+    :class:`SupervisedPipe` for the restart-mode semantics; the default
+    ``"replay"`` suits self-contained deterministic sources.
+    """
+    return SupervisedPipe(
+        expr,
+        max_retries=max_retries,
+        backoff=backoff,
+        capacity=capacity,
+        scheduler=scheduler,
+        take_timeout=take_timeout,
+        sleep=sleep,
+        restart=restart,
+        name=name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Supervised pipeline stages
+# ---------------------------------------------------------------------------
+
+def supervised_stage(
+    fn: Callable[[Any], Any],
+    upstream: Any,
+    *,
+    max_retries: int = 3,
+    backoff: BackoffPolicy | None = None,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+    take_timeout: float | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    fault_plan: FaultPlan | None = None,
+    stage_key: Any = None,
+    name: str | None = None,
+) -> SupervisedPipe:
+    """One pipeline stage whose crashes are retried in place.
+
+    The stage body maps *fn* over a shared upstream; because channel
+    items are consumed destructively, restarts use ``"resume"`` mode —
+    the refreshed body picks up wherever the upstream is now.  An item
+    the body had taken but not finished processing when it crashed is
+    charged to that attempt (at-most-once per item); faults injected at
+    body start (the :class:`FaultPlan` default) lose nothing.
+    """
+    if isinstance(upstream, (Pipe, SupervisedPipe)):
+        shared: Any = upstream
+        up_pipe: Any = upstream
+    else:
+        # Snapshot a single shared iterator so a refreshed body resumes
+        # instead of replaying a restartable iterable from the top.
+        shared = iter(iter_source(upstream))
+        up_pipe = None
+
+    stage_name = name or getattr(fn, "__name__", "stage")
+    key = stage_key if stage_key is not None else stage_name
+
+    def body(up: Any, plan: FaultPlan | None, stage_id: Any) -> Iterator[Any]:
+        ctx = plan.enter(stage_id) if plan is not None else None
+        for value in iter_source(up):
+            for mapped in apply_mapped(fn, value):
+                if ctx is not None:
+                    ctx.on_item(mapped)
+                yield mapped
+
+    coexpr = CoExpression(
+        body, lambda: (shared, fault_plan, key), name=stage_name
+    )
+    return SupervisedPipe(
+        coexpr,
+        max_retries=max_retries,
+        backoff=backoff,
+        capacity=capacity,
+        scheduler=scheduler,
+        take_timeout=take_timeout,
+        sleep=sleep,
+        restart="resume",
+        upstream=up_pipe,
+        name=stage_name,
+    )
+
+
+def supervised_pipeline(
+    source: Any,
+    *stages: Callable[[Any], Any],
+    max_retries: int = 3,
+    backoff: BackoffPolicy | None = None,
+    capacity: int = 0,
+    scheduler: PipeScheduler | None = None,
+    take_timeout: float | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    fault_plan: FaultPlan | None = None,
+) -> Any:
+    """:func:`~repro.coexpr.patterns.pipeline` with supervised stages.
+
+    Each stage gets its own restart budget; stage keys for the fault
+    plan are the 1-based stage indices (0 is the unsupervised source).
+    Cancellation propagates the whole chain: cancelling the returned
+    pipe tears every stage and the source down.
+    """
+    from .patterns import source_pipe
+
+    current: Any = source_pipe(source, capacity=capacity, scheduler=scheduler)
+    for index, fn in enumerate(stages, start=1):
+        current = supervised_stage(
+            fn,
+            current,
+            max_retries=max_retries,
+            backoff=backoff,
+            capacity=capacity,
+            scheduler=scheduler,
+            take_timeout=take_timeout,
+            sleep=sleep,
+            fault_plan=fault_plan,
+            stage_key=index,
+            name=f"stage-{index}:{getattr(fn, '__name__', 'fn')}",
+        )
+    return current

@@ -72,6 +72,32 @@ class PipeError(ConcurrencyError):
     """A pipe's worker thread failed in a way that cannot be replayed."""
 
 
+class PipeTimeoutError(ConcurrencyError, TimeoutError):
+    """A blocking channel/pipe operation exceeded its deadline.
+
+    Subclasses :class:`TimeoutError` so callers that guard with the
+    stdlib type keep working; the deadline is monotonic, so the total
+    wait never exceeds the requested timeout even across spurious
+    condition wakeups.
+    """
+
+
+class RetryExhaustedError(PipeError):
+    """A supervised pipe used up its restart budget.
+
+    ``__cause__`` is the last producer error; :attr:`attempts` counts
+    how many runs were made (initial run + retries).
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class SchedulerShutdownError(ConcurrencyError, RuntimeError):
+    """``submit`` on a :class:`PipeScheduler` that has been shut down."""
+
+
 class InactiveCoExpressionError(ConcurrencyError):
     """Activation of a co-expression that cannot be resumed."""
 

@@ -17,7 +17,26 @@ a transparent probe — no changes to the runtime, no overhead when off.
 16
 """
 
-from .events import Event, EventKind
+from .events import (
+    Event,
+    EventKind,
+    add_lifecycle_sink,
+    emit_lifecycle,
+    lifecycle_enabled,
+    lifecycle_sink,
+    remove_lifecycle_sink,
+)
 from .tracer import TracedIterator, Tracer, trace
 
-__all__ = ["Event", "EventKind", "TracedIterator", "Tracer", "trace"]
+__all__ = [
+    "Event",
+    "EventKind",
+    "TracedIterator",
+    "Tracer",
+    "add_lifecycle_sink",
+    "emit_lifecycle",
+    "lifecycle_enabled",
+    "lifecycle_sink",
+    "remove_lifecycle_sink",
+    "trace",
+]

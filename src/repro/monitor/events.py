@@ -16,6 +16,7 @@ fail       a node's pass ends with no further result
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,7 +28,18 @@ class EventKind:
     RESUME = "resume"
     FAIL = "fail"
 
-    ALL = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
+    # Pipe lifecycle transitions (the supervision layer's vocabulary):
+    # a worker starting, a supervised restart, a cancellation, a deadline
+    # expiry, and a retry budget running out.
+    START = "start"
+    RETRY = "retry"
+    CANCEL = "cancel"
+    TIMEOUT = "timeout"
+    EXHAUST = "exhaust"
+
+    ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
+    LIFECYCLE = (START, RETRY, CANCEL, TIMEOUT, EXHAUST)
+    ALL = ITERATION + LIFECYCLE
 
 
 _sequence = itertools.count(1)
@@ -47,4 +59,48 @@ class Event:
         indent = "  " * self.depth
         if self.kind in (EventKind.PRODUCE, EventKind.SUSPEND):
             return f"{indent}{self.node}: {self.kind} {self.value!r}"
+        if self.kind in EventKind.LIFECYCLE and self.value is not None:
+            return f"{indent}{self.node}: {self.kind} {self.value!r}"
         return f"{indent}{self.node}: {self.kind}"
+
+
+# ---------------------------------------------------------------------------
+# The lifecycle bus — where pipes and the supervision layer report
+# start/retry/cancel/timeout/exhaust transitions.  Tracers (or any
+# callable) subscribe to observe supervision decisions; with no
+# subscribers, emission is a single truth test.
+# ---------------------------------------------------------------------------
+
+_lifecycle_sinks: list = []
+
+
+def lifecycle_enabled() -> bool:
+    """Cheap guard so the hot path can skip building Event objects."""
+    return bool(_lifecycle_sinks)
+
+
+def emit_lifecycle(event: Event) -> None:
+    """Deliver *event* to every subscribed sink (exceptions propagate)."""
+    for sink in tuple(_lifecycle_sinks):
+        sink(event)
+
+
+def add_lifecycle_sink(sink) -> None:
+    _lifecycle_sinks.append(sink)
+
+
+def remove_lifecycle_sink(sink) -> None:
+    try:
+        _lifecycle_sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+@contextmanager
+def lifecycle_sink(sink):
+    """Subscribe *sink* (any ``Event -> None`` callable) for a ``with`` block."""
+    add_lifecycle_sink(sink)
+    try:
+        yield sink
+    finally:
+        remove_lifecycle_sink(sink)

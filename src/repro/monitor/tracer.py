@@ -120,6 +120,14 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
 
+    def lifecycle(self):
+        """Context manager: also collect pipe lifecycle events
+        (start/retry/cancel/timeout/exhaust) emitted by the supervision
+        layer while the block runs."""
+        from .events import lifecycle_sink
+
+        return lifecycle_sink(self.emit)
+
     # -- analysis --------------------------------------------------------------
 
     def counts(self) -> dict:

@@ -1,0 +1,27 @@
+"""Concurrency-layer fixtures: every test gets a leak-checked scheduler.
+
+Each test in this package runs against a fresh default
+:class:`PipeScheduler`; at teardown the fixture asserts that no pipe
+worker thread survived the test (after a short grace period for threads
+mid-exit).  A test that legitimately leaves a worker behind has a bug —
+pipes must be drained, cancelled, or shut down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coexpr.scheduler import PipeScheduler, use_scheduler
+
+
+@pytest.fixture(autouse=True)
+def pipe_scheduler():
+    """A fresh default scheduler per test, leak-checked at teardown."""
+    scheduler = PipeScheduler()
+    with use_scheduler(scheduler):
+        yield scheduler
+    leaked = scheduler.leaked(join_timeout=2.0)
+    assert not leaked, (
+        f"pipe worker threads leaked by this test: "
+        f"{[t.name for t in leaked]}"
+    )

@@ -102,6 +102,44 @@ class TestCapacity:
         assert channel.take() == 1
         assert done.wait(2)
 
+    def test_unbounded_put_ignores_timeout(self):
+        """capacity=0 never waits for space: timeout is documented as
+        ignored, and the put returns immediately."""
+        channel = Channel(capacity=0)
+        start = time.monotonic()
+        for i in range(100):
+            channel.put(i, timeout=0.000001)  # would expire if honoured
+        assert time.monotonic() - start < 0.5
+        assert len(channel) == 100
+
+    def test_unbounded_put_raises_promptly_after_close(self):
+        """Regression pin: a closed unbounded channel rejects puts at
+        once — it never blocks or silently accepts."""
+        channel = Channel(capacity=0)
+        channel.close()
+        start = time.monotonic()
+        with pytest.raises(ChannelClosedError):
+            channel.put(1)
+        with pytest.raises(ChannelClosedError):
+            channel.put(2, timeout=5.0)  # the timeout must not delay the error
+        assert time.monotonic() - start < 0.5
+
+    def test_put_error_bypasses_capacity(self):
+        """Error delivery is unthrottled: a full bounded channel still
+        accepts the crash report (a dying producer never blocks on it)."""
+        channel = Channel(capacity=1)
+        channel.put("fill")
+        channel.put_error(RuntimeError("crash"))  # must not block
+        assert channel.take() == "fill"
+        with pytest.raises(RuntimeError, match="crash"):
+            channel.take()
+
+    def test_put_error_on_closed_channel_raises(self):
+        channel = Channel()
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.put_error(RuntimeError("late"))
+
     def test_put_timeout(self):
         channel = Channel(capacity=1)
         channel.put(1)

@@ -95,6 +95,84 @@ class TestConsumerAbandonment:
         assert pipe.take() is FAIL
 
 
+class TestCancellationRaces:
+    def test_cancel_before_start_spawns_no_thread(self, pipe_scheduler):
+        pipe = Pipe(CoExpression(lambda: iter([1])))
+        assert pipe.cancel(join=True, timeout=1)  # nothing to join
+        assert pipe.take() is FAIL  # and take() must not start a worker
+        assert pipe_scheduler.leaked() == []
+        assert pipe_scheduler.active == 0
+
+    def test_cancel_while_producer_blocked_on_full_channel(self, pipe_scheduler):
+        entered = threading.Event()
+
+        def body():
+            for i in range(1000):
+                if i >= 2:  # the put of item 2 blocks on the full channel
+                    entered.set()
+                yield i
+
+        pipe = Pipe(CoExpression(body), capacity=2)
+        pipe.start()
+        assert entered.wait(2)
+        time.sleep(0.05)  # let the worker actually block in put()
+        assert pipe.cancel(join=True, timeout=2)  # join proves it unblocked
+        assert pipe_scheduler.leaked(join_timeout=2.0) == []
+
+    def test_cancel_during_error_delivery(self, pipe_scheduler):
+        """Cancel racing the worker's put_error: either the error was
+        already queued (drains) or the channel closed first (dropped);
+        both settle, neither hangs or leaks."""
+        ready = threading.Event()
+
+        def body():
+            yield 1
+            ready.set()
+            raise RuntimeError("dying while cancelled")
+
+        for _ in range(20):  # many interleavings of cancel vs put_error
+            ready.clear()
+            pipe = Pipe(CoExpression(body), capacity=1)
+            assert pipe.take() == 1
+            ready.wait(2)
+            pipe.cancel()
+            try:
+                result = pipe.take()
+            except RuntimeError:
+                result = FAIL  # the error won the race: also acceptable
+            assert result is FAIL
+            assert pipe.cancel(join=True, timeout=2)
+
+    def test_double_cancel_is_idempotent(self, pipe_scheduler):
+        pipe = Pipe(CoExpression(lambda: iter(range(100))), capacity=2)
+        pipe.take()
+        assert pipe.cancel(join=True, timeout=2)
+        assert pipe.cancel(join=True, timeout=2)  # second is a no-op
+        assert pipe.cancel() in (True, False)  # non-joining form too
+        assert pipe.take() in (FAIL, 1, 2)  # drains or fails, never hangs
+        assert pipe_scheduler.leaked(join_timeout=2.0) == []
+
+    def test_cancel_from_consumer_thread_while_take_blocked(self, pipe_scheduler):
+        gate = Channel()  # never fed
+
+        def body():
+            yield gate.take()
+
+        pipe = Pipe(CoExpression(body))
+        results = []
+
+        def consumer():
+            results.append(pipe.take())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)  # consumer is blocked in take()
+        gate.close()
+        pipe.cancel(join=True, timeout=2)
+        thread.join(timeout=2)
+        assert results == [FAIL]
+
+
 class TestChannelMisuse:
     def test_put_error_then_close_then_drain(self):
         channel = Channel()

@@ -77,6 +77,7 @@ class TestPipeline:
         assert chain.take() == 0
         time.sleep(0.1)
         assert len(produced) < 50
+        chain.cancel(join=True, timeout=2)  # propagates to the source stage
 
     def test_stage_error_propagates(self):
         def explode(x):

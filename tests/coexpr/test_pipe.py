@@ -71,6 +71,7 @@ class TestThrottling:
         time.sleep(0.1)
         # producer can be at most capacity + a couple in flight ahead
         assert len(produced) <= 8
+        pipe.cancel(join=True, timeout=2)
 
     def test_unbounded_runs_ahead(self):
         pipe = Pipe(counted(500), capacity=0)

@@ -1,0 +1,498 @@
+"""The supervision layer: deadlines, retry/backoff, cancellation, leaks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    PipeTimeoutError,
+    RetryExhaustedError,
+    SchedulerShutdownError,
+)
+from repro.runtime.failure import FAIL
+from repro.coexpr.channel import Channel
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.future import MVar
+from repro.coexpr.pipe import Pipe
+from repro.coexpr.patterns import pipeline, source_pipe
+from repro.coexpr.scheduler import PipeScheduler
+from repro.coexpr.supervision import (
+    NO_BACKOFF,
+    BackoffPolicy,
+    FaultPlan,
+    SupervisedPipe,
+    supervise,
+    supervised_pipeline,
+    supervised_stage,
+)
+from repro.monitor import EventKind, Tracer
+
+
+class TestBackoffPolicy:
+    def test_exponential_schedule(self):
+        policy = BackoffPolicy(initial=0.1, multiplier=2.0, max_delay=1.0)
+        assert [policy.delay(i) for i in (1, 2, 3, 4, 5)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.8,
+            1.0,  # capped
+        ]
+
+    def test_no_backoff_is_instant(self):
+        assert NO_BACKOFF.delay(1) == 0.0
+        assert NO_BACKOFF.delay(9) == 0.0
+
+    def test_retry_is_one_based(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(0)
+
+
+class TestFaultPlan:
+    def test_counts_attempts_per_stage(self):
+        plan = FaultPlan()
+        plan.enter("a")
+        plan.enter("a")
+        plan.enter("b")
+        assert plan.attempts("a") == 2
+        assert plan.attempts("b") == 1
+        assert plan.attempts("never") == 0
+
+    def test_fail_at_body_start(self):
+        plan = FaultPlan().fail_stage("s", on_attempts=(1,), error=ValueError)
+        with pytest.raises(ValueError, match="injected fault"):
+            plan.enter("s")
+        plan.enter("s")  # attempt 2 is clean
+
+    def test_fail_after_items(self):
+        plan = FaultPlan().fail_stage("s", on_attempts=(1,), after_items=2)
+        ctx = plan.enter("s")
+        ctx.on_item("x")
+        with pytest.raises(RuntimeError):
+            ctx.on_item("y")
+
+    def test_delay_uses_injected_sleep(self):
+        slept = []
+        plan = FaultPlan(sleep=slept.append).delay_stage("s", 0.5)
+        ctx = plan.enter("s")
+        ctx.on_item("x")
+        ctx.on_item("y")
+        assert slept == [0.5, 0.5]
+
+
+class TestSupervisedSource:
+    def test_clean_source_passes_through(self):
+        sp = supervise(lambda: iter(range(5)), sleep=lambda d: None)
+        assert list(sp) == [0, 1, 2, 3, 4]
+        assert sp.failures == 0
+
+    def test_replay_restart_is_exactly_once(self):
+        """A deterministic source that crashes mid-stream twice: the
+        consumer still sees each value exactly once."""
+        runs = {"n": 0}
+
+        def flaky():
+            runs["n"] += 1
+            attempt = runs["n"]
+
+            def gen():
+                for i in range(6):
+                    if attempt <= 2 and i == 3:
+                        raise RuntimeError("mid-stream crash")
+                    yield i
+
+            return gen()
+
+        slept = []
+        sp = supervise(
+            flaky,
+            max_retries=3,
+            backoff=BackoffPolicy(initial=0.01, multiplier=2.0),
+            sleep=slept.append,
+        )
+        assert list(sp) == [0, 1, 2, 3, 4, 5]
+        assert runs["n"] == 3
+        assert sp.failures == 2
+        assert slept == [0.01, 0.02]  # deterministic backoff, no real sleep
+
+    def test_exhausted_budget_raises_with_cause(self):
+        def always_dies():
+            raise OSError("permanent")
+            yield
+
+        sp = supervise(always_dies, max_retries=2, sleep=lambda d: None)
+        with pytest.raises(RetryExhaustedError) as info:
+            sp.take()
+        assert info.value.attempts == 3  # initial run + 2 retries
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_zero_retries_fails_on_first_crash(self):
+        def dies():
+            raise KeyError("nope")
+            yield
+
+        sp = supervise(dies, max_retries=0, sleep=lambda d: None)
+        with pytest.raises(RetryExhaustedError):
+            sp.take()
+
+    def test_take_after_cancel_fails(self):
+        sp = supervise(lambda: iter(range(100)), capacity=1, sleep=lambda d: None)
+        assert sp.take() == 0
+        assert sp.cancel(join=True, timeout=2)
+        assert sp.take() is FAIL
+
+
+class TestSupervisedPipeline:
+    def test_acceptance_middle_stage_retried(self, pipe_scheduler):
+        """The issue's acceptance scenario: the middle stage raises on
+        attempts 1 and 2 under supervise(max_retries=3, backoff=...);
+        the pipeline completes with the correct results, deterministically
+        (fault plan + injected sleep), and nothing leaks."""
+        plan = FaultPlan()
+        plan.fail_stage(1, on_attempts=(1, 2), error=ValueError)
+        slept = []
+
+        chain = supervised_pipeline(
+            range(8),
+            lambda x: x * x,
+            str,
+            max_retries=3,
+            backoff=BackoffPolicy(initial=0.01, multiplier=2.0, max_delay=1.0),
+            sleep=slept.append,
+            fault_plan=plan,
+        )
+        assert list(chain) == [str(x * x) for x in range(8)]
+        assert plan.attempts(1) == 3  # two injected crashes + the success
+        assert plan.attempts(2) == 1  # the str stage never crashed
+        assert slept == [0.01, 0.02]
+        assert pipe_scheduler.leaked(join_timeout=2.0) == []
+
+    def test_resume_stage_loses_nothing_on_start_faults(self, pipe_scheduler):
+        plan = FaultPlan().fail_stage("mid", on_attempts=(1,))
+        src = source_pipe(range(10))
+        mid = supervised_stage(
+            lambda x: x + 100,
+            src,
+            max_retries=2,
+            backoff=NO_BACKOFF,
+            sleep=lambda d: None,
+            fault_plan=plan,
+            stage_key="mid",
+        )
+        assert list(mid) == [x + 100 for x in range(10)]
+        assert plan.attempts("mid") == 2
+
+    def test_exhausted_stage_cancels_upstream(self, pipe_scheduler):
+        plan = FaultPlan().fail_stage("mid", on_attempts=(1, 2, 3), error=OSError)
+        src = source_pipe(range(1000), capacity=2)  # bounded: would orphan
+        mid = supervised_stage(
+            lambda x: x,
+            src,
+            max_retries=2,
+            sleep=lambda d: None,
+            fault_plan=plan,
+            stage_key="mid",
+        )
+        with pytest.raises(RetryExhaustedError):
+            list(mid)
+        mid.cancel(join=True, timeout=2)
+        assert pipe_scheduler.leaked(join_timeout=2.0) == []
+
+    def test_cancel_propagates_whole_chain(self, pipe_scheduler):
+        chain = supervised_pipeline(
+            range(100_000),
+            lambda x: x + 1,
+            lambda x: x * 2,
+            capacity=2,
+            sleep=lambda d: None,
+        )
+        assert chain.take() == 2
+        chain.cancel(join=True, timeout=2)
+        assert pipe_scheduler.leaked(join_timeout=2.0) == []
+
+
+class TestDeadlines:
+    def test_pipe_take_timeout_within_2x(self, pipe_scheduler):
+        release = threading.Event()
+
+        def stalls():
+            yield 1
+            release.wait(30)  # cooperative stall
+            yield 2
+
+        pipe = Pipe(CoExpression(stalls), take_timeout=0.2)
+        assert pipe.take() == 1
+        start = time.monotonic()
+        with pytest.raises(PipeTimeoutError):
+            pipe.take()
+        assert time.monotonic() - start < 0.4  # within 2x the deadline
+        release.set()
+        pipe.cancel(join=True, timeout=2)
+        pipe_scheduler.shutdown(wait=True, timeout=2)
+        assert pipe_scheduler.leaked() == []
+
+    def test_pipeline_take_timeout_threads_through(self, pipe_scheduler):
+        release = threading.Event()
+
+        def slow(x):
+            if x == 2:
+                release.wait(30)
+            return x
+
+        chain = pipeline(range(5), slow, take_timeout=0.2)
+        assert chain.take() == 0
+        assert chain.take() == 1
+        with pytest.raises(PipeTimeoutError):
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                chain.take()
+        release.set()
+        chain.cancel(join=True, timeout=2)
+
+    def test_per_call_override_beats_pipe_default(self, pipe_scheduler):
+        release = threading.Event()
+
+        def stalls():
+            release.wait(30)
+            yield 1
+
+        pipe = Pipe(CoExpression(stalls))  # no default deadline
+        with pytest.raises(PipeTimeoutError):
+            pipe.take(timeout=0.05)
+        release.set()
+        pipe.cancel(join=True, timeout=2)
+
+    def test_timeout_is_not_retried_by_supervision(self, pipe_scheduler):
+        release = threading.Event()
+
+        def stalls():
+            release.wait(30)
+            yield 1
+
+        sp = supervise(stalls, take_timeout=0.1, sleep=lambda d: None)
+        with pytest.raises(PipeTimeoutError):
+            sp.take()
+        assert sp.failures == 0  # slow is not crashed
+        release.set()
+        sp.cancel(join=True, timeout=2)
+
+    def test_supervised_timeout_leaves_no_threads(self, pipe_scheduler):
+        """The acceptance leak criterion: after a deadline expiry the
+        consumer cancels; leaked() then reports zero worker threads."""
+        gate = Channel()  # never fed: the producer blocks cooperatively
+
+        def stalls():
+            yield 1
+            yield gate.take()  # blocked until cancel closes the chain
+
+        sp = supervise(stalls, take_timeout=0.2, sleep=lambda d: None)
+        assert sp.take() == 1
+        with pytest.raises(PipeTimeoutError):
+            sp.take()
+        gate.close()
+        assert sp.cancel(join=True, timeout=2)
+        pipe_scheduler.shutdown(wait=True, timeout=2)
+        assert pipe_scheduler.leaked() == []
+
+
+class TestDeadlineDrift:
+    """Satellite: waits use one monotonic deadline, not a reset-per-wakeup."""
+
+    def _spurious_wakeups(self, condition, lock, stop):
+        while not stop.is_set():
+            time.sleep(0.02)
+            with lock:
+                condition.notify_all()
+
+    def test_channel_take_total_wait_bounded(self):
+        channel = Channel()
+        stop = threading.Event()
+        waker = threading.Thread(
+            target=self._spurious_wakeups,
+            args=(channel._not_empty, channel._lock, stop),
+        )
+        waker.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                channel.take(timeout=0.25)
+        finally:
+            stop.set()
+            waker.join(timeout=2)
+        # A reset-per-wakeup wait would be extended past 0.25s by every
+        # 20ms notification; the deadline form expires on schedule.
+        assert time.monotonic() - start < 0.45
+
+    def test_channel_put_total_wait_bounded(self):
+        channel = Channel(capacity=1)
+        channel.put("full")
+        stop = threading.Event()
+        waker = threading.Thread(
+            target=self._spurious_wakeups,
+            args=(channel._not_full, channel._lock, stop),
+        )
+        waker.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                channel.put("blocked", timeout=0.25)
+        finally:
+            stop.set()
+            waker.join(timeout=2)
+        assert time.monotonic() - start < 0.45
+
+    def test_mvar_take_total_wait_bounded(self):
+        cell = MVar()
+        stop = threading.Event()
+        waker = threading.Thread(
+            target=self._spurious_wakeups,
+            args=(cell._filled, cell._lock, stop),
+        )
+        waker.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                cell.take(timeout=0.25)
+        finally:
+            stop.set()
+            waker.join(timeout=2)
+        assert time.monotonic() - start < 0.45
+
+    def test_mvar_put_read_expire(self):
+        cell = MVar()
+        cell.put(1)
+        with pytest.raises(PipeTimeoutError):
+            cell.put(2, timeout=0.05)
+        empty = MVar()
+        with pytest.raises(PipeTimeoutError):
+            empty.read(timeout=0.05)
+
+
+class TestLifecycleEvents:
+    def test_retry_and_start_events_observable(self, pipe_scheduler):
+        plan = FaultPlan().fail_stage(1, on_attempts=(1,), error=ValueError)
+        tracer = Tracer()
+        with tracer.lifecycle():
+            chain = supervised_pipeline(
+                range(3),
+                lambda x: x,
+                backoff=NO_BACKOFF,
+                sleep=lambda d: None,
+                fault_plan=plan,
+            )
+            assert list(chain) == [0, 1, 2]
+        kinds = {event.kind for event in tracer.events}
+        assert EventKind.START in kinds
+        assert EventKind.RETRY in kinds
+        retries = [e for e in tracer.events if e.kind == EventKind.RETRY]
+        assert retries[0].value["attempt"] == 1
+
+    def test_timeout_and_cancel_events(self, pipe_scheduler):
+        release = threading.Event()
+
+        def stalls():
+            release.wait(30)
+            yield 1
+
+        tracer = Tracer()
+        with tracer.lifecycle():
+            pipe = Pipe(CoExpression(stalls, name="staller"), take_timeout=0.05)
+            with pytest.raises(PipeTimeoutError):
+                pipe.take()
+            release.set()
+            pipe.cancel(join=True, timeout=2)
+        kinds = {event.kind for event in tracer.events}
+        assert EventKind.TIMEOUT in kinds
+        assert EventKind.CANCEL in kinds
+
+    def test_exhaust_event(self, pipe_scheduler):
+        def dies():
+            raise OSError("permanent")
+            yield
+
+        tracer = Tracer()
+        with tracer.lifecycle():
+            sp = supervise(dies, max_retries=1, sleep=lambda d: None)
+            with pytest.raises(RetryExhaustedError):
+                sp.take()
+        assert EventKind.EXHAUST in {event.kind for event in tracer.events}
+
+    def test_no_events_collected_when_not_subscribed(self, pipe_scheduler):
+        tracer = Tracer()  # never subscribed to the lifecycle bus
+        pipe = Pipe(CoExpression(lambda: iter([1])))
+        assert pipe.take() == 1
+        assert pipe.take() is FAIL
+        assert tracer.events == []
+
+
+class TestSchedulerLifecycle:
+    def test_max_workers_bounds_thread_creation(self):
+        scheduler = PipeScheduler(max_workers=2)
+        release = threading.Event()
+        started = []
+
+        def body():
+            started.append(1)
+            release.wait(10)
+
+        for _ in range(2):
+            scheduler.submit(body)
+        # The third submit must block *before* spawning a thread.
+        third_returned = threading.Event()
+
+        def third():
+            scheduler.submit(body)
+            third_returned.set()
+
+        helper = threading.Thread(target=third, daemon=True)
+        helper.start()
+        time.sleep(0.1)
+        assert len(started) == 2  # the capped body has not started
+        assert not third_returned.is_set()
+        assert len(scheduler.leaked()) == 2  # only two threads exist
+        release.set()
+        assert third_returned.wait(2)
+        helper.join(timeout=2)
+        scheduler.shutdown(wait=True, timeout=2)
+        assert scheduler.leaked() == []
+
+    def test_shutdown_joins_workers(self):
+        scheduler = PipeScheduler()
+        done = []
+        scheduler.submit(lambda: (time.sleep(0.1), done.append(1)))
+        scheduler.shutdown(wait=True)
+        assert done == [1]
+        assert scheduler.leaked() == []
+
+    def test_shutdown_idempotent_with_inflight_workers(self):
+        scheduler = PipeScheduler()
+        release = threading.Event()
+        scheduler.submit(lambda: release.wait(10))
+        scheduler.shutdown(wait=True, timeout=0.1)  # expires, doesn't hang
+        scheduler.shutdown(wait=True, timeout=0.1)  # idempotent
+        assert len(scheduler.leaked()) == 1  # honestly reported
+        release.set()
+        assert scheduler.leaked(join_timeout=2.0) == []
+
+    def test_submit_after_shutdown_raises(self):
+        scheduler = PipeScheduler()
+        scheduler.shutdown()
+        with pytest.raises(SchedulerShutdownError):
+            scheduler.submit(lambda: None)
+
+    def test_pooled_submit_returns_joinable_handle(self):
+        scheduler = PipeScheduler(max_workers=2, pooled=True)
+        handle = scheduler.submit(lambda: time.sleep(0.05))
+        assert handle.join(timeout=2)
+        assert not handle.is_alive()
+        scheduler.shutdown(wait=True)
+
+    def test_handle_tracks_running_body(self):
+        scheduler = PipeScheduler()
+        release = threading.Event()
+        handle = scheduler.submit(lambda: release.wait(10))
+        assert handle.is_alive()
+        assert not handle.join(timeout=0.05)
+        release.set()
+        assert handle.join(timeout=2)

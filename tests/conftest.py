@@ -2,10 +2,54 @@
 
 from __future__ import annotations
 
+import faulthandler
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.runtime import seed_random
 from repro.runtime.cache import MethodBodyCache
+
+#: Per-test watchdog budget in seconds.  A deadlocked channel/pipe test
+#: fails with a traceback instead of hanging the whole suite (the role
+#: pytest-timeout would play if it were a dependency).
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "60"))
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Abort any single test that runs longer than the watchdog budget.
+
+    Primary mechanism: SIGALRM raises in the main thread, which unblocks
+    even an untimed ``Condition.wait`` / ``lock.acquire``.  Backstop:
+    ``faulthandler`` dumps all thread stacks and exits the process if the
+    main thread itself is wedged beyond twice the budget.
+    """
+    use_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _expired(signum, frame):
+        faulthandler.dump_traceback()
+        raise TimeoutError(
+            f"test exceeded the {_TEST_TIMEOUT}s watchdog (likely deadlock)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    faulthandler.dump_traceback_later(_TEST_TIMEOUT * 2, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)
