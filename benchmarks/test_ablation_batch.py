@@ -1,0 +1,85 @@
+"""Ablation A7 — batched channel transport (`batch=N` on pipes).
+
+The paper's chunked pipes exist because item-at-a-time streaming through
+a blocking queue pays a mutex acquire and condition-variable round trip
+per element.  This sweep measures what coalescing the handoff buys on
+the Figure 6 light workload (where synchronization dominates the
+per-element compute) and what it costs on the heavy workload (where
+compute dominates and batching should be ~neutral).
+
+``batch=1`` is the unbatched worker loop — the pre-batching baseline —
+so the sweep also guards against a regression when batching is off.
+
+Run with ``--benchmark-json=ablation_batch.json`` to export the numbers
+(CI uploads that file as a workflow artifact).
+"""
+
+import pytest
+
+from repro.bench.workloads import HEAVY, LIGHT, expected_total, generate_lines
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.pipe import Pipe
+
+BATCHES = (1, 8, 64, 512)
+#: Same bounded-queue shape as the native pipeline variant.
+CAPACITY = 1024
+
+
+def pipeline_total(lines, weight, batch: int) -> float:
+    """The Figure 6 pipeline split: stage 1 (worker thread) converts
+    words to numbers, stage 2 (this thread) hashes and sums."""
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+
+    def producer():
+        for line in lines:
+            for word in line.split():
+                yield word_to_number(word)
+
+    piped = Pipe(CoExpression(producer), capacity=CAPACITY, batch=batch)
+    total = 0.0
+    for number in piped:
+        total += hash_number(number)
+    return total
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_light_batch_sweep(benchmark, corpus, light_reference, batch):
+    benchmark.group = "ablation-batch-light"
+    benchmark.extra_info["batch"] = batch
+    result = benchmark(lambda: pipeline_total(corpus, LIGHT, batch))
+    assert result == pytest.approx(light_reference)
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_heavy_batch_sweep(benchmark, corpus, heavy_reference, batch):
+    benchmark.group = "ablation-batch-heavy"
+    benchmark.extra_info["batch"] = batch
+    result = benchmark(lambda: pipeline_total(corpus, HEAVY, batch))
+    assert result == pytest.approx(heavy_reference)
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_light_batch_with_linger(benchmark, corpus, light_reference, batch):
+    """The latency-bounded configuration: same sweep with a 5 ms linger
+    flusher armed, measuring what the latency bound costs in throughput."""
+    word_to_number = LIGHT.word_to_number
+    hash_number = LIGHT.hash_number
+
+    def run():
+        def producer():
+            for line in corpus:
+                for word in line.split():
+                    yield word_to_number(word)
+
+        piped = Pipe(
+            CoExpression(producer), capacity=CAPACITY, batch=batch, max_linger=0.005
+        )
+        total = 0.0
+        for number in piped:
+            total += hash_number(number)
+        return total
+
+    benchmark.group = "ablation-batch-linger"
+    benchmark.extra_info["batch"] = batch
+    assert benchmark(run) == pytest.approx(light_reference)

@@ -67,14 +67,19 @@ def pipe(
     expr: Any,
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
 ) -> Pipe:
     """``|>e`` — run *expr* in its own thread behind a blocking queue.
 
     ``capacity`` bounds the output queue (0 = unbounded); a bound
     throttles the producer.  The worker starts on first use (or call
-    ``.start()``).
+    ``.start()``).  ``batch`` > 1 moves results through the queue in
+    coalesced slices (see :class:`~repro.coexpr.pipe.Pipe`).
     """
-    return Pipe(expr, capacity=capacity, scheduler=scheduler)
+    return Pipe(
+        expr, capacity=capacity, scheduler=scheduler, batch=batch, max_linger=max_linger
+    )
 
 
 def future(expr: Any, scheduler: PipeScheduler | None = None) -> Future:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, List
 
 from ..errors import ChannelClosedError, PipeTimeoutError
 
@@ -115,13 +115,14 @@ class Channel:
         closed while waiting — that is how a consumer-side ``close``
         unblocks and terminates a producer.
 
-        On an unbounded channel (``capacity=0``) there is nothing to wait
-        for, so *timeout* is ignored: the put either succeeds immediately
-        or raises :class:`ChannelClosedError` immediately after a close.
-        On a bounded channel the timeout is a monotonic deadline over the
-        whole wait; expiry raises :class:`PipeTimeoutError`.
+        *timeout* is a monotonic deadline over the wait for space; expiry
+        raises :class:`PipeTimeoutError`.  The deadline semantics are
+        uniform across capacities: a put that needs no wait (space is
+        free, or the channel is unbounded) succeeds regardless of the
+        deadline — an unbounded channel always has space, so its puts
+        accept a timeout but can never expire on one.
         """
-        deadline = deadline_of(timeout) if self.capacity else None
+        deadline = deadline_of(timeout)
         with self._not_full:
             if self.capacity:
                 while len(self._items) >= self.capacity and not self._closed:
@@ -130,6 +131,49 @@ class Channel:
                 raise ChannelClosedError("put on a closed channel")
             self._items.append(item)
             self._not_empty.notify()
+
+    def put_many(self, items: Iterable[Any], timeout: float | None = None) -> int:
+        """Enqueue every element of *items* under (at most) one lock
+        acquisition per free-space window; returns the number enqueued.
+
+        This is the batched-transport primitive: where a loop of
+        :meth:`put` pays a mutex acquire and a condition-variable notify
+        per element, ``put_many`` appends a whole slice while it holds
+        the lock, waiting (deadline-correctly) only when a bounded
+        channel fills up mid-batch.
+
+        All-or-raise: on success the return value is ``len(items)``.  If
+        the channel closes mid-batch, :class:`ChannelClosedError` is
+        raised — elements enqueued before the close stay takeable, the
+        rest are dropped (the consumer that closed has stopped reading).
+        If the deadline expires mid-batch, :class:`PipeTimeoutError` is
+        raised and the partial prefix likewise stays enqueued; FIFO order
+        is preserved in every case.
+        """
+        batch = list(items)
+        if not batch:
+            return 0
+        deadline = deadline_of(timeout)
+        sent = 0
+        with self._not_full:
+            while True:
+                if self._closed:
+                    raise ChannelClosedError(
+                        f"put_many on a closed channel ({sent}/{len(batch)} sent)"
+                    )
+                if self.capacity:
+                    free = self.capacity - len(self._items)
+                    if free <= 0:
+                        deadline_wait(self._not_full, deadline, "Channel.put_many")
+                        continue
+                    chunk = batch[sent : sent + free]
+                else:
+                    chunk = batch[sent:]
+                self._items.extend(chunk)
+                sent += len(chunk)
+                self._not_empty.notify(len(chunk))
+                if sent >= len(batch):
+                    return sent
 
     def put_error(self, error: BaseException) -> None:
         """Enqueue an exception to re-raise at the consumer.
@@ -177,6 +221,41 @@ class Channel:
         if isinstance(item, RaiseEnvelope):
             raise item.error
         return item
+
+    def take_many(self, max_n: int, timeout: float | None = None) -> Any:
+        """Take up to *max_n* items under one lock acquisition.
+
+        Blocks (deadline-correctly) until at least one item is available,
+        then drains whatever is queued — up to *max_n* — without waiting
+        for more: batching never adds consumer latency, it only amortizes
+        the lock when the producer has run ahead.  Returns a non-empty
+        list, or :data:`CLOSED` once the channel is closed and drained.
+
+        Error envelopes are never reordered past the data that preceded
+        them: the batch stops just before a queued
+        :class:`RaiseEnvelope`, and an envelope at the head of the queue
+        re-raises its exception (exactly as :meth:`take` would).
+        """
+        if max_n < 1:
+            raise ValueError("max_n must be >= 1")
+        deadline = deadline_of(timeout)
+        with self._not_empty:
+            while not self._items and not self._closed:
+                deadline_wait(self._not_empty, deadline, "Channel.take_many")
+            if not self._items:
+                return CLOSED
+            batch: List[Any] = []
+            items = self._items
+            while items and len(batch) < max_n:
+                if isinstance(items[0], RaiseEnvelope):
+                    if batch:
+                        break  # deliver the preceding data first
+                    envelope = items.popleft()
+                    self._not_full.notify()
+                    raise envelope.error
+                batch.append(items.popleft())
+            self._not_full.notify(len(batch))
+        return batch
 
     def poll(self) -> Any:
         """Non-blocking take: an item, or :data:`CLOSED`, or None if empty."""

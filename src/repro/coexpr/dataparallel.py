@@ -80,19 +80,30 @@ class DataParallel:
         capacity: int = 0,
         scheduler: PipeScheduler | None = None,
         max_pending: int | None = None,
+        batch: int = 1,
+        max_linger: float | None = None,
     ) -> None:
         """``chunk_size`` elements per task (Figure 4 uses 1000);
         ``capacity`` bounds each task pipe's output queue; ``max_pending``
         (host extension) caps in-flight task pipes — the paper's version
-        spawns one per chunk up front, which is ``max_pending=None``."""
+        spawns one per chunk up front, which is ``max_pending=None``.
+        ``batch``/``max_linger`` turn on batched transport for every task
+        pipe (see :class:`~repro.coexpr.pipe.Pipe`): mostly useful for
+        :meth:`map_flat`, whose tasks stream many elements per chunk —
+        :meth:`map_reduce` tasks emit a single fold each, so there is
+        nothing to coalesce."""
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 or None")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         self.chunk_size = chunk_size
         self.capacity = capacity
         self.scheduler = scheduler
         self.max_pending = max_pending
+        self.batch = batch
+        self.max_linger = max_linger
 
     # -- Figure 4: chunk -------------------------------------------------------
 
@@ -162,7 +173,13 @@ class DataParallel:
 
     def _spawn(self, task_body: Callable[..., Iterator[Any]], chunk: List[Any]) -> Pipe:
         coexpr = CoExpression(task_body, lambda: (chunk,), name="mapreduce-task")
-        return Pipe(coexpr, capacity=self.capacity, scheduler=self.scheduler).start()
+        return Pipe(
+            coexpr,
+            capacity=self.capacity,
+            scheduler=self.scheduler,
+            batch=self.batch,
+            max_linger=self.max_linger,
+        ).start()
 
     def _run_tasks(
         self, task_body: Callable[..., Iterator[Any]], source: Any

@@ -33,6 +33,8 @@ def source_pipe(
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
     take_timeout: float | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
 ) -> Pipe:
     """``|> s`` — stream a source from its own thread."""
 
@@ -44,6 +46,8 @@ def source_pipe(
         capacity=capacity,
         scheduler=scheduler,
         take_timeout=take_timeout,
+        batch=batch,
+        max_linger=max_linger,
     )
 
 
@@ -53,6 +57,8 @@ def stage(
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
     take_timeout: float | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
 ) -> Pipe:
     """``|> fn(!upstream)`` — one pipeline stage in its own thread.
 
@@ -76,6 +82,8 @@ def stage(
         capacity=capacity,
         scheduler=scheduler,
         take_timeout=take_timeout,
+        batch=batch,
+        max_linger=max_linger,
     )
     if hasattr(upstream, "cancel"):
         piped.upstream = upstream
@@ -88,6 +96,8 @@ def pipeline(
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
     take_timeout: float | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
 ) -> Pipe:
     """Chain *stages* over *source*, one thread per stage.
 
@@ -100,9 +110,16 @@ def pipeline(
     too (never orphaned blocked on a full channel).  ``take_timeout``
     becomes the per-take deadline of every stage, so a stall anywhere in
     the chain surfaces as :class:`~repro.errors.PipeTimeoutError`.
+    ``batch``/``max_linger`` apply to every stage: each handoff moves up
+    to *batch* elements per lock acquisition (see :class:`Pipe`).
     """
     current: Pipe = source_pipe(
-        source, capacity=capacity, scheduler=scheduler, take_timeout=take_timeout
+        source,
+        capacity=capacity,
+        scheduler=scheduler,
+        take_timeout=take_timeout,
+        batch=batch,
+        max_linger=max_linger,
     )
     for fn in stages:
         current = stage(
@@ -111,6 +128,8 @@ def pipeline(
             capacity=capacity,
             scheduler=scheduler,
             take_timeout=take_timeout,
+            batch=batch,
+            max_linger=max_linger,
         )
     return current
 

@@ -27,7 +27,9 @@ builds on three hooks here:
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator
+import time
+from collections import deque
+from typing import Any, Iterator, List
 
 from ..errors import ChannelClosedError, PipeError, PipeTimeoutError
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
@@ -56,6 +58,8 @@ class Pipe(IconIterator):
         "out",
         "capacity",
         "take_timeout",
+        "batch",
+        "max_linger",
         "upstream",
         "_scheduler",
         "_started",
@@ -63,6 +67,14 @@ class Pipe(IconIterator):
         "_cancelled",
         "_worker",
         "_errored",
+        "_pending",
+        "_flushes",
+        "_batched_items",
+        "_flusher",
+        "_buf_cond",
+        "_buffer",
+        "_buf_oldest",
+        "_producer_done",
     )
 
     def __init__(
@@ -71,11 +83,32 @@ class Pipe(IconIterator):
         capacity: int = 0,
         scheduler: PipeScheduler | None = None,
         take_timeout: float | None = None,
+        batch: int = 1,
+        max_linger: float | None = None,
     ) -> None:
         """Wrap *expr* (a co-expression, iterator node, generator factory,
         or iterable) in a threaded proxy with an output channel of
         *capacity* (0 = unbounded).  ``take_timeout`` is the default
-        deadline applied to every :meth:`take` (None = wait forever)."""
+        deadline applied to every :meth:`take` (None = wait forever).
+
+        ``batch`` > 1 turns on batched transport: the worker coalesces up
+        to that many results and moves them through the channel as one
+        slice (``put_many``); :meth:`take` transparently unbatches, so
+        consumers see identical element-at-a-time semantics.  The channel
+        still holds individual items — ``capacity`` keeps counting
+        elements and ``pipe.out`` stays wire-compatible.  ``max_linger``
+        bounds how long (seconds) a partial batch may sit in the worker's
+        buffer: setting it spawns a flusher thread alongside the worker
+        that delivers aged partial batches even while the producer is
+        blocked computing its next result — a slow producer can delay its
+        *own* results, never ones already produced.  A partial batch is
+        always flushed on exhaustion, crash (data first, then the error),
+        and close.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if max_linger is not None and max_linger < 0:
+            raise ValueError("max_linger must be >= 0 or None")
         super().__init__()
         self.coexpr: CoExpression = coexpr_of(expr)
         self.capacity = capacity
@@ -83,6 +116,10 @@ class Pipe(IconIterator):
         self.out = Channel(capacity)
         #: Default per-take deadline in seconds (None = block forever).
         self.take_timeout = take_timeout
+        #: Producer-side coalescing factor (1 = unbatched, the paper's shape).
+        self.batch = batch
+        #: Seconds a partial batch may linger before being flushed.
+        self.max_linger = max_linger
         #: The pipe feeding this one, when built by ``patterns.stage`` —
         #: cancellation propagates through it so a dead stage never
         #: leaves its producer blocked on a full channel.
@@ -93,6 +130,21 @@ class Pipe(IconIterator):
         self._cancelled = False
         self._worker: WorkerHandle | None = None
         self._errored = False
+        #: Consumer-side buffer of unbatched results (only the taking
+        #: thread touches it, matching Channel's one-consumer-per-take
+        #: contract for ordering).
+        self._pending: deque = deque()
+        self._flushes = 0
+        self._batched_items = 0
+        # Linger-mode state: the coalescing buffer moves behind a
+        # condition shared by the worker and the flusher thread.
+        self._flusher: WorkerHandle | None = None
+        self._buf_cond = (
+            threading.Condition() if (batch > 1 and max_linger is not None) else None
+        )
+        self._buffer: List[Any] = []
+        self._buf_oldest = 0.0
+        self._producer_done = False
 
     # -- lifecycle events ------------------------------------------------------
 
@@ -110,10 +162,17 @@ class Pipe(IconIterator):
             self._started = True
         scheduler = self._scheduler or default_scheduler()
         self._worker = scheduler.submit(self._run, name=f"pipe-{self.coexpr.name}")
+        if self._buf_cond is not None:
+            self._flusher = scheduler.submit(
+                self._run_flusher, name=f"linger-{self.coexpr.name}"
+            )
         self._emit(EventKind.START)
         return self
 
     def _run(self) -> None:
+        if self.batch > 1:
+            self._run_batched()
+            return
         out = self.out
         coexpr = self.coexpr
         try:
@@ -138,6 +197,122 @@ class Pipe(IconIterator):
             if self._cancelled or self._errored:
                 self._cancel_upstream()
 
+    def _flush(self, buffer: List[Any]) -> None:
+        """Move the coalesced *buffer* through the channel as one slice."""
+        self.out.put_many(buffer)
+        self._flushes += 1
+        self._batched_items += len(buffer)
+        if lifecycle_enabled():
+            self._emit(
+                EventKind.BATCH,
+                {"size": len(buffer), "queued": len(self.out)},
+            )
+        buffer.clear()
+
+    def _run_batched(self) -> None:
+        if self._buf_cond is not None:
+            self._run_batched_linger()
+            return
+        # Throughput mode (no linger bound): the buffer is worker-local,
+        # so coalescing costs no locking at all until the flush.
+        out = self.out
+        coexpr = self.coexpr
+        batch = self.batch
+        buffer: List[Any] = []
+        try:
+            while not self._cancelled:
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                buffer.append(value)
+                if len(buffer) >= batch:
+                    self._flush(buffer)
+            if buffer:  # flush-on-exhaustion: no result is stranded
+                self._flush(buffer)
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        except Exception as error:  # noqa: BLE001 - forwarded to consumer
+            self._errored = True
+            try:
+                # Results produced before the crash are delivered before
+                # the error — batching never reorders data past an error.
+                if buffer:
+                    self._flush(buffer)
+                out.put_error(error)  # unthrottled: never blocks on a full queue
+            except ChannelClosedError:
+                pass  # cancelled while reporting: consumer is gone
+        finally:
+            out.close()
+            if self._cancelled or self._errored:
+                self._cancel_upstream()
+
+    def _flush_locked(self) -> None:
+        """Flush the shared linger buffer; caller holds ``_buf_cond``."""
+        if self._buffer:
+            buffer, self._buffer = self._buffer, []
+            self._flush(buffer)
+
+    def _run_batched_linger(self) -> None:
+        out = self.out
+        coexpr = self.coexpr
+        batch = self.batch
+        cond = self._buf_cond
+        try:
+            while not self._cancelled:
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                with cond:
+                    if not self._buffer:
+                        self._buf_oldest = time.monotonic()
+                        cond.notify_all()  # arm the flusher's linger clock
+                    self._buffer.append(value)
+                    if len(self._buffer) >= batch:
+                        self._flush_locked()
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        except Exception as error:  # noqa: BLE001 - forwarded to consumer
+            self._errored = True
+            try:
+                with cond:
+                    self._flush_locked()  # data first, then the error
+                out.put_error(error)
+            except ChannelClosedError:
+                pass  # cancelled while reporting: consumer is gone
+        finally:
+            with cond:
+                self._producer_done = True
+                try:
+                    self._flush_locked()  # flush-on-exhaustion/close
+                except ChannelClosedError:
+                    pass
+                cond.notify_all()  # release the flusher
+            out.close()
+            if self._cancelled or self._errored:
+                self._cancel_upstream()
+
+    def _run_flusher(self) -> None:
+        """Deliver partial batches older than ``max_linger`` while the
+        worker is away computing — the latency half of the batching
+        trade-off.  Exits when the worker finishes and the buffer drains."""
+        cond = self._buf_cond
+        max_linger = self.max_linger
+        with cond:
+            while True:
+                if not self._buffer:
+                    if self._producer_done:
+                        return
+                    cond.wait()
+                    continue
+                wait = self._buf_oldest + max_linger - time.monotonic()
+                if wait > 0:
+                    cond.wait(wait)
+                    continue
+                try:
+                    self._flush_locked()
+                except ChannelClosedError:
+                    return  # consumer cancelled: nothing left to deliver
+
     def _cancel_upstream(self) -> None:
         upstream = self.upstream
         if upstream is None:
@@ -158,9 +333,19 @@ class Pipe(IconIterator):
         """
         if timeout is _UNSET:
             timeout = self.take_timeout
+        if self._pending:
+            # Unbatching fast path: already-taken results are served
+            # without touching the channel lock at all.
+            try:
+                return self._pending.popleft()
+            except IndexError:
+                pass  # raced with another consumer (fan-out); fall through
         self.start()
         try:
-            item = self.out.take(timeout)
+            if self.batch > 1:
+                item = self.out.take_many(self.batch, timeout)
+            else:
+                item = self.out.take(timeout)
         except PipeTimeoutError:
             self._emit(EventKind.TIMEOUT, timeout)
             raise PipeTimeoutError(
@@ -168,6 +353,12 @@ class Pipe(IconIterator):
             ) from None
         if item is CLOSED:
             return FAIL
+        if self.batch > 1:
+            # take_many returned a non-empty slice: serve the head now,
+            # stash the rest for lock-free subsequent takes.
+            if len(item) > 1:
+                self._pending.extend(item[1:])
+            return item[0]
         return item
 
     def next_value(self) -> Any:  # stateful stepping: no auto-restart
@@ -224,7 +415,22 @@ class Pipe(IconIterator):
             self.capacity,
             self._scheduler,
             take_timeout=self.take_timeout,
+            batch=self.batch,
+            max_linger=self.max_linger,
         )
+
+    @property
+    def batch_stats(self) -> dict:
+        """Producer-side batching counters: flushes, items moved, and the
+        mean realized batch size (equals 1.0-per-put semantics when
+        ``batch=1``, where no coalescing happens and this stays zeroed)."""
+        flushes = self._flushes
+        items = self._batched_items
+        return {
+            "flushes": flushes,
+            "items": items,
+            "mean_batch": (items / flushes) if flushes else 0.0,
+        }
 
     # -- runtime protocol hooks ------------------------------------------------
 

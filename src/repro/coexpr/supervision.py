@@ -213,6 +213,8 @@ class SupervisedPipe(IconIterator):
         "backoff",
         "capacity",
         "take_timeout",
+        "batch",
+        "max_linger",
         "restart",
         "upstream",
         "_scheduler",
@@ -235,6 +237,8 @@ class SupervisedPipe(IconIterator):
         capacity: int = 0,
         scheduler: PipeScheduler | None = None,
         take_timeout: float | None = None,
+        batch: int = 1,
+        max_linger: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
         restart: str = "replay",
         upstream: Any = None,
@@ -251,6 +255,8 @@ class SupervisedPipe(IconIterator):
         self.backoff = backoff or BackoffPolicy()
         self.capacity = capacity
         self.take_timeout = take_timeout
+        self.batch = batch
+        self.max_linger = max_linger
         self.restart = restart
         #: Optional upstream pipe to cancel when supervision gives up
         #: (exhaust) or is cancelled — keeps the producer chain leak-free.
@@ -270,6 +276,8 @@ class SupervisedPipe(IconIterator):
             capacity=self.capacity,
             scheduler=self._scheduler,
             take_timeout=self.take_timeout,
+            batch=self.batch,
+            max_linger=self.max_linger,
         )
 
     # -- lifecycle events -----------------------------------------------------
@@ -393,6 +401,8 @@ def supervise(
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
     take_timeout: float | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
     sleep: Callable[[float], None] = time.sleep,
     restart: str = "replay",
     name: str | None = None,
@@ -410,6 +420,8 @@ def supervise(
         capacity=capacity,
         scheduler=scheduler,
         take_timeout=take_timeout,
+        batch=batch,
+        max_linger=max_linger,
         sleep=sleep,
         restart=restart,
         name=name,
@@ -429,6 +441,8 @@ def supervised_stage(
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
     take_timeout: float | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
     stage_key: Any = None,
@@ -473,6 +487,8 @@ def supervised_stage(
         capacity=capacity,
         scheduler=scheduler,
         take_timeout=take_timeout,
+        batch=batch,
+        max_linger=max_linger,
         sleep=sleep,
         restart="resume",
         upstream=up_pipe,
@@ -488,6 +504,8 @@ def supervised_pipeline(
     capacity: int = 0,
     scheduler: PipeScheduler | None = None,
     take_timeout: float | None = None,
+    batch: int = 1,
+    max_linger: float | None = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
 ) -> Any:
@@ -500,7 +518,13 @@ def supervised_pipeline(
     """
     from .patterns import source_pipe
 
-    current: Any = source_pipe(source, capacity=capacity, scheduler=scheduler)
+    current: Any = source_pipe(
+        source,
+        capacity=capacity,
+        scheduler=scheduler,
+        batch=batch,
+        max_linger=max_linger,
+    )
     for index, fn in enumerate(stages, start=1):
         current = supervised_stage(
             fn,
@@ -510,6 +534,8 @@ def supervised_pipeline(
             capacity=capacity,
             scheduler=scheduler,
             take_timeout=take_timeout,
+            batch=batch,
+            max_linger=max_linger,
             sleep=sleep,
             fault_plan=fault_plan,
             stage_key=index,

@@ -37,8 +37,12 @@ class EventKind:
     TIMEOUT = "timeout"
     EXHAUST = "exhaust"
 
+    # Batched transport: one event per producer-side flush, carrying
+    # ``{"size": <elements moved>, "queued": <channel occupancy after>}``.
+    BATCH = "batch"
+
     ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
-    LIFECYCLE = (START, RETRY, CANCEL, TIMEOUT, EXHAUST)
+    LIFECYCLE = (START, RETRY, CANCEL, TIMEOUT, EXHAUST, BATCH)
     ALL = ITERATION + LIFECYCLE
 
 

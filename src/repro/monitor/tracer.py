@@ -145,6 +145,31 @@ class Tracer:
             out[event.node][event.kind] += 1
         return out
 
+    def batch_stats(self) -> dict:
+        """Per-pipe batched-transport summary from collected ``batch``
+        events: ``{node: {flushes, items, mean_batch, mean_occupancy}}``.
+
+        ``mean_batch`` is the realized coalescing factor (how many
+        elements each flush actually moved); ``mean_occupancy`` is the
+        channel depth observed right after each flush — together they
+        show whether a pipeline is throughput-bound (large batches, deep
+        queue) or latency-bound (linger flushes, shallow queue)."""
+        out: dict = {}
+        for event in self.events:
+            if event.kind != EventKind.BATCH or not isinstance(event.value, dict):
+                continue
+            stats = out.setdefault(
+                event.node, {"flushes": 0, "items": 0, "occupancy": 0}
+            )
+            stats["flushes"] += 1
+            stats["items"] += event.value.get("size", 0)
+            stats["occupancy"] += event.value.get("queued", 0)
+        for stats in out.values():
+            flushes = stats["flushes"]
+            stats["mean_batch"] = stats["items"] / flushes
+            stats["mean_occupancy"] = stats.pop("occupancy") / flushes
+        return out
+
     def transcript(self, limit: int | None = None) -> str:
         """A readable, indented trace of the evaluation."""
         events = self.events if limit is None else self.events[:limit]

@@ -1,15 +1,28 @@
 """Stateful property testing of Channel against a queue model.
 
 A hypothesis rule-based machine drives a bounded channel through
-interleaved put/take/poll/close operations and checks it against a plain
-deque model: FIFO order, capacity discipline, and close semantics.
+interleaved put/put_many/put_error/take/take_many/poll/close operations
+and checks it against a plain deque model.  The invariants the batched
+transport must not break:
+
+* the concatenation of taken batches equals the sequence of puts (FIFO,
+  nothing dropped, nothing duplicated);
+* errors are never reordered past data that preceded them — a batch
+  stops just before a queued envelope, and an envelope at the head
+  re-raises;
+* capacity discipline: a full channel times out producers (``put_many``
+  keeps the prefix that fit), a drained closed channel yields CLOSED.
+
+``REPRO_HYPOTHESIS_EXAMPLES`` scales the example count (default 40; the
+PR's acceptance run used 500).
 """
 
+import os
 from collections import deque
 
+import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     invariant,
     precondition,
@@ -17,10 +30,15 @@ from hypothesis.stateful import (
 )
 import hypothesis.strategies as st
 
-from repro.errors import ChannelClosedError
+from repro.errors import ChannelClosedError, PipeTimeoutError
 from repro.coexpr.channel import CLOSED, Channel
 
 CAPACITY = 4
+EXAMPLES = int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "40"))
+
+#: Model entries: ("item", value) or ("error", message).
+ITEM = "item"
+ERROR = "error"
 
 
 class ChannelMachine(RuleBasedStateMachine):
@@ -29,6 +47,8 @@ class ChannelMachine(RuleBasedStateMachine):
         self.channel = Channel(capacity=CAPACITY)
         self.model: deque = deque()
         self.closed = False
+
+    # -- producer rules -------------------------------------------------------
 
     @rule(value=st.integers())
     def put(self, value):
@@ -46,12 +66,58 @@ class ChannelMachine(RuleBasedStateMachine):
             except TimeoutError:
                 return
         self.channel.put(value)
-        self.model.append(value)
+        self.model.append((ITEM, value))
+
+    @rule(values=st.lists(st.integers(), min_size=1, max_size=7))
+    def put_many(self, values):
+        if self.closed:
+            try:
+                self.channel.put_many(values, timeout=0.01)
+                raise AssertionError("put_many on closed channel must raise")
+            except ChannelClosedError:
+                return
+        free = CAPACITY - len(self.model)
+        if len(values) <= free:
+            assert self.channel.put_many(values) == len(values)
+            self.model.extend((ITEM, v) for v in values)
+        else:
+            # Mid-batch timeout: the prefix that fit stays enqueued, in
+            # order; the rest is reported via PipeTimeoutError.
+            try:
+                self.channel.put_many(values, timeout=0.01)
+                raise AssertionError("oversized put_many must time out")
+            except PipeTimeoutError:
+                self.model.extend((ITEM, v) for v in values[: max(free, 0)])
+
+    @rule(message=st.text(min_size=1, max_size=8))
+    def put_error(self, message):
+        if self.closed:
+            try:
+                self.channel.put_error(KeyError(message))
+                raise AssertionError("put_error on closed channel must raise")
+            except ChannelClosedError:
+                return
+        # Error delivery bypasses the capacity bound: succeeds even full.
+        self.channel.put_error(KeyError(message))
+        self.model.append((ERROR, message))
+
+    # -- consumer rules -------------------------------------------------------
+
+    def _expect_head(self, got):
+        kind, payload = self.model.popleft()
+        assert kind == ITEM, "envelope heads must raise, not be returned"
+        assert got == payload
 
     @rule()
     def take(self):
         if self.model:
-            assert self.channel.take() == self.model.popleft()
+            kind, payload = self.model[0]
+            if kind == ERROR:
+                self.model.popleft()
+                with pytest.raises(KeyError):
+                    self.channel.take()
+            else:
+                self._expect_head(self.channel.take())
         elif self.closed:
             assert self.channel.take() is CLOSED
         else:
@@ -61,10 +127,47 @@ class ChannelMachine(RuleBasedStateMachine):
             except TimeoutError:
                 pass
 
+    @rule(max_n=st.integers(1, 6))
+    def take_many(self, max_n):
+        if not self.model:
+            if self.closed:
+                assert self.channel.take_many(max_n) is CLOSED
+            else:
+                try:
+                    self.channel.take_many(max_n, timeout=0.01)
+                    raise AssertionError(
+                        "take_many from empty open channel must block"
+                    )
+                except TimeoutError:
+                    pass
+            return
+        if self.model[0][0] == ERROR:
+            _, message = self.model.popleft()
+            with pytest.raises(KeyError):
+                self.channel.take_many(max_n)
+            return
+        expected = []
+        while (
+            self.model
+            and len(expected) < max_n
+            and self.model[0][0] == ITEM
+        ):
+            expected.append(self.model.popleft()[1])
+        # The batch must stop just before any queued envelope: errors are
+        # never reordered past data that preceded them.
+        assert self.channel.take_many(max_n) == expected
+
     @rule()
     def poll(self):
         if self.model:
-            assert self.channel.poll() == self.model.popleft()
+            kind, payload = self.model[0]
+            if kind == ERROR:
+                self.model.popleft()
+                with pytest.raises(KeyError):
+                    self.channel.poll()
+            else:
+                self.model.popleft()
+                assert self.channel.poll() == payload
         elif self.closed:
             assert self.channel.poll() is CLOSED
         else:
@@ -76,6 +179,8 @@ class ChannelMachine(RuleBasedStateMachine):
         self.channel.close()
         self.closed = True
 
+    # -- invariants -----------------------------------------------------------
+
     @invariant()
     def length_matches_model(self):
         assert len(self.channel) == len(self.model)
@@ -86,6 +191,6 @@ class ChannelMachine(RuleBasedStateMachine):
 
 
 ChannelMachine.TestCase.settings = settings(
-    max_examples=40, stateful_step_count=30, deadline=None
+    max_examples=EXAMPLES, stateful_step_count=30, deadline=None
 )
 TestChannelStateful = ChannelMachine.TestCase

@@ -7,6 +7,7 @@ random inputs and parameters.
 """
 
 import operator
+import os
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -18,8 +19,10 @@ values = st.lists(st.integers(-1000, 1000), max_size=30)
 chunk_sizes = st.integers(1, 9)
 capacities = st.integers(0, 4)
 
+#: Tier-1 runs a quick pass; the acceptance sweep sets
+#: REPRO_HYPOTHESIS_EXAMPLES=500 (same knob as test_channel_stateful).
 relaxed = settings(
-    max_examples=25,
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "25")),
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
@@ -70,6 +73,75 @@ class TestMapReduceModel:
         assert dp.reduce(lambda s: s, list(strings), operator.add, "") == "".join(
             strings
         )
+
+
+#: Map functions and reducer monoids for the randomized map-reduce
+#: equivalence: (fn, reducer, identity) triples where *identity* is a
+#: genuine identity of *reducer* (the map-reduce contract).
+_MAP_FNS = [lambda x: x, lambda x: x * 2 + 1, lambda x: -x, lambda x: x * x]
+_MONOIDS = [
+    (operator.add, 0),
+    (operator.mul, 1),
+    (max, -(10 ** 9)),
+    (min, 10 ** 9),
+]
+
+
+class TestDataParallelProperty:
+    """Randomized equivalence of the parallel map-reduce with its
+    sequential model, across chunk sizes AND batched transport — the
+    batching layer must be invisible to results and ordering."""
+
+    @given(
+        values,
+        st.integers(0, len(_MAP_FNS) - 1),
+        st.integers(0, len(_MONOIDS) - 1),
+        chunk_sizes,
+        st.integers(1, 16),
+    )
+    @relaxed
+    def test_map_reduce_equals_sequential_fold(
+        self, data, fn_index, monoid_index, chunk_size, batch
+    ):
+        fn = _MAP_FNS[fn_index]
+        reducer, identity = _MONOIDS[monoid_index]
+        dp = DataParallel(chunk_size=chunk_size, batch=batch)
+        sequential = identity
+        for value in data:
+            sequential = reducer(sequential, fn(value))
+        assert dp.reduce(fn, list(data), reducer, identity) == sequential
+
+    @given(values, chunk_sizes, st.integers(1, 16))
+    @relaxed
+    def test_map_flat_batched_preserves_order(self, data, chunk_size, batch):
+        dp = DataParallel(chunk_size=chunk_size, batch=batch)
+        assert list(dp.map_flat(lambda x: x + 5, list(data))) == [
+            x + 5 for x in data
+        ]
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=4, max_size=30),
+        chunk_sizes,
+        st.integers(1, 16),
+        st.integers(1, 3),
+    )
+    @relaxed
+    def test_early_drain_cancellation_leaks_nothing(
+        self, data, chunk_size, batch, keep
+    ):
+        # Abandon the generator after *keep* results: the finally-block
+        # cancellation must tear down every outstanding chunk task.  The
+        # package-level autouse fixture then asserts zero leaked worker
+        # threads at teardown.
+        dp = DataParallel(chunk_size=chunk_size, capacity=2, batch=batch)
+        stream = dp.map_flat(lambda x: x * 2, list(data))
+        got = []
+        for value in stream:
+            got.append(value)
+            if len(got) >= keep:
+                break
+        stream.close()
+        assert got == [x * 2 for x in data[: len(got)]]
 
 
 class TestMergeModel:

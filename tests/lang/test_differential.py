@@ -1,0 +1,279 @@
+"""Differential testing: the interactive engine vs the compiled module.
+
+The harness has two genuinely distinct execution paths over the same
+grammar and runtime:
+
+* the **interactive** path (`JuniconInterpreter.run`) — declarations are
+  emitted one at a time (`emit_method`/`emit_class`) and each statement
+  is compiled to a standalone iterator expression and evaluated;
+* the **compiled** path (`transform_program`) — the whole translation
+  unit becomes one Python module, exec'd in a fresh namespace, with
+  module-level global hoisting and a shared method-body cache.
+
+Future performance work (batching, caching, code-shape changes) lands in
+one path first; this corpus pins the two engines against each other so a
+divergence in *result sequences* — not just first results — fails loudly.
+
+``REPRO_HYPOTHESIS_EXAMPLES`` has no effect here (the corpus is fixed),
+but the corpus is deliberately generator-heavy: alternation,
+backtracking, scanning, lists, recursion, co-expressions, and pipes.
+"""
+
+import pytest
+
+from repro.lang.interp import JuniconInterpreter
+from repro.lang.transform import transform_program
+
+#: (name, declarations, expression) — the expression is evaluated for its
+#: FULL result sequence on both engines.  Every program is deterministic.
+CORPUS = [
+    (
+        "counting",
+        "def gen() { suspend 1 to 10; }",
+        "gen()",
+    ),
+    (
+        "squares-every",
+        "def gen() { local i; every i := 1 to 8 do suspend i * i; }",
+        "gen()",
+    ),
+    (
+        "alternation",
+        'def gen() { suspend 1 | "two" | 3 | "four"; }',
+        "gen()",
+    ),
+    (
+        "goal-directed-product",
+        "def gen() { suspend (1 to 3) * (4 to 6); }",
+        "gen()",
+    ),
+    (
+        "conjunction-filter",
+        "def gen() { local x; suspend (x := 1 to 12) & x % 3 == 0 & x; }",
+        "gen()",
+    ),
+    (
+        "backtracking-pairs",
+        "def gen() { local a, b; suspend (a := 1 to 4) & (b := 1 to 4) & (a + b == 5) & [a, b]; }",
+        "gen()",
+    ),
+    (
+        "limitation",
+        "def gen() { suspend (1 to 100) \\ 7; }",
+        "gen()",
+    ),
+    (
+        "recursion-fib",
+        """
+        def fib(n) {
+            if n < 2 then return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        def gen() { local i; every i := 0 to 10 do suspend fib(i); }
+        """,
+        "gen()",
+    ),
+    (
+        "mutual-recursion",
+        """
+        def isEven(n) { if n == 0 then return "yes"; return isOdd(n - 1); }
+        def isOdd(n) { if n == 0 then fail; return isEven(n - 1); }
+        def gen() { local i; every i := 0 to 6 do suspend isEven(i); }
+        """,
+        "gen()",
+    ),
+    (
+        "prime-filter",
+        """
+        def isprime(n) {
+            local d;
+            if n < 2 then fail;
+            every d := 2 to n - 1 do { if n % d == 0 then fail; };
+            return n;
+        }
+        def gen() { suspend isprime(1 to 30); }
+        """,
+        "gen()",
+    ),
+    (
+        "list-build-promote",
+        """
+        def gen() {
+            local c, i;
+            c = [];
+            every i := 1 to 5 do put(c, i * 10);
+            suspend ! c;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "list-size-subscript",
+        """
+        def gen() {
+            local c;
+            c = [7, 8, 9];
+            suspend *c | c[1] | c[3] | c[-1];
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "while-accumulate",
+        """
+        def gen() {
+            local total, i;
+            total = 0; i = 0;
+            while (i := i + 1) <= 10 do {
+                total := total + i;
+                suspend total;
+            };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "if-else-parity",
+        """
+        def parity(n) { if n % 2 == 0 then return "even"; return "odd"; }
+        def gen() { suspend parity(1 to 6); }
+        """,
+        "gen()",
+    ),
+    (
+        "case-dispatch",
+        """
+        def describe(x) {
+            return case x of {
+                0: "zero";
+                1 | 2 | 3: "small";
+                default: "big"
+            };
+        }
+        def gen() { suspend describe(0 to 5); }
+        """,
+        "gen()",
+    ),
+    (
+        "string-ops",
+        """
+        def gen() {
+            local s;
+            every s := "alpha" | "beta" | "gamma" do
+                suspend s || "-" || *s;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "string-scanning",
+        '''
+        def words(s) {
+            s ? while tab(upto(&letters)) do
+                suspend tab(many(&letters)) \\ 1;
+        }
+        def gen() { suspend words("the quick brown fox"); }
+        ''',
+        "gen()",
+    ),
+    (
+        "nested-every-break",
+        """
+        def gen() {
+            local i, j;
+            every i := 1 to 4 do {
+                every j := 1 to 4 do {
+                    if j > i then break;
+                    suspend [i, j];
+                };
+            };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "repeated-alternation-limited",
+        "def gen() { suspend |3 \\ 5; }",
+        "gen()",
+    ),
+    (
+        "coexpression-stepping",
+        """
+        def gen() {
+            local c;
+            c = <> (10 to 50 by 10);
+            suspend @c | @c | @c;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "string-sections",
+        """
+        def gen() {
+            local s;
+            s = "abcdefgh";
+            suspend s[2:5] | s[3+:2] | s[1] | s[-2];
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "pipe-promotion",
+        "def gen() { suspend 2 * ! |> (1 to 20); }",
+        "gen()",
+    ),
+    (
+        "generator-args",
+        """
+        def double(x) { return x * 2; }
+        def gen() { suspend double(1 to 5) + 100; }
+        """,
+        "gen()",
+    ),
+    (
+        "table-access",
+        """
+        def gen() {
+            local t, k;
+            t = table();
+            t["a"] := 1; t["b"] := 2; t["c"] := 3;
+            every k := "a" | "b" | "c" do suspend t[k];
+        }
+        """,
+        "gen()",
+    ),
+]
+
+
+def run_interactive(decls: str, expr: str) -> list:
+    """Engine A: per-declaration emission + per-statement evaluation."""
+    interp = JuniconInterpreter()
+    interp.run(decls)
+    return interp.results(expr)
+
+
+def run_compiled(decls: str, expr: str) -> list:
+    """Engine B: whole-unit `transform_program` exec'd as one module."""
+    code = transform_program(decls)
+    namespace: dict = {}
+    exec(compile(code, "<differential>", "exec"), namespace)
+    assert expr.endswith("()"), "corpus expressions are zero-arg calls"
+    return list(namespace[expr[:-2]]())
+
+
+@pytest.mark.parametrize(
+    "name,decls,expr", CORPUS, ids=[entry[0] for entry in CORPUS]
+)
+def test_engines_agree(name, decls, expr):
+    interactive = run_interactive(decls, expr)
+    compiled = run_compiled(decls, expr)
+    assert interactive == compiled, (
+        f"{name}: interactive {interactive!r} != compiled {compiled!r}"
+    )
+    assert interactive, f"{name}: corpus entry produced no results on either engine"
+
+
+def test_corpus_is_reasonably_sized():
+    # The pin only bites if the corpus keeps covering the dialect.
+    assert len(CORPUS) >= 20
