@@ -1,0 +1,75 @@
+"""Ablation A8 — the process execution tier (``backend="process"``).
+
+Crash isolation is not free: a process-backed pipe pays a fork, an IPC
+pickle round trip per slice, and a pump-thread hop that thread pipes
+skip.  This sweep prices the tier on its best-suited shape — chunked
+``DataParallel.map_reduce``, where each task ships one folded
+accumulator back — across chunk sizes, thread vs process, on the
+CPU-bound heavy workload (where the GIL makes process workers
+*potentially* profitable) and the light workload (where IPC overhead
+should dominate).
+
+On a multi-core host the heavy/process bars can beat heavy/thread (the
+GIL-free payoff); on a single-core container they honestly record pure
+isolation overhead instead.  Either way thread-vs-process at equal
+chunk size is the cost of crash isolation.
+
+Run with ``--benchmark-json=ablation_proc.json`` to export the numbers
+(CI uploads that file as a workflow artifact).
+"""
+
+import pytest
+
+from repro.bench.workloads import HEAVY, LIGHT
+from repro.coexpr.dataparallel import DataParallel
+from repro.coexpr.proc import default_context
+
+CHUNKS = (50, 200)
+BACKENDS = ("thread", "process")
+
+pytestmark = pytest.mark.skipif(
+    default_context().get_start_method() != "fork",
+    reason="the process-tier ablation assumes a fork platform",
+)
+
+
+def words_of(corpus):
+    return [word for line in corpus for word in line.split()]
+
+
+def map_reduce_total(words, weight, chunk_size: int, backend: str) -> float:
+    """The Figure 6 map-reduce split over *backend* workers: each chunk
+    task converts and hashes its words, folding locally; the parent sums
+    the per-chunk accumulators in order."""
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+
+    dp = DataParallel(chunk_size=chunk_size, backend=backend)
+    return dp.reduce(
+        lambda word: hash_number(word_to_number(word)),
+        words,
+        lambda a, b: a + b,
+        0.0,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_heavy_proc_sweep(benchmark, corpus, heavy_reference, chunk, backend):
+    benchmark.group = f"ablation-proc-heavy-chunk{chunk}"
+    benchmark.extra_info["chunk"] = chunk
+    benchmark.extra_info["backend"] = backend
+    words = words_of(corpus)
+    result = benchmark(lambda: map_reduce_total(words, HEAVY, chunk, backend))
+    assert result == pytest.approx(heavy_reference)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_light_proc_sweep(benchmark, corpus, light_reference, chunk, backend):
+    benchmark.group = f"ablation-proc-light-chunk{chunk}"
+    benchmark.extra_info["chunk"] = chunk
+    benchmark.extra_info["backend"] = backend
+    words = words_of(corpus)
+    result = benchmark(lambda: map_reduce_total(words, LIGHT, chunk, backend))
+    assert result == pytest.approx(light_reference)

@@ -51,6 +51,25 @@ class _ClosedSentinel:
 CLOSED = _ClosedSentinel()
 
 
+# ---------------------------------------------------------------------------
+# The wire-envelope vocabulary.  In-process, channel traffic is method
+# calls (put_many / put_error / close); when a transport moves the same
+# traffic across an OS boundary (the process-backed pipes of
+# :mod:`repro.coexpr.proc`) each call becomes a tagged tuple on an IPC
+# connection.  The tags live here, next to the methods they mirror, so
+# both ends of every transport speak one protocol.
+# ---------------------------------------------------------------------------
+
+#: ``(WIRE_DATA, [values])`` — a batched slice; lands as :meth:`Channel.put_many`.
+WIRE_DATA = "data"
+#: ``(WIRE_ERROR, payload)`` — a producer crash; lands as :meth:`Channel.put_error`.
+WIRE_ERROR = "error"
+#: ``(WIRE_CLOSE,)`` — producer exhaustion; lands as :meth:`Channel.close`.
+WIRE_CLOSE = "close"
+#: ``(WIRE_BEAT, monotonic_time)`` — liveness only; never enters the channel.
+WIRE_BEAT = "beat"
+
+
 class RaiseEnvelope:
     """An exception in transit from producer to consumer."""
 
@@ -256,6 +275,26 @@ class Channel:
                 batch.append(items.popleft())
             self._not_full.notify(len(batch))
         return batch
+
+    def feed_wire(self, kind: str, payload: Any = None) -> bool:
+        """Apply one wire envelope to this channel; the pump-thread hook.
+
+        Maps :data:`WIRE_DATA` to :meth:`put_many`, :data:`WIRE_ERROR`
+        to :meth:`put_error` (*payload* must already be an exception),
+        and :data:`WIRE_CLOSE` to :meth:`close`; :data:`WIRE_BEAT` is a
+        no-op (liveness is the transport's concern, not the queue's).
+        Returns True once the stream is complete (a close envelope).
+        """
+        if kind == WIRE_DATA:
+            self.put_many(payload)
+        elif kind == WIRE_ERROR:
+            self.put_error(payload)
+        elif kind == WIRE_CLOSE:
+            self.close()
+            return True
+        elif kind != WIRE_BEAT:
+            raise ValueError(f"unknown wire envelope kind {kind!r}")
+        return False
 
     def poll(self) -> Any:
         """Non-blocking take: an item, or :data:`CLOSED`, or None if empty."""

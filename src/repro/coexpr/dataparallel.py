@@ -82,6 +82,10 @@ class DataParallel:
         max_pending: int | None = None,
         batch: int = 1,
         max_linger: float | None = None,
+        backend: str = "thread",
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        mp_context: Any = None,
     ) -> None:
         """``chunk_size`` elements per task (Figure 4 uses 1000);
         ``capacity`` bounds each task pipe's output queue; ``max_pending``
@@ -91,19 +95,33 @@ class DataParallel:
         pipe (see :class:`~repro.coexpr.pipe.Pipe`): mostly useful for
         :meth:`map_flat`, whose tasks stream many elements per chunk —
         :meth:`map_reduce` tasks emit a single fold each, so there is
-        nothing to coalesce."""
+        nothing to coalesce.
+
+        ``backend="process"`` runs each chunk task in its own child
+        process — chunks are self-contained snapshots, so this is the
+        first *GIL-free* path through the map-reduce patterns: CPU-bound
+        map functions genuinely parallelize, and a chunk worker that
+        hard-crashes surfaces :class:`~repro.errors.PipeWorkerLost` on
+        its heartbeat (watchdog knobs as on :class:`Pipe`) instead of
+        hanging the ordered drain."""
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 or None")
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
         self.chunk_size = chunk_size
         self.capacity = capacity
         self.scheduler = scheduler
         self.max_pending = max_pending
         self.batch = batch
         self.max_linger = max_linger
+        self.backend = backend
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.mp_context = mp_context
 
     # -- Figure 4: chunk -------------------------------------------------------
 
@@ -126,9 +144,16 @@ class DataParallel:
         source: Any,
         reducer: Callable[[Any, Any], Any],
         initial: Any,
+        backend: str | None = None,
     ) -> Iterator[Any]:
         """Map *fn* over each chunk in its own pipe, folding with
-        *reducer* from *initial*; generate the chunk results in order."""
+        *reducer* from *initial*; generate the chunk results in order.
+
+        *backend* overrides the instance backend for this call:
+        ``"process"`` folds every chunk in a crash-isolated child,
+        GIL-free (the whole fold ships one accumulator back, so IPC
+        volume is minimal — the best-suited shape for process tasks).
+        """
 
         def task_body(chunk: List[Any]) -> Iterator[Any]:
             accumulator = initial
@@ -137,11 +162,16 @@ class DataParallel:
                     accumulator = reducer(accumulator, mapped)
             yield accumulator
 
-        yield from self._run_tasks(task_body, source)
+        yield from self._run_tasks(task_body, source, backend)
 
     # -- Section VII: the data-parallel (serialized reduction) variant ---------
 
-    def map_flat(self, fn: Callable[[Any], Any], source: Any) -> Iterator[Any]:
+    def map_flat(
+        self,
+        fn: Callable[[Any], Any],
+        source: Any,
+        backend: str | None = None,
+    ) -> Iterator[Any]:
         """Map *fn* over chunks in parallel and flatten results in order;
         the reduction is left to the (serial) consumer."""
 
@@ -149,7 +179,7 @@ class DataParallel:
             for value in chunk:
                 yield from apply_mapped(fn, value)
 
-        yield from self._run_tasks(task_body, source)
+        yield from self._run_tasks(task_body, source, backend)
 
     def reduce(
         self,
@@ -157,6 +187,7 @@ class DataParallel:
         source: Any,
         reducer: Callable[[Any, Any], Any],
         initial: Any,
+        backend: str | None = None,
     ) -> Any:
         """Convenience: fold the ordered chunk results of
         :meth:`map_reduce` into a single value.
@@ -165,13 +196,20 @@ class DataParallel:
         0, concatenations from empty) — the usual map-reduce contract.
         """
         accumulator = initial
-        for value in self.map_reduce(fn, source, reducer, initial=initial):
+        for value in self.map_reduce(
+            fn, source, reducer, initial=initial, backend=backend
+        ):
             accumulator = reducer(accumulator, value)
         return accumulator
 
     # -- shared driver ----------------------------------------------------------
 
-    def _spawn(self, task_body: Callable[..., Iterator[Any]], chunk: List[Any]) -> Pipe:
+    def _spawn(
+        self,
+        task_body: Callable[..., Iterator[Any]],
+        chunk: List[Any],
+        backend: str,
+    ) -> Pipe:
         coexpr = CoExpression(task_body, lambda: (chunk,), name="mapreduce-task")
         return Pipe(
             coexpr,
@@ -179,18 +217,31 @@ class DataParallel:
             scheduler=self.scheduler,
             batch=self.batch,
             max_linger=self.max_linger,
+            backend=backend,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            mp_context=self.mp_context,
         ).start()
 
     def _run_tasks(
-        self, task_body: Callable[..., Iterator[Any]], source: Any
+        self,
+        task_body: Callable[..., Iterator[Any]],
+        source: Any,
+        backend: str | None = None,
     ) -> Iterator[Any]:
+        backend = backend if backend is not None else self.backend
+        if backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
         # Cancellation propagates to siblings: if the drain stops early —
         # one task raised, or the consumer abandoned the generator — every
         # outstanding task pipe is cancelled, so no chunk worker is left
         # blocked on a bounded full channel.
         if self.max_pending is None:
             # The paper's shape: spawn a task per chunk, then drain in order.
-            tasks = [self._spawn(task_body, chunk) for chunk in self.chunk(source)]
+            tasks = [
+                self._spawn(task_body, chunk, backend)
+                for chunk in self.chunk(source)
+            ]
             done = 0
             try:
                 for task in tasks:
@@ -204,7 +255,7 @@ class DataParallel:
         window: List[Pipe] = []
         try:
             for chunk in self.chunk(source):
-                window.append(self._spawn(task_body, chunk))
+                window.append(self._spawn(task_body, chunk, backend))
                 if len(window) >= self.max_pending:
                     yield from window.pop(0).iterate()
             while window:

@@ -35,8 +35,13 @@ def source_pipe(
     take_timeout: float | None = None,
     batch: int = 1,
     max_linger: float | None = None,
+    backend: str = "thread",
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    mp_context: Any = None,
 ) -> Pipe:
-    """``|> s`` — stream a source from its own thread."""
+    """``|> s`` — stream a source from its own thread (or, with
+    ``backend="process"``, from a crash-isolated child process)."""
 
     def body(src: Any) -> Iterator[Any]:
         yield from iter_source(src)
@@ -48,6 +53,10 @@ def source_pipe(
         take_timeout=take_timeout,
         batch=batch,
         max_linger=max_linger,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        mp_context=mp_context,
     )
 
 
@@ -59,6 +68,10 @@ def stage(
     take_timeout: float | None = None,
     batch: int = 1,
     max_linger: float | None = None,
+    backend: str = "thread",
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    mp_context: Any = None,
 ) -> Pipe:
     """``|> fn(!upstream)`` — one pipeline stage in its own thread.
 
@@ -70,6 +83,11 @@ def stage(
     ``upstream``: if this stage dies or is cancelled, cancellation
     propagates up the chain so no producer is left blocked on a full
     channel.
+
+    ``backend="process"`` applies the degradation rules of
+    :mod:`repro.coexpr.proc`: a stage fed by an in-parent pipe cannot
+    cross the process boundary and falls back to a thread (``DEGRADED``
+    monitor event); a stage over a self-contained source isolates.
     """
 
     def body(up: Any) -> Iterator[Any]:
@@ -84,6 +102,10 @@ def stage(
         take_timeout=take_timeout,
         batch=batch,
         max_linger=max_linger,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        mp_context=mp_context,
     )
     if hasattr(upstream, "cancel"):
         piped.upstream = upstream
@@ -98,6 +120,10 @@ def pipeline(
     take_timeout: float | None = None,
     batch: int = 1,
     max_linger: float | None = None,
+    backend: str = "thread",
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    mp_context: Any = None,
 ) -> Pipe:
     """Chain *stages* over *source*, one thread per stage.
 
@@ -112,6 +138,8 @@ def pipeline(
     the chain surfaces as :class:`~repro.errors.PipeTimeoutError`.
     ``batch``/``max_linger`` apply to every stage: each handoff moves up
     to *batch* elements per lock acquisition (see :class:`Pipe`).
+    ``backend="process"`` crash-isolates the source pipe; the channel-fed
+    stages above it degrade to threads (see :mod:`repro.coexpr.proc`).
     """
     current: Pipe = source_pipe(
         source,
@@ -120,6 +148,10 @@ def pipeline(
         take_timeout=take_timeout,
         batch=batch,
         max_linger=max_linger,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        mp_context=mp_context,
     )
     for fn in stages:
         current = stage(
@@ -130,6 +162,10 @@ def pipeline(
             take_timeout=take_timeout,
             batch=batch,
             max_linger=max_linger,
+            backend=backend,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            mp_context=mp_context,
         )
     return current
 

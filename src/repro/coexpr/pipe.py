@@ -22,6 +22,13 @@ builds on three hooks here:
   closes the co-expression body, unblocks the worker, and propagates to
   an ``upstream`` pipe so no producer is left blocked on a full channel;
 * lifecycle events (start/cancel/timeout) on the monitor bus.
+
+Crash isolation (:mod:`repro.coexpr.proc`) adds a second execution tier:
+``backend="process"`` runs the worker body in a ``multiprocessing``
+child speaking the same envelope protocol over IPC, with a heartbeat
+watchdog that surfaces :class:`~repro.errors.PipeWorkerLost` instead of
+hanging when the child dies, and graceful degradation back to this
+thread backend when the body cannot cross a process boundary.
 """
 
 from __future__ import annotations
@@ -60,12 +67,18 @@ class Pipe(IconIterator):
         "take_timeout",
         "batch",
         "max_linger",
+        "backend",
+        "heartbeat_interval",
+        "heartbeat_timeout",
+        "mp_context",
         "upstream",
         "_scheduler",
         "_started",
         "_start_lock",
         "_cancelled",
         "_worker",
+        "_process_worker",
+        "_degraded",
         "_errored",
         "_pending",
         "_flushes",
@@ -85,6 +98,10 @@ class Pipe(IconIterator):
         take_timeout: float | None = None,
         batch: int = 1,
         max_linger: float | None = None,
+        backend: str = "thread",
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        mp_context: Any = None,
     ) -> None:
         """Wrap *expr* (a co-expression, iterator node, generator factory,
         or iterable) in a threaded proxy with an output channel of
@@ -104,11 +121,28 @@ class Pipe(IconIterator):
         *own* results, never ones already produced.  A partial batch is
         always flushed on exhaustion, crash (data first, then the error),
         and close.
+
+        ``backend`` selects the execution tier: ``"thread"`` (the paper's
+        shape) or ``"process"`` — the body runs in a ``multiprocessing``
+        child (crash-isolated, GIL-free) streaming the same envelopes
+        over IPC, watched by a heartbeat (``heartbeat_interval`` seconds
+        between beats; ``heartbeat_timeout`` until a silent child is
+        declared lost, default 10 intervals).  A body that cannot cross
+        the process boundary degrades to the thread backend with a
+        ``DEGRADED`` monitor event (see :mod:`repro.coexpr.proc`);
+        ``mp_context`` overrides the multiprocessing context (default:
+        fork where available).
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
         if max_linger is not None and max_linger < 0:
             raise ValueError("max_linger must be >= 0 or None")
+        if backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0 or None")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0 or None")
         super().__init__()
         self.coexpr: CoExpression = coexpr_of(expr)
         self.capacity = capacity
@@ -120,6 +154,17 @@ class Pipe(IconIterator):
         self.batch = batch
         #: Seconds a partial batch may linger before being flushed.
         self.max_linger = max_linger
+        #: Execution tier: "thread" or "process" (see the class docstring).
+        self.backend = backend
+        #: Seconds between child liveness beats (process backend).
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else 0.1
+        )
+        #: Seconds of silence before the watchdog declares the worker
+        #: lost (None = 10 heartbeat intervals).
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Multiprocessing context override (None = fork where available).
+        self.mp_context = mp_context
         #: The pipe feeding this one, when built by ``patterns.stage`` —
         #: cancellation propagates through it so a dead stage never
         #: leaves its producer blocked on a full channel.
@@ -129,6 +174,10 @@ class Pipe(IconIterator):
         self._start_lock = threading.Lock()
         self._cancelled = False
         self._worker: WorkerHandle | None = None
+        #: The ProcessWorker when the process backend actually engaged.
+        self._process_worker: Any = None
+        #: Degradation reason when a process request fell back to threads.
+        self._degraded: str | None = None
         self._errored = False
         #: Consumer-side buffer of unbatched results (only the taking
         #: thread touches it, matching Channel's one-consumer-per-take
@@ -155,12 +204,28 @@ class Pipe(IconIterator):
     # -- worker --------------------------------------------------------------
 
     def start(self) -> "Pipe":
-        """Spawn the producer thread (idempotent; no-op once cancelled)."""
+        """Spawn the producer worker (idempotent; no-op once cancelled).
+
+        With ``backend="process"`` this forks the body into a child and
+        submits the pump/watchdog thread; if the body cannot cross the
+        process boundary the pipe degrades to the thread backend in
+        place (``DEGRADED`` monitor event, :attr:`degraded` set).
+        """
         with self._start_lock:
             if self._started or self._cancelled:
                 return self
             self._started = True
         scheduler = self._scheduler or default_scheduler()
+        if self.backend == "process":
+            from .proc import start_process_worker
+
+            worker = start_process_worker(self, scheduler)
+            if worker is not None:
+                self._process_worker = worker
+                self._worker = worker.handle
+                self._emit(EventKind.START)
+                return self
+            # Degraded: fall through to the thread backend below.
         self._worker = scheduler.submit(self._run, name=f"pipe-{self.coexpr.name}")
         if self._buf_cond is not None:
             self._flusher = scheduler.submit(
@@ -168,6 +233,12 @@ class Pipe(IconIterator):
             )
         self._emit(EventKind.START)
         return self
+
+    @property
+    def degraded(self) -> str | None:
+        """Why a ``backend="process"`` request fell back to threads
+        (None while isolated or when the thread backend was asked for)."""
+        return self._degraded
 
     def _run(self) -> None:
         if self.batch > 1:
@@ -386,6 +457,11 @@ class Pipe(IconIterator):
         With ``join=True`` this is the *graceful* form: it also waits up
         to *timeout* seconds for the worker thread to finish.  Returns
         True when the worker is known to be done (or never started).
+
+        Strictly idempotent: only the first call emits the ``CANCEL``
+        event, closes the body, and propagates upstream — a second
+        cancel (or a cancel after natural exhaustion) merely re-joins
+        the already-stopped worker.
         """
         first = False
         with self._start_lock:
@@ -394,9 +470,12 @@ class Pipe(IconIterator):
                 first = True
         if first:
             self._emit(EventKind.CANCEL)
-        self.out.close()
-        self.coexpr.close()
-        self._cancel_upstream()
+            self.out.close()
+            self.coexpr.close()
+            process_worker = self._process_worker
+            if process_worker is not None:
+                process_worker.terminate()  # the pump reaps and untracks
+            self._cancel_upstream()
         worker = self._worker
         if worker is None:
             return True
@@ -417,6 +496,10 @@ class Pipe(IconIterator):
             take_timeout=self.take_timeout,
             batch=self.batch,
             max_linger=self.max_linger,
+            backend=self.backend,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            mp_context=self.mp_context,
         )
 
     @property

@@ -1,0 +1,480 @@
+"""Process-backed pipe workers — crash isolation for ``|>e``.
+
+The paper's pipes are generator proxies on *threads*: cheap, but one hard
+fault (a native crash, an OOM kill, ``os._exit``, a runaway C extension)
+takes the whole interpreter down, and CPU-bound stages serialize on the
+GIL.  This module adds a second execution tier, selected with
+``backend="process"`` on :class:`~repro.coexpr.pipe.Pipe` (and threaded
+through ``stage``/``pipeline``/``DataParallel``/``supervise``): the
+worker body runs in a ``multiprocessing`` child that speaks the existing
+envelope protocol — batched data slices, error, close (the
+``WIRE_*`` vocabulary of :mod:`repro.coexpr.channel`) — over an IPC
+connection.  A parent-side **pump thread** forwards envelopes into the
+pipe's ordinary :class:`~repro.coexpr.channel.Channel`, so consumers,
+batching, supervision, and monitoring all work unchanged.
+
+Three behaviours distinguish the tier:
+
+* **Heartbeat watchdog.**  A daemon thread in the child emits a beat
+  every ``heartbeat_interval`` seconds; the pump doubles as the monitor.
+  Missed beats past ``heartbeat_timeout``, an EOF on the connection, or
+  child death (exit-code sentinel) without a close envelope surface a
+  :class:`~repro.errors.PipeWorkerLost` error envelope to the consumer
+  instead of a hang.  Buffered data already in the OS pipe is drained
+  *before* the loss is reported — data-before-error, as in-process.
+* **Worker-lost is retryable.**  Under
+  :func:`~repro.coexpr.supervision.supervise` a lost worker consumes a
+  retry like any producer crash: the process is respawned and the stream
+  replayed/resumed per the restart mode, honoring the backoff policy —
+  the snapshot/restart semantics of ``^c`` applied to a child process.
+* **Graceful degradation.**  When the platform cannot ship the body (an
+  unpicklable stage under a spawn context, a channel-fed stage whose
+  upstream lives in the parent, a failed fork), the pipe falls back to
+  the thread backend and emits a ``DEGRADED`` monitor event rather than
+  erroring — same results, weaker isolation.
+
+Child processes are registered with the owning
+:class:`~repro.coexpr.scheduler.PipeScheduler`, so ``leaked()`` and
+``shutdown()`` cover them: no orphaned children after tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import time
+from typing import Any, Callable
+
+from ..errors import ChannelClosedError, PipeError, PipeWorkerLost
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+from .channel import WIRE_BEAT, WIRE_CLOSE, WIRE_DATA, WIRE_ERROR
+
+#: Exit code used by fault injection (``FaultPlan.kill_stage``) so tests
+#: can tell a deliberate chaos kill from an accidental one.
+KILLED_EXIT = 173
+
+#: Default seconds between child liveness beats.
+DEFAULT_HEARTBEAT_INTERVAL = 0.1
+
+#: With ``heartbeat_timeout=None`` the deadline is this many intervals.
+_TIMEOUT_INTERVALS = 10.0
+
+#: How often the pump re-checks cancellation while idle on the connection.
+_POLL_SLICE = 0.05
+
+#: Grace given to a terminated child before escalating to SIGKILL —
+#: SIGTERM cannot reap a SIGSTOP-ed (hung) child, SIGKILL always can.
+_TERMINATE_GRACE = 1.0
+
+
+def default_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context process pipes use by default.
+
+    Prefers ``fork`` where available: a forked child inherits the body
+    closure and its environment snapshot directly, so arbitrary stage
+    bodies work without being picklable (the same reason snapshot-based
+    restart is free — the creation-time environment *is* the fork image).
+    Platforms without fork get the platform default (spawn), where the
+    picklability preflight below governs degradation.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def spawn_unsafe_reason(pipe: Any, ctx: multiprocessing.context.BaseContext) -> str | None:
+    """Why *pipe*'s body cannot run in a child of *ctx* (None = it can).
+
+    The degradation rules, checked before any child exists:
+
+    * a body that already started in the parent cannot be snapshotted
+      mid-iteration — a child would silently replay from the top;
+    * an environment (or declared upstream) referencing parent-side
+      concurrency state — a :class:`Pipe`, :class:`Channel`, supervised
+      pipe, M-var or future — cannot cross the boundary: the threads
+      feeding those objects do not survive into the child, so the child
+      would block forever on a queue nobody fills;
+    * a live iterator (or started co-expression) in the environment is
+      parent-side *position* state: a forked copy would replay from the
+      fork point and the parent's copy would never advance — shared
+      consumption cannot span processes;
+    * under a non-fork start method the ``(factory, env)`` payload must
+      pickle, because that is how the child will receive it.
+    """
+    from .coexpression import CoExpression
+    from .future import Future, MVar
+    from .pipe import Pipe
+    from .supervision import SupervisedPipe
+
+    coexpr = pipe.coexpr
+    if coexpr.started:
+        return "co-expression already started in the parent"
+    parent_bound = (Pipe, SupervisedPipe, Future, MVar)
+    upstream = getattr(pipe, "upstream", None)
+    if upstream is not None and isinstance(upstream, parent_bound):
+        return "stage is fed by an in-parent pipe"
+    from .channel import Channel
+
+    for value in coexpr._env:
+        if isinstance(value, parent_bound + (Channel,)):
+            return f"environment references in-parent {type(value).__name__}"
+        if isinstance(value, CoExpression):
+            if value.started:
+                return "environment references a started co-expression"
+        elif hasattr(value, "__next__"):
+            return "environment references a live iterator"
+    if ctx.get_start_method() != "fork":
+        try:
+            pickle.dumps((coexpr._factory, coexpr._env))
+        except Exception as error:  # noqa: BLE001 - any pickle failure degrades
+            return f"body not picklable under {ctx.get_start_method()}: {error!r}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Child side.  Everything below _child_main runs in the worker process —
+# excluded from parent-side coverage accounting.
+# ---------------------------------------------------------------------------
+
+def _encode_error(error: BaseException) -> Any:  # pragma: no cover - child side
+    """An exception as a wire payload: pickled when possible, repr otherwise."""
+    try:
+        return ("pickle", pickle.dumps(error))
+    except Exception:  # noqa: BLE001 - anything unpicklable falls back
+        return ("repr", type(error).__name__, repr(error))
+
+
+def _decode_error(payload: Any) -> BaseException:
+    """Rebuild a child exception in the parent (repr fallback → PipeError)."""
+    if payload[0] == "pickle":
+        try:
+            return pickle.loads(payload[1])
+        except Exception:  # noqa: BLE001 - corrupted payload
+            return PipeError("process worker crashed (undecodable error payload)")
+    return PipeError(f"process worker raised {payload[1]}: {payload[2]}")
+
+
+def _child_main(
+    conn: Any,
+    factory: Callable[..., Any],
+    env: tuple,
+    name: str,
+    batch: int,
+    max_linger: float | None,
+    heartbeat_interval: float,
+) -> None:  # pragma: no cover - runs in the child process
+    """Run the worker body and stream wire envelopes to the parent.
+
+    Mirrors ``Pipe._run_batched``: values coalesce into slices of up to
+    *batch*, a crash flushes buffered data before the error envelope, and
+    exhaustion flushes then closes.  A daemon thread beats every
+    *heartbeat_interval* seconds and doubles as the linger flusher when
+    *max_linger* is set.  A clean run (including a *reported* crash) ends
+    with a close envelope and exit code 0 — only a death that skips the
+    close is a lost worker.
+    """
+    from ..runtime.failure import FAIL
+    from .coexpression import CoExpression
+
+    send_lock = threading.Lock()
+    buffer: list = []
+    buf_oldest = [0.0]
+    stop = threading.Event()
+
+    def send(msg: tuple) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    def flush_locked() -> None:
+        # Caller holds send_lock; ships and clears the coalesced buffer.
+        if buffer:
+            conn.send((WIRE_DATA, list(buffer)))
+            buffer.clear()
+
+    def beat() -> None:
+        wait = heartbeat_interval
+        if max_linger is not None:
+            wait = min(wait, max_linger)
+        while not stop.wait(wait):
+            try:
+                with send_lock:
+                    if (
+                        max_linger is not None
+                        and buffer
+                        and time.monotonic() - buf_oldest[0] >= max_linger
+                    ):
+                        flush_locked()
+                    conn.send((WIRE_BEAT, time.monotonic()))
+            except (OSError, ValueError, BrokenPipeError):
+                return  # parent is gone; nothing left to report to
+
+    threading.Thread(target=beat, daemon=True, name="repro-proc-beat").start()
+    coexpr = CoExpression(factory, lambda: env, name=name)
+    try:
+        try:
+            while True:
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                with send_lock:
+                    if not buffer:
+                        buf_oldest[0] = time.monotonic()
+                    buffer.append(value)
+                    if len(buffer) >= batch:
+                        flush_locked()
+            with send_lock:
+                flush_locked()  # flush-on-exhaustion: no result is stranded
+        except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+            try:
+                with send_lock:
+                    flush_locked()  # data first, then the error
+            except Exception:  # noqa: BLE001 - e.g. the value itself won't pickle
+                pass
+            try:
+                send((WIRE_ERROR, _encode_error(error)))
+            except Exception:  # noqa: BLE001 - parent already gone
+                pass
+        try:
+            send((WIRE_CLOSE,))
+        except Exception:  # noqa: BLE001 - parent already gone
+            pass
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+class ProcessWorker:
+    """One child process plus the pump/watchdog thread that drains it.
+
+    Created by :func:`start_process_worker`; owns the IPC connection, the
+    ``multiprocessing.Process``, and the loss-detection state.  The pump
+    body (:meth:`pump`) runs on a scheduler thread, so it is joinable and
+    leak-checked exactly like a thread-backend worker.
+    """
+
+    __slots__ = (
+        "pipe",
+        "scheduler",
+        "process",
+        "conn",
+        "heartbeat_timeout",
+        "handle",
+        "lost",
+    )
+
+    def __init__(self, pipe: Any, scheduler: Any, ctx: Any) -> None:
+        interval = pipe.heartbeat_interval
+        timeout = pipe.heartbeat_timeout
+        if timeout is None:
+            timeout = max(_TIMEOUT_INTERVALS * interval, 1.0)
+        self.pipe = pipe
+        self.scheduler = scheduler
+        self.heartbeat_timeout = timeout
+        self.handle = None
+        #: The loss reason once the watchdog fired (None while healthy).
+        self.lost: PipeWorkerLost | None = None
+        coexpr = pipe.coexpr
+        self.conn, child_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_child_main,
+            args=(
+                child_conn,
+                coexpr._factory,
+                coexpr._env,
+                coexpr.name,
+                max(pipe.batch, 1),
+                pipe.max_linger,
+                interval,
+            ),
+            name=f"repro-proc-{coexpr.name}",
+            daemon=True,
+        )
+
+    # -- watchdog / pump -------------------------------------------------------
+
+    def _emit(self, kind: str, value: Any = None) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"pipe:{self.pipe.coexpr.name}", 0, value))
+
+    def _mark_lost(self, reason: str) -> None:
+        # An EOF can race the child's actual exit: give it a beat so the
+        # exit code is collectable (a still-running child — e.g. a missed
+        # heartbeat — just reports None).
+        self.process.join(0.2)
+        exitcode = self.process.exitcode
+        self.lost = PipeWorkerLost(
+            f"pipe {self.pipe.coexpr.name!r}: process worker lost ({reason})",
+            exitcode=exitcode,
+        )
+        self._emit(
+            EventKind.WORKER_LOST, {"reason": reason, "exitcode": exitcode}
+        )
+        self.pipe._errored = True
+        try:
+            self.pipe.out.put_error(self.lost)
+        except ChannelClosedError:
+            pass  # consumer cancelled while the child was dying
+
+    def pump(self) -> None:
+        """Forward wire envelopes into the pipe's channel; watch liveness.
+
+        One loop is both transport and monitor: every received envelope
+        (beat or data) refreshes the heartbeat deadline; an expired
+        deadline, an EOF, or a dead child without a close envelope is a
+        lost worker.  Pending OS-pipe data is drained before loss is
+        declared, preserving data-before-error ordering end to end.
+        """
+        pipe = self.pipe
+        out = pipe.out
+        conn = self.conn
+        deadline = time.monotonic() + self.heartbeat_timeout
+        closed = False
+        try:
+            while not closed:
+                if pipe._cancelled:
+                    return
+                try:
+                    ready = conn.poll(_POLL_SLICE)
+                except (OSError, ValueError):
+                    ready = False  # connection torn down under us
+                if ready:
+                    try:
+                        kind, *payload = conn.recv()
+                    except (EOFError, OSError):
+                        self._mark_lost("connection closed before end of stream")
+                        return
+                    if kind == WIRE_ERROR:
+                        pipe._errored = True
+                        closed = out.feed_wire(kind, _decode_error(payload[0]))
+                    else:
+                        closed = out.feed_wire(
+                            kind, payload[0] if payload else None
+                        )
+                    deadline = time.monotonic() + self.heartbeat_timeout
+                    continue
+                if not self.process.is_alive():
+                    # The child may have exited cleanly with envelopes
+                    # still buffered in the OS pipe: drain before judging.
+                    closed = self._drain()
+                    if not closed:
+                        self._mark_lost(
+                            f"child died, exit code {self.process.exitcode}"
+                        )
+                    return
+                if time.monotonic() >= deadline:
+                    self._mark_lost(
+                        f"no heartbeat within {self.heartbeat_timeout:.2f}s"
+                    )
+                    return
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        finally:
+            out.close()
+            self._reap()
+            if pipe._cancelled or pipe._errored:
+                pipe._cancel_upstream()
+
+    def _drain(self) -> bool:
+        """Deliver every envelope still buffered after child death;
+        True if a close envelope completed the stream."""
+        out = self.pipe.out
+        while True:
+            try:
+                if not self.conn.poll(0):
+                    return False
+                kind, *payload = self.conn.recv()
+            except (EOFError, OSError):
+                return False
+            if kind == WIRE_ERROR:
+                self.pipe._errored = True
+                if out.feed_wire(kind, _decode_error(payload[0])):
+                    return True
+            elif out.feed_wire(kind, payload[0] if payload else None):
+                return True
+
+    # -- teardown --------------------------------------------------------------
+
+    def terminate(self) -> None:
+        """Ask the child to die (idempotent; the pump reaps it)."""
+        if self.process.is_alive():
+            self.process.terminate()
+
+    def _reap(self) -> None:
+        """Ensure the child is dead and unregistered (SIGTERM → SIGKILL)."""
+        process = self.process
+        if process.is_alive():
+            process.terminate()
+            process.join(_TERMINATE_GRACE)
+        if process.is_alive():
+            # SIGTERM cannot reap a stopped/hung child; SIGKILL always does.
+            process.kill()
+            process.join(_TERMINATE_GRACE)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.scheduler.untrack_process(process)
+
+    def join(self, timeout: float | None = None) -> bool:
+        if self.handle is not None:
+            return self.handle.join(timeout)
+        return True
+
+    def is_alive(self) -> bool:
+        return self.handle is not None and self.handle.is_alive()
+
+
+def start_process_worker(pipe: Any, scheduler: Any) -> ProcessWorker | None:
+    """Spawn *pipe*'s body in a child process; None means *degrade*.
+
+    Returns a running :class:`ProcessWorker` (child started, pump
+    submitted, process tracked by *scheduler*) — or None after emitting a
+    ``DEGRADED`` monitor event, in which case the caller falls back to
+    the thread backend.  Scheduler shutdown is **not** degradation: a
+    submit racing shutdown propagates
+    :class:`~repro.errors.SchedulerShutdownError`, exactly as the thread
+    backend does.
+    """
+    ctx = pipe.mp_context or default_context()
+    reason = spawn_unsafe_reason(pipe, ctx)
+    if reason is None:
+        worker = ProcessWorker(pipe, scheduler, ctx)
+        scheduler.track_process(worker.process)  # raises after shutdown
+        try:
+            worker.process.start()
+        except OSError as error:
+            scheduler.untrack_process(worker.process)
+            reason = f"process spawn failed: {error!r}"
+        else:
+            try:
+                worker.handle = scheduler.submit(
+                    worker.pump, name=f"pump-{pipe.coexpr.name}"
+                )
+            except BaseException:
+                worker._reap()
+                raise
+            if lifecycle_enabled():
+                emit_lifecycle(
+                    Event(
+                        EventKind.SPAWN,
+                        f"pipe:{pipe.coexpr.name}",
+                        0,
+                        {"pid": worker.process.pid},
+                    )
+                )
+            return worker
+    pipe._degraded = reason
+    if lifecycle_enabled():
+        emit_lifecycle(
+            Event(EventKind.DEGRADED, f"pipe:{pipe.coexpr.name}", 0, reason)
+        )
+    return None

@@ -18,7 +18,11 @@ A :class:`PipeScheduler` hands worker threads to pipes.  Two modes:
 The scheduler also owns the **leak-checked shutdown** story: every
 dedicated thread it spawns is tracked until it exits, ``shutdown(wait=True)``
 joins them, and :meth:`leaked` reports any survivors — the test suite's
-per-test fixture asserts that list is empty.
+per-test fixture asserts that list is empty.  Process-backed pipes
+(:mod:`repro.coexpr.proc`) register their child processes here too
+(:meth:`PipeScheduler.track_process`), so ``leaked()`` and ``shutdown()``
+cover child processes exactly as they cover worker threads — no orphaned
+children survive a shut-down scheduler.
 
 The module-level default scheduler is what ``|>`` uses when no scheduler
 is given; :func:`use_scheduler` swaps it (also usable as a context
@@ -32,7 +36,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, List
+from typing import Any, Callable, Iterator, List
 
 from ..errors import SchedulerShutdownError
 
@@ -82,6 +86,7 @@ class PipeScheduler:
         self._active = 0
         self._lock = threading.Lock()
         self._threads: set[threading.Thread] = set()
+        self._processes: set = set()  # live multiprocessing.Process children
         self._shutdown = False
 
     def submit(self, body: Callable[[], None], name: str = "pipe") -> WorkerHandle:
@@ -120,7 +125,10 @@ class PipeScheduler:
                     self._gate.release()
                 raise SchedulerShutdownError("submit on a shut-down PipeScheduler")
             self._threads.add(thread)
-        thread.start()
+            # Start under the lock: shutdown() snapshots _threads with the
+            # same lock held, so it must never observe (and join) a
+            # registered-but-unstarted thread.
+            thread.start()
         return WorkerHandle(thread)
 
     def _run_gated(self, body: Callable[[], None]) -> None:
@@ -153,23 +161,56 @@ class PipeScheduler:
         with self._lock:
             return self._active
 
+    # -- process accounting ----------------------------------------------------
+
+    def track_process(self, process: Any) -> None:
+        """Register a child process backing a pipe worker.
+
+        The process counts against :meth:`leaked` until untracked and is
+        terminated by :meth:`shutdown` — the same no-orphans contract the
+        scheduler gives dedicated threads.  Raises
+        :class:`SchedulerShutdownError` after shutdown, so a worker spawn
+        racing shutdown fails *before* the child exists.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise SchedulerShutdownError(
+                    "track_process on a shut-down PipeScheduler"
+                )
+            self._processes.add(process)
+
+    def untrack_process(self, process: Any) -> None:
+        """Drop a child process that has been reaped (idempotent)."""
+        with self._lock:
+            self._processes.discard(process)
+
+    @property
+    def tracked_processes(self) -> int:
+        """Child processes currently registered (reaped ones excluded)."""
+        with self._lock:
+            return len(self._processes)
+
     # -- lifecycle ------------------------------------------------------------
 
-    def leaked(self, join_timeout: float = 0.0) -> List[threading.Thread]:
-        """Dedicated worker threads that are still alive.
+    def leaked(self, join_timeout: float = 0.0) -> List[Any]:
+        """Dedicated worker threads and child processes still alive.
 
         With *join_timeout* > 0, gives stragglers that long (total) to
         exit before reporting them — the leak-check fixture uses a short
-        grace period so threads mid-teardown are not false positives.
+        grace period so workers mid-teardown are not false positives.
+        Threads and tracked processes share one contract here (both
+        expose ``is_alive``/``join``/``name``), so the fixture's
+        ``assert not leaked()`` covers orphaned children too.
         """
         with self._lock:
-            threads = [t for t in self._threads if t.is_alive()]
-        if join_timeout > 0 and threads:
+            workers = [t for t in self._threads if t.is_alive()]
+            workers += [p for p in self._processes if p.is_alive()]
+        if join_timeout > 0 and workers:
             deadline = time.monotonic() + join_timeout
-            for thread in threads:
-                thread.join(max(0.0, deadline - time.monotonic()))
-            threads = [t for t in threads if t.is_alive()]
-        return threads
+            for worker in workers:
+                worker.join(max(0.0, deadline - time.monotonic()))
+            workers = [w for w in workers if w.is_alive()]
+        return workers
 
     def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
         """Stop accepting work and (optionally) join in-flight workers.
@@ -177,21 +218,36 @@ class PipeScheduler:
         Idempotent and safe to call with pipes still running: their
         threads are daemons, so an expired *timeout* leaves them to die
         with the process rather than hanging the caller; :meth:`leaked`
-        then reports them.  ``wait=False`` just flips the flag.
+        then reports them.  Tracked child processes are terminated first
+        (their pump threads then drain and exit), so no child outlives a
+        waited shutdown.  ``wait=False`` just flips the flag and signals
+        the children.
         """
         with self._lock:
             self._shutdown = True
             threads = list(self._threads)
+            processes = list(self._processes)
             pool = self._pool
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
         if pool is not None:
             pool.shutdown(wait=wait, cancel_futures=True)
-        if wait and threads:
+        if wait and (threads or processes):
             deadline = None if timeout is None else time.monotonic() + timeout
-            for thread in threads:
+            for worker in threads + processes:
                 if deadline is None:
-                    thread.join()
+                    worker.join()
                 else:
-                    thread.join(max(0.0, deadline - time.monotonic()))
+                    worker.join(max(0.0, deadline - time.monotonic()))
+            # A child that ignored SIGTERM inside the budget gets SIGKILL:
+            # a shut-down scheduler must not leave orphans behind.
+            for process in processes:
+                if process.is_alive():
+                    kill = getattr(process, "kill", None)
+                    if kill is not None:
+                        kill()
+                        process.join(1.0)
 
 
 _default = PipeScheduler()

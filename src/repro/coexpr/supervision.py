@@ -25,8 +25,18 @@ Three pieces:
     continues from the upstream's current position.
 
 * :class:`FaultPlan` — deterministic fault injection for tests: fail
-  stage *N* on attempt *K* (at body start or after *M* items), or delay
-  a stage's puts by a fixed amount, with attempt counters exposed.
+  stage *N* on attempt *K* (at body start or after *M* items), delay a
+  stage's puts by a fixed amount, or — for process-backed workers —
+  *kill* the worker outright (``kill_stage``: ``os._exit``, the chaos
+  test for the heartbeat watchdog).  Attempt counters are exposed, and
+  ``state_dir=`` moves them into files so they survive process
+  boundaries: a respawned child sees the true attempt number even
+  though it shares no memory with its predecessors.
+
+A lost process worker (:class:`~repro.errors.PipeWorkerLost`, from the
+heartbeat watchdog of :mod:`repro.coexpr.proc`) is a retryable fault
+like any producer crash: restart respawns the child and replays or
+resumes from the supervision resume point, honoring the backoff.
 
 Every supervision decision (start, retry, cancel, timeout, exhaust) is
 emitted on the monitor lifecycle bus, so a
@@ -36,6 +46,8 @@ did and when.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -89,6 +101,21 @@ NO_BACKOFF = BackoffPolicy(initial=0.0, multiplier=1.0, max_delay=0.0)
 # Fault injection
 # ---------------------------------------------------------------------------
 
+class _ProcessKill:
+    """A rule action that hard-kills the *worker process* (``os._exit``).
+
+    Only meaningful in a process-backed worker: the child dies without
+    flushing, reporting, or running ``finally`` blocks — exactly the
+    fault class the heartbeat watchdog exists to catch.  (In a thread
+    worker this would take the whole interpreter down; don't.)
+    """
+
+    __slots__ = ("exit_code",)
+
+    def __init__(self, exit_code: int) -> None:
+        self.exit_code = exit_code
+
+
 class _FaultContext:
     """Per-run view of a plan: one body execution of one stage."""
 
@@ -101,19 +128,26 @@ class _FaultContext:
         self._items = 0
         self._check(at_start=True)
 
+    def _fire(self, action: Any, detail: str) -> None:
+        if isinstance(action, _ProcessKill):  # pragma: no cover - child side
+            os._exit(action.exit_code)
+        raise action(detail)
+
     def _check(self, at_start: bool) -> None:
         for rule in self._plan._rules_for(self._stage):
-            on_attempts, after_items, error_factory = rule
+            on_attempts, after_items, action = rule
             if self.attempt not in on_attempts:
                 continue
             if at_start and after_items == 0:
-                raise error_factory(
-                    f"injected fault: stage {self._stage!r} attempt {self.attempt}"
+                self._fire(
+                    action,
+                    f"injected fault: stage {self._stage!r} attempt {self.attempt}",
                 )
             if not at_start and 0 < after_items <= self._items:
-                raise error_factory(
+                self._fire(
+                    action,
                     f"injected fault: stage {self._stage!r} attempt "
-                    f"{self.attempt} after {self._items} items"
+                    f"{self.attempt} after {self._items} items",
                 )
 
     def on_item(self, item: Any) -> None:
@@ -133,10 +167,23 @@ class FaultPlan:
     from :func:`supervised_pipeline`, or any hashable for hand-built
     stages).  The plan is thread-safe; attempt counters are per-stage and
     increment each time a stage body (re)starts.
+
+    ``state_dir`` (a directory path) moves the attempt counters into
+    files, one byte appended per body start — the cross-process mode.  A
+    process-backed worker runs its body in a child that shares no memory
+    with the parent (or with its own respawned successors), so an
+    in-memory counter would restart from zero on every respawn and an
+    "attempt 1 only" fault would fire forever; the file counter gives
+    every incarnation the true attempt number.
     """
 
-    def __init__(self, sleep: Callable[[float], None] = time.sleep) -> None:
+    def __init__(
+        self,
+        sleep: Callable[[float], None] = time.sleep,
+        state_dir: str | None = None,
+    ) -> None:
         self._sleep = sleep
+        self._state_dir = os.fspath(state_dir) if state_dir is not None else None
         self._lock = threading.Lock()
         self._attempts: dict[Any, int] = {}
         self._rules: dict[Any, list] = {}
@@ -166,18 +213,62 @@ class FaultPlan:
             self._delays[stage] = delay
         return self
 
+    def kill_stage(
+        self,
+        stage: Any,
+        on_attempts: tuple = (1,),
+        after_items: int = 0,
+        exit_code: int | None = None,
+    ) -> "FaultPlan":
+        """Make *stage* hard-kill its worker **process** (``os._exit``)
+        on the given attempts — no flush, no error envelope, no
+        ``finally``.  The chaos rule for the heartbeat watchdog; only
+        use on ``backend="process"`` workers (in a thread worker it
+        would exit the host interpreter).  Pair with ``state_dir`` so a
+        respawned child does not re-match the attempt and die again.
+        """
+        if exit_code is None:
+            from .proc import KILLED_EXIT
+
+            exit_code = KILLED_EXIT
+        with self._lock:
+            self._rules.setdefault(stage, []).append(
+                (tuple(on_attempts), after_items, _ProcessKill(exit_code))
+            )
+        return self
+
     # -- runtime hooks -------------------------------------------------------
+
+    def _counter_path(self, stage: Any) -> str:
+        digest = hashlib.md5(repr(stage).encode()).hexdigest()[:16]
+        return os.path.join(self._state_dir, f"attempts-{digest}")
 
     def enter(self, stage: Any) -> _FaultContext:
         """Record a body (re)start for *stage*; may raise an injected
         fault before anything is consumed."""
-        with self._lock:
-            attempt = self._attempts.get(stage, 0) + 1
-            self._attempts[stage] = attempt
+        if self._state_dir is not None:
+            # One O_APPEND byte per start: atomic enough for the
+            # sequential respawns supervision performs, and visible to
+            # every child incarnation.
+            with open(self._counter_path(stage), "ab") as counter:
+                counter.write(b"x")
+                counter.flush()
+            attempt = os.path.getsize(self._counter_path(stage))
+            with self._lock:
+                self._attempts[stage] = attempt
+        else:
+            with self._lock:
+                attempt = self._attempts.get(stage, 0) + 1
+                self._attempts[stage] = attempt
         return _FaultContext(self, stage, attempt)
 
     def attempts(self, stage: Any) -> int:
         """How many times *stage*'s body has started."""
+        if self._state_dir is not None:
+            try:
+                return os.path.getsize(self._counter_path(stage))
+            except OSError:
+                return 0
         with self._lock:
             return self._attempts.get(stage, 0)
 
@@ -215,6 +306,10 @@ class SupervisedPipe(IconIterator):
         "take_timeout",
         "batch",
         "max_linger",
+        "backend",
+        "heartbeat_interval",
+        "heartbeat_timeout",
+        "mp_context",
         "restart",
         "upstream",
         "_scheduler",
@@ -239,6 +334,10 @@ class SupervisedPipe(IconIterator):
         take_timeout: float | None = None,
         batch: int = 1,
         max_linger: float | None = None,
+        backend: str = "thread",
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        mp_context: Any = None,
         sleep: Callable[[float], None] = time.sleep,
         restart: str = "replay",
         upstream: Any = None,
@@ -257,6 +356,13 @@ class SupervisedPipe(IconIterator):
         self.take_timeout = take_timeout
         self.batch = batch
         self.max_linger = max_linger
+        #: Worker tier for every (re)spawned pipe — "process" gives
+        #: crash isolation: a lost child is a retryable fault, and the
+        #: restart respawns a fresh process (see repro.coexpr.proc).
+        self.backend = backend
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.mp_context = mp_context
         self.restart = restart
         #: Optional upstream pipe to cancel when supervision gives up
         #: (exhaust) or is cancelled — keeps the producer chain leak-free.
@@ -278,6 +384,10 @@ class SupervisedPipe(IconIterator):
             take_timeout=self.take_timeout,
             batch=self.batch,
             max_linger=self.max_linger,
+            backend=self.backend,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            mp_context=self.mp_context,
         )
 
     # -- lifecycle events -----------------------------------------------------
@@ -403,6 +513,10 @@ def supervise(
     take_timeout: float | None = None,
     batch: int = 1,
     max_linger: float | None = None,
+    backend: str = "thread",
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    mp_context: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     restart: str = "replay",
     name: str | None = None,
@@ -411,7 +525,10 @@ def supervise(
 
     *expr* is anything :func:`~repro.coexpr.coexpr_of` accepts.  See
     :class:`SupervisedPipe` for the restart-mode semantics; the default
-    ``"replay"`` suits self-contained deterministic sources.
+    ``"replay"`` suits self-contained deterministic sources.  With
+    ``backend="process"`` the producer runs crash-isolated in a child
+    process and a lost worker (:class:`~repro.errors.PipeWorkerLost`)
+    consumes a retry like any other producer crash.
     """
     return SupervisedPipe(
         expr,
@@ -422,6 +539,10 @@ def supervise(
         take_timeout=take_timeout,
         batch=batch,
         max_linger=max_linger,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        mp_context=mp_context,
         sleep=sleep,
         restart=restart,
         name=name,
@@ -443,6 +564,10 @@ def supervised_stage(
     take_timeout: float | None = None,
     batch: int = 1,
     max_linger: float | None = None,
+    backend: str = "thread",
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    mp_context: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
     stage_key: Any = None,
@@ -456,6 +581,15 @@ def supervised_stage(
     the body had taken but not finished processing when it crashed is
     charged to that attempt (at-most-once per item); faults injected at
     body start (the :class:`FaultPlan` default) lose nothing.
+
+    ``backend="process"`` is accepted but a channel-fed stage (a live
+    upstream pipe in its environment) cannot cross a process boundary,
+    so it degrades to the thread backend with a ``DEGRADED`` monitor
+    event — the documented graceful-degradation rule.  Self-contained
+    upstreams (an iterable snapshot) are *consumed in the parent* via
+    the shared iterator, so they degrade too; true process stages come
+    from :func:`supervise`/:class:`~repro.coexpr.dataparallel.DataParallel`
+    over self-contained bodies.
     """
     if isinstance(upstream, (Pipe, SupervisedPipe)):
         shared: Any = upstream
@@ -489,6 +623,10 @@ def supervised_stage(
         take_timeout=take_timeout,
         batch=batch,
         max_linger=max_linger,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        mp_context=mp_context,
         sleep=sleep,
         restart="resume",
         upstream=up_pipe,
@@ -506,6 +644,10 @@ def supervised_pipeline(
     take_timeout: float | None = None,
     batch: int = 1,
     max_linger: float | None = None,
+    backend: str = "thread",
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
+    mp_context: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
 ) -> Any:
@@ -514,7 +656,9 @@ def supervised_pipeline(
     Each stage gets its own restart budget; stage keys for the fault
     plan are the 1-based stage indices (0 is the unsupervised source).
     Cancellation propagates the whole chain: cancelling the returned
-    pipe tears every stage and the source down.
+    pipe tears every stage and the source down.  ``backend="process"``
+    crash-isolates the source; channel-fed stages degrade to threads
+    per the rules in :mod:`repro.coexpr.proc`.
     """
     from .patterns import source_pipe
 
@@ -524,6 +668,10 @@ def supervised_pipeline(
         scheduler=scheduler,
         batch=batch,
         max_linger=max_linger,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        mp_context=mp_context,
     )
     for index, fn in enumerate(stages, start=1):
         current = supervised_stage(
@@ -536,6 +684,10 @@ def supervised_pipeline(
             take_timeout=take_timeout,
             batch=batch,
             max_linger=max_linger,
+            backend=backend,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            mp_context=mp_context,
             sleep=sleep,
             fault_plan=fault_plan,
             stage_key=index,

@@ -82,6 +82,27 @@ class PipeTimeoutError(ConcurrencyError, TimeoutError):
     """
 
 
+class PipeWorkerLost(PipeError):
+    """A process-backed pipe worker died without reporting a result.
+
+    Raised at the consumer when the heartbeat watchdog detects a hard
+    fault in the child — a native crash, an OOM kill, ``os._exit``, or a
+    hang that outlives the heartbeat deadline.  Unlike an ordinary
+    producer exception this error was never *thrown* by the body; it is
+    synthesized by the monitor from the exit-code sentinel or the missed
+    beats.  :attr:`exitcode` is the child's exit code when it is known
+    (None for a hung-but-alive worker).
+
+    Supervision treats a lost worker as a retryable fault: under
+    :func:`~repro.coexpr.supervision.supervise` the process is respawned
+    and the stream replayed/resumed per the restart mode.
+    """
+
+    def __init__(self, message: str, exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
 class RetryExhaustedError(PipeError):
     """A supervised pipe used up its restart budget.
 

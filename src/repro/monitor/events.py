@@ -41,8 +41,26 @@ class EventKind:
     # ``{"size": <elements moved>, "queued": <channel occupancy after>}``.
     BATCH = "batch"
 
+    # Process-backed pipes (the crash-isolation tier): a child process
+    # spawned for a worker (``{"pid": ...}``), the watchdog declaring a
+    # worker lost (``{"reason": ..., "exitcode": ...}``), and the runtime
+    # degrading a process request to the thread backend (value = reason).
+    SPAWN = "spawn"
+    WORKER_LOST = "worker-lost"
+    DEGRADED = "degraded"
+
     ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
-    LIFECYCLE = (START, RETRY, CANCEL, TIMEOUT, EXHAUST, BATCH)
+    LIFECYCLE = (
+        START,
+        RETRY,
+        CANCEL,
+        TIMEOUT,
+        EXHAUST,
+        BATCH,
+        SPAWN,
+        WORKER_LOST,
+        DEGRADED,
+    )
     ALL = ITERATION + LIFECYCLE
 
 

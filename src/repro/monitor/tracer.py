@@ -170,6 +170,42 @@ class Tracer:
             stats["mean_occupancy"] = stats.pop("occupancy") / flushes
         return out
 
+    def process_stats(self) -> dict:
+        """Per-pipe crash-isolation summary from collected lifecycle
+        events: ``{node: {spawns, losses, degraded, exitcodes, reasons}}``.
+
+        ``spawns`` counts child processes forked for the node, ``losses``
+        counts watchdog firings (with the observed ``exitcodes``), and
+        ``degraded`` counts process requests that fell back to the thread
+        backend (with the degradation ``reasons``) — together they show
+        whether a pipeline actually ran isolated, how often workers were
+        lost, and why any degradation happened."""
+        kinds = (EventKind.SPAWN, EventKind.WORKER_LOST, EventKind.DEGRADED)
+        out: dict = {}
+        for event in self.events:
+            if event.kind not in kinds:
+                continue
+            stats = out.setdefault(
+                event.node,
+                {
+                    "spawns": 0,
+                    "losses": 0,
+                    "degraded": 0,
+                    "exitcodes": [],
+                    "reasons": [],
+                },
+            )
+            if event.kind == EventKind.SPAWN:
+                stats["spawns"] += 1
+            elif event.kind == EventKind.WORKER_LOST:
+                stats["losses"] += 1
+                if isinstance(event.value, dict):
+                    stats["exitcodes"].append(event.value.get("exitcode"))
+            else:
+                stats["degraded"] += 1
+                stats["reasons"].append(event.value)
+        return out
+
     def transcript(self, limit: int | None = None) -> str:
         """A readable, indented trace of the evaluation."""
         events = self.events if limit is None else self.events[:limit]

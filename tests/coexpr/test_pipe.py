@@ -110,6 +110,41 @@ class TestCancel:
                 break
         assert pipe.take() is FAIL
 
+    def test_double_cancel_join_is_noop(self):
+        # Regression: a second cancel(join=True) — or any later cancel —
+        # must neither raise nor re-run teardown.
+        pipe = Pipe(counted(1000), capacity=2)
+        pipe.take()
+        pipe.cancel(join=True)
+        pipe.cancel(join=True)
+        pipe.cancel()
+        for _ in range(5):
+            if pipe.take() is FAIL:
+                break
+        assert pipe.take() is FAIL
+
+    def test_cancel_after_exhaustion_is_noop(self):
+        pipe = Pipe(counted(3))
+        assert list(pipe) == [0, 1, 2]
+        pipe.cancel(join=True)
+        pipe.cancel(join=True)
+        assert pipe.take() is FAIL
+
+    def test_double_cancel_emits_one_cancel_event(self):
+        from repro.monitor import EventKind, Tracer
+
+        tracer = Tracer()
+        with tracer.lifecycle():
+            pipe = Pipe(counted(1000), capacity=2).start()
+            pipe.take()
+            pipe.cancel(join=True)
+            pipe.cancel(join=True)
+            pipe.cancel()
+        cancels = [
+            e for e in tracer.events if e.kind == EventKind.CANCEL
+        ]
+        assert len(cancels) == 1
+
 
 class TestErrors:
     def test_producer_exception_reraises_in_consumer(self):

@@ -73,6 +73,94 @@ class TestPooled:
         scheduler.shutdown()
 
 
+class TestShutdownRacingSubmit:
+    """shutdown() concurrent with submit(): late submits must raise
+    cleanly, in-flight workers must be joined, and leaked() must end
+    empty — for thread workers and child processes alike."""
+
+    def test_post_shutdown_submit_raises(self):
+        import pytest
+
+        from repro.errors import SchedulerShutdownError
+
+        scheduler = PipeScheduler()
+        scheduler.shutdown()
+        with pytest.raises(SchedulerShutdownError):
+            scheduler.submit(lambda: None)
+
+    def test_post_shutdown_track_process_raises(self):
+        import pytest
+
+        from repro.errors import SchedulerShutdownError
+
+        scheduler = PipeScheduler()
+        scheduler.shutdown()
+        with pytest.raises(SchedulerShutdownError):
+            scheduler.track_process(object())
+
+    def test_racing_submits_raise_or_complete(self):
+        # Hammer submit() from several threads while shutdown() runs:
+        # every call either completes normally or raises
+        # SchedulerShutdownError — never a crash, never a leak.
+        from repro.errors import SchedulerShutdownError
+
+        scheduler = PipeScheduler()
+        outcomes = []
+        lock = threading.Lock()
+        go = threading.Event()
+
+        def submitter():
+            go.wait(2)
+            for _ in range(25):
+                try:
+                    scheduler.submit(lambda: time.sleep(0.001))
+                    result = "ok"
+                except SchedulerShutdownError:
+                    result = "refused"
+                with lock:
+                    outcomes.append(result)
+
+        racers = [threading.Thread(target=submitter) for _ in range(4)]
+        for racer in racers:
+            racer.start()
+        go.set()
+        time.sleep(0.01)
+        scheduler.shutdown(timeout=5.0)
+        for racer in racers:
+            racer.join(5.0)
+        assert len(outcomes) == 100
+        assert set(outcomes) <= {"ok", "refused"}
+        assert scheduler.leaked(join_timeout=2.0) == []
+
+    def test_shutdown_joins_both_worker_kinds(self):
+        # One in-flight thread worker and one child process: a waited
+        # shutdown reaps both and leaked() reports neither.
+        from repro.coexpr.coexpression import CoExpression
+        from repro.coexpr.pipe import Pipe
+
+        def idle_body():
+            yield 0
+            time.sleep(30)
+            yield 1  # pragma: no cover
+
+        scheduler = PipeScheduler()
+        release = threading.Event()
+        scheduler.submit(lambda: release.wait(10), name="thread-worker")
+        pipe = Pipe(
+            CoExpression(idle_body, name="proc-worker"),
+            backend="process",
+            scheduler=scheduler,
+            heartbeat_interval=0.05,
+        ).start()
+        assert pipe.take() == 0
+        if pipe.degraded is None:
+            assert scheduler.tracked_processes == 1
+        release.set()
+        scheduler.shutdown(timeout=10.0)
+        assert scheduler.tracked_processes == 0
+        assert scheduler.leaked(join_timeout=2.0) == []
+
+
 class TestDefaultScheduler:
     def test_default_exists(self):
         assert isinstance(default_scheduler(), PipeScheduler)
