@@ -1,0 +1,103 @@
+"""Ablation A9 — the network execution tier (``backend="remote"``).
+
+A remote pipe pays everything a process pipe pays (pickle per slice, a
+pump-thread hop) plus TCP framing and credit-grant round trips — but
+over loopback it skips the fork, so its fixed cost lands between the
+thread and process tiers.  This sweep prices the wire on the Figure 6
+pipeline split across batch sizes: batching amortizes the per-envelope
+framing cost exactly as it amortizes the channel handoff in A7, so
+``batch`` is the knob that decides whether remote streaming is viable.
+
+Thread and process bars at the same batch size calibrate the scale; the
+loopback server runs in-process, so these numbers are protocol cost
+only — no real network latency, no serialization to a second host.
+
+Run with ``--benchmark-json=ablation_net.json`` to export the numbers
+(CI uploads that file as a workflow artifact).
+"""
+
+import pytest
+
+from repro.bench.workloads import HEAVY, LIGHT
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.pipe import Pipe
+from repro.coexpr.proc import default_context
+from repro.net import GeneratorServer
+
+BATCHES = (1, 32, 256)
+BACKENDS = ("thread", "process", "remote")
+#: Same bounded-queue shape as the A7 batching sweep.
+CAPACITY = 1024
+
+
+def producer(lines, word_to_number):
+    """Stage 1 of the Figure 6 pipeline split, as a portable body: both
+    the process and network tiers ship it by pickle."""
+    for line in lines:
+        for word in line.split():
+            yield word_to_number(word)
+
+
+@pytest.fixture(scope="module")
+def loopback():
+    with GeneratorServer() as server:
+        yield server
+
+
+def pipeline_total(lines, weight, batch, backend, address) -> float:
+    word_to_number = weight.word_to_number
+    hash_number = weight.hash_number
+    coexpr = CoExpression(
+        producer, lambda: (lines, word_to_number), name="bench-net"
+    )
+    piped = Pipe(
+        coexpr,
+        capacity=CAPACITY,
+        batch=batch,
+        backend=backend,
+        remote_address=address if backend == "remote" else None,
+    ).start()
+    # Price the tier itself, never a silent thread fallback.
+    assert piped.degraded is None, piped.degraded
+    total = 0.0
+    for number in piped:
+        total += hash_number(number)
+    return total
+
+
+def _check_backend(backend):
+    if (
+        backend == "process"
+        and default_context().get_start_method() != "fork"
+    ):
+        pytest.skip("the process bar assumes a fork platform")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batch", BATCHES)
+def test_light_net_sweep(
+    benchmark, corpus, light_reference, loopback, batch, backend
+):
+    _check_backend(backend)
+    benchmark.group = f"ablation-net-light-batch{batch}"
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["backend"] = backend
+    result = benchmark(
+        lambda: pipeline_total(corpus, LIGHT, batch, backend, loopback.address)
+    )
+    assert result == pytest.approx(light_reference)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batch", BATCHES)
+def test_heavy_net_sweep(
+    benchmark, corpus, heavy_reference, loopback, batch, backend
+):
+    _check_backend(backend)
+    benchmark.group = f"ablation-net-heavy-batch{batch}"
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["backend"] = backend
+    result = benchmark(
+        lambda: pipeline_total(corpus, HEAVY, batch, backend, loopback.address)
+    )
+    assert result == pytest.approx(heavy_reference)

@@ -51,23 +51,11 @@ class _ClosedSentinel:
 CLOSED = _ClosedSentinel()
 
 
-# ---------------------------------------------------------------------------
-# The wire-envelope vocabulary.  In-process, channel traffic is method
-# calls (put_many / put_error / close); when a transport moves the same
-# traffic across an OS boundary (the process-backed pipes of
-# :mod:`repro.coexpr.proc`) each call becomes a tagged tuple on an IPC
-# connection.  The tags live here, next to the methods they mirror, so
-# both ends of every transport speak one protocol.
-# ---------------------------------------------------------------------------
-
-#: ``(WIRE_DATA, [values])`` — a batched slice; lands as :meth:`Channel.put_many`.
-WIRE_DATA = "data"
-#: ``(WIRE_ERROR, payload)`` — a producer crash; lands as :meth:`Channel.put_error`.
-WIRE_ERROR = "error"
-#: ``(WIRE_CLOSE,)`` — producer exhaustion; lands as :meth:`Channel.close`.
-WIRE_CLOSE = "close"
-#: ``(WIRE_BEAT, monotonic_time)`` — liveness only; never enters the channel.
-WIRE_BEAT = "beat"
+# The wire-envelope vocabulary lives in :mod:`repro.coexpr.wire` (it is
+# shared with the socket transports of :mod:`repro.net`); re-exported
+# here because the tags mirror this class's methods and both ends of
+# every transport speak one protocol.
+from .wire import WIRE_BEAT, WIRE_CLOSE, WIRE_DATA, WIRE_ERROR  # noqa: F401,E402
 
 
 class RaiseEnvelope:

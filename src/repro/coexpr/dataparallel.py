@@ -71,6 +71,28 @@ def iter_source(source: Any) -> Iterator[Any]:
     return iter(source)
 
 
+# Module-level task bodies (not closures) so the process and remote
+# backends can ship them by reference; the co-expression env carries the
+# chunk and the map/reduce parameters.
+
+def _fold_chunk(
+    chunk: List[Any],
+    fn: Callable[[Any], Any],
+    reducer: Callable[[Any, Any], Any],
+    initial: Any,
+) -> Iterator[Any]:
+    accumulator = initial
+    for value in chunk:
+        for mapped in apply_mapped(fn, value):
+            accumulator = reducer(accumulator, mapped)
+    yield accumulator
+
+
+def _flat_chunk(chunk: List[Any], fn: Callable[[Any], Any]) -> Iterator[Any]:
+    for value in chunk:
+        yield from apply_mapped(fn, value)
+
+
 class DataParallel:
     """Chunked map-reduce over pipes (the paper's ``DataParallel``)."""
 
@@ -86,6 +108,7 @@ class DataParallel:
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
         mp_context: Any = None,
+        remote_address: Any = None,
     ) -> None:
         """``chunk_size`` elements per task (Figure 4 uses 1000);
         ``capacity`` bounds each task pipe's output queue; ``max_pending``
@@ -103,15 +126,21 @@ class DataParallel:
         map functions genuinely parallelize, and a chunk worker that
         hard-crashes surfaces :class:`~repro.errors.PipeWorkerLost` on
         its heartbeat (watchdog knobs as on :class:`Pipe`) instead of
-        hanging the ordered drain."""
+        hanging the ordered drain.
+
+        ``backend="remote"`` ships each chunk task to the generator
+        server at ``remote_address`` instead of a local child — the
+        chunks are the same self-contained snapshots, so the shape that
+        isolates cleanly also distributes cleanly; a dead connection
+        surfaces :class:`~repro.errors.PipeConnectionLost`."""
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 or None")
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        if backend not in ("thread", "process"):
-            raise ValueError("backend must be 'thread' or 'process'")
+        if backend not in ("thread", "process", "remote"):
+            raise ValueError("backend must be 'thread', 'process', or 'remote'")
         self.chunk_size = chunk_size
         self.capacity = capacity
         self.scheduler = scheduler
@@ -122,6 +151,7 @@ class DataParallel:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.mp_context = mp_context
+        self.remote_address = remote_address
 
     # -- Figure 4: chunk -------------------------------------------------------
 
@@ -154,15 +184,9 @@ class DataParallel:
         GIL-free (the whole fold ships one accumulator back, so IPC
         volume is minimal — the best-suited shape for process tasks).
         """
-
-        def task_body(chunk: List[Any]) -> Iterator[Any]:
-            accumulator = initial
-            for value in chunk:
-                for mapped in apply_mapped(fn, value):
-                    accumulator = reducer(accumulator, mapped)
-            yield accumulator
-
-        yield from self._run_tasks(task_body, source, backend)
+        yield from self._run_tasks(
+            _fold_chunk, (fn, reducer, initial), source, backend
+        )
 
     # -- Section VII: the data-parallel (serialized reduction) variant ---------
 
@@ -174,12 +198,7 @@ class DataParallel:
     ) -> Iterator[Any]:
         """Map *fn* over chunks in parallel and flatten results in order;
         the reduction is left to the (serial) consumer."""
-
-        def task_body(chunk: List[Any]) -> Iterator[Any]:
-            for value in chunk:
-                yield from apply_mapped(fn, value)
-
-        yield from self._run_tasks(task_body, source, backend)
+        yield from self._run_tasks(_flat_chunk, (fn,), source, backend)
 
     def reduce(
         self,
@@ -208,9 +227,12 @@ class DataParallel:
         self,
         task_body: Callable[..., Iterator[Any]],
         chunk: List[Any],
+        extra: tuple,
         backend: str,
     ) -> Pipe:
-        coexpr = CoExpression(task_body, lambda: (chunk,), name="mapreduce-task")
+        coexpr = CoExpression(
+            task_body, lambda: (chunk,) + extra, name="mapreduce-task"
+        )
         return Pipe(
             coexpr,
             capacity=self.capacity,
@@ -221,17 +243,19 @@ class DataParallel:
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
             mp_context=self.mp_context,
+            remote_address=self.remote_address,
         ).start()
 
     def _run_tasks(
         self,
         task_body: Callable[..., Iterator[Any]],
+        extra: tuple,
         source: Any,
         backend: str | None = None,
     ) -> Iterator[Any]:
         backend = backend if backend is not None else self.backend
-        if backend not in ("thread", "process"):
-            raise ValueError("backend must be 'thread' or 'process'")
+        if backend not in ("thread", "process", "remote"):
+            raise ValueError("backend must be 'thread', 'process', or 'remote'")
         # Cancellation propagates to siblings: if the drain stops early —
         # one task raised, or the consumer abandoned the generator — every
         # outstanding task pipe is cancelled, so no chunk worker is left
@@ -239,7 +263,7 @@ class DataParallel:
         if self.max_pending is None:
             # The paper's shape: spawn a task per chunk, then drain in order.
             tasks = [
-                self._spawn(task_body, chunk, backend)
+                self._spawn(task_body, chunk, extra, backend)
                 for chunk in self.chunk(source)
             ]
             done = 0
@@ -255,7 +279,7 @@ class DataParallel:
         window: List[Pipe] = []
         try:
             for chunk in self.chunk(source):
-                window.append(self._spawn(task_body, chunk, backend))
+                window.append(self._spawn(task_body, chunk, extra, backend))
                 if len(window) >= self.max_pending:
                     yield from window.pop(0).iterate()
             while window:

@@ -28,6 +28,31 @@ from .pipe import Pipe
 from .scheduler import PipeScheduler, default_scheduler
 
 
+# Module-level bodies (not closures) so a process or remote backend can
+# ship them by reference: pickling a module-level function costs only its
+# qualified name, and the snapshot env carries the parameters.
+
+def _source_body(src: Any) -> Iterator[Any]:
+    yield from iter_source(src)
+
+
+def _stage_body(up: Any, fn: Callable[[Any], Any]) -> Iterator[Any]:
+    for value in iter_source(up):
+        yield from apply_mapped(fn, value)
+
+
+def _remote_pipeline_body(source: Any, stages: tuple) -> Iterator[Any]:
+    """The whole chain as one portable body: on the server (or in a
+    replayed supervised run) it re-expands into a local thread pipeline,
+    so the stages still run concurrently — just on the far side of the
+    socket instead of one socket per stage."""
+    piped = pipeline(source, *stages)
+    try:
+        yield from piped.iterate()
+    finally:
+        piped.cancel()
+
+
 def source_pipe(
     source: Any,
     capacity: int = 0,
@@ -39,15 +64,14 @@ def source_pipe(
     heartbeat_interval: float | None = None,
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
+    remote_address: Any = None,
 ) -> Pipe:
     """``|> s`` — stream a source from its own thread (or, with
-    ``backend="process"``, from a crash-isolated child process)."""
-
-    def body(src: Any) -> Iterator[Any]:
-        yield from iter_source(src)
+    ``backend="process"``, from a crash-isolated child process; with
+    ``backend="remote"``, from a generator server at *remote_address*)."""
 
     return Pipe(
-        CoExpression(body, lambda: (source,), name="source"),
+        CoExpression(_source_body, lambda: (source,), name="source"),
         capacity=capacity,
         scheduler=scheduler,
         take_timeout=take_timeout,
@@ -57,6 +81,7 @@ def source_pipe(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
+        remote_address=remote_address,
     )
 
 
@@ -72,6 +97,7 @@ def stage(
     heartbeat_interval: float | None = None,
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
+    remote_address: Any = None,
 ) -> Pipe:
     """``|> fn(!upstream)`` — one pipeline stage in its own thread.
 
@@ -88,15 +114,14 @@ def stage(
     :mod:`repro.coexpr.proc`: a stage fed by an in-parent pipe cannot
     cross the process boundary and falls back to a thread (``DEGRADED``
     monitor event); a stage over a self-contained source isolates.
+    ``backend="remote"`` follows the same rule over the network: only a
+    stage whose upstream can travel (and whose *fn* pickles) is shipped
+    to the server at *remote_address*.
     """
-
-    def body(up: Any) -> Iterator[Any]:
-        for value in iter_source(up):
-            yield from apply_mapped(fn, value)
 
     name = getattr(fn, "__name__", "stage")
     piped = Pipe(
-        CoExpression(body, lambda: (upstream,), name=name),
+        CoExpression(_stage_body, lambda: (upstream, fn), name=name),
         capacity=capacity,
         scheduler=scheduler,
         take_timeout=take_timeout,
@@ -106,6 +131,7 @@ def stage(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
+        remote_address=remote_address,
     )
     if hasattr(upstream, "cancel"):
         piped.upstream = upstream
@@ -124,6 +150,7 @@ def pipeline(
     heartbeat_interval: float | None = None,
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
+    remote_address: Any = None,
 ) -> Pipe:
     """Chain *stages* over *source*, one thread per stage.
 
@@ -140,7 +167,33 @@ def pipeline(
     to *batch* elements per lock acquisition (see :class:`Pipe`).
     ``backend="process"`` crash-isolates the source pipe; the channel-fed
     stages above it degrade to threads (see :mod:`repro.coexpr.proc`).
+
+    ``backend="remote"`` ships the **whole chain** to the generator
+    server at *remote_address* as one pipe: the server re-expands it into
+    a local thread pipeline and streams the final stage's results back
+    over a single connection (one socket hop for the chain, not one per
+    stage — and a shape supervision can replay on reconnect).  If the
+    source or any stage cannot be pickled, the pipe degrades to the
+    all-thread form.
     """
+    if backend == "remote" and stages:
+        return Pipe(
+            CoExpression(
+                _remote_pipeline_body,
+                lambda: (source, tuple(stages)),
+                name=f"pipeline[{len(stages)}]",
+            ),
+            capacity=capacity,
+            scheduler=scheduler,
+            take_timeout=take_timeout,
+            batch=batch,
+            max_linger=max_linger,
+            backend=backend,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            mp_context=mp_context,
+            remote_address=remote_address,
+        )
     current: Pipe = source_pipe(
         source,
         capacity=capacity,
@@ -152,6 +205,7 @@ def pipeline(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
+        remote_address=remote_address,
     )
     for fn in stages:
         current = stage(
@@ -166,6 +220,7 @@ def pipeline(
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,
             mp_context=mp_context,
+            remote_address=remote_address,
         )
     return current
 

@@ -71,6 +71,7 @@ class Pipe(IconIterator):
         "heartbeat_interval",
         "heartbeat_timeout",
         "mp_context",
+        "remote_address",
         "upstream",
         "_scheduler",
         "_started",
@@ -78,6 +79,7 @@ class Pipe(IconIterator):
         "_cancelled",
         "_worker",
         "_process_worker",
+        "_remote_worker",
         "_degraded",
         "_errored",
         "_pending",
@@ -102,6 +104,7 @@ class Pipe(IconIterator):
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
         mp_context: Any = None,
+        remote_address: Any = None,
     ) -> None:
         """Wrap *expr* (a co-expression, iterator node, generator factory,
         or iterable) in a threaded proxy with an output channel of
@@ -132,13 +135,22 @@ class Pipe(IconIterator):
         ``DEGRADED`` monitor event (see :mod:`repro.coexpr.proc`);
         ``mp_context`` overrides the multiprocessing context (default:
         fork where available).
+
+        ``backend="remote"`` ships the body to the generator server at
+        ``remote_address`` (a ``(host, port)`` pair) and streams results
+        back over a socket speaking the same envelopes, watched by the
+        same heartbeat parameters.  A body that cannot be pickled — or a
+        server that cannot be reached — degrades to the thread backend
+        exactly as the process tier does (see :mod:`repro.net`).
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
         if max_linger is not None and max_linger < 0:
             raise ValueError("max_linger must be >= 0 or None")
-        if backend not in ("thread", "process"):
-            raise ValueError("backend must be 'thread' or 'process'")
+        if backend not in ("thread", "process", "remote"):
+            raise ValueError("backend must be 'thread', 'process', or 'remote'")
+        if backend == "remote" and remote_address is None:
+            raise ValueError("backend='remote' requires remote_address")
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0 or None")
         if heartbeat_timeout is not None and heartbeat_timeout <= 0:
@@ -165,6 +177,8 @@ class Pipe(IconIterator):
         self.heartbeat_timeout = heartbeat_timeout
         #: Multiprocessing context override (None = fork where available).
         self.mp_context = mp_context
+        #: ``(host, port)`` of the generator server (remote backend).
+        self.remote_address = remote_address
         #: The pipe feeding this one, when built by ``patterns.stage`` —
         #: cancellation propagates through it so a dead stage never
         #: leaves its producer blocked on a full channel.
@@ -176,6 +190,8 @@ class Pipe(IconIterator):
         self._worker: WorkerHandle | None = None
         #: The ProcessWorker when the process backend actually engaged.
         self._process_worker: Any = None
+        #: The RemoteWorker when the remote backend actually engaged.
+        self._remote_worker: Any = None
         #: Degradation reason when a process request fell back to threads.
         self._degraded: str | None = None
         self._errored = False
@@ -222,6 +238,16 @@ class Pipe(IconIterator):
             worker = start_process_worker(self, scheduler)
             if worker is not None:
                 self._process_worker = worker
+                self._worker = worker.handle
+                self._emit(EventKind.START)
+                return self
+            # Degraded: fall through to the thread backend below.
+        elif self.backend == "remote":
+            from ..net.client import start_remote_worker
+
+            worker = start_remote_worker(self, scheduler)
+            if worker is not None:
+                self._remote_worker = worker
                 self._worker = worker.handle
                 self._emit(EventKind.START)
                 return self
@@ -475,6 +501,9 @@ class Pipe(IconIterator):
             process_worker = self._process_worker
             if process_worker is not None:
                 process_worker.terminate()  # the pump reaps and untracks
+            remote_worker = self._remote_worker
+            if remote_worker is not None:
+                remote_worker.terminate()  # sends cancel, closes the socket
             self._cancel_upstream()
         worker = self._worker
         if worker is None:
@@ -500,6 +529,7 @@ class Pipe(IconIterator):
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
             mp_context=self.mp_context,
+            remote_address=self.remote_address,
         )
 
     @property

@@ -46,9 +46,16 @@ import threading
 import time
 from typing import Any, Callable
 
-from ..errors import ChannelClosedError, PipeError, PipeWorkerLost
+from ..errors import ChannelClosedError, PipeWorkerLost
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
-from .channel import WIRE_BEAT, WIRE_CLOSE, WIRE_DATA, WIRE_ERROR
+from .wire import (
+    WIRE_BEAT,
+    WIRE_CLOSE,
+    WIRE_DATA,
+    WIRE_ERROR,
+    decode_error,
+    encode_error,
+)
 
 #: Exit code used by fault injection (``FaultPlan.kill_stage``) so tests
 #: can tell a deliberate chaos kill from an accidental one.
@@ -84,24 +91,23 @@ def default_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
-def spawn_unsafe_reason(pipe: Any, ctx: multiprocessing.context.BaseContext) -> str | None:
-    """Why *pipe*'s body cannot run in a child of *ctx* (None = it can).
+def body_portability_reason(pipe: Any) -> str | None:
+    """Why *pipe*'s body cannot leave this process at all (None = it can).
 
-    The degradation rules, checked before any child exists:
+    The boundary-independent half of the degradation rules, shared by the
+    process tier (here) and the network tier (:mod:`repro.net.client`):
 
     * a body that already started in the parent cannot be snapshotted
-      mid-iteration — a child would silently replay from the top;
+      mid-iteration — another process would silently replay from the top;
     * an environment (or declared upstream) referencing parent-side
       concurrency state — a :class:`Pipe`, :class:`Channel`, supervised
       pipe, M-var or future — cannot cross the boundary: the threads
-      feeding those objects do not survive into the child, so the child
-      would block forever on a queue nobody fills;
+      feeding those objects do not survive on the other side, so the
+      body would block forever on a queue nobody fills;
     * a live iterator (or started co-expression) in the environment is
-      parent-side *position* state: a forked copy would replay from the
-      fork point and the parent's copy would never advance — shared
-      consumption cannot span processes;
-    * under a non-fork start method the ``(factory, env)`` payload must
-      pickle, because that is how the child will receive it.
+      parent-side *position* state: a copy would replay from the
+      snapshot point and the parent's copy would never advance — shared
+      consumption cannot span processes.
     """
     from .coexpression import CoExpression
     from .future import Future, MVar
@@ -125,7 +131,22 @@ def spawn_unsafe_reason(pipe: Any, ctx: multiprocessing.context.BaseContext) -> 
                 return "environment references a started co-expression"
         elif hasattr(value, "__next__"):
             return "environment references a live iterator"
+    return None
+
+
+def spawn_unsafe_reason(pipe: Any, ctx: multiprocessing.context.BaseContext) -> str | None:
+    """Why *pipe*'s body cannot run in a child of *ctx* (None = it can).
+
+    The shared portability rules (:func:`body_portability_reason`) plus
+    the process-tier specific one: under a non-fork start method the
+    ``(factory, env)`` payload must pickle, because that is how the
+    child will receive it (a forked child inherits the closure directly).
+    """
+    reason = body_portability_reason(pipe)
+    if reason is not None:
+        return reason
     if ctx.get_start_method() != "fork":
+        coexpr = pipe.coexpr
         try:
             pickle.dumps((coexpr._factory, coexpr._env))
         except Exception as error:  # noqa: BLE001 - any pickle failure degrades
@@ -137,24 +158,6 @@ def spawn_unsafe_reason(pipe: Any, ctx: multiprocessing.context.BaseContext) -> 
 # Child side.  Everything below _child_main runs in the worker process —
 # excluded from parent-side coverage accounting.
 # ---------------------------------------------------------------------------
-
-def _encode_error(error: BaseException) -> Any:  # pragma: no cover - child side
-    """An exception as a wire payload: pickled when possible, repr otherwise."""
-    try:
-        return ("pickle", pickle.dumps(error))
-    except Exception:  # noqa: BLE001 - anything unpicklable falls back
-        return ("repr", type(error).__name__, repr(error))
-
-
-def _decode_error(payload: Any) -> BaseException:
-    """Rebuild a child exception in the parent (repr fallback → PipeError)."""
-    if payload[0] == "pickle":
-        try:
-            return pickle.loads(payload[1])
-        except Exception:  # noqa: BLE001 - corrupted payload
-            return PipeError("process worker crashed (undecodable error payload)")
-    return PipeError(f"process worker raised {payload[1]}: {payload[2]}")
-
 
 def _child_main(
     conn: Any,
@@ -233,7 +236,7 @@ def _child_main(
             except Exception:  # noqa: BLE001 - e.g. the value itself won't pickle
                 pass
             try:
-                send((WIRE_ERROR, _encode_error(error)))
+                send((WIRE_ERROR, encode_error(error)))
             except Exception:  # noqa: BLE001 - parent already gone
                 pass
         try:
@@ -354,7 +357,7 @@ class ProcessWorker:
                         return
                     if kind == WIRE_ERROR:
                         pipe._errored = True
-                        closed = out.feed_wire(kind, _decode_error(payload[0]))
+                        closed = out.feed_wire(kind, decode_error(payload[0]))
                     else:
                         closed = out.feed_wire(
                             kind, payload[0] if payload else None
@@ -396,7 +399,7 @@ class ProcessWorker:
                 return False
             if kind == WIRE_ERROR:
                 self.pipe._errored = True
-                if out.feed_wire(kind, _decode_error(payload[0])):
+                if out.feed_wire(kind, decode_error(payload[0])):
                     return True
             elif out.feed_wire(kind, payload[0] if payload else None):
                 return True

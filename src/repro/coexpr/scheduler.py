@@ -87,6 +87,7 @@ class PipeScheduler:
         self._lock = threading.Lock()
         self._threads: set[threading.Thread] = set()
         self._processes: set = set()  # live multiprocessing.Process children
+        self._sessions: set = set()   # live network sessions/connections
         self._shutdown = False
 
     def submit(self, body: Callable[[], None], name: str = "pipe") -> WorkerHandle:
@@ -190,6 +191,37 @@ class PipeScheduler:
         with self._lock:
             return len(self._processes)
 
+    # -- session accounting ----------------------------------------------------
+
+    def track_session(self, session: Any) -> None:
+        """Register a network session (a server-side connection stream or
+        a client-side remote-pipe connection, :mod:`repro.net`).
+
+        The session counts against :meth:`leaked` until untracked and is
+        killed by :meth:`shutdown` — the no-orphans contract extended to
+        open connections.  Sessions expose ``is_alive``/``join``/``name``
+        (the worker contract) plus ``kill`` (close the socket now).
+        Raises :class:`SchedulerShutdownError` after shutdown, so a
+        connection racing shutdown fails before the socket leaks.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise SchedulerShutdownError(
+                    "track_session on a shut-down PipeScheduler"
+                )
+            self._sessions.add(session)
+
+    def untrack_session(self, session: Any) -> None:
+        """Drop a session that has closed (idempotent)."""
+        with self._lock:
+            self._sessions.discard(session)
+
+    @property
+    def tracked_sessions(self) -> int:
+        """Network sessions currently registered (closed ones excluded)."""
+        with self._lock:
+            return len(self._sessions)
+
     # -- lifecycle ------------------------------------------------------------
 
     def leaked(self, join_timeout: float = 0.0) -> List[Any]:
@@ -205,6 +237,7 @@ class PipeScheduler:
         with self._lock:
             workers = [t for t in self._threads if t.is_alive()]
             workers += [p for p in self._processes if p.is_alive()]
+            workers += [s for s in self._sessions if s.is_alive()]
         if join_timeout > 0 and workers:
             deadline = time.monotonic() + join_timeout
             for worker in workers:
@@ -227,10 +260,15 @@ class PipeScheduler:
             self._shutdown = True
             threads = list(self._threads)
             processes = list(self._processes)
+            sessions = list(self._sessions)
             pool = self._pool
         for process in processes:
             if process.is_alive():
                 process.terminate()
+        for session in sessions:
+            # Closing the socket unblocks both ends: the session threads
+            # (scheduler threads themselves) then exit and are joined below.
+            session.kill()
         if pool is not None:
             pool.shutdown(wait=wait, cancel_futures=True)
         if wait and (threads or processes):

@@ -310,6 +310,7 @@ class SupervisedPipe(IconIterator):
         "heartbeat_interval",
         "heartbeat_timeout",
         "mp_context",
+        "remote_address",
         "restart",
         "upstream",
         "_scheduler",
@@ -338,6 +339,7 @@ class SupervisedPipe(IconIterator):
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
         mp_context: Any = None,
+        remote_address: Any = None,
         sleep: Callable[[float], None] = time.sleep,
         restart: str = "replay",
         upstream: Any = None,
@@ -358,11 +360,15 @@ class SupervisedPipe(IconIterator):
         self.max_linger = max_linger
         #: Worker tier for every (re)spawned pipe — "process" gives
         #: crash isolation: a lost child is a retryable fault, and the
-        #: restart respawns a fresh process (see repro.coexpr.proc).
+        #: restart respawns a fresh process (see repro.coexpr.proc);
+        #: "remote" gives the same contract over a socket: a lost
+        #: connection (PipeConnectionLost) consumes a retry and the
+        #: restart reconnects to remote_address (see repro.net).
         self.backend = backend
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.mp_context = mp_context
+        self.remote_address = remote_address
         self.restart = restart
         #: Optional upstream pipe to cancel when supervision gives up
         #: (exhaust) or is cancelled — keeps the producer chain leak-free.
@@ -388,6 +394,7 @@ class SupervisedPipe(IconIterator):
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
             mp_context=self.mp_context,
+            remote_address=self.remote_address,
         )
 
     # -- lifecycle events -----------------------------------------------------
@@ -517,6 +524,7 @@ def supervise(
     heartbeat_interval: float | None = None,
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
+    remote_address: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     restart: str = "replay",
     name: str | None = None,
@@ -528,7 +536,12 @@ def supervise(
     ``"replay"`` suits self-contained deterministic sources.  With
     ``backend="process"`` the producer runs crash-isolated in a child
     process and a lost worker (:class:`~repro.errors.PipeWorkerLost`)
-    consumes a retry like any other producer crash.
+    consumes a retry like any other producer crash.  With
+    ``backend="remote"`` the producer runs on the generator server at
+    *remote_address* and a lost connection
+    (:class:`~repro.errors.PipeConnectionLost`) consumes a retry the
+    same way — the restart reconnects and, in ``"replay"`` mode, skips
+    already-delivered results.
     """
     return SupervisedPipe(
         expr,
@@ -543,6 +556,7 @@ def supervise(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
+        remote_address=remote_address,
         sleep=sleep,
         restart=restart,
         name=name,
@@ -568,6 +582,7 @@ def supervised_stage(
     heartbeat_interval: float | None = None,
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
+    remote_address: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
     stage_key: Any = None,
@@ -627,6 +642,7 @@ def supervised_stage(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
+        remote_address=remote_address,
         sleep=sleep,
         restart="resume",
         upstream=up_pipe,
@@ -648,6 +664,7 @@ def supervised_pipeline(
     heartbeat_interval: float | None = None,
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
+    remote_address: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
 ) -> Any:
@@ -659,9 +676,44 @@ def supervised_pipeline(
     pipe tears every stage and the source down.  ``backend="process"``
     crash-isolates the source; channel-fed stages degrade to threads
     per the rules in :mod:`repro.coexpr.proc`.
-    """
-    from .patterns import source_pipe
 
+    ``backend="remote"`` supervises the chain as **one** remote pipe
+    over the whole-pipeline body (the shape
+    :func:`~repro.coexpr.patterns.pipeline` ships to the server): a
+    per-stage chain of supervisors cannot replay, because every stage
+    above a reconnected one would have to be rebuilt too.  The single
+    supervisor uses ``"replay"`` restarts — a lost connection
+    reconnects, the server re-expands the pipeline, and
+    already-delivered results are skipped, so the consumer sees the
+    uninterrupted sequence.  (A per-stage *fault_plan* does not apply in
+    this shape; inject faults in the stage functions or kill server
+    sessions instead.)
+    """
+    from .patterns import _remote_pipeline_body, source_pipe
+
+    if backend == "remote" and stages:
+        coexpr = CoExpression(
+            _remote_pipeline_body,
+            lambda: (source, tuple(stages)),
+            name=f"pipeline[{len(stages)}]",
+        )
+        return SupervisedPipe(
+            coexpr,
+            max_retries=max_retries,
+            backoff=backoff,
+            capacity=capacity,
+            scheduler=scheduler,
+            take_timeout=take_timeout,
+            batch=batch,
+            max_linger=max_linger,
+            backend=backend,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            mp_context=mp_context,
+            remote_address=remote_address,
+            sleep=sleep,
+            restart="replay",
+        )
     current: Any = source_pipe(
         source,
         capacity=capacity,
@@ -672,6 +724,7 @@ def supervised_pipeline(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
+        remote_address=remote_address,
     )
     for index, fn in enumerate(stages, start=1):
         current = supervised_stage(
@@ -688,6 +741,7 @@ def supervised_pipeline(
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,
             mp_context=mp_context,
+            remote_address=remote_address,
             sleep=sleep,
             fault_plan=fault_plan,
             stage_key=index,

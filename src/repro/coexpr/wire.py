@@ -1,0 +1,210 @@
+"""The wire protocol — one envelope vocabulary for every pipe transport.
+
+In-process, channel traffic is method calls (``put_many`` / ``put_error``
+/ ``close``).  When the same traffic crosses an OS boundary each call
+becomes a tagged tuple — an *envelope* — on a byte transport: an IPC
+connection for process-backed pipes (:mod:`repro.coexpr.proc`) or a TCP
+socket for remote pipes (:mod:`repro.net`).  This module is the single
+definition of that vocabulary plus the two codecs every transport needs:
+
+* **error encoding** — a producer exception as a transportable payload,
+  preserving the ``__cause__`` chain and the traceback text (a remote
+  crash should read like a local one);
+* **socket framing** — length-prefixed pickle frames over a stream
+  socket, timeout-safe (a read that times out mid-frame keeps its
+  partial bytes and resumes cleanly).
+
+Envelope ordering is the transport invariant every tier pins with tests:
+data slices arrive in production order, an error never overtakes the
+data produced before it, and a close terminates the stream.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+import traceback
+from typing import Any
+
+from ..errors import PipeError
+
+# ---------------------------------------------------------------------------
+# Envelope kinds.  Server/worker -> consumer:
+# ---------------------------------------------------------------------------
+
+#: ``(WIRE_DATA, [values])`` — a batched slice; lands as ``Channel.put_many``.
+WIRE_DATA = "data"
+#: ``(WIRE_ERROR, payload)`` — a producer crash; lands as ``Channel.put_error``.
+WIRE_ERROR = "error"
+#: ``(WIRE_CLOSE,)`` — producer exhaustion; lands as ``Channel.close``.
+WIRE_CLOSE = "close"
+#: ``(WIRE_BEAT, monotonic_time)`` — liveness only; never enters the channel.
+WIRE_BEAT = "beat"
+
+# ---------------------------------------------------------------------------
+# Consumer -> server kinds (the network tier's request/control channel).
+# ---------------------------------------------------------------------------
+
+#: ``(WIRE_SPAWN, {...})`` — run a pickled ``(factory, env)`` body remotely.
+WIRE_SPAWN = "spawn"
+#: ``(WIRE_CALL, {...})`` — run a factory the server registered by name.
+WIRE_CALL = "call"
+#: ``(WIRE_CREDIT, n | None)`` — grant the sender *n* more items (None =
+#: unlimited; the flow-control half of a bounded channel over a socket).
+WIRE_CREDIT = "credit"
+#: ``(WIRE_CANCEL,)`` — the consumer abandoned the stream; stop producing.
+WIRE_CANCEL = "cancel"
+
+
+# ---------------------------------------------------------------------------
+# Error encoding.
+# ---------------------------------------------------------------------------
+
+#: Longest ``__cause__`` chain shipped across a boundary.
+_MAX_CAUSE_DEPTH = 8
+
+
+def encode_error(error: BaseException, _depth: int = 0) -> dict:
+    """An exception as a wire payload: pickled when possible, repr
+    otherwise — with the ``__cause__`` chain and traceback text attached.
+
+    Pickle alone loses both: ``BaseException.__reduce__`` carries only
+    ``args`` (plus ``__dict__``), so a chained cause and the traceback
+    silently vanish at the boundary.  They are encoded separately here
+    and re-attached by :func:`decode_error`, so a consumer sees the same
+    ``raise ... from ...`` chain a local producer would have raised.
+    """
+    payload: dict = {"cause": None, "traceback": None}
+    tb = error.__traceback__
+    if tb is not None:
+        payload["traceback"] = "".join(traceback.format_tb(tb))
+    cause = error.__cause__
+    if cause is not None and cause is not error and _depth < _MAX_CAUSE_DEPTH:
+        payload["cause"] = encode_error(cause, _depth + 1)
+    try:
+        payload["body"] = ("pickle", pickle.dumps(error))
+    except Exception:  # noqa: BLE001 - anything unpicklable falls back
+        payload["body"] = ("repr", type(error).__name__, repr(error))
+    return payload
+
+
+def decode_error(payload: dict) -> BaseException:
+    """Rebuild a transported exception (repr fallback → PipeError).
+
+    Re-attaches the decoded ``__cause__`` chain and stores the producer's
+    traceback text as ``remote_traceback`` on the rebuilt exception.
+    """
+    body = payload["body"]
+    if body[0] == "pickle":
+        try:
+            error: BaseException = pickle.loads(body[1])
+        except Exception:  # noqa: BLE001 - corrupted payload
+            error = PipeError("worker crashed (undecodable error payload)")
+    else:
+        error = PipeError(f"worker raised {body[1]}: {body[2]}")
+    cause = payload.get("cause")
+    if cause is not None:
+        error.__cause__ = decode_error(cause)
+    tb_text = payload.get("traceback")
+    if tb_text:
+        try:
+            error.remote_traceback = tb_text  # type: ignore[attr-defined]
+        except Exception:  # noqa: BLE001 - slotted exception classes
+            pass
+    return error
+
+
+# ---------------------------------------------------------------------------
+# Socket framing.
+# ---------------------------------------------------------------------------
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames beyond this size — a corrupted length prefix must not
+#: make the reader try to allocate gigabytes.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class FrameError(PipeError):
+    """The byte stream does not parse as a framed envelope."""
+
+
+class SocketFramer:
+    """Length-prefixed pickle frames over a stream socket.
+
+    ``send`` is thread-safe (one lock per framer: a beat thread and a
+    data sender may share the socket).  ``recv`` is single-reader and
+    **timeout-safe**: bytes received before a ``socket.timeout`` stay
+    buffered, so the next call resumes the partial frame instead of
+    desynchronizing the stream.  A clean peer close surfaces as
+    :class:`EOFError`; torn connections raise :class:`OSError`.
+    """
+
+    __slots__ = ("sock", "_send_lock", "_buf", "_need")
+
+    def __init__(self, sock: Any) -> None:
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._buf = bytearray()
+        self._need: int | None = None
+
+    def send(self, envelope: tuple) -> None:
+        """Frame and ship one envelope (blocking, thread-safe)."""
+        payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._send_lock:
+            self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+    def buffered(self) -> bool:
+        """True when a complete frame is already in the receive buffer.
+
+        A reader that multiplexes with ``select`` must check this before
+        waiting on the socket: bytes pulled by an earlier :meth:`recv`
+        (e.g. a credit grant pipelined right behind a request) live in
+        this buffer, not in the kernel — the socket will never poll
+        readable for them.
+        """
+        if self._need is not None:
+            return len(self._buf) >= self._need
+        if len(self._buf) < _HEADER.size:
+            return False
+        (need,) = _HEADER.unpack(self._buf[: _HEADER.size])
+        return len(self._buf) - _HEADER.size >= need
+
+    def recv(self) -> tuple:
+        """The next envelope; honors the socket's timeout setting.
+
+        Raises ``socket.timeout`` (``TimeoutError``) with the partial
+        frame preserved, :class:`EOFError` on an orderly close, and
+        :class:`FrameError` on an unparseable stream.
+        """
+        while True:
+            if self._need is None and len(self._buf) >= _HEADER.size:
+                (self._need,) = _HEADER.unpack(self._buf[: _HEADER.size])
+                del self._buf[: _HEADER.size]
+                if self._need > MAX_FRAME:
+                    raise FrameError(f"oversized frame ({self._need} bytes)")
+            if self._need is not None and len(self._buf) >= self._need:
+                frame = bytes(self._buf[: self._need])
+                del self._buf[: self._need]
+                self._need = None
+                try:
+                    envelope = pickle.loads(frame)
+                except Exception as error:  # noqa: BLE001 - corrupt frame
+                    raise FrameError(f"undecodable frame: {error!r}") from error
+                if not isinstance(envelope, tuple) or not envelope:
+                    raise FrameError(f"malformed envelope: {envelope!r}")
+                return envelope
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buf or self._need is not None:
+                    raise FrameError("connection closed mid-frame")
+                raise EOFError("connection closed")
+            self._buf += chunk
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent, never raises)."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass

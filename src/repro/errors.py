@@ -103,6 +103,31 @@ class PipeWorkerLost(PipeError):
         self.exitcode = exitcode
 
 
+class PipeConnectionLost(PipeError):
+    """A remote pipe's server session died without closing the stream.
+
+    The network-tier sibling of :class:`PipeWorkerLost`: raised at the
+    consumer when the client-side watchdog detects a dead session — an
+    EOF or reset before the close envelope, or beats missed past the
+    heartbeat deadline.  Like a lost process worker it was never thrown
+    by the body; it is synthesized by the monitor.  :attr:`address` is
+    the server the connection pointed at and :attr:`reason` the
+    watchdog's verdict.
+
+    Supervision treats a lost connection as a retryable fault: under
+    :func:`~repro.coexpr.supervision.supervise` the client reconnects
+    and the stream is replayed/resumed per the restart mode, honoring
+    the backoff policy.
+    """
+
+    def __init__(
+        self, message: str, address: object = None, reason: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.address = address
+        self.reason = reason
+
+
 class RetryExhaustedError(PipeError):
     """A supervised pipe used up its restart budget.
 

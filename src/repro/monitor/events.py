@@ -49,6 +49,15 @@ class EventKind:
     WORKER_LOST = "worker-lost"
     DEGRADED = "degraded"
 
+    # Remote pipes (the network tier): a client connecting to a
+    # generator server (``{"address": ...}``), the server opening a
+    # session for a request (``{"peer": ..., "request": ..., "name": ...}``),
+    # and the client-side watchdog declaring the connection lost
+    # (``{"reason": ..., "address": ...}``).
+    NET_CONNECT = "net-connect"
+    NET_SESSION = "net-session"
+    NET_LOST = "net-lost"
+
     ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
     LIFECYCLE = (
         START,
@@ -60,6 +69,9 @@ class EventKind:
         SPAWN,
         WORKER_LOST,
         DEGRADED,
+        NET_CONNECT,
+        NET_SESSION,
+        NET_LOST,
     )
     ALL = ITERATION + LIFECYCLE
 

@@ -206,6 +206,44 @@ class Tracer:
                 stats["reasons"].append(event.value)
         return out
 
+    def net_stats(self) -> dict:
+        """Per-node network-tier summary from collected lifecycle events:
+        ``{node: {connects, sessions, losses, reasons, addresses}}``.
+
+        ``connects`` counts client connections opened to a generator
+        server (with the ``addresses`` dialed), ``sessions`` counts
+        server-side sessions accepted for the node, and ``losses``
+        counts client watchdog firings (with the loss ``reasons``) —
+        together they show whether a pipeline actually ran remote, how
+        often its connections died, and why."""
+        kinds = (EventKind.NET_CONNECT, EventKind.NET_SESSION, EventKind.NET_LOST)
+        out: dict = {}
+        for event in self.events:
+            if event.kind not in kinds:
+                continue
+            stats = out.setdefault(
+                event.node,
+                {
+                    "connects": 0,
+                    "sessions": 0,
+                    "losses": 0,
+                    "reasons": [],
+                    "addresses": [],
+                },
+            )
+            value = event.value if isinstance(event.value, dict) else {}
+            if event.kind == EventKind.NET_CONNECT:
+                stats["connects"] += 1
+                if "address" in value:
+                    stats["addresses"].append(value["address"])
+            elif event.kind == EventKind.NET_SESSION:
+                stats["sessions"] += 1
+            else:
+                stats["losses"] += 1
+                if "reason" in value:
+                    stats["reasons"].append(value["reason"])
+        return out
+
     def transcript(self, limit: int | None = None) -> str:
         """A readable, indented trace of the evaluation."""
         events = self.events if limit is None else self.events[:limit]

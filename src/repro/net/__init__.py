@@ -1,0 +1,35 @@
+"""The network tier — generator pipelines served over sockets.
+
+The paper's pipes stream generator results through blocking queues
+between threads; :mod:`repro.coexpr.proc` moved the same envelope
+traffic across a process boundary.  This package moves it across a
+*machine* boundary: a :class:`GeneratorServer` hosts pipeline bodies
+(shipped by pickle, or registered by name) and streams their results
+back over TCP, speaking the shared wire vocabulary of
+:mod:`repro.coexpr.wire` — batched data slices, cause-preserving
+errors, close envelopes, and heartbeats — with credit-based flow
+control standing in for the blocking queue's capacity bound.
+
+Two client shapes:
+
+* ``Pipe(..., backend="remote", remote_address=(host, port))`` — the
+  transparent tier: the pipe's own body is pickled and shipped, and the
+  consumer sees the identical element-at-a-time stream (degrading to
+  the thread backend when the body cannot travel);
+* :class:`RemotePipe` — a proxy over a factory the *server* registered
+  by name, for bodies that only exist on the far side.
+
+A dead connection surfaces as
+:class:`~repro.errors.PipeConnectionLost`, which supervision treats as
+a retryable fault: reconnect and replay.
+"""
+
+from .client import RemotePipe, remote_unsafe_reason, start_remote_worker
+from .server import GeneratorServer
+
+__all__ = [
+    "GeneratorServer",
+    "RemotePipe",
+    "remote_unsafe_reason",
+    "start_remote_worker",
+]

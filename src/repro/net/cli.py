@@ -1,0 +1,105 @@
+"""``junicon-serve`` — run a generator server from the command line.
+
+Factories are published with ``--serve NAME=MODULE:ATTR`` (repeatable);
+``--no-spawn`` restricts the server to those named factories.  The
+server prints ``listening on HOST:PORT`` once bound (machine-parseable
+for ephemeral ports) and shuts down gracefully — draining every open
+session — on SIGTERM or SIGINT, exiting 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import signal
+import sys
+import threading
+from typing import Any, Callable
+
+from .server import GeneratorServer
+
+
+def _resolve(spec: str) -> tuple[str, Callable[..., Any]]:
+    """``NAME=MODULE:ATTR`` → (name, factory), with dotted ATTR paths."""
+    try:
+        name, target = spec.split("=", 1)
+        module_name, attr_path = target.split(":", 1)
+    except ValueError:
+        raise SystemExit(
+            f"junicon-serve: bad --serve spec {spec!r} "
+            "(expected NAME=MODULE:ATTR)"
+        ) from None
+    module = importlib.import_module(module_name)
+    factory: Any = module
+    for part in attr_path.split("."):
+        factory = getattr(factory, part)
+    if not callable(factory):
+        raise SystemExit(
+            f"junicon-serve: {target!r} resolved to a non-callable "
+            f"{factory!r}"
+        )
+    return name, factory
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="junicon-serve",
+        description="Host generator pipeline factories over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--serve",
+        action="append",
+        default=[],
+        metavar="NAME=MODULE:ATTR",
+        help="register a factory under NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--no-spawn",
+        action="store_true",
+        help="refuse pickled bodies; only registered factories run",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.1,
+        help="seconds between liveness beats on idle connections",
+    )
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    server = GeneratorServer(
+        host=args.host,
+        port=args.port,
+        heartbeat_interval=args.heartbeat_interval,
+        allow_spawn=not args.no_spawn,
+    )
+    for spec in args.serve:
+        server.register(*_resolve(spec))
+
+    # The accept loop lives on a scheduler thread; the main thread just
+    # waits for a termination signal, then drains gracefully.
+    done = threading.Event()
+
+    def _handler(signum: int, frame: Any) -> None:
+        done.set()
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)
+
+    server.start()
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+    done.wait()
+    server.shutdown(wait=True)
+    print("shutdown complete", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

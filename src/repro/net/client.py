@@ -1,0 +1,535 @@
+"""The client side of the network tier: remote workers and remote pipes.
+
+Two entry points share one transport:
+
+* :func:`start_remote_worker` — the hook :meth:`Pipe.start` calls for
+  ``backend="remote"``: ship the pipe's own ``(factory, env)`` body to
+  the generator server and pump the result stream into the pipe's
+  channel (or return None to degrade to the thread backend);
+* :class:`RemotePipe` — an :class:`~repro.runtime.iterator.IconIterator`
+  proxy over a factory the *server* registered by name, for bodies that
+  only exist on the far side.
+
+The pump thread is transport and monitor in one loop, exactly like the
+process tier's: every received envelope refreshes the heartbeat
+deadline; expiry, an EOF, or a torn frame surfaces as
+:class:`~repro.errors.PipeConnectionLost` through the channel (after
+draining any data received first — the data-before-error invariant).
+
+Flow control is credit-based: the client grants credit equal to its
+channel capacity up front (None = unlimited for an unbounded channel)
+and replenishes a slice's worth *after* ``put_many`` has delivered it —
+so the server never has more than roughly two windows in flight and a
+slow consumer throttles the remote producer the same way it throttles
+a local worker blocked on a full channel.
+
+Degradation mirrors :mod:`repro.coexpr.proc`: a body that cannot leave
+the process (:func:`~repro.coexpr.proc.body_portability_reason`), a
+body that does not pickle, or a server that cannot be reached all fall
+back to the thread backend with a ``DEGRADED`` monitor event.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+from typing import Any, Iterator
+
+from ..coexpr.channel import CLOSED, Channel
+from ..coexpr.proc import body_portability_reason
+from ..coexpr.scheduler import PipeScheduler, default_scheduler
+from ..coexpr.wire import (
+    WIRE_BEAT,
+    WIRE_CALL,
+    WIRE_CANCEL,
+    WIRE_CLOSE,
+    WIRE_CREDIT,
+    WIRE_DATA,
+    WIRE_ERROR,
+    WIRE_SPAWN,
+    FrameError,
+    SocketFramer,
+    decode_error,
+)
+from ..errors import (
+    ChannelClosedError,
+    PipeConnectionLost,
+    PipeError,
+    PipeTimeoutError,
+)
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+from ..runtime.failure import FAIL
+from ..runtime.iterator import IconIterator
+
+#: Receive poll slice — bounds cancel/watchdog latency, not throughput.
+_POLL_SLICE = 0.05
+#: TCP connect timeout before degrading (or failing a RemotePipe).
+_CONNECT_TIMEOUT = 5.0
+#: Watchdog default: this many silent heartbeat intervals = a dead session.
+_TIMEOUT_INTERVALS = 10
+
+_UNSET = object()
+
+
+def remote_unsafe_reason(pipe: Any) -> str | None:
+    """Why *pipe*'s body cannot be shipped to a server (None = it can).
+
+    The shared portability rules plus the network-tier specific one: the
+    ``(factory, env)`` payload must *always* pickle — unlike a forked
+    child, the server never shares memory with the client.
+    """
+    reason = body_portability_reason(pipe)
+    if reason is not None:
+        return reason
+    coexpr = pipe.coexpr
+    try:
+        pickle.dumps((coexpr._factory, coexpr._env))
+    except Exception as error:  # noqa: BLE001 - any pickle failure degrades
+        return f"body not picklable for remote execution: {error!r}"
+    return None
+
+
+class RemoteWorker:
+    """One server connection plus the pump/watchdog thread draining it.
+
+    *owner* is the pipe (or :class:`RemotePipe`) being fed: it supplies
+    the output channel, the cancel flag, and the watchdog knobs.  The
+    pump body runs on a scheduler thread; the worker itself registers
+    with the scheduler's session accounting, so ``leaked()`` and
+    ``shutdown()`` cover the open socket.
+    """
+
+    __slots__ = (
+        "owner",
+        "scheduler",
+        "framer",
+        "address",
+        "name",
+        "request",
+        "window",
+        "heartbeat_timeout",
+        "handle",
+        "lost",
+    )
+
+    def __init__(
+        self,
+        owner: Any,
+        scheduler: Any,
+        sock: Any,
+        address: Any,
+        name: str,
+        request: tuple,
+    ) -> None:
+        interval = owner.heartbeat_interval
+        timeout = owner.heartbeat_timeout
+        if timeout is None:
+            timeout = max(_TIMEOUT_INTERVALS * interval, 1.0)
+        self.owner = owner
+        self.scheduler = scheduler
+        self.framer = SocketFramer(sock)
+        self.address = address
+        self.name = name
+        self.request = request
+        #: Credit window: the channel capacity (None = unbounded).
+        self.window: int | None = owner.capacity or None
+        self.heartbeat_timeout = timeout
+        self.handle: Any = None
+        #: The loss verdict once the watchdog fired (None while healthy).
+        self.lost: PipeConnectionLost | None = None
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def _emit(self, kind: str, value: Any = None) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"pipe:{self.name}", 0, value))
+
+    # -- handshake -------------------------------------------------------------
+
+    def handshake(self) -> None:
+        """Ship the request and the initial credit grant."""
+        self.framer.send(self.request)
+        self.framer.send((WIRE_CREDIT, self.window))
+        self.framer.sock.settimeout(_POLL_SLICE)
+
+    # -- pump / watchdog -------------------------------------------------------
+
+    def _mark_lost(self, reason: str) -> None:
+        self.lost = PipeConnectionLost(
+            f"pipe {self.name!r}: remote session lost ({reason})",
+            address=self.address,
+            reason=reason,
+        )
+        self._emit(
+            EventKind.NET_LOST, {"reason": reason, "address": self.address}
+        )
+        self.owner._errored = True
+        try:
+            self.owner.out.put_error(self.lost)
+        except ChannelClosedError:
+            pass  # consumer cancelled while the session was dying
+
+    def pump(self) -> None:
+        """Forward wire envelopes into the owner's channel; watch liveness.
+
+        The deadline is only *checked* when a receive times out and
+        refreshed by every envelope — so a pump that spent seconds
+        blocked in ``put_many`` (slow consumer) finds the server's
+        buffered beats waiting and never false-positives.
+        """
+        owner = self.owner
+        out = owner.out
+        deadline = time.monotonic() + self.heartbeat_timeout
+        closed = False
+        try:
+            while not closed:
+                if owner._cancelled:
+                    return
+                try:
+                    envelope = self.framer.recv()
+                except (socket.timeout, TimeoutError):
+                    if time.monotonic() >= deadline:
+                        self._mark_lost(
+                            f"no heartbeat within {self.heartbeat_timeout:.2f}s"
+                        )
+                        return
+                    continue
+                except (EOFError, FrameError, OSError) as error:
+                    if owner._cancelled:
+                        return
+                    self._mark_lost(
+                        "connection closed before end of stream"
+                        if isinstance(error, (EOFError, FrameError))
+                        else f"transport error: {error!r}"
+                    )
+                    return
+                deadline = time.monotonic() + self.heartbeat_timeout
+                kind = envelope[0]
+                if kind == WIRE_DATA:
+                    slice_ = envelope[1]
+                    out.put_many(slice_)
+                    if self.window is not None and slice_:
+                        try:
+                            # Replenish only after delivery: bounds what
+                            # the server may have in flight to ~2 windows.
+                            self.framer.send((WIRE_CREDIT, len(slice_)))
+                        except (OSError, EOFError) as error:
+                            if owner._cancelled:
+                                return
+                            self._mark_lost(f"transport error: {error!r}")
+                            return
+                elif kind == WIRE_ERROR:
+                    owner._errored = True
+                    closed = out.feed_wire(kind, decode_error(envelope[1]))
+                elif kind == WIRE_CLOSE:
+                    closed = True
+                elif kind != WIRE_BEAT:
+                    self._mark_lost(f"protocol violation: {kind!r} envelope")
+                    return
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        finally:
+            out.close()
+            self.framer.close()
+            self.scheduler.untrack_session(self)
+            if owner._cancelled or owner._errored:
+                owner._cancel_upstream()
+
+    # -- teardown --------------------------------------------------------------
+
+    def terminate(self) -> None:
+        """Tell the server to stop, then close the socket (idempotent)."""
+        try:
+            self.framer.send((WIRE_CANCEL,))
+        except (OSError, EOFError):
+            pass  # session already gone
+        self.framer.close()
+
+    # -- worker/session protocol (scheduler accounting) ------------------------
+
+    def kill(self) -> None:
+        """Abrupt close (scheduler shutdown): unblocks the pump."""
+        self.framer.close()
+
+    def join(self, timeout: float | None = None) -> bool:
+        if self.handle is not None:
+            return self.handle.join(timeout)
+        return True
+
+    def is_alive(self) -> bool:
+        return self.handle is not None and self.handle.is_alive()
+
+
+def _connect_worker(
+    owner: Any,
+    scheduler: Any,
+    address: Any,
+    name: str,
+    request: tuple,
+) -> RemoteWorker:
+    """Dial, register, handshake, and submit the pump for *owner*.
+
+    Raises ``OSError`` when the server is unreachable and
+    :class:`~repro.errors.SchedulerShutdownError` when the scheduler is
+    down — the callers decide whether that degrades or propagates.
+    """
+    sock = socket.create_connection(address, timeout=_CONNECT_TIMEOUT)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    worker = RemoteWorker(owner, scheduler, sock, address, name, request)
+    try:
+        scheduler.track_session(worker)  # raises after shutdown
+    except BaseException:
+        worker.framer.close()
+        raise
+    try:
+        worker.handshake()
+        worker.handle = scheduler.submit(worker.pump, name=f"net-{name}")
+    except BaseException:
+        worker.framer.close()
+        scheduler.untrack_session(worker)
+        raise
+    if lifecycle_enabled():
+        emit_lifecycle(
+            Event(
+                EventKind.NET_CONNECT,
+                f"pipe:{name}",
+                0,
+                {"address": address},
+            )
+        )
+    return worker
+
+
+def start_remote_worker(pipe: Any, scheduler: Any) -> RemoteWorker | None:
+    """Ship *pipe*'s body to its generator server; None means *degrade*.
+
+    Returns a running :class:`RemoteWorker` (connected, request sent,
+    pump submitted, session tracked by *scheduler*) — or None after
+    emitting a ``DEGRADED`` monitor event, in which case the caller
+    falls back to the thread backend.  Scheduler shutdown is **not**
+    degradation: it propagates
+    :class:`~repro.errors.SchedulerShutdownError` exactly as the other
+    backends do.
+    """
+    reason = remote_unsafe_reason(pipe)
+    if reason is None:
+        coexpr = pipe.coexpr
+        request = (
+            WIRE_SPAWN,
+            {
+                "body": pickle.dumps(
+                    (coexpr._factory, coexpr._env),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+                "name": coexpr.name,
+                "batch": max(pipe.batch, 1),
+                "max_linger": pipe.max_linger,
+                "heartbeat_interval": pipe.heartbeat_interval,
+            },
+        )
+        try:
+            return _connect_worker(
+                pipe, scheduler, pipe.remote_address, coexpr.name, request
+            )
+        except (OSError, EOFError) as error:
+            reason = f"connect to {pipe.remote_address!r} failed: {error!r}"
+    pipe._degraded = reason
+    if lifecycle_enabled():
+        emit_lifecycle(
+            Event(EventKind.DEGRADED, f"pipe:{pipe.coexpr.name}", 0, reason)
+        )
+    return None
+
+
+class RemotePipe(IconIterator):
+    """A pipe over a factory the *server* registered by name.
+
+    The consumer-facing twin of ``Pipe(..., backend="remote")`` for
+    bodies that only exist server-side: ``RemotePipe(address, "events",
+    args=(...,))`` asks the server to run its ``events`` factory and
+    streams the results through a local channel with the same take /
+    iterate / cancel surface a :class:`~repro.coexpr.pipe.Pipe` has.
+
+    There is no local body to fall back to, so connection failures
+    raise :class:`~repro.errors.PipeConnectionLost` instead of
+    degrading.  ``refresh()`` returns a sibling proxy — a *new*
+    connection replaying the factory from the start — which is what
+    supervision needs for reconnect-and-replay.
+    """
+
+    __slots__ = (
+        "address",
+        "factory_name",
+        "args",
+        "capacity",
+        "out",
+        "take_timeout",
+        "batch",
+        "heartbeat_interval",
+        "heartbeat_timeout",
+        "upstream",
+        "_scheduler",
+        "_worker",
+        "_started",
+        "_cancelled",
+        "_errored",
+    )
+
+    def __init__(
+        self,
+        address: Any,
+        name: str,
+        args: tuple = (),
+        capacity: int = 0,
+        scheduler: PipeScheduler | None = None,
+        take_timeout: float | None = None,
+        batch: int = 1,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        super().__init__()
+        self.address = address
+        self.factory_name = name
+        self.args = tuple(args)
+        self.capacity = capacity
+        self.out = Channel(capacity)
+        self.take_timeout = take_timeout
+        self.batch = batch
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else 0.1
+        )
+        self.heartbeat_timeout = heartbeat_timeout
+        self.upstream: Any = None
+        self._scheduler = scheduler
+        self._worker: RemoteWorker | None = None
+        self._started = False
+        self._cancelled = False
+        self._errored = False
+
+    def _cancel_upstream(self) -> None:
+        upstream = self.upstream
+        if upstream is not None:
+            canceller = getattr(upstream, "cancel", None)
+            if canceller is not None:
+                canceller()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "RemotePipe":
+        """Connect and start streaming (idempotent; lazy via take)."""
+        if self._started or self._cancelled:
+            return self
+        self._started = True
+        scheduler = self._scheduler or default_scheduler()
+        request = (
+            WIRE_CALL,
+            {
+                "name": self.factory_name,
+                "args": self.args,
+                "batch": self.batch,
+                "max_linger": None,
+                "heartbeat_interval": self.heartbeat_interval,
+            },
+        )
+        label = f"{self.factory_name}@{self.address[0]}:{self.address[1]}"
+        try:
+            self._worker = _connect_worker(
+                self, scheduler, self.address, label, request
+            )
+        except (OSError, EOFError) as error:
+            raise PipeConnectionLost(
+                f"remote pipe {self.factory_name!r}: cannot reach "
+                f"{self.address!r} ({error!r})",
+                address=self.address,
+                reason="connect failed",
+            ) from error
+        return self
+
+    def cancel(self, join: bool = False, timeout: float | None = None) -> bool:
+        """Stop the remote session and close the local channel."""
+        first = not self._cancelled
+        self._cancelled = True
+        if first:
+            self.out.close()
+            worker = self._worker
+            if worker is not None:
+                worker.terminate()
+        worker = self._worker
+        if worker is None:
+            return True
+        if join:
+            return worker.join(timeout)
+        return not worker.is_alive()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def refresh(self) -> "RemotePipe":
+        """A sibling proxy: a fresh connection replaying the factory."""
+        return RemotePipe(
+            self.address,
+            self.factory_name,
+            args=self.args,
+            capacity=self.capacity,
+            scheduler=self._scheduler,
+            take_timeout=self.take_timeout,
+            batch=self.batch,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+
+    # -- consumer --------------------------------------------------------------
+
+    def take(self, timeout: Any = _UNSET) -> Any:
+        """The next result or :data:`FAIL`; deadline like ``Pipe.take``."""
+        if timeout is _UNSET:
+            timeout = self.take_timeout
+        self.start()
+        try:
+            item = self.out.take(timeout)
+        except PipeTimeoutError:
+            raise PipeTimeoutError(
+                f"remote pipe {self.factory_name!r}: no result within {timeout}s"
+            ) from None
+        if item is CLOSED:
+            return FAIL
+        return item
+
+    def next_value(self) -> Any:
+        return self.take()
+
+    def iterate(self) -> Iterator[Any]:
+        self.start()
+        while True:
+            item = self.take()
+            if item is FAIL:
+                return
+            yield item
+
+    # -- runtime protocol hooks ------------------------------------------------
+
+    def icon_activate(self, transmit: Any = None) -> Any:
+        if transmit is not None:
+            raise PipeError("cannot transmit a value into a remote pipe")
+        return self.take()
+
+    def icon_promote(self) -> Iterator[Any]:
+        return self.iterate()
+
+    def icon_type(self) -> str:
+        return "remote-pipe"
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled"
+            if self._cancelled
+            else ("connected" if self._started else "unstarted")
+        )
+        return (
+            f"RemotePipe({self.factory_name}@{self.address!r}, {state}, "
+            f"queued={len(self.out)})"
+        )

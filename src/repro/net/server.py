@@ -1,0 +1,652 @@
+"""The generator server — named pipeline factories behind a TCP listener.
+
+One server hosts many concurrent clients; each accepted connection
+becomes a *session* that runs one pipeline body to exhaustion and
+streams its results back as wire envelopes.  A session is two scheduler
+threads:
+
+* the **sender** reads the request, builds the body (a pickled
+  ``(factory, env)`` pair for ``spawn`` requests, a registered factory
+  for ``call`` requests), and drives it — coalescing results into
+  batched ``WIRE_DATA`` slices, never sending more items than the
+  client has granted credit for (the flow-control mirror of a bounded
+  channel: a slow client throttles the producer instead of ballooning
+  the socket buffer);
+* the **reader** consumes the control channel — credit grants and
+  cancellation — and doubles as the *beater*: its receive timeout is
+  the heartbeat interval, so exactly when the connection has been idle
+  that long it sends a ``WIRE_BEAT`` (and flushes any batch older than
+  the session's linger bound).
+
+Stream termination follows the channel contract end to end: data
+slices in production order, a crash flushed *after* the data produced
+before it (``WIRE_ERROR`` carrying the cause-preserving payload of
+:func:`repro.coexpr.wire.encode_error`), then ``WIRE_CLOSE``.
+
+Sessions register with the :class:`~repro.coexpr.scheduler.PipeScheduler`
+session accounting, so ``leaked()`` and ``shutdown()`` cover open
+connections exactly as they cover threads and child processes.
+:meth:`GeneratorServer.shutdown` is the graceful path — stop accepting,
+close each session's body, flush, ``WIRE_CLOSE``, then kill stragglers —
+and :meth:`GeneratorServer.install_signal_handlers` wires it to
+SIGTERM/SIGINT for the ``junicon-serve`` entry point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import select
+import socket
+import threading
+import time
+from typing import Any, Callable
+
+from ..coexpr.coexpression import CoExpression
+from ..coexpr.scheduler import PipeScheduler, default_scheduler
+from ..coexpr.wire import (
+    WIRE_BEAT,
+    WIRE_CALL,
+    WIRE_CANCEL,
+    WIRE_CLOSE,
+    WIRE_CREDIT,
+    WIRE_DATA,
+    WIRE_ERROR,
+    WIRE_SPAWN,
+    FrameError,
+    SocketFramer,
+    encode_error,
+)
+from ..errors import PipeError, SchedulerShutdownError
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+from ..runtime.failure import FAIL
+
+#: How long a session waits for the client's request envelope.
+_REQUEST_TIMEOUT = 10.0
+#: Accept-loop poll slice — bounds shutdown latency, not throughput.
+_ACCEPT_SLICE = 0.2
+#: Credit-wait slice for a sender with items but no credit.
+_CREDIT_SLICE = 0.1
+
+
+class Session:
+    """One client connection: a body, its sender, and its reader."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = (
+        "server",
+        "framer",
+        "peer",
+        "name",
+        "request_name",
+        "batch",
+        "max_linger",
+        "heartbeat_interval",
+        "coexpr",
+        "handle",
+        "reader_handle",
+        "_cond",
+        "_credit",
+        "_buffer",
+        "_buf_oldest",
+        "_killed",
+        "_cancelled",
+        "_finished",
+        "_torn",
+    )
+
+    def __init__(self, server: "GeneratorServer", sock: Any, peer: Any) -> None:
+        self.server = server
+        self.framer = SocketFramer(sock)
+        self.peer = peer
+        self.name = f"net-session-{next(self._ids)}"
+        self.request_name = ""
+        self.batch = 1
+        self.max_linger: float | None = None
+        self.heartbeat_interval = server.heartbeat_interval
+        self.coexpr: CoExpression | None = None
+        self.handle: Any = None         # sender (main) scheduler handle
+        self.reader_handle: Any = None  # control-channel scheduler handle
+        self._cond = threading.Condition()
+        #: Items the client has granted (None = unlimited, its channel is
+        #: unbounded).  Starts at zero: nothing is sent before the first
+        #: grant, which the client ships right behind its request.
+        self._credit: int | None = 0
+        self._buffer: list = []
+        self._buf_oldest = 0.0
+        self._killed = False
+        self._cancelled = False
+        self._finished = False
+        self._torn = False
+
+    # -- worker/session protocol (scheduler accounting) ------------------------
+
+    def is_alive(self) -> bool:
+        for handle in (self.handle, self.reader_handle):
+            if handle is not None and handle.is_alive():
+                return True
+        return False
+
+    def join(self, timeout: float | None = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in (self.handle, self.reader_handle):
+            if handle is None:
+                continue
+            budget = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            handle.join(budget)
+        return not self.is_alive()
+
+    def kill(self) -> None:
+        """Abrupt teardown: close the socket now (idempotent).
+
+        The chaos path — the client sees a torn connection, its
+        watchdog raises :class:`~repro.errors.PipeConnectionLost`, and
+        supervision (if any) reconnects.  Also what scheduler shutdown
+        and the graceful path's straggler sweep use.
+        """
+        with self._cond:
+            self._killed = True
+            self._cond.notify_all()
+        if self.coexpr is not None:
+            self.coexpr.close()
+        self.framer.close()
+
+    def finish(self) -> None:
+        """Graceful teardown: stop producing, flush, close the stream.
+
+        Closing the co-expression makes its next activation fail, so the
+        sender falls out of its loop naturally — delivering the batch it
+        had coalesced and the ``WIRE_CLOSE`` terminator before the
+        socket goes down.
+        """
+        with self._cond:
+            self._cancelled = True
+            self._cond.notify_all()
+        if self.coexpr is not None:
+            self.coexpr.close()
+
+    def _stopping(self) -> bool:
+        return self._killed or self._cancelled
+
+    # -- credit ----------------------------------------------------------------
+
+    def grant(self, amount: int | None) -> None:
+        """Apply one ``WIRE_CREDIT`` envelope (None = unlimited)."""
+        with self._cond:
+            if amount is None:
+                self._credit = None
+            elif self._credit is not None:
+                self._credit += amount
+            self._cond.notify_all()
+
+    # -- sender ----------------------------------------------------------------
+
+    def _flush(self, block: bool) -> None:
+        """Send buffered items as credit allows.
+
+        ``block=True`` (the sender) waits for credit until the buffer is
+        empty; ``block=False`` (the reader's linger tick) sends whatever
+        the current credit covers and returns.
+        """
+        while True:
+            with self._cond:
+                if not self._buffer or self._killed:
+                    return
+                credit = self._credit
+                if credit == 0:
+                    if not block:
+                        return
+                    self._cond.wait(_CREDIT_SLICE)
+                    continue
+                take = (
+                    len(self._buffer)
+                    if credit is None
+                    else min(credit, len(self._buffer))
+                )
+                slice_, self._buffer = self._buffer[:take], self._buffer[take:]
+                if credit is not None:
+                    self._credit = credit - take
+            # Send outside the lock: a sendall throttled by the socket
+            # must not stop the reader from applying credit grants.
+            self.framer.send((WIRE_DATA, slice_))
+
+    def _append(self, value: Any) -> None:
+        with self._cond:
+            if not self._buffer:
+                self._buf_oldest = time.monotonic()
+            self._buffer.append(value)
+            full = len(self._buffer) >= self.batch
+        if full:
+            self._flush(block=True)
+
+    def run(self) -> None:
+        """The sender thread: request → body → stream → terminator."""
+        try:
+            try:
+                coexpr = self._read_request()
+            except (OSError, EOFError, FrameError, TimeoutError):
+                return  # client vanished before asking for anything
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                self._send_failure(error)
+                return
+            self.coexpr = coexpr
+            self.server._note_session(self)
+            self.reader_handle = self.server.scheduler.submit(
+                self._run_reader, name=f"{self.name}-reader"
+            )
+            self._stream(coexpr)
+        finally:
+            self._finish()
+
+    def _read_request(self) -> CoExpression:
+        # The request read is the only timed receive on this socket: the
+        # reader thread polls with select over a *blocking* socket, so
+        # the sender's sendall never inherits a receive timeout (a send
+        # throttled past one heartbeat interval is flow control, not a
+        # dead peer).
+        self.framer.sock.settimeout(_REQUEST_TIMEOUT)
+        try:
+            kind, *payload = self.framer.recv()
+        finally:
+            try:
+                self.framer.sock.settimeout(None)
+            except OSError:
+                pass
+        if kind not in (WIRE_SPAWN, WIRE_CALL) or not payload:
+            raise PipeError(f"expected a spawn/call request, got {kind!r}")
+        request = payload[0]
+        self.request_name = request.get("name") or kind
+        self.batch = max(int(request.get("batch", 1)), 1)
+        self.max_linger = request.get("max_linger")
+        interval = request.get("heartbeat_interval")
+        if interval:
+            self.heartbeat_interval = float(interval)
+        if kind == WIRE_SPAWN:
+            if not self.server.allow_spawn:
+                raise PipeError(
+                    f"server {self.server.name!r} does not accept spawn "
+                    "requests (allow_spawn=False); use a registered factory"
+                )
+            factory, env = pickle.loads(request["body"])
+            return CoExpression(factory, lambda: env, name=self.request_name)
+        factory = self.server._factory(request["name"])
+        args = tuple(request.get("args") or ())
+        return CoExpression(factory, lambda: args, name=self.request_name)
+
+    def _stream(self, coexpr: CoExpression) -> None:
+        try:
+            while not self._stopping():
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                self._append(value)
+            self._flush(block=True)
+            if not self._killed:
+                self.framer.send((WIRE_CLOSE,))
+        except (OSError, EOFError, FrameError):
+            pass  # peer gone mid-stream: nothing left to tell it
+        except BaseException as error:  # noqa: BLE001 - forwarded to the client
+            self._send_failure(error)
+
+    def _send_failure(self, error: BaseException) -> None:
+        """Data first, then the error, then close — the wire invariant."""
+        try:
+            self._flush(block=True)
+            self.framer.send((WIRE_ERROR, encode_error(error)))
+            self.framer.send((WIRE_CLOSE,))
+        except (OSError, EOFError, FrameError):
+            pass  # peer gone: the error dies with the session
+
+    # -- reader ----------------------------------------------------------------
+
+    def _run_reader(self) -> None:
+        """Control channel + beater: credits, cancellation, liveness.
+
+        Once the sender has finished this thread switches to *drain*
+        mode — a lingering close that keeps consuming until the client
+        closes its end.  Closing our socket any earlier would RST the
+        connection while the client's late credit grants are still in
+        flight, destroying the stream tail (data, the error, the close
+        terminator) in the client's kernel buffer.
+        """
+        sock = self.framer.sock
+        while not self._killed:
+            if self.framer.buffered():
+                ready = True  # a frame the request read already pulled in
+            else:
+                try:
+                    ready, _, _ = select.select(
+                        [sock], [], [], self.heartbeat_interval
+                    )
+                except (OSError, ValueError):
+                    break  # socket closed under us
+            if not ready:
+                if self._finished:
+                    continue  # draining a half-closed socket: no beats
+                # Idle exactly one heartbeat interval: prove liveness,
+                # and deliver any batch that has out-lingered its bound.
+                try:
+                    self.framer.send((WIRE_BEAT, time.monotonic()))
+                except (OSError, EOFError):
+                    self.kill()  # wedged client: wake a credit-blocked sender
+                    break
+                if (
+                    self.max_linger is not None
+                    and self._buffer
+                    and time.monotonic() - self._buf_oldest >= self.max_linger
+                ):
+                    try:
+                        self._flush(block=False)
+                    except (OSError, EOFError, FrameError):
+                        self.kill()
+                        break
+                continue
+            try:
+                envelope = self.framer.recv()
+            except EOFError:
+                if not self._finished:
+                    self.kill()  # client left mid-stream: stop the body
+                break
+            except (OSError, FrameError):
+                # Torn connection: stop the body, wake the sender.
+                self.kill()
+                break
+            kind = envelope[0]
+            if kind == WIRE_CREDIT:
+                self.grant(envelope[1] if len(envelope) > 1 else None)
+            elif kind == WIRE_CANCEL:
+                self.kill()
+                break
+            # Anything else (a stray beat) is ignored.
+        if self._finished:
+            self._teardown()
+
+    # -- teardown --------------------------------------------------------------
+
+    def _finish(self) -> None:
+        with self._cond:
+            if self._finished:
+                return
+            self._finished = True
+            self._cond.notify_all()
+        if self.coexpr is not None:
+            self.coexpr.close()
+        reader = self.reader_handle
+        if reader is not None and not self._killed:
+            # Lingering close: push our FIN but leave the reader
+            # consuming until the *client* closes; it runs the final
+            # teardown when the drain reaches EOF.
+            try:
+                self.framer.sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            if reader.is_alive():
+                return
+        self._teardown()
+
+    def _teardown(self) -> None:
+        """Final socket close + deregistration (idempotent, any thread)."""
+        with self._cond:
+            if self._torn:
+                return
+            self._torn = True
+        self.framer.close()
+        self.server._forget(self)
+
+
+class GeneratorServer:
+    """A TCP listener hosting named pipeline factories.
+
+    ``register(name, factory)`` publishes a factory clients can run with
+    :class:`~repro.net.client.RemotePipe`; with ``allow_spawn=True``
+    (default) the server also runs bodies clients ship by pickle — the
+    transparent ``backend="remote"`` tier.  ``port=0`` binds an
+    ephemeral port (read :attr:`address` after :meth:`start`).
+
+    Every session's threads come from *scheduler* (default: the process
+    default), and every session registers with its session accounting —
+    a shut-down scheduler closes the server's connections along with
+    everything else it owns.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scheduler: PipeScheduler | None = None,
+        heartbeat_interval: float = 0.1,
+        allow_spawn: bool = True,
+        name: str = "genserver",
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        self.host = host
+        self.port = port
+        self.scheduler = scheduler or default_scheduler()
+        self.heartbeat_interval = heartbeat_interval
+        self.allow_spawn = allow_spawn
+        self.name = name
+        self._factories: dict[str, Callable[..., Any]] = {}
+        self._listener: socket.socket | None = None
+        self._accept_handle: Any = None
+        self._lock = threading.Lock()
+        self._sessions: list[Session] = []
+        self._stopped = False
+        self._started = False
+        self._served = 0
+
+    # -- registry --------------------------------------------------------------
+
+    def register(self, name: str, factory: Callable[..., Any]) -> "GeneratorServer":
+        """Publish *factory* under *name* for ``call`` requests.
+
+        ``factory(*args)`` must return what a co-expression body may be:
+        an iterator, an iterable, or an
+        :class:`~repro.runtime.iterator.IconIterator`.
+        """
+        if not callable(factory):
+            raise TypeError(f"factory for {name!r} is not callable: {factory!r}")
+        with self._lock:
+            self._factories[name] = factory
+        return self
+
+    def _factory(self, name: Any) -> Callable[..., Any]:
+        with self._lock:
+            try:
+                return self._factories[name]
+            except KeyError:
+                raise PipeError(
+                    f"server {self.name!r} has no factory {name!r} "
+                    f"(registered: {sorted(self._factories) or 'none'})"
+                ) from None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "GeneratorServer":
+        """Bind, listen, and run the accept loop on a scheduler thread."""
+        with self._lock:
+            if self._stopped:
+                raise PipeError("start on a shut-down GeneratorServer")
+            if self._started:
+                return self
+            self._started = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        listener.settimeout(_ACCEPT_SLICE)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        # The server itself registers as a session: a shut-down
+        # scheduler calls kill(), which closes the listener and stops
+        # the accept loop along with every open connection.
+        self.scheduler.track_session(self)
+        try:
+            self._accept_handle = self.scheduler.submit(
+                self._accept_loop, name=f"{self.name}-accept"
+            )
+        except BaseException:
+            self.scheduler.untrack_session(self)
+            listener.close()
+            raise
+        return self
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` — resolves an ephemeral ``port=0``."""
+        return (self.host, self.port)
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopped:
+            try:
+                sock, peer = listener.accept()
+            except (socket.timeout, TimeoutError):
+                continue
+            except OSError:
+                return  # listener closed under us: shutdown
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            session = Session(self, sock, peer)
+            try:
+                self.scheduler.track_session(session)
+            except SchedulerShutdownError:
+                sock.close()
+                return
+            with self._lock:
+                if self._stopped:
+                    self.scheduler.untrack_session(session)
+                    sock.close()
+                    return
+                self._sessions.append(session)
+                self._served += 1
+            try:
+                session.handle = self.scheduler.submit(
+                    session.run, name=session.name
+                )
+            except SchedulerShutdownError:
+                session.kill()
+                self._forget(session)
+                return
+
+    def _note_session(self, session: Session) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(
+                Event(
+                    EventKind.NET_SESSION,
+                    f"pipe:{session.request_name}",
+                    0,
+                    {
+                        "peer": session.peer,
+                        "name": session.request_name,
+                        "server": self.name,
+                    },
+                )
+            )
+
+    def _forget(self, session: Session) -> None:
+        with self._lock:
+            try:
+                self._sessions.remove(session)
+            except ValueError:
+                pass
+        self.scheduler.untrack_session(session)
+
+    def active_sessions(self) -> list:
+        """Sessions currently open (snapshot)."""
+        with self._lock:
+            return list(self._sessions)
+
+    def kill_sessions(self) -> int:
+        """Hard-kill every live session (the chaos hook); returns the
+        count.  Clients see :class:`~repro.errors.PipeConnectionLost`."""
+        sessions = self.active_sessions()
+        for session in sessions:
+            session.kill()
+        return len(sessions)
+
+    @property
+    def stats(self) -> dict:
+        """``{"served": total sessions accepted, "active": open now}``."""
+        with self._lock:
+            return {"served": self._served, "active": len(self._sessions)}
+
+    def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:
+        """Stop accepting and close every session gracefully.
+
+        Each open session stops producing, flushes its coalesced batch,
+        and sends ``WIRE_CLOSE`` — in-flight results are delivered, not
+        dropped.  Sessions that do not drain within *timeout* are
+        killed.  Idempotent.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        sessions = self.active_sessions()
+        for session in sessions:
+            session.finish()
+        if wait:
+            deadline = time.monotonic() + timeout
+            for session in sessions:
+                session.join(max(0.0, deadline - time.monotonic()))
+            for session in sessions:
+                if session.is_alive():
+                    session.kill()
+                    session.join(1.0)
+        if self._accept_handle is not None:
+            self._accept_handle.join(1.0)
+        self.scheduler.untrack_session(self)
+
+    # -- session protocol (scheduler accounting) -------------------------------
+
+    def kill(self) -> None:
+        """Scheduler-shutdown hook: stop accepting, close every session."""
+        self.shutdown(wait=False)
+
+    def is_alive(self) -> bool:
+        handle = self._accept_handle
+        return handle is not None and handle.is_alive()
+
+    def join(self, timeout: float | None = None) -> bool:
+        handle = self._accept_handle
+        if handle is None:
+            return True
+        handle.join(timeout)
+        return not handle.is_alive()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful :meth:`shutdown` (used by
+        the ``junicon-serve`` entry point; call from the main thread)."""
+        import signal
+
+        def _handler(signum: int, frame: Any) -> None:
+            self.shutdown(wait=True)
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    def __enter__(self) -> "GeneratorServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = (
+            "stopped"
+            if self._stopped
+            else ("listening" if self._started else "unstarted")
+        )
+        return (
+            f"GeneratorServer({self.name}, {self.host}:{self.port}, {state}, "
+            f"active={len(self._sessions)})"
+        )

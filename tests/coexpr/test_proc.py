@@ -159,6 +159,25 @@ class TestCrashEnvelopeOrdering:
         with pytest.raises(ValueError, match="reported"):
             list(pipe.iterate())
 
+    def test_cause_chain_and_traceback_cross_the_boundary(self):
+        # Regression for the shared wire codec: bare pickle drops both
+        # __cause__ and the traceback, so a `raise ... from ...` in the
+        # child must still read like one in the parent.
+        def body():
+            yield 1
+            try:
+                raise KeyError("inner")
+            except KeyError as inner:
+                raise ValueError("outer") from inner
+
+        pipe = proc_pipe(CoExpression(body, name="chained")).start()
+        assert pipe.take() == 1
+        with pytest.raises(ValueError, match="outer") as excinfo:
+            pipe.take()
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        assert excinfo.value.__cause__.args == ("inner",)
+        assert "body" in excinfo.value.remote_traceback
+
     def test_unpicklable_error_decays_to_pipe_error(self):
         class Unpicklable(Exception):
             def __reduce__(self):

@@ -277,3 +277,63 @@ def test_engines_agree(name, decls, expr):
 def test_corpus_is_reasonably_sized():
     # The pin only bites if the corpus keeps covering the dialect.
     assert len(CORPUS) >= 20
+
+
+# ---------------------------------------------------------------------------
+# Engine C: the network tier.  The same corpus programs stream their
+# result sequences through a loopback generator server — the remote
+# transport (framing, batching, credit flow control) must be invisible:
+# byte-for-byte the sequence the local engines produce.
+# ---------------------------------------------------------------------------
+
+#: Corpus entries replayed over the wire.  Generator-heavy picks: deep
+#: backtracking, recursion, pipe promotion, and string scanning all
+#: stress envelope ordering differently.
+REMOTE_CORPUS = [
+    "counting",
+    "goal-directed-product",
+    "backtracking-pairs",
+    "recursion-fib",
+    "pipe-promotion",
+    "string-sections",
+]
+
+
+def _compiled_program(decls: str, expr: str):
+    """Server-side factory: compile and run a program for its sequence."""
+    code = transform_program(decls)
+    namespace: dict = {}
+    exec(compile(code, "<remote-differential>", "exec"), namespace)
+    return namespace[expr[:-2]]()
+
+
+@pytest.fixture(scope="module")
+def gen_server():
+    from repro.net import GeneratorServer
+
+    with GeneratorServer() as server:
+        server.register("program", _compiled_program)
+        yield server
+
+
+@pytest.mark.parametrize(
+    "name,decls,expr",
+    [entry for entry in CORPUS if entry[0] in REMOTE_CORPUS],
+    ids=[entry[0] for entry in CORPUS if entry[0] in REMOTE_CORPUS],
+)
+def test_remote_backend_agrees(name, decls, expr, gen_server):
+    from repro.net import RemotePipe
+
+    local = run_compiled(decls, expr)
+    remote = list(
+        RemotePipe(gen_server.address, "program", args=(decls, expr)).iterate()
+    )
+    assert remote == local == run_interactive(decls, expr), (
+        f"{name}: remote {remote!r} != local {local!r}"
+    )
+
+
+def test_remote_corpus_is_reasonably_sized():
+    names = {entry[0] for entry in CORPUS}
+    assert set(REMOTE_CORPUS) <= names
+    assert len(REMOTE_CORPUS) >= 4

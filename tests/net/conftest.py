@@ -1,0 +1,26 @@
+"""Network-tier fixtures: every test gets a leak-checked scheduler.
+
+Mirrors the concurrency-layer conftest, but the leak check here also
+covers *sessions* — open server sessions and client pump workers both
+register with the scheduler's session accounting, so a test that
+forgets to drain or shut down a connection fails its own teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coexpr.scheduler import PipeScheduler, use_scheduler
+
+
+@pytest.fixture(autouse=True)
+def pipe_scheduler():
+    """A fresh default scheduler per test, leak-checked at teardown."""
+    scheduler = PipeScheduler()
+    with use_scheduler(scheduler):
+        yield scheduler
+    leaked = scheduler.leaked(join_timeout=2.0)
+    assert not leaked, (
+        f"pipe workers or sessions leaked by this test: "
+        f"{[getattr(t, 'name', t) for t in leaked]}"
+    )
