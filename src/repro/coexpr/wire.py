@@ -17,10 +17,22 @@ definition of that vocabulary plus the two codecs every transport needs:
 Envelope ordering is the transport invariant every tier pins with tests:
 data slices arrive in production order, an error never overtakes the
 data produced before it, and a close terminates the stream.
+
+**Trust model.**  Frames are pickles, and unpickling runs arbitrary
+code — so a framer must only ever fully trust bytes from a peer the
+application trusts (the client dialing a server it chose; a server
+explicitly running client bodies with ``allow_spawn=True``).  A server
+that does *not* execute client code constructs its framer with
+``trusted=False``: frames are then decoded by a restricted unpickler
+that refuses every global lookup, limiting envelopes to compositions
+of primitive values (numbers, strings, bytes, bools, None, and
+containers of them) and turning a hostile payload into a
+:class:`FrameError` instead of code execution.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 import struct
 import threading
@@ -130,6 +142,27 @@ class FrameError(PipeError):
     """The byte stream does not parse as a framed envelope."""
 
 
+class _RestrictedUnpickler(pickle.Unpickler):
+    """An unpickler that refuses every global lookup.
+
+    Primitive values (numbers, strings, bytes, bools, None) and
+    containers of them decode without ``find_class``; anything that
+    needs a class or function — the code-execution surface of pickle —
+    raises, which :meth:`SocketFramer.recv` turns into a
+    :class:`FrameError`.
+    """
+
+    def find_class(self, module: str, name: str) -> Any:
+        raise pickle.UnpicklingError(
+            f"untrusted frame references global {module}.{name}; "
+            "only primitive payloads are accepted"
+        )
+
+
+def _restricted_loads(frame: bytes) -> Any:
+    return _RestrictedUnpickler(io.BytesIO(frame)).load()
+
+
 class SocketFramer:
     """Length-prefixed pickle frames over a stream socket.
 
@@ -139,12 +172,18 @@ class SocketFramer:
     buffered, so the next call resumes the partial frame instead of
     desynchronizing the stream.  A clean peer close surfaces as
     :class:`EOFError`; torn connections raise :class:`OSError`.
+
+    ``trusted=False`` decodes frames with a restricted unpickler that
+    refuses global lookups (see the module docstring's trust model) —
+    the mode for a peer whose code the application did not choose to
+    run.
     """
 
-    __slots__ = ("sock", "_send_lock", "_buf", "_need")
+    __slots__ = ("sock", "trusted", "_send_lock", "_buf", "_need")
 
-    def __init__(self, sock: Any) -> None:
+    def __init__(self, sock: Any, trusted: bool = True) -> None:
         self.sock = sock
+        self.trusted = trusted
         self._send_lock = threading.Lock()
         self._buf = bytearray()
         self._need: int | None = None
@@ -171,6 +210,48 @@ class SocketFramer:
         (need,) = _HEADER.unpack(self._buf[: _HEADER.size])
         return len(self._buf) - _HEADER.size >= need
 
+    def partial(self) -> bool:
+        """True when a frame has started arriving but is incomplete.
+
+        The liveness companion of :meth:`buffered`: these bytes live in
+        user space, so the socket will never poll readable for them —
+        a reader bounding mid-frame stalls must ask the framer, not
+        select.
+        """
+        if self.buffered():
+            return False
+        return self._need is not None or bool(self._buf)
+
+    def _extract(self) -> tuple | None:
+        """Pop one complete envelope out of the buffer (None = partial)."""
+        if self._need is None and len(self._buf) >= _HEADER.size:
+            (self._need,) = _HEADER.unpack(self._buf[: _HEADER.size])
+            del self._buf[: _HEADER.size]
+            if self._need > MAX_FRAME:
+                raise FrameError(f"oversized frame ({self._need} bytes)")
+        if self._need is None or len(self._buf) < self._need:
+            return None
+        frame = bytes(self._buf[: self._need])
+        del self._buf[: self._need]
+        self._need = None
+        loads = pickle.loads if self.trusted else _restricted_loads
+        try:
+            envelope = loads(frame)
+        except Exception as error:  # noqa: BLE001 - corrupt frame
+            raise FrameError(f"undecodable frame: {error!r}") from error
+        if not isinstance(envelope, tuple) or not envelope:
+            raise FrameError(f"malformed envelope: {envelope!r}")
+        return envelope
+
+    def _pull(self) -> None:
+        """One ``recv`` call into the buffer; EOF raised as usual."""
+        chunk = self.sock.recv(65536)
+        if not chunk:
+            if self._buf or self._need is not None:
+                raise FrameError("connection closed mid-frame")
+            raise EOFError("connection closed")
+        self._buf += chunk
+
     def recv(self) -> tuple:
         """The next envelope; honors the socket's timeout setting.
 
@@ -179,28 +260,26 @@ class SocketFramer:
         :class:`FrameError` on an unparseable stream.
         """
         while True:
-            if self._need is None and len(self._buf) >= _HEADER.size:
-                (self._need,) = _HEADER.unpack(self._buf[: _HEADER.size])
-                del self._buf[: _HEADER.size]
-                if self._need > MAX_FRAME:
-                    raise FrameError(f"oversized frame ({self._need} bytes)")
-            if self._need is not None and len(self._buf) >= self._need:
-                frame = bytes(self._buf[: self._need])
-                del self._buf[: self._need]
-                self._need = None
-                try:
-                    envelope = pickle.loads(frame)
-                except Exception as error:  # noqa: BLE001 - corrupt frame
-                    raise FrameError(f"undecodable frame: {error!r}") from error
-                if not isinstance(envelope, tuple) or not envelope:
-                    raise FrameError(f"malformed envelope: {envelope!r}")
+            envelope = self._extract()
+            if envelope is not None:
                 return envelope
-            chunk = self.sock.recv(65536)
-            if not chunk:
-                if self._buf or self._need is not None:
-                    raise FrameError("connection closed mid-frame")
-                raise EOFError("connection closed")
-            self._buf += chunk
+            self._pull()
+
+    def try_recv(self) -> tuple | None:
+        """One receive *step*: never blocks after a readable ``select``.
+
+        Returns a buffered envelope if one is complete, else performs
+        exactly one ``recv`` call (guaranteed not to block when select
+        just reported the socket readable) and returns the envelope it
+        completed — or None while the frame is still partial.  A reader
+        multiplexing with select uses this instead of :meth:`recv` so a
+        peer that stalls mid-frame cannot pin the reading thread.
+        """
+        envelope = self._extract()
+        if envelope is not None:
+            return envelope
+        self._pull()
+        return self._extract()
 
     def close(self) -> None:
         """Close the underlying socket (idempotent, never raises)."""

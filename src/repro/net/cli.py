@@ -11,9 +11,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
-import signal
 import sys
-import threading
 from typing import Any, Callable
 
 from .server import GeneratorServer
@@ -83,14 +81,9 @@ def main(argv: list | None = None) -> int:
         server.register(*_resolve(spec))
 
     # The accept loop lives on a scheduler thread; the main thread just
-    # waits for a termination signal, then drains gracefully.
-    done = threading.Event()
-
-    def _handler(signum: int, frame: Any) -> None:
-        done.set()
-
-    signal.signal(signal.SIGTERM, _handler)
-    signal.signal(signal.SIGINT, _handler)
+    # waits for a termination signal, then drains gracefully (the
+    # handler only sets the event — never blocks in the handler).
+    done = server.install_signal_handlers()
 
     server.start()
     host, port = server.address

@@ -440,12 +440,19 @@ class RemotePipe(IconIterator):
                 self, scheduler, self.address, label, request
             )
         except (OSError, EOFError) as error:
+            # Un-start on a failed dial: with _started left set, a
+            # retrying take() would skip the reconnect and block forever
+            # on a channel nothing will ever feed or close.
+            self._started = False
             raise PipeConnectionLost(
                 f"remote pipe {self.factory_name!r}: cannot reach "
                 f"{self.address!r} ({error!r})",
                 address=self.address,
                 reason="connect failed",
             ) from error
+        except BaseException:
+            self._started = False
+            raise
         return self
 
     def cancel(self, join: bool = False, timeout: float | None = None) -> bool:

@@ -40,6 +40,7 @@ import select
 import socket
 import threading
 import time
+import warnings
 from typing import Any, Callable
 
 from ..coexpr.coexpression import CoExpression
@@ -67,6 +68,15 @@ _REQUEST_TIMEOUT = 10.0
 _ACCEPT_SLICE = 0.2
 #: Credit-wait slice for a sender with items but no credit.
 _CREDIT_SLICE = 0.1
+#: A client that leaves a frame half-sent for this many heartbeat
+#: intervals is dead: the session is killed (the server-side mirror of
+#: the client watchdog's ``_TIMEOUT_INTERVALS``).
+_STALL_INTERVALS = 10
+
+
+def _is_loopback(host: str) -> bool:
+    """True when *host* only ever admits local clients."""
+    return host in ("localhost", "::1") or host.startswith("127.")
 
 
 class Session:
@@ -87,6 +97,7 @@ class Session:
         "handle",
         "reader_handle",
         "_cond",
+        "_order",
         "_credit",
         "_buffer",
         "_buf_oldest",
@@ -98,7 +109,10 @@ class Session:
 
     def __init__(self, server: "GeneratorServer", sock: Any, peer: Any) -> None:
         self.server = server
-        self.framer = SocketFramer(sock)
+        # A server that does not execute client code must not unpickle
+        # arbitrary client objects either: without allow_spawn, frames
+        # decode through the restricted unpickler (primitives only).
+        self.framer = SocketFramer(sock, trusted=server.allow_spawn)
         self.peer = peer
         self.name = f"net-session-{next(self._ids)}"
         self.request_name = ""
@@ -109,6 +123,11 @@ class Session:
         self.handle: Any = None         # sender (main) scheduler handle
         self.reader_handle: Any = None  # control-channel scheduler handle
         self._cond = threading.Condition()
+        #: Serializes the pop-buffer/send-WIRE_DATA pair across the two
+        #: flushing threads (sender and the reader's linger tick) —
+        #: separate from ``_cond`` so credit grants still land while a
+        #: sendall is throttled by the socket.
+        self._order = threading.Lock()
         #: Items the client has granted (None = unlimited, its channel is
         #: unbounded).  Starts at zero: nothing is sent before the first
         #: grant, which the client ships right behind its request.
@@ -190,28 +209,46 @@ class Session:
         ``block=True`` (the sender) waits for credit until the buffer is
         empty; ``block=False`` (the reader's linger tick) sends whatever
         the current credit covers and returns.
+
+        Both threads flush, so the pop-slice/send pair runs under the
+        ``_order`` lock: preempted between the two, one flusher could
+        otherwise ship an earlier slice *after* the other's later one —
+        or let the sender emit ``WIRE_CLOSE``/``WIRE_ERROR`` while the
+        reader still held an unsent slice.  ``_order`` is not ``_cond``,
+        so a sendall throttled by the socket never stops the reader from
+        applying credit grants; and the credit wait happens *outside*
+        ``_order``, so a credit-starved sender never locks the reader's
+        linger tick out of the control channel the credit must arrive on.
         """
         while True:
-            with self._cond:
-                if not self._buffer or self._killed:
-                    return
-                credit = self._credit
-                if credit == 0:
-                    if not block:
+            with self._order:
+                with self._cond:
+                    if not self._buffer or self._killed:
                         return
-                    self._cond.wait(_CREDIT_SLICE)
+                    credit = self._credit
+                    if credit == 0:
+                        slice_ = None
+                    else:
+                        take = (
+                            len(self._buffer)
+                            if credit is None
+                            else min(credit, len(self._buffer))
+                        )
+                        slice_, self._buffer = (
+                            self._buffer[:take],
+                            self._buffer[take:],
+                        )
+                        if credit is not None:
+                            self._credit = credit - take
+                if slice_ is not None:
+                    self.framer.send((WIRE_DATA, slice_))
                     continue
-                take = (
-                    len(self._buffer)
-                    if credit is None
-                    else min(credit, len(self._buffer))
-                )
-                slice_, self._buffer = self._buffer[:take], self._buffer[take:]
-                if credit is not None:
-                    self._credit = credit - take
-            # Send outside the lock: a sendall throttled by the socket
-            # must not stop the reader from applying credit grants.
-            self.framer.send((WIRE_DATA, slice_))
+            # Out of credit with items still buffered.
+            if not block:
+                return
+            with self._cond:
+                if self._buffer and self._credit == 0 and not self._killed:
+                    self._cond.wait(_CREDIT_SLICE)
 
     def _append(self, value: Any) -> None:
         with self._cond:
@@ -311,12 +348,35 @@ class Session:
         connection while the client's late credit grants are still in
         flight, destroying the stream tail (data, the error, the close
         terminator) in the client's kernel buffer.
+
+        The socket stays blocking (a receive timeout would infect the
+        sender's sendall), so receives go through the framer's
+        one-step :meth:`~repro.coexpr.wire.SocketFramer.try_recv` —
+        never blocking past the bytes select reported.  A frame left
+        partial for ``_STALL_INTERVALS`` heartbeat intervals kills the
+        session: a wedged client must not pin two scheduler threads and
+        a socket forever.
         """
         sock = self.framer.sock
+        stall_deadline: float | None = None
         while not self._killed:
             if self.framer.buffered():
                 ready = True  # a frame the request read already pulled in
             else:
+                # Liveness bound on a half-received frame.  Asked of the
+                # framer, not select: partial bytes an earlier receive
+                # pulled into user space never poll readable again.
+                if self.framer.partial():
+                    if stall_deadline is None:
+                        stall_deadline = (
+                            time.monotonic()
+                            + _STALL_INTERVALS * self.heartbeat_interval
+                        )
+                    elif time.monotonic() >= stall_deadline:
+                        self.kill()  # stalled mid-frame: a dead client
+                        break
+                else:
+                    stall_deadline = None
                 try:
                     ready, _, _ = select.select(
                         [sock], [], [], self.heartbeat_interval
@@ -345,7 +405,7 @@ class Session:
                         break
                 continue
             try:
-                envelope = self.framer.recv()
+                envelope = self.framer.try_recv()
             except EOFError:
                 if not self._finished:
                     self.kill()  # client left mid-stream: stop the body
@@ -354,6 +414,10 @@ class Session:
                 # Torn connection: stop the body, wake the sender.
                 self.kill()
                 break
+            if envelope is None:
+                continue  # frame still partial; the pre-select check
+                # above starts (and enforces) its completion deadline
+            stall_deadline = None
             kind = envelope[0]
             if kind == WIRE_CREDIT:
                 self.grant(envelope[1] if len(envelope) > 1 else None)
@@ -405,6 +469,18 @@ class GeneratorServer:
     (default) the server also runs bodies clients ship by pickle — the
     transparent ``backend="remote"`` tier.  ``port=0`` binds an
     ephemeral port (read :attr:`address` after :meth:`start`).
+
+    **Trust model: the wire is for trusted networks only.**  With
+    ``allow_spawn=True`` every connecting client can execute arbitrary
+    code by design — that is what the spawn tier *is* — so the server
+    must only ever be reachable by clients trusted with the host.  With
+    ``allow_spawn=False`` the protocol surface shrinks to registered
+    factories and frames decode through a restricted unpickler that
+    refuses global lookups (client envelopes — requests, credit,
+    cancel — are then limited to primitive payloads, so ``WIRE_CALL``
+    args must be primitive too); that removes the unpickling RCE, but
+    the port is still unauthenticated.  Binding a non-loopback host
+    emits a :class:`RuntimeWarning` for exactly this reason.
 
     Every session's threads come from *scheduler* (default: the process
     default), and every session registers with its session accounting —
@@ -473,6 +549,19 @@ class GeneratorServer:
             if self._started:
                 return self
             self._started = True
+        if not _is_loopback(self.host):
+            warnings.warn(
+                f"GeneratorServer {self.name!r} is binding non-loopback "
+                f"host {self.host!r}: the wire protocol is unauthenticated "
+                + (
+                    "and allow_spawn=True lets any client execute arbitrary "
+                    "code — expose it to trusted networks only"
+                    if self.allow_spawn
+                    else "— expose it to trusted networks only"
+                ),
+                RuntimeWarning,
+                stacklevel=2,
+            )
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -623,16 +712,32 @@ class GeneratorServer:
         handle.join(timeout)
         return not handle.is_alive()
 
-    def install_signal_handlers(self) -> None:
-        """Route SIGTERM/SIGINT to a graceful :meth:`shutdown` (used by
-        the ``junicon-serve`` entry point; call from the main thread)."""
+    def install_signal_handlers(self) -> threading.Event:
+        """Arrange a graceful :meth:`shutdown` on SIGTERM/SIGINT.
+
+        The handler itself only sets the returned event — a blocking
+        shutdown (lock acquisition, multi-second joins) inside a signal
+        handler can deadlock on state the interrupted frame holds, or
+        re-enter when a second signal lands.  The *caller* waits on the
+        event and runs the shutdown on an ordinary thread::
+
+            stop = server.install_signal_handlers()
+            stop.wait()
+            server.shutdown(wait=True)
+
+        Call from the main thread (a CPython requirement for
+        ``signal.signal``); ``junicon-serve`` is exactly this pattern.
+        """
         import signal
 
+        stop = threading.Event()
+
         def _handler(signum: int, frame: Any) -> None:
-            self.shutdown(wait=True)
+            stop.set()
 
         signal.signal(signal.SIGTERM, _handler)
         signal.signal(signal.SIGINT, _handler)
+        return stop
 
     def __enter__(self) -> "GeneratorServer":
         return self.start()

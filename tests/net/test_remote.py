@@ -53,6 +53,11 @@ def slow_increment(x):
     return x + 1
 
 
+def jitter_increment(x):
+    time.sleep(0.001 * (x % 5))
+    return x + 1
+
+
 def crash_on_seven(x):
     if x == 7:
         raise ValueError("x was seven")
@@ -121,6 +126,23 @@ class TestTransparency:
             batch=16,
         ).start()
         assert list(pipe.iterate()) == list(range(200))
+
+    def test_linger_flush_preserves_order(self, server):
+        # The flush-reorder regression: with a jittery producer, a small
+        # max_linger, and a fast heartbeat, the session's reader-side
+        # linger flush races the sender's batch flush over and over —
+        # the stream must still arrive in production order.
+        pipe = pipeline(
+            range(60),
+            jitter_increment,
+            backend="remote",
+            remote_address=server.address,
+            batch=4,
+            max_linger=0.01,
+            heartbeat_interval=0.02,
+        )
+        assert list(pipe.iterate()) == [x + 1 for x in range(60)]
+        assert pipe.degraded is None
 
     def test_error_cause_chain_crosses_the_wire(self, server):
         pipe = pipeline(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -16,6 +17,7 @@ import time
 import pytest
 
 from repro.coexpr.scheduler import PipeScheduler, default_scheduler
+from repro.coexpr.wire import _HEADER, WIRE_CALL, WIRE_CREDIT, SocketFramer
 from repro.errors import PipeConnectionLost, PipeError
 from repro.monitor import EventKind, Tracer
 from repro.net import GeneratorServer, RemotePipe
@@ -37,6 +39,10 @@ def ticker(delay=0.02):
 def crasher(n):
     yield from range(n)
     raise ValueError("factory crashed")
+
+
+class Opaque:
+    """Pickles by global reference — forbidden on an untrusting server."""
 
 
 @pytest.fixture
@@ -112,6 +118,19 @@ class TestNamedFactories:
         with pytest.raises(PipeConnectionLost):
             pipe.take()
 
+    def test_failed_dial_leaves_pipe_retryable(self):
+        # The stuck-_started regression: after a failed connect, the
+        # next take must retry the dial (and raise again), not block
+        # forever on a channel nothing will ever feed.
+        dead = GeneratorServer().start()
+        address = dead.address
+        dead.shutdown()
+        pipe = RemotePipe(address, "counter", args=(3,))
+        with pytest.raises(PipeConnectionLost):
+            pipe.take()
+        with pytest.raises(PipeConnectionLost):
+            pipe.take()
+
     def test_register_rejects_non_callable(self, server):
         with pytest.raises(TypeError):
             server.register("bad", 42)
@@ -143,6 +162,32 @@ class TestSpawnPolicy:
             srv.register("counter", counter)
             pipe = RemotePipe(srv.address, "counter", args=(7,))
             assert list(pipe.iterate()) == list(range(7))
+
+    def test_non_primitive_args_refused_when_spawn_disabled(self):
+        # Without allow_spawn the server decodes frames with the
+        # restricted unpickler: an args payload that needs a global
+        # lookup never unpickles, and the session dies before the
+        # hostile bytes run anything.
+        with GeneratorServer(allow_spawn=False) as srv:
+            srv.register("counter", counter)
+            pipe = RemotePipe(srv.address, "counter", args=(Opaque(),))
+            with pytest.raises(PipeConnectionLost):
+                pipe.take()
+
+    def test_non_loopback_bind_warns(self):
+        srv = GeneratorServer(host="0.0.0.0")
+        try:
+            with pytest.warns(RuntimeWarning, match="non-loopback"):
+                srv.start()
+        finally:
+            srv.shutdown()
+
+    def test_loopback_bind_does_not_warn(self, recwarn):
+        with GeneratorServer():
+            pass
+        assert not [
+            w for w in recwarn if issubclass(w.category, RuntimeWarning)
+        ]
 
 
 class TestShutdownAndChaos:
@@ -196,6 +241,55 @@ class TestShutdownAndChaos:
         scheduler.shutdown(timeout=5.0)
         assert scheduler.leaked() == []
         srv.shutdown(wait=False)
+
+
+class TestReaderLiveness:
+    def test_mid_frame_stall_kills_session(self):
+        # A client that sends a partial frame and goes silent must not
+        # pin the session (two scheduler threads + a socket) forever:
+        # the reader kills it after _STALL_INTERVALS heartbeat
+        # intervals of no frame progress.
+        srv = GeneratorServer(heartbeat_interval=0.05)
+        srv.register("counter", counter)
+        with srv:
+            sock = socket.create_connection(srv.address)
+            try:
+                framer = SocketFramer(sock)
+                framer.send((WIRE_CALL, {"name": "counter", "args": (3,)}))
+                framer.send((WIRE_CREDIT, None))
+                deadline = time.monotonic() + 5.0
+                while not srv.stats["served"]:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                # Half a frame, then silence.
+                sock.sendall(_HEADER.pack(100) + b"stalled")
+                deadline = time.monotonic() + 5.0
+                while srv.stats["active"]:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+            finally:
+                sock.close()
+
+
+class TestSignalHandlers:
+    def test_handler_sets_event_instead_of_blocking(self):
+        # The handler must only set the returned event — a blocking
+        # shutdown inside a signal handler can deadlock or re-enter —
+        # so the server is still alive right after delivery and the
+        # caller runs the real shutdown.
+        srv = GeneratorServer().start()
+        old_term = signal.getsignal(signal.SIGTERM)
+        old_int = signal.getsignal(signal.SIGINT)
+        try:
+            stop = srv.install_signal_handlers()
+            assert not stop.is_set()
+            signal.raise_signal(signal.SIGTERM)
+            assert stop.wait(1.0)
+            assert srv.is_alive()
+        finally:
+            signal.signal(signal.SIGTERM, old_term)
+            signal.signal(signal.SIGINT, old_int)
+            srv.shutdown()
 
 
 class TestMonitorEvents:

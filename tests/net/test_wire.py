@@ -187,6 +187,77 @@ class TestSocketFramer:
         a.sock.sendall(payload[3:])
         assert b.recv() == (WIRE_DATA, [2])
 
+    def test_try_recv_never_blocks_on_a_partial_frame(self, framer_pair):
+        # The reader-stall regression: one receive step per readable
+        # select, never a blocking wait for the rest of the frame.
+        a, b = framer_pair
+        payload = pickle.dumps((WIRE_DATA, [1]))
+        a.sock.sendall(_HEADER.pack(len(payload)) + payload[:3])
+        assert b.try_recv() is None
+        assert b.partial()
+        a.sock.sendall(payload[3:4])
+        assert b.try_recv() is None  # one byte of progress: still partial
+        a.sock.sendall(payload[4:])
+        while True:
+            envelope = b.try_recv()
+            if envelope is not None:
+                break
+        assert envelope == (WIRE_DATA, [1])
+        assert not b.partial()
+
+    def test_try_recv_serves_buffered_frame_without_reading(self, framer_pair):
+        a, b = framer_pair
+        a.send((WIRE_DATA, [1]))
+        a.send((WIRE_DATA, [2]))
+        assert b.recv() == (WIRE_DATA, [1])  # pulls both frames in
+        # A socket read here would time out: the frame must come from
+        # the user-space buffer alone.
+        b.sock.settimeout(0.5)
+        assert b.try_recv() == (WIRE_DATA, [2])
+
+    def test_try_recv_raises_eof_on_clean_close(self, framer_pair):
+        a, b = framer_pair
+        a.close()
+        with pytest.raises(EOFError):
+            b.try_recv()
+
+
+class _NeedsGlobal:
+    """Pickling an instance records a global lookup for this class."""
+
+
+class TestRestrictedFraming:
+    """``trusted=False``: primitives pass, global lookups are refused."""
+
+    @pytest.fixture
+    def untrusting_pair(self):
+        left, right = socket.socketpair()
+        a, b = SocketFramer(left), SocketFramer(right, trusted=False)
+        yield a, b
+        a.close()
+        b.close()
+
+    def test_primitive_envelopes_decode(self, untrusting_pair):
+        a, b = untrusting_pair
+        envelope = (WIRE_DATA, [1, "two", b"three", None, 4.5, [True, {}]])
+        a.send(envelope)
+        assert b.recv() == envelope
+
+    def test_global_bearing_frame_is_a_frame_error(self, untrusting_pair):
+        a, b = untrusting_pair
+        a.send((WIRE_DATA, [_NeedsGlobal()]))
+        with pytest.raises(FrameError, match="untrusted frame"):
+            b.recv()
+
+    def test_nested_pickle_bytes_stay_opaque(self, untrusting_pair):
+        # A spawn request's body is pickled *bytes* inside the envelope:
+        # the restricted framer must pass it through undecoded, so the
+        # allow_spawn policy check runs before any hostile unpickling.
+        a, b = untrusting_pair
+        body = pickle.dumps((_NeedsGlobal, ()))
+        a.send(("spawn", {"body": body, "name": "x"}))
+        assert b.recv() == ("spawn", {"body": body, "name": "x"})
+
 
 class _ChunkedSock:
     """A fake socket delivering a fixed byte stream in scripted chunks."""
