@@ -1,0 +1,105 @@
+"""Ablation A10 — deadline reclaim latency across the execution tiers.
+
+A deadline is only as good as the cleanup behind it: when the budget
+expires, how long until the producer's resources are actually *gone*?
+This sweep measures the reclaim window — from the consumer catching
+:class:`~repro.errors.PipeDeadlineExceeded` to the pipe's scheduler
+reporting nothing left to join (worker thread parked, child process
+reaped, pump thread and socket closed; for the remote tier the bar also
+waits for the server to report zero active sessions).
+
+The interesting comparison is the *mechanism* each tier reclaims by:
+
+* ``thread`` — the producer notices its own expiry check between
+  activations and unwinds through the crash handlers;
+* ``process`` — the child does the same, then the parent reaps it
+  (terminate + join on the cancel path);
+* ``remote`` — ``WIRE_CANCEL`` crosses the socket, the server kills the
+  session cooperatively, and both sides tear down.
+
+``benchmark.pedantic`` is used so the expiry itself (a fixed budget of
+sleeping) happens in setup and only the reclaim is timed.
+
+Run with ``--benchmark-json=ablation_deadline.json`` to export the
+numbers (CI uploads that file as a workflow artifact).
+"""
+
+import time
+
+import pytest
+
+from repro.coexpr.coexpression import CoExpression
+from repro.coexpr.pipe import Pipe
+from repro.coexpr.proc import default_context
+from repro.coexpr.scheduler import PipeScheduler
+from repro.errors import PipeDeadlineExceeded
+from repro.net import GeneratorServer
+
+BACKENDS = ("thread", "process", "remote")
+#: Budget burnt in setup before the timed reclaim begins.
+BUDGET = 0.1
+#: Fast watchdog so the tiers' liveness machinery is in the measurement.
+HEARTBEAT = 0.05
+
+
+def ticking(period):
+    """A portable never-ending producer (pickled by the process and
+    remote tiers); the deadline is the only thing that stops it."""
+    value = 0
+    while True:
+        time.sleep(period)
+        yield value
+        value += 1
+
+
+def _check_backend(backend):
+    if (
+        backend == "process"
+        and default_context().get_start_method() != "fork"
+    ):
+        pytest.skip("the process bar assumes a fork platform")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reclaim_latency_sweep(benchmark, backend):
+    _check_backend(backend)
+    benchmark.group = "ablation-deadline-reclaim"
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["budget"] = BUDGET
+
+    server = GeneratorServer().start() if backend == "remote" else None
+
+    def expire():
+        """Setup: spawn on a fresh scheduler, stream until the budget
+        expires.  Returns the pipe+scheduler for the timed phase."""
+        scheduler = PipeScheduler()
+        piped = Pipe(
+            CoExpression(ticking, lambda: (0.005,), name="bench-deadline"),
+            scheduler=scheduler,
+            backend=backend,
+            deadline=BUDGET,
+            heartbeat_interval=HEARTBEAT,
+            remote_address=server.address if server is not None else None,
+        ).start()
+        assert piped.degraded is None, piped.degraded
+        with pytest.raises(PipeDeadlineExceeded):
+            for _ in piped.iterate():
+                pass
+        return (piped, scheduler), {}
+
+    def reclaim(piped, scheduler):
+        """The measured phase: expiry already raised — wait for every
+        resource the stream held to be released."""
+        leaked = scheduler.leaked(join_timeout=10.0)
+        assert leaked == [], leaked
+        if server is not None:
+            limit = time.monotonic() + 10.0
+            while server.stats["active"] and time.monotonic() < limit:
+                time.sleep(0.002)
+            assert server.stats["active"] == 0
+
+    try:
+        benchmark.pedantic(reclaim, setup=expire, rounds=5, iterations=1)
+    finally:
+        if server is not None:
+            server.shutdown(wait=True)

@@ -17,6 +17,7 @@ Host-facing quickstart::
 
 from .channel import CLOSED, Channel, RaiseEnvelope
 from .coexpression import CoExpression, coexpr_of
+from .deadline import Deadline, deadline_from
 from .pipe import Pipe
 from .future import Future, MVar
 from .scheduler import (
@@ -54,6 +55,7 @@ __all__ = [
     "Channel",
     "CoExpression",
     "DataParallel",
+    "Deadline",
     "FaultPlan",
     "Future",
     "MVar",
@@ -67,6 +69,7 @@ __all__ = [
     "apply_mapped",
     "coexpr",
     "coexpr_of",
+    "deadline_from",
     "default_scheduler",
     "fan_out",
     "first_class",

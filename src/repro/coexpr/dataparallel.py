@@ -36,6 +36,7 @@ from typing import Any, Callable, Iterator, List
 from ..runtime.failure import FAIL
 from ..runtime.iterator import IconIterator
 from .coexpression import CoExpression
+from .deadline import deadline_from
 from .pipe import Pipe
 from .scheduler import PipeScheduler
 
@@ -109,6 +110,7 @@ class DataParallel:
         heartbeat_timeout: float | None = None,
         mp_context: Any = None,
         remote_address: Any = None,
+        deadline: Any = None,
     ) -> None:
         """``chunk_size`` elements per task (Figure 4 uses 1000);
         ``capacity`` bounds each task pipe's output queue; ``max_pending``
@@ -132,7 +134,14 @@ class DataParallel:
         server at ``remote_address`` instead of a local child — the
         chunks are the same self-contained snapshots, so the shape that
         isolates cleanly also distributes cleanly; a dead connection
-        surfaces :class:`~repro.errors.PipeConnectionLost`."""
+        surfaces :class:`~repro.errors.PipeConnectionLost`.
+
+        ``deadline`` (seconds or a shared
+        :class:`~repro.coexpr.deadline.Deadline`) bounds the whole run:
+        every task pipe shares the one budget, an expired budget
+        short-circuits further spawns, and an expired in-flight task
+        raises :class:`~repro.errors.PipeDeadlineExceeded` through the
+        ordered drain."""
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if max_pending is not None and max_pending < 1:
@@ -152,6 +161,8 @@ class DataParallel:
         self.heartbeat_timeout = heartbeat_timeout
         self.mp_context = mp_context
         self.remote_address = remote_address
+        # Normalized once: every task pipe shares the ONE budget.
+        self.deadline = deadline_from(deadline)
 
     # -- Figure 4: chunk -------------------------------------------------------
 
@@ -244,6 +255,7 @@ class DataParallel:
             heartbeat_timeout=self.heartbeat_timeout,
             mp_context=self.mp_context,
             remote_address=self.remote_address,
+            deadline=self.deadline,
         ).start()
 
     def _run_tasks(

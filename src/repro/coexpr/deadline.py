@@ -1,0 +1,95 @@
+"""Deadlines as remaining budget — the cross-tier cancellation clock.
+
+A consumer that walks away mid-stream (the whole point of the paper's
+generator proxies, III.B) must not leave a producer burning CPU on
+another thread, in a forked child, or on a generator server.  The
+deadline layer makes abandonment *active*: a :class:`Deadline` threads
+through ``Pipe``/``stage``/``pipeline``/``DataParallel``/``supervise``,
+every tier checks it per activation, and expiry tears the producer down
+— flush data, deliver :class:`~repro.errors.PipeDeadlineExceeded`,
+close — instead of waiting for channel backpressure to stall it.
+
+**The wire rule: budget, never a timestamp.**  A monotonic clock is
+process-local (CPython: ``time.monotonic`` has an arbitrary, per-boot,
+per-process epoch) and a wall clock is host-local, so an *absolute*
+deadline is meaningless on the far side of a fork or a socket.  A
+deadline therefore crosses every boundary as its **remaining budget**
+(a float, seconds) and is re-anchored against the receiver's own
+monotonic clock on receipt — the ``WIRE_DEADLINE`` envelope and the
+process tier's child argument both carry this form.  Transit time
+eats into the budget unobserved, which errs in the only safe
+direction: a deadline can only ever fire early by the boundary-crossing
+latency, never late, and never jumps when hosts disagree about the
+time of day.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["Deadline", "deadline_from"]
+
+
+class Deadline:
+    """A monotonic expiry point, created from (and shipped as) a budget.
+
+    Immutable and thread-safe (reads of one float).  The same object is
+    deliberately *shared* along a pipeline and across supervised
+    restarts: retries, refreshed pipes, and downstream stages all burn
+    the one budget — a restart does not reset the clock.
+    """
+
+    __slots__ = ("_expiry",)
+
+    def __init__(self, budget: float) -> None:
+        """Expire *budget* seconds from now (negative clamps to 0)."""
+        budget = float(budget)
+        self._expiry = time.monotonic() + max(budget, 0.0)
+
+    @classmethod
+    def after(cls, budget: float) -> "Deadline":
+        """Alias constructor reading as prose: ``Deadline.after(2.5)``."""
+        return cls(budget)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (clamped at 0.0)."""
+        return max(0.0, self._expiry - time.monotonic())
+
+    def expired(self) -> bool:
+        """True once the budget is gone."""
+        return time.monotonic() >= self._expiry
+
+    def budget(self) -> float:
+        """The wire form: remaining seconds, to be re-anchored on
+        receipt with ``Deadline(budget)`` against the receiver's own
+        monotonic clock."""
+        return self.remaining()
+
+    def bound(self, timeout: float | None) -> float:
+        """*timeout* clipped to the remaining budget (None = budget)."""
+        left = self.remaining()
+        if timeout is None:
+            return left
+        return min(timeout, left)
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def deadline_from(value: Any) -> Deadline | None:
+    """Normalize a user-facing ``deadline=`` argument.
+
+    Accepts None (no deadline), a number of seconds of budget, or a
+    :class:`Deadline` (passed through unchanged, so one budget can be
+    shared across a whole pipeline).
+    """
+    if value is None or isinstance(value, Deadline):
+        return value
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ValueError("deadline budget must be >= 0 seconds")
+        return Deadline(float(value))
+    raise TypeError(
+        f"deadline must be None, seconds, or a Deadline, not {value!r}"
+    )

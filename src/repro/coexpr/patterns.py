@@ -24,6 +24,7 @@ from ..errors import ChannelClosedError
 from ..runtime.failure import FAIL
 from .coexpression import CoExpression
 from .dataparallel import apply_mapped, iter_source
+from .deadline import deadline_from
 from .pipe import Pipe
 from .scheduler import PipeScheduler, default_scheduler
 
@@ -65,6 +66,7 @@ def source_pipe(
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
     remote_address: Any = None,
+    deadline: Any = None,
 ) -> Pipe:
     """``|> s`` — stream a source from its own thread (or, with
     ``backend="process"``, from a crash-isolated child process; with
@@ -82,6 +84,7 @@ def source_pipe(
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
         remote_address=remote_address,
+        deadline=deadline,
     )
 
 
@@ -98,6 +101,7 @@ def stage(
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
     remote_address: Any = None,
+    deadline: Any = None,
 ) -> Pipe:
     """``|> fn(!upstream)`` — one pipeline stage in its own thread.
 
@@ -132,6 +136,7 @@ def stage(
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
         remote_address=remote_address,
+        deadline=deadline,
     )
     if hasattr(upstream, "cancel"):
         piped.upstream = upstream
@@ -151,6 +156,7 @@ def pipeline(
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
     remote_address: Any = None,
+    deadline: Any = None,
 ) -> Pipe:
     """Chain *stages* over *source*, one thread per stage.
 
@@ -175,7 +181,12 @@ def pipeline(
     stage — and a shape supervision can replay on reconnect).  If the
     source or any stage cannot be pickled, the pipe degrades to the
     all-thread form.
+
+    ``deadline`` is normalized once and **shared** by the source and
+    every stage — one end-to-end budget for the chain, not a fresh
+    clock per hop.
     """
+    deadline = deadline_from(deadline)
     if backend == "remote" and stages:
         return Pipe(
             CoExpression(
@@ -193,6 +204,7 @@ def pipeline(
             heartbeat_timeout=heartbeat_timeout,
             mp_context=mp_context,
             remote_address=remote_address,
+            deadline=deadline,
         )
     current: Pipe = source_pipe(
         source,
@@ -206,6 +218,7 @@ def pipeline(
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
         remote_address=remote_address,
+        deadline=deadline,
     )
     for fn in stages:
         current = stage(
@@ -221,6 +234,7 @@ def pipeline(
             heartbeat_timeout=heartbeat_timeout,
             mp_context=mp_context,
             remote_address=remote_address,
+            deadline=deadline,
         )
     return current
 

@@ -38,12 +38,18 @@ import time
 from collections import deque
 from typing import Any, Iterator, List
 
-from ..errors import ChannelClosedError, PipeError, PipeTimeoutError
+from ..errors import (
+    ChannelClosedError,
+    PipeDeadlineExceeded,
+    PipeError,
+    PipeTimeoutError,
+)
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
 from ..runtime.failure import FAIL
 from ..runtime.iterator import IconIterator
 from .channel import CLOSED, Channel
 from .coexpression import CoExpression, coexpr_of
+from .deadline import Deadline, deadline_from
 from .scheduler import PipeScheduler, WorkerHandle, default_scheduler
 
 _UNSET = object()
@@ -72,6 +78,7 @@ class Pipe(IconIterator):
         "heartbeat_timeout",
         "mp_context",
         "remote_address",
+        "deadline",
         "upstream",
         "_scheduler",
         "_started",
@@ -105,6 +112,7 @@ class Pipe(IconIterator):
         heartbeat_timeout: float | None = None,
         mp_context: Any = None,
         remote_address: Any = None,
+        deadline: Any = None,
     ) -> None:
         """Wrap *expr* (a co-expression, iterator node, generator factory,
         or iterable) in a threaded proxy with an output channel of
@@ -142,6 +150,15 @@ class Pipe(IconIterator):
         same heartbeat parameters.  A body that cannot be pickled — or a
         server that cannot be reached — degrades to the thread backend
         exactly as the process tier does (see :mod:`repro.net`).
+
+        ``deadline`` bounds the pipe end to end: seconds of budget (or a
+        shared :class:`~repro.coexpr.deadline.Deadline`).  The budget is
+        checked before every spawn (an expired pipe never forks a child
+        or dials a socket), bounds every :meth:`take`, and propagates to
+        the producer — whichever tier it runs on — so expiry actively
+        tears the worker down (data flushed first, then
+        :class:`~repro.errors.PipeDeadlineExceeded`, then close) instead
+        of leaving it computing for a consumer that gave up.
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
@@ -179,6 +196,9 @@ class Pipe(IconIterator):
         self.mp_context = mp_context
         #: ``(host, port)`` of the generator server (remote backend).
         self.remote_address = remote_address
+        #: End-to-end budget (shared along pipelines and across
+        #: supervised restarts — a retry does not reset the clock).
+        self.deadline: Deadline | None = deadline_from(deadline)
         #: The pipe feeding this one, when built by ``patterns.stage`` —
         #: cancellation propagates through it so a dead stage never
         #: leaves its producer blocked on a full channel.
@@ -217,6 +237,14 @@ class Pipe(IconIterator):
         if lifecycle_enabled():
             emit_lifecycle(Event(kind, f"pipe:{self.coexpr.name}", 0, value))
 
+    def _deadline_error(self, where: str) -> PipeDeadlineExceeded:
+        """Record the expiry and build the error to raise/deliver."""
+        self._emit(EventKind.DEADLINE_EXPIRED, {"where": where, "remaining": 0.0})
+        return PipeDeadlineExceeded(
+            f"pipe {self.coexpr.name!r}: deadline exceeded ({where})",
+            where=where,
+        )
+
     # -- worker --------------------------------------------------------------
 
     def start(self) -> "Pipe":
@@ -226,7 +254,16 @@ class Pipe(IconIterator):
         submits the pump/watchdog thread; if the body cannot cross the
         process boundary the pipe degrades to the thread backend in
         place (``DEGRADED`` monitor event, :attr:`degraded` set).
+
+        An already-expired deadline short-circuits *before* any spawn —
+        no child is forked and no socket is dialed past budget; the pipe
+        cancels itself and raises :class:`PipeDeadlineExceeded`.
         """
+        deadline = self.deadline
+        if deadline is not None and not self._started and deadline.expired():
+            error = self._deadline_error("start")
+            self.cancel()
+            raise error
         with self._start_lock:
             if self._started or self._cancelled:
                 return self
@@ -272,8 +309,11 @@ class Pipe(IconIterator):
             return
         out = self.out
         coexpr = self.coexpr
+        deadline = self.deadline
         try:
             while not self._cancelled:
+                if deadline is not None and deadline.expired():
+                    raise self._deadline_error("producer")
                 value = coexpr.activate()
                 if value is FAIL:
                     break
@@ -315,9 +355,12 @@ class Pipe(IconIterator):
         out = self.out
         coexpr = self.coexpr
         batch = self.batch
+        deadline = self.deadline
         buffer: List[Any] = []
         try:
             while not self._cancelled:
+                if deadline is not None and deadline.expired():
+                    raise self._deadline_error("producer")
                 value = coexpr.activate()
                 if value is FAIL:
                     break
@@ -354,8 +397,11 @@ class Pipe(IconIterator):
         coexpr = self.coexpr
         batch = self.batch
         cond = self._buf_cond
+        deadline = self.deadline
         try:
             while not self._cancelled:
+                if deadline is not None and deadline.expired():
+                    raise self._deadline_error("producer")
                 value = coexpr.activate()
                 if value is FAIL:
                     break
@@ -426,7 +472,10 @@ class Pipe(IconIterator):
 
         *timeout* overrides the pipe's ``take_timeout`` for this call;
         expiry raises :class:`PipeTimeoutError` (the pipe stays usable —
-        cancel it to tear the producer down).
+        cancel it to tear the producer down).  A pipe ``deadline`` also
+        bounds the wait, and its expiry is *active*: the pipe cancels
+        itself (tearing down the producer, whichever tier it runs on)
+        and raises :class:`PipeDeadlineExceeded` instead.
         """
         if timeout is _UNSET:
             timeout = self.take_timeout
@@ -437,13 +486,30 @@ class Pipe(IconIterator):
                 return self._pending.popleft()
             except IndexError:
                 pass  # raced with another consumer (fan-out); fall through
-        self.start()
+        deadline = self.deadline
+        if deadline is not None:
+            if deadline.expired():
+                error = self._deadline_error("take")
+                self.cancel()
+                raise error
+            timeout = deadline.bound(timeout)
         try:
+            self.start()
             if self.batch > 1:
                 item = self.out.take_many(self.batch, timeout)
             else:
                 item = self.out.take(timeout)
+        except PipeDeadlineExceeded:
+            # The producer's own expiry envelope (or a start-time
+            # short-circuit): already the right error — tear down and
+            # let it through unwrapped.
+            self.cancel()
+            raise
         except PipeTimeoutError:
+            if deadline is not None and deadline.expired():
+                error = self._deadline_error("take")
+                self.cancel()
+                raise error from None
             self._emit(EventKind.TIMEOUT, timeout)
             raise PipeTimeoutError(
                 f"pipe {self.coexpr.name!r}: no result within {timeout}s"
@@ -530,6 +596,7 @@ class Pipe(IconIterator):
             heartbeat_timeout=self.heartbeat_timeout,
             mp_context=self.mp_context,
             remote_address=self.remote_address,
+            deadline=self.deadline,  # the same budget: a refresh is not a reset
         )
 
     @property

@@ -46,8 +46,9 @@ import threading
 import time
 from typing import Any, Callable
 
-from ..errors import ChannelClosedError, PipeWorkerLost
+from ..errors import ChannelClosedError, PipeDeadlineExceeded, PipeWorkerLost
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+from .deadline import Deadline
 from .wire import (
     WIRE_BEAT,
     WIRE_CLOSE,
@@ -167,6 +168,7 @@ def _child_main(
     batch: int,
     max_linger: float | None,
     heartbeat_interval: float,
+    deadline_budget: float | None = None,
 ) -> None:  # pragma: no cover - runs in the child process
     """Run the worker body and stream wire envelopes to the parent.
 
@@ -177,6 +179,12 @@ def _child_main(
     *max_linger* is set.  A clean run (including a *reported* crash) ends
     with a close envelope and exit code 0 — only a death that skips the
     close is a lost worker.
+
+    *deadline_budget* is the parent pipe's remaining budget in seconds
+    (monotonic clocks do not cross a fork — see
+    :mod:`repro.coexpr.deadline`), re-anchored here against the child's
+    own clock.  Expiry is a reported crash: flush, error envelope
+    (:class:`~repro.errors.PipeDeadlineExceeded`), close, exit 0.
     """
     from ..runtime.failure import FAIL
     from .coexpression import CoExpression
@@ -215,9 +223,15 @@ def _child_main(
 
     threading.Thread(target=beat, daemon=True, name="repro-proc-beat").start()
     coexpr = CoExpression(factory, lambda: env, name=name)
+    deadline = None if deadline_budget is None else Deadline(deadline_budget)
     try:
         try:
             while True:
+                if deadline is not None and deadline.expired():
+                    raise PipeDeadlineExceeded(
+                        f"pipe {name!r}: deadline exceeded (producer)",
+                        where="producer",
+                    )
                 value = coexpr.activate()
                 if value is FAIL:
                     break
@@ -297,6 +311,7 @@ class ProcessWorker:
                 max(pipe.batch, 1),
                 pipe.max_linger,
                 interval,
+                None if pipe.deadline is None else pipe.deadline.remaining(),
             ),
             name=f"repro-proc-{coexpr.name}",
             daemon=True,
@@ -474,6 +489,18 @@ def start_process_worker(pipe: Any, scheduler: Any) -> ProcessWorker | None:
                         {"pid": worker.process.pid},
                     )
                 )
+                if pipe.deadline is not None:
+                    emit_lifecycle(
+                        Event(
+                            EventKind.DEADLINE_PROPAGATED,
+                            f"pipe:{pipe.coexpr.name}",
+                            0,
+                            {
+                                "remaining": pipe.deadline.remaining(),
+                                "transport": "process",
+                            },
+                        )
+                    )
             return worker
     pipe._degraded = reason
     if lifecycle_enabled():

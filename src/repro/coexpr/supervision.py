@@ -59,6 +59,7 @@ from ..runtime.failure import FAIL
 from ..runtime.iterator import IconIterator
 from .coexpression import CoExpression, coexpr_of
 from .dataparallel import apply_mapped, iter_source
+from .deadline import deadline_from
 from .pipe import Pipe
 from .scheduler import PipeScheduler
 
@@ -294,8 +295,13 @@ class SupervisedPipe(IconIterator):
     reaching the consumer.  When the budget is exhausted the take raises
     :class:`RetryExhaustedError` chained to the last producer error.
 
-    Deadline expiry (:class:`PipeTimeoutError`) is *not* retried — a slow
+    Timeout expiry (:class:`PipeTimeoutError`) is *not* retried — a slow
     producer is not a crashed one; the caller decides whether to cancel.
+    The same rule covers an end-to-end ``deadline``
+    (:class:`~repro.errors.PipeDeadlineExceeded` subclasses it): there
+    is no budget left to retry *in*, and because the one
+    :class:`~repro.coexpr.deadline.Deadline` object is shared across
+    restarts, a refreshed pipe cannot reset the clock either.
     """
 
     __slots__ = (
@@ -311,10 +317,12 @@ class SupervisedPipe(IconIterator):
         "heartbeat_timeout",
         "mp_context",
         "remote_address",
+        "deadline",
         "restart",
         "upstream",
         "_scheduler",
         "_sleep",
+        "_cancel_event",
         "_coexpr",
         "_pipe",
         "_failures",
@@ -340,6 +348,7 @@ class SupervisedPipe(IconIterator):
         heartbeat_timeout: float | None = None,
         mp_context: Any = None,
         remote_address: Any = None,
+        deadline: Any = None,
         sleep: Callable[[float], None] = time.sleep,
         restart: str = "replay",
         upstream: Any = None,
@@ -369,12 +378,18 @@ class SupervisedPipe(IconIterator):
         self.heartbeat_timeout = heartbeat_timeout
         self.mp_context = mp_context
         self.remote_address = remote_address
+        #: One normalized Deadline shared by every (re)spawned pipe:
+        #: restarts burn the same budget, never a fresh one.
+        self.deadline = deadline_from(deadline)
         self.restart = restart
         #: Optional upstream pipe to cancel when supervision gives up
         #: (exhaust) or is cancelled — keeps the producer chain leak-free.
         self.upstream = upstream
         self._scheduler = scheduler
         self._sleep = sleep
+        #: Set by cancel(): makes a backoff sleep in progress return
+        #: immediately instead of serving out its full delay.
+        self._cancel_event = threading.Event()
         self._pipe = self._make_pipe()
         self._failures = 0       # producer crashes seen so far
         self._delivered = 0      # results handed to the consumer
@@ -395,6 +410,7 @@ class SupervisedPipe(IconIterator):
             heartbeat_timeout=self.heartbeat_timeout,
             mp_context=self.mp_context,
             remote_address=self.remote_address,
+            deadline=self.deadline,
         )
 
     # -- lifecycle events -----------------------------------------------------
@@ -443,7 +459,15 @@ class SupervisedPipe(IconIterator):
             {"attempt": self._failures, "delay": delay, "error": repr(error)},
         )
         if delay:
-            self._sleep(delay)
+            if self._sleep is time.sleep:
+                # The default sleep waits on the cancel event instead:
+                # cancel(join=True) mid-backoff returns immediately
+                # rather than serving out the delay.  An *injected*
+                # sleep is still called directly — tests rely on seeing
+                # the exact delays the policy computed.
+                self._cancel_event.wait(delay)
+            else:
+                self._sleep(delay)
         self._pipe.cancel()
         self._coexpr = self._coexpr.refresh()
         self._pipe = self._make_pipe()
@@ -472,6 +496,7 @@ class SupervisedPipe(IconIterator):
         (closing the channel makes the take return :data:`FAIL`).
         """
         self._cancelled = True
+        self._cancel_event.set()  # interrupt a backoff sleep in progress
         done = self._pipe.cancel(join=join, timeout=timeout)
         upstream = self.upstream
         if upstream is not None:
@@ -525,6 +550,7 @@ def supervise(
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
     remote_address: Any = None,
+    deadline: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     restart: str = "replay",
     name: str | None = None,
@@ -557,6 +583,7 @@ def supervise(
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
         remote_address=remote_address,
+        deadline=deadline,
         sleep=sleep,
         restart=restart,
         name=name,
@@ -583,6 +610,7 @@ def supervised_stage(
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
     remote_address: Any = None,
+    deadline: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
     stage_key: Any = None,
@@ -643,6 +671,7 @@ def supervised_stage(
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
         remote_address=remote_address,
+        deadline=deadline,
         sleep=sleep,
         restart="resume",
         upstream=up_pipe,
@@ -665,6 +694,7 @@ def supervised_pipeline(
     heartbeat_timeout: float | None = None,
     mp_context: Any = None,
     remote_address: Any = None,
+    deadline: Any = None,
     sleep: Callable[[float], None] = time.sleep,
     fault_plan: FaultPlan | None = None,
 ) -> Any:
@@ -691,6 +721,9 @@ def supervised_pipeline(
     """
     from .patterns import _remote_pipeline_body, source_pipe
 
+    # Normalize once: the source and every stage share ONE budget — the
+    # deadline is end-to-end, not per stage.
+    deadline = deadline_from(deadline)
     if backend == "remote" and stages:
         coexpr = CoExpression(
             _remote_pipeline_body,
@@ -711,6 +744,7 @@ def supervised_pipeline(
             heartbeat_timeout=heartbeat_timeout,
             mp_context=mp_context,
             remote_address=remote_address,
+            deadline=deadline,
             sleep=sleep,
             restart="replay",
         )
@@ -725,6 +759,7 @@ def supervised_pipeline(
         heartbeat_timeout=heartbeat_timeout,
         mp_context=mp_context,
         remote_address=remote_address,
+        deadline=deadline,
     )
     for index, fn in enumerate(stages, start=1):
         current = supervised_stage(
@@ -742,6 +777,7 @@ def supervised_pipeline(
             heartbeat_timeout=heartbeat_timeout,
             mp_context=mp_context,
             remote_address=remote_address,
+            deadline=deadline,
             sleep=sleep,
             fault_plan=fault_plan,
             stage_key=index,

@@ -53,6 +53,11 @@ WIRE_ERROR = "error"
 WIRE_CLOSE = "close"
 #: ``(WIRE_BEAT, monotonic_time)`` — liveness only; never enters the channel.
 WIRE_BEAT = "beat"
+#: ``(WIRE_BUSY, retry_after)`` — admission control: the server is at
+#: capacity and is closing instead of serving; dial again after
+#: *retry_after* seconds.  Sent before any session exists, so it is the
+#: one server->client envelope that can be the entire conversation.
+WIRE_BUSY = "busy"
 
 # ---------------------------------------------------------------------------
 # Consumer -> server kinds (the network tier's request/control channel).
@@ -67,6 +72,13 @@ WIRE_CALL = "call"
 WIRE_CREDIT = "credit"
 #: ``(WIRE_CANCEL,)`` — the consumer abandoned the stream; stop producing.
 WIRE_CANCEL = "cancel"
+#: ``(WIRE_DEADLINE, remaining_seconds)`` — the stream's budget.  Always
+#: *remaining* time, never an absolute timestamp: monotonic clocks have
+#: per-process epochs and wall clocks are host-local, so the receiver
+#: re-anchors the budget against its own clock on receipt (see
+#: :mod:`repro.coexpr.deadline`).  Primitive payload, so it survives the
+#: restricted unpickler of an ``allow_spawn=False`` server.
+WIRE_DEADLINE = "deadline"
 
 
 # ---------------------------------------------------------------------------

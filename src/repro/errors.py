@@ -82,6 +82,28 @@ class PipeTimeoutError(ConcurrencyError, TimeoutError):
     """
 
 
+class PipeDeadlineExceeded(PipeTimeoutError):
+    """A pipe's end-to-end deadline budget ran out.
+
+    Distinct from a plain :class:`PipeTimeoutError` (one ``take`` waited
+    too long; the stream may still be healthy): a deadline is a budget
+    for the *whole* stream, threaded through every tier — when it
+    expires the producer is actively stopped (thread flagged, child
+    terminated, remote session cancelled), not merely abandoned.
+
+    Subclasses :class:`PipeTimeoutError` so supervision's
+    never-retry-a-timeout rule applies automatically: a stream past its
+    budget must not be replayed, because the replay is *also* past
+    budget.  :attr:`where` records which side noticed first —
+    ``"start"`` (short-circuited before spawn), ``"take"`` (consumer),
+    or ``"producer"`` (the worker/child/session's own check).
+    """
+
+    def __init__(self, message: str, where: str = "") -> None:
+        super().__init__(message)
+        self.where = where
+
+
 class PipeWorkerLost(PipeError):
     """A process-backed pipe worker died without reporting a result.
 
@@ -126,6 +148,31 @@ class PipeConnectionLost(PipeError):
         super().__init__(message)
         self.address = address
         self.reason = reason
+
+
+class PipeServerBusy(PipeConnectionLost):
+    """A generator server shed the connection instead of serving it.
+
+    Raised at the consumer when the server answered the dial with a
+    ``WIRE_BUSY`` envelope (admission control: the server is at
+    ``max_sessions``) and closed.  :attr:`retry_after` is the server's
+    hint, in seconds, for when capacity may free up — the client-side
+    circuit breaker uses it as the open-state cooldown.
+
+    Subclasses :class:`PipeConnectionLost`, so supervision treats a shed
+    dial as a retryable fault; consecutive sheds trip the breaker, after
+    which ``backend="remote"`` degrades to the thread tier instead of
+    hammering an overloaded server.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        address: object = None,
+        retry_after: float = 0.0,
+    ) -> None:
+        super().__init__(message, address=address, reason="server at capacity")
+        self.retry_after = retry_after
 
 
 class RetryExhaustedError(PipeError):

@@ -58,6 +58,26 @@ class EventKind:
     NET_SESSION = "net-session"
     NET_LOST = "net-lost"
 
+    # Deadline propagation (the overload-protection layer): a budget
+    # shipped across a process/socket boundary as remaining seconds
+    # (``{"remaining": ..., "transport": "process" | "remote"}``) and a
+    # budget running out (``{"where": "start" | "take" | "producer" |
+    # "session", "remaining": 0.0}``) — ``start`` means the spawn was
+    # short-circuited before any child forked or socket dialed.
+    DEADLINE_PROPAGATED = "deadline-propagated"
+    DEADLINE_EXPIRED = "deadline-expired"
+
+    # Admission control and the client-side circuit breaker: a server
+    # shedding a connection at capacity (``{"active": ..., "max_sessions":
+    # ..., "retry_after": ...}``), the breaker tripping open for an
+    # address (``{"address": ..., "failures": ..., "retry_after": ...}``),
+    # a half-open probe being admitted, and the breaker closing again
+    # after a healthy stream.
+    SHED = "shed"
+    BREAKER_OPEN = "breaker-open"
+    BREAKER_PROBE = "breaker-probe"
+    BREAKER_CLOSE = "breaker-close"
+
     ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
     LIFECYCLE = (
         START,
@@ -72,6 +92,12 @@ class EventKind:
         NET_CONNECT,
         NET_SESSION,
         NET_LOST,
+        DEADLINE_PROPAGATED,
+        DEADLINE_EXPIRED,
+        SHED,
+        BREAKER_OPEN,
+        BREAKER_PROBE,
+        BREAKER_CLOSE,
     )
     ALL = ITERATION + LIFECYCLE
 

@@ -244,6 +244,55 @@ class Tracer:
                     stats["reasons"].append(value["reason"])
         return out
 
+    def health_stats(self) -> dict:
+        """Per-node overload/deadline summary from collected lifecycle
+        events: ``{node: {deadline_expired, deadline_propagated, shed,
+        breaker_opens, breaker_probes, breaker_closes, wheres,
+        addresses}}``.
+
+        ``deadline_expired`` counts budget expiries (with the ``wheres``
+        they fired — ``start``/``take``/``producer``/``session``),
+        ``deadline_propagated`` counts budgets shipped across a
+        process/socket boundary, ``shed`` counts server-side admission
+        rejections, and the ``breaker_*`` counters trace the client
+        circuit breaker's open/probe/close transitions (with the
+        ``addresses`` involved) — together they show whether abandoned
+        work was actively reclaimed and how the stack behaved under
+        overload."""
+        kinds = {
+            EventKind.DEADLINE_EXPIRED: "deadline_expired",
+            EventKind.DEADLINE_PROPAGATED: "deadline_propagated",
+            EventKind.SHED: "shed",
+            EventKind.BREAKER_OPEN: "breaker_opens",
+            EventKind.BREAKER_PROBE: "breaker_probes",
+            EventKind.BREAKER_CLOSE: "breaker_closes",
+        }
+        out: dict = {}
+        for event in self.events:
+            counter = kinds.get(event.kind)
+            if counter is None:
+                continue
+            stats = out.setdefault(
+                event.node,
+                {
+                    "deadline_expired": 0,
+                    "deadline_propagated": 0,
+                    "shed": 0,
+                    "breaker_opens": 0,
+                    "breaker_probes": 0,
+                    "breaker_closes": 0,
+                    "wheres": [],
+                    "addresses": [],
+                },
+            )
+            stats[counter] += 1
+            value = event.value if isinstance(event.value, dict) else {}
+            if event.kind == EventKind.DEADLINE_EXPIRED and "where" in value:
+                stats["wheres"].append(value["where"])
+            if "address" in value:
+                stats["addresses"].append(value["address"])
+        return out
+
     def transcript(self, limit: int | None = None) -> str:
         """A readable, indented trace of the evaluation."""
         events = self.events if limit is None else self.events[:limit]

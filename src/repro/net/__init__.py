@@ -21,15 +21,30 @@ Two client shapes:
 
 A dead connection surfaces as
 :class:`~repro.errors.PipeConnectionLost`, which supervision treats as
-a retryable fault: reconnect and replay.
+a retryable fault: reconnect and replay.  An *overloaded* server sheds
+instead of hanging — it answers the dial with ``WIRE_BUSY`` and a
+retry hint, surfacing :class:`~repro.errors.PipeServerBusy`; repeated
+busy/lost outcomes trip a per-address :class:`CircuitBreaker` that
+fails fast (and lets ``backend="remote"`` degrade to threads) until a
+half-open probe finds the server healthy again.
 """
 
-from .client import RemotePipe, remote_unsafe_reason, start_remote_worker
+from .client import (
+    CircuitBreaker,
+    RemotePipe,
+    breaker_for,
+    remote_unsafe_reason,
+    reset_breakers,
+    start_remote_worker,
+)
 from .server import GeneratorServer
 
 __all__ = [
+    "CircuitBreaker",
     "GeneratorServer",
     "RemotePipe",
+    "breaker_for",
     "remote_unsafe_reason",
+    "reset_breakers",
     "start_remote_worker",
 ]

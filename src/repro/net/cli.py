@@ -5,6 +5,13 @@ Factories are published with ``--serve NAME=MODULE:ATTR`` (repeatable);
 server prints ``listening on HOST:PORT`` once bound (machine-parseable
 for ephemeral ports) and shuts down gracefully — draining every open
 session — on SIGTERM or SIGINT, exiting 0.
+
+Operational limits mirror the :class:`GeneratorServer` kwargs:
+``--max-sessions`` (shed over-capacity dials with a busy reply whose
+hint is ``--retry-after``), ``--max-credit`` / ``--max-batch``
+(per-session flow-control quotas), and ``--stall-intervals`` /
+``--heartbeat-interval`` (liveness tuning).  Defaults are unchanged
+from the in-process constructor.
 """
 
 from __future__ import annotations
@@ -66,16 +73,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="seconds between liveness beats on idle connections",
     )
+    parser.add_argument(
+        "--stall-intervals",
+        type=float,
+        default=None,
+        help="silent heartbeat intervals before a client is declared "
+        "stalled and its session killed (default: server default)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="concurrent session cap; over-capacity dials are shed with "
+        "a busy reply instead of queued (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-credit",
+        type=int,
+        default=None,
+        help="per-session outstanding flow-control credit quota, in "
+        "slices (default: client-controlled)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="per-session coalescing slice cap, in elements "
+        "(default: client-controlled)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        help="retry hint, in seconds, sent with busy replies when "
+        "shedding load",
+    )
     return parser
 
 
 def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
+    limits: dict[str, Any] = {}
+    if args.stall_intervals is not None:
+        limits["stall_intervals"] = args.stall_intervals
     server = GeneratorServer(
         host=args.host,
         port=args.port,
         heartbeat_interval=args.heartbeat_interval,
         allow_spawn=not args.no_spawn,
+        max_sessions=args.max_sessions,
+        max_credit=args.max_credit,
+        max_batch=args.max_batch,
+        retry_after=args.retry_after,
+        **limits,
     )
     for spec in args.serve:
         server.register(*_resolve(spec))

@@ -27,25 +27,36 @@ Degradation mirrors :mod:`repro.coexpr.proc`: a body that cannot leave
 the process (:func:`~repro.coexpr.proc.body_portability_reason`), a
 body that does not pickle, or a server that cannot be reached all fall
 back to the thread backend with a ``DEGRADED`` monitor event.
+
+A per-address :class:`CircuitBreaker` sits in front of every dial:
+consecutive ``WIRE_BUSY`` sheds and connection losses trip it open, and
+while open ``backend="remote"`` degrades to the thread tier *without
+dialing* — a saturated server stops being hammered by reconnect storms.
+After the shed's ``retry_after`` lapses the breaker admits one half-open
+probe; a healthy stream closes it again.
 """
 
 from __future__ import annotations
 
 import pickle
 import socket
+import threading
 import time
 from typing import Any, Iterator
 
 from ..coexpr.channel import CLOSED, Channel
+from ..coexpr.deadline import deadline_from
 from ..coexpr.proc import body_portability_reason
 from ..coexpr.scheduler import PipeScheduler, default_scheduler
 from ..coexpr.wire import (
     WIRE_BEAT,
+    WIRE_BUSY,
     WIRE_CALL,
     WIRE_CANCEL,
     WIRE_CLOSE,
     WIRE_CREDIT,
     WIRE_DATA,
+    WIRE_DEADLINE,
     WIRE_ERROR,
     WIRE_SPAWN,
     FrameError,
@@ -55,7 +66,9 @@ from ..coexpr.wire import (
 from ..errors import (
     ChannelClosedError,
     PipeConnectionLost,
+    PipeDeadlineExceeded,
     PipeError,
+    PipeServerBusy,
     PipeTimeoutError,
 )
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
@@ -69,7 +82,127 @@ _CONNECT_TIMEOUT = 5.0
 #: Watchdog default: this many silent heartbeat intervals = a dead session.
 _TIMEOUT_INTERVALS = 10
 
+#: Consecutive failures (sheds or connection losses) that trip a breaker.
+_BREAKER_THRESHOLD = 3
+#: Open-state hold when the failure carried no ``retry_after`` hint.
+_BREAKER_COOLDOWN = 0.5
+
 _UNSET = object()
+
+
+class CircuitBreaker:
+    """Per-address overload memory: closed → open → half-open → closed.
+
+    Every remote dial consults the breaker for its target address.
+    While **closed** (healthy) dials pass through; *threshold*
+    consecutive failures — a ``WIRE_BUSY`` shed, a refused or lost
+    connection — trip it **open**, and :meth:`allow` then answers False
+    until the failure's ``retry_after`` (or a default cooldown) lapses.
+    The first dial after that is the **half-open probe**: exactly one
+    caller is admitted while the others keep failing fast; the probe's
+    outcome (a healthy stream vs. another failure) closes or re-opens
+    the breaker.
+
+    Thread-safe; shared process-wide per address via :func:`breaker_for`.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, address: Any, threshold: int = _BREAKER_THRESHOLD) -> None:
+        self.address = address
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._until = 0.0  # monotonic instant the open hold lapses
+
+    def _emit(self, kind: str, value: dict) -> None:
+        if lifecycle_enabled():
+            try:
+                host, port = self.address
+                node = f"breaker:{host}:{port}"
+            except (TypeError, ValueError):
+                node = f"breaker:{self.address!r}"
+            emit_lifecycle(Event(kind, node, 0, value))
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def remaining(self) -> float:
+        """Seconds until an open breaker will admit its probe."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(0.0, self._until - time.monotonic())
+
+    def allow(self) -> bool:
+        """May this dial proceed?  (Admits the one half-open probe.)"""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN and time.monotonic() >= self._until:
+                self._state = self.HALF_OPEN
+                self._emit(
+                    EventKind.BREAKER_PROBE,
+                    {"address": self.address, "failures": self._failures},
+                )
+                return True
+            # OPEN within the hold, or a probe already in flight.
+            return False
+
+    def record_failure(self, retry_after: float | None = None) -> None:
+        """One shed/lost outcome; trips the breaker at the threshold
+        (immediately when it burns the half-open probe)."""
+        with self._lock:
+            self._failures += 1
+            probe_failed = self._state == self.HALF_OPEN
+            if not probe_failed and self._failures < self.threshold:
+                return
+            hold = retry_after if retry_after else _BREAKER_COOLDOWN
+            self._state = self.OPEN
+            self._until = time.monotonic() + hold
+            self._emit(
+                EventKind.BREAKER_OPEN,
+                {
+                    "address": self.address,
+                    "failures": self._failures,
+                    "retry_after": hold,
+                },
+            )
+
+    def record_success(self) -> None:
+        """A healthy stream: close the breaker, forget the failures."""
+        with self._lock:
+            reopened = self._state != self.CLOSED
+            self._state = self.CLOSED
+            self._failures = 0
+            self._until = 0.0
+            if reopened:
+                self._emit(EventKind.BREAKER_CLOSE, {"address": self.address})
+
+
+_breakers: dict = {}
+_breakers_lock = threading.Lock()
+
+
+def breaker_for(address: Any) -> CircuitBreaker:
+    """The process-wide breaker for *address* (created on first use)."""
+    key = tuple(address) if isinstance(address, (list, tuple)) else address
+    with _breakers_lock:
+        breaker = _breakers.get(key)
+        if breaker is None:
+            breaker = _breakers[key] = CircuitBreaker(key)
+        return breaker
+
+
+def reset_breakers() -> None:
+    """Forget every breaker (test isolation between server lifetimes)."""
+    with _breakers_lock:
+        _breakers.clear()
 
 
 def remote_unsafe_reason(pipe: Any) -> str | None:
@@ -111,6 +244,7 @@ class RemoteWorker:
         "heartbeat_timeout",
         "handle",
         "lost",
+        "_healthy",
     )
 
     def __init__(
@@ -138,6 +272,9 @@ class RemoteWorker:
         self.handle: Any = None
         #: The loss verdict once the watchdog fired (None while healthy).
         self.lost: PipeConnectionLost | None = None
+        #: True once the stream proved the server healthy (first data /
+        #: error / close envelope) and the breaker heard about it.
+        self._healthy = False
 
     # -- lifecycle events ------------------------------------------------------
 
@@ -148,14 +285,25 @@ class RemoteWorker:
     # -- handshake -------------------------------------------------------------
 
     def handshake(self) -> None:
-        """Ship the request and the initial credit grant."""
+        """Ship the request, the initial credit grant, and (when the
+        owner carries one) the deadline budget — remaining seconds, the
+        only form that survives a clock boundary."""
         self.framer.send(self.request)
         self.framer.send((WIRE_CREDIT, self.window))
+        deadline = getattr(self.owner, "deadline", None)
+        if deadline is not None:
+            remaining = deadline.remaining()
+            self.framer.send((WIRE_DEADLINE, remaining))
+            self._emit(
+                EventKind.DEADLINE_PROPAGATED,
+                {"remaining": remaining, "transport": "remote"},
+            )
         self.framer.sock.settimeout(_POLL_SLICE)
 
     # -- pump / watchdog -------------------------------------------------------
 
     def _mark_lost(self, reason: str) -> None:
+        breaker_for(self.address).record_failure()
         self.lost = PipeConnectionLost(
             f"pipe {self.name!r}: remote session lost ({reason})",
             address=self.address,
@@ -169,6 +317,35 @@ class RemoteWorker:
             self.owner.out.put_error(self.lost)
         except ChannelClosedError:
             pass  # consumer cancelled while the session was dying
+
+    def _mark_busy(self, retry_after: float) -> None:
+        """The server shed us (``WIRE_BUSY``): a retryable loss that
+        feeds the breaker its ``retry_after`` hint."""
+        breaker_for(self.address).record_failure(retry_after)
+        busy = PipeServerBusy(
+            f"pipe {self.name!r}: server at {self.address!r} shed the "
+            f"connection (retry after {retry_after:.2f}s)",
+            address=self.address,
+            retry_after=retry_after,
+        )
+        self.lost = busy
+        self._emit(
+            EventKind.NET_LOST,
+            {"reason": "server at capacity", "address": self.address},
+        )
+        self.owner._errored = True
+        try:
+            self.owner.out.put_error(busy)
+        except ChannelClosedError:
+            pass  # consumer cancelled while being shed
+
+    def _mark_healthy(self) -> None:
+        # First substantive envelope: the server accepted and ran the
+        # session, so the breaker's failure streak is over (a long
+        # stream must not wait for WIRE_CLOSE to close the breaker).
+        if not self._healthy:
+            self._healthy = True
+            breaker_for(self.address).record_success()
 
     def pump(self) -> None:
         """Forward wire envelopes into the owner's channel; watch liveness.
@@ -207,6 +384,7 @@ class RemoteWorker:
                 deadline = time.monotonic() + self.heartbeat_timeout
                 kind = envelope[0]
                 if kind == WIRE_DATA:
+                    self._mark_healthy()
                     slice_ = envelope[1]
                     out.put_many(slice_)
                     if self.window is not None and slice_:
@@ -220,10 +398,16 @@ class RemoteWorker:
                             self._mark_lost(f"transport error: {error!r}")
                             return
                 elif kind == WIRE_ERROR:
+                    self._mark_healthy()  # the *server* worked; the body crashed
                     owner._errored = True
                     closed = out.feed_wire(kind, decode_error(envelope[1]))
                 elif kind == WIRE_CLOSE:
+                    self._mark_healthy()
                     closed = True
+                elif kind == WIRE_BUSY:
+                    retry_after = envelope[1] if len(envelope) > 1 else 0.0
+                    self._mark_busy(float(retry_after))
+                    return
                 elif kind != WIRE_BEAT:
                     self._mark_lost(f"protocol violation: {kind!r} envelope")
                     return
@@ -311,29 +495,42 @@ def start_remote_worker(pipe: Any, scheduler: Any) -> RemoteWorker | None:
     degradation: it propagates
     :class:`~repro.errors.SchedulerShutdownError` exactly as the other
     backends do.
+
+    An open :class:`CircuitBreaker` for the target address degrades
+    *without dialing* — while the server is shedding (or down), remote
+    requests run on the thread tier instead of feeding a reconnect
+    storm; the breaker's half-open probe decides when to go back.
     """
     reason = remote_unsafe_reason(pipe)
     if reason is None:
-        coexpr = pipe.coexpr
-        request = (
-            WIRE_SPAWN,
-            {
-                "body": pickle.dumps(
-                    (coexpr._factory, coexpr._env),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                ),
-                "name": coexpr.name,
-                "batch": max(pipe.batch, 1),
-                "max_linger": pipe.max_linger,
-                "heartbeat_interval": pipe.heartbeat_interval,
-            },
-        )
-        try:
-            return _connect_worker(
-                pipe, scheduler, pipe.remote_address, coexpr.name, request
+        breaker = breaker_for(pipe.remote_address)
+        if not breaker.allow():
+            reason = (
+                f"circuit breaker open for {pipe.remote_address!r} "
+                f"(probe in {breaker.remaining():.2f}s)"
             )
-        except (OSError, EOFError) as error:
-            reason = f"connect to {pipe.remote_address!r} failed: {error!r}"
+        else:
+            coexpr = pipe.coexpr
+            request = (
+                WIRE_SPAWN,
+                {
+                    "body": pickle.dumps(
+                        (coexpr._factory, coexpr._env),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ),
+                    "name": coexpr.name,
+                    "batch": max(pipe.batch, 1),
+                    "max_linger": pipe.max_linger,
+                    "heartbeat_interval": pipe.heartbeat_interval,
+                },
+            )
+            try:
+                return _connect_worker(
+                    pipe, scheduler, pipe.remote_address, coexpr.name, request
+                )
+            except (OSError, EOFError) as error:
+                breaker.record_failure()
+                reason = f"connect to {pipe.remote_address!r} failed: {error!r}"
     pipe._degraded = reason
     if lifecycle_enabled():
         emit_lifecycle(
@@ -368,6 +565,7 @@ class RemotePipe(IconIterator):
         "batch",
         "heartbeat_interval",
         "heartbeat_timeout",
+        "deadline",
         "upstream",
         "_scheduler",
         "_worker",
@@ -387,6 +585,7 @@ class RemotePipe(IconIterator):
         batch: int = 1,
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
+        deadline: Any = None,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be >= 1")
@@ -402,12 +601,25 @@ class RemotePipe(IconIterator):
             heartbeat_interval if heartbeat_interval is not None else 0.1
         )
         self.heartbeat_timeout = heartbeat_timeout
+        #: End-to-end budget; shipped to the server in the handshake.
+        self.deadline = deadline_from(deadline)
         self.upstream: Any = None
         self._scheduler = scheduler
         self._worker: RemoteWorker | None = None
         self._started = False
         self._cancelled = False
         self._errored = False
+
+    def _emit(self, kind: str, value: Any = None) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"pipe:{self.factory_name}", 0, value))
+
+    def _deadline_error(self, where: str) -> PipeDeadlineExceeded:
+        self._emit(EventKind.DEADLINE_EXPIRED, {"where": where, "remaining": 0.0})
+        return PipeDeadlineExceeded(
+            f"remote pipe {self.factory_name!r}: deadline exceeded ({where})",
+            where=where,
+        )
 
     def _cancel_upstream(self) -> None:
         upstream = self.upstream
@@ -419,9 +631,28 @@ class RemotePipe(IconIterator):
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "RemotePipe":
-        """Connect and start streaming (idempotent; lazy via take)."""
+        """Connect and start streaming (idempotent; lazy via take).
+
+        An expired deadline short-circuits before the dial; an open
+        circuit breaker fails fast with
+        :class:`~repro.errors.PipeServerBusy` (retryable — there is no
+        local body to degrade to).
+        """
         if self._started or self._cancelled:
             return self
+        deadline = self.deadline
+        if deadline is not None and deadline.expired():
+            error = self._deadline_error("start")
+            self.cancel()
+            raise error
+        breaker = breaker_for(self.address)
+        if not breaker.allow():
+            raise PipeServerBusy(
+                f"remote pipe {self.factory_name!r}: circuit breaker open "
+                f"for {self.address!r}",
+                address=self.address,
+                retry_after=breaker.remaining(),
+            )
         self._started = True
         scheduler = self._scheduler or default_scheduler()
         request = (
@@ -444,6 +675,7 @@ class RemotePipe(IconIterator):
             # retrying take() would skip the reconnect and block forever
             # on a channel nothing will ever feed or close.
             self._started = False
+            breaker.record_failure()
             raise PipeConnectionLost(
                 f"remote pipe {self.factory_name!r}: cannot reach "
                 f"{self.address!r} ({error!r})",
@@ -487,6 +719,7 @@ class RemotePipe(IconIterator):
             batch=self.batch,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
+            deadline=self.deadline,  # the same budget: a refresh is not a reset
         )
 
     # -- consumer --------------------------------------------------------------
@@ -495,10 +728,26 @@ class RemotePipe(IconIterator):
         """The next result or :data:`FAIL`; deadline like ``Pipe.take``."""
         if timeout is _UNSET:
             timeout = self.take_timeout
-        self.start()
+        deadline = self.deadline
+        if deadline is not None:
+            if deadline.expired():
+                error = self._deadline_error("take")
+                self.cancel()
+                raise error
+            timeout = deadline.bound(timeout)
         try:
+            self.start()
             item = self.out.take(timeout)
+        except PipeDeadlineExceeded:
+            # The server session's own expiry envelope (or a start-time
+            # short-circuit): tear down and let it through unwrapped.
+            self.cancel()
+            raise
         except PipeTimeoutError:
+            if deadline is not None and deadline.expired():
+                error = self._deadline_error("take")
+                self.cancel()
+                raise error from None
             raise PipeTimeoutError(
                 f"remote pipe {self.factory_name!r}: no result within {timeout}s"
             ) from None

@@ -44,21 +44,24 @@ import warnings
 from typing import Any, Callable
 
 from ..coexpr.coexpression import CoExpression
+from ..coexpr.deadline import Deadline
 from ..coexpr.scheduler import PipeScheduler, default_scheduler
 from ..coexpr.wire import (
     WIRE_BEAT,
+    WIRE_BUSY,
     WIRE_CALL,
     WIRE_CANCEL,
     WIRE_CLOSE,
     WIRE_CREDIT,
     WIRE_DATA,
+    WIRE_DEADLINE,
     WIRE_ERROR,
     WIRE_SPAWN,
     FrameError,
     SocketFramer,
     encode_error,
 )
-from ..errors import PipeError, SchedulerShutdownError
+from ..errors import PipeDeadlineExceeded, PipeError, SchedulerShutdownError
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
 from ..runtime.failure import FAIL
 
@@ -72,6 +75,9 @@ _CREDIT_SLICE = 0.1
 #: intervals is dead: the session is killed (the server-side mirror of
 #: the client watchdog's ``_TIMEOUT_INTERVALS``).
 _STALL_INTERVALS = 10
+#: How long a shed connection's lingering half-close drains the
+#: client's in-flight handshake before the socket is abandoned.
+_SHED_LINGER = 0.5
 
 
 def _is_loopback(host: str) -> bool:
@@ -99,6 +105,8 @@ class Session:
         "_cond",
         "_order",
         "_credit",
+        "_greedy",
+        "_deadline",
         "_buffer",
         "_buf_oldest",
         "_killed",
@@ -132,6 +140,12 @@ class Session:
         #: unbounded).  Starts at zero: nothing is sent before the first
         #: grant, which the client ships right behind its request.
         self._credit: int | None = 0
+        #: True once a quota clamped an *unlimited* grant: the sender
+        #: self-replenishes credit (the client will never send more).
+        self._greedy = False
+        #: Budget received in a ``WIRE_DEADLINE`` envelope, re-anchored
+        #: against this host's monotonic clock.
+        self._deadline: Deadline | None = None
         self._buffer: list = []
         self._buf_oldest = 0.0
         self._killed = False
@@ -193,12 +207,29 @@ class Session:
     # -- credit ----------------------------------------------------------------
 
     def grant(self, amount: int | None) -> None:
-        """Apply one ``WIRE_CREDIT`` envelope (None = unlimited)."""
+        """Apply one ``WIRE_CREDIT`` envelope (None = unlimited).
+
+        A server ``max_credit`` quota caps outstanding credit here, at
+        the grant path — the one place every credit enters.  Bounded
+        grants accumulate only up to the quota.  An *unlimited* grant
+        (the client's channel is unbounded, so it will never send
+        another credit envelope) becomes quota-sized **greedy** credit
+        instead: :meth:`_flush` self-replenishes it, so the stream
+        proceeds in quota-sized slices rather than wedging on a
+        replenishment that cannot come.
+        """
+        quota = self.server.max_credit
         with self._cond:
             if amount is None:
-                self._credit = None
+                if quota is None:
+                    self._credit = None
+                else:
+                    self._greedy = True
+                    self._credit = quota
             elif self._credit is not None:
                 self._credit += amount
+                if quota is not None and self._credit > quota:
+                    self._credit = quota
             self._cond.notify_all()
 
     # -- sender ----------------------------------------------------------------
@@ -248,7 +279,10 @@ class Session:
                 return
             with self._cond:
                 if self._buffer and self._credit == 0 and not self._killed:
-                    self._cond.wait(_CREDIT_SLICE)
+                    if self._greedy:
+                        self._credit = self.server.max_credit
+                    else:
+                        self._cond.wait(_CREDIT_SLICE)
 
     def _append(self, value: Any) -> None:
         with self._cond:
@@ -297,6 +331,11 @@ class Session:
         request = payload[0]
         self.request_name = request.get("name") or kind
         self.batch = max(int(request.get("batch", 1)), 1)
+        if self.server.max_batch is not None:
+            # The coalescing buffer holds up to one batch before the
+            # sender blocks on credit, so this caps per-session buffered
+            # items no matter what slice size the client asks for.
+            self.batch = min(self.batch, self.server.max_batch)
         self.max_linger = request.get("max_linger")
         interval = request.get("heartbeat_interval")
         if interval:
@@ -316,6 +355,25 @@ class Session:
     def _stream(self, coexpr: CoExpression) -> None:
         try:
             while not self._stopping():
+                deadline = self._deadline
+                if deadline is not None and deadline.expired():
+                    # A reported crash, not a kill: _send_failure flushes
+                    # buffered data first, so the client still receives
+                    # everything produced within budget.
+                    if lifecycle_enabled():
+                        emit_lifecycle(
+                            Event(
+                                EventKind.DEADLINE_EXPIRED,
+                                f"pipe:{self.request_name}",
+                                0,
+                                {"where": "session", "remaining": 0.0},
+                            )
+                        )
+                    raise PipeDeadlineExceeded(
+                        f"session {self.request_name!r}: deadline exceeded "
+                        "(session)",
+                        where="session",
+                    )
                 value = coexpr.activate()
                 if value is FAIL:
                     break
@@ -370,7 +428,8 @@ class Session:
                     if stall_deadline is None:
                         stall_deadline = (
                             time.monotonic()
-                            + _STALL_INTERVALS * self.heartbeat_interval
+                            + self.server.stall_intervals
+                            * self.heartbeat_interval
                         )
                     elif time.monotonic() >= stall_deadline:
                         self.kill()  # stalled mid-frame: a dead client
@@ -421,6 +480,14 @@ class Session:
             kind = envelope[0]
             if kind == WIRE_CREDIT:
                 self.grant(envelope[1] if len(envelope) > 1 else None)
+            elif kind == WIRE_DEADLINE:
+                # Budget, never a timestamp: re-anchor against our own
+                # monotonic clock (see repro.coexpr.deadline).
+                budget = envelope[1] if len(envelope) > 1 else 0.0
+                try:
+                    self._deadline = Deadline(float(budget))
+                except (TypeError, ValueError):
+                    pass  # malformed budget: ignore, don't kill the stream
             elif kind == WIRE_CANCEL:
                 self.kill()
                 break
@@ -486,6 +553,18 @@ class GeneratorServer:
     default), and every session registers with its session accounting —
     a shut-down scheduler closes the server's connections along with
     everything else it owns.
+
+    **Admission control.**  ``max_sessions`` bounds concurrently open
+    sessions: an over-capacity dial is answered with a single
+    ``WIRE_BUSY(retry_after)`` envelope and closed — load is *shed*,
+    never silently queued, so the client fails fast (and its circuit
+    breaker learns the server is saturated) instead of hanging.
+    ``max_credit`` caps each session's outstanding flow-control credit
+    and ``max_batch`` caps its coalescing slice, so one greedy client
+    cannot make the server buffer unboundedly on its behalf.
+    ``stall_intervals`` tunes how many silent heartbeat intervals a
+    mid-frame client gets before its session is killed (the hostile/
+    wedged-client bound).
     """
 
     def __init__(
@@ -496,15 +575,42 @@ class GeneratorServer:
         heartbeat_interval: float = 0.1,
         allow_spawn: bool = True,
         name: str = "genserver",
+        max_sessions: int | None = None,
+        max_credit: int | None = None,
+        max_batch: int | None = None,
+        retry_after: float = 0.5,
+        stall_intervals: float = _STALL_INTERVALS,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1 or None")
+        if max_credit is not None and max_credit < 1:
+            raise ValueError("max_credit must be >= 1 or None")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1 or None")
+        if retry_after < 0:
+            raise ValueError("retry_after must be >= 0")
+        if stall_intervals <= 0:
+            raise ValueError("stall_intervals must be > 0")
         self.host = host
         self.port = port
         self.scheduler = scheduler or default_scheduler()
         self.heartbeat_interval = heartbeat_interval
         self.allow_spawn = allow_spawn
         self.name = name
+        #: Admission bound (None = unlimited): dials past this many open
+        #: sessions are shed with ``WIRE_BUSY``.
+        self.max_sessions = max_sessions
+        #: Per-session cap on outstanding credit (None = honor grants).
+        self.max_credit = max_credit
+        #: Per-session cap on the coalescing slice (None = honor request).
+        self.max_batch = max_batch
+        #: Seconds a shed client is told to wait before redialing.
+        self.retry_after = retry_after
+        #: Heartbeat intervals of mid-frame silence before a session is
+        #: killed as stalled.
+        self.stall_intervals = stall_intervals
         self._factories: dict[str, Callable[..., Any]] = {}
         self._listener: socket.socket | None = None
         self._accept_handle: Any = None
@@ -513,6 +619,7 @@ class GeneratorServer:
         self._stopped = False
         self._started = False
         self._served = 0
+        self._shed_count = 0
 
     # -- registry --------------------------------------------------------------
 
@@ -598,6 +705,15 @@ class GeneratorServer:
             except OSError:
                 return  # listener closed under us: shutdown
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self.max_sessions is not None:
+                # Only this thread admits sessions, so a check under the
+                # lock cannot be raced upward — a concurrent _forget can
+                # only free a slot, which at worst sheds one dial early.
+                with self._lock:
+                    over = len(self._sessions) >= self.max_sessions
+                if over:
+                    self._shed(sock, peer)
+                    continue
             session = Session(self, sock, peer)
             try:
                 self.scheduler.track_session(session)
@@ -619,6 +735,74 @@ class GeneratorServer:
                 session.kill()
                 self._forget(session)
                 return
+
+    def _shed(self, sock: Any, peer: Any) -> None:
+        """Refuse one over-capacity dial: ``WIRE_BUSY(retry_after)``,
+        then close — the client fails fast instead of hanging.
+
+        The close is a *lingering* half-close: an abrupt ``close()``
+        while the client's handshake envelopes are still in flight would
+        RST the connection and destroy the busy reply in the client's
+        kernel buffer — the client would see a torn dial with no retry
+        hint.  Sending FIN first and draining the handshake bytes (off
+        the accept thread, so a shed storm cannot serialize admission)
+        lets the envelope land."""
+        with self._lock:
+            self._shed_count += 1
+            active = len(self._sessions)
+        try:
+            SocketFramer(sock).send((WIRE_BUSY, self.retry_after))
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            sock = None  # the impatient client already hung up
+        if sock is not None:
+            try:
+                self.scheduler.submit(
+                    lambda: self._drain_shed(sock), name=f"{self.name}-shed"
+                )
+            except SchedulerShutdownError:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if lifecycle_enabled():
+            emit_lifecycle(
+                Event(
+                    EventKind.SHED,
+                    f"server:{self.name}",
+                    0,
+                    {
+                        "peer": peer,
+                        "active": active,
+                        "max_sessions": self.max_sessions,
+                        "retry_after": self.retry_after,
+                    },
+                )
+            )
+
+    @staticmethod
+    def _drain_shed(sock: Any) -> None:
+        """Consume a shed client's in-flight handshake until it closes
+        its end (bounded: a writer that never stops is abandoned)."""
+        limit = time.monotonic() + _SHED_LINGER
+        try:
+            sock.settimeout(0.05)
+            while time.monotonic() < limit:
+                try:
+                    if not sock.recv(4096):
+                        break  # client saw the busy reply and hung up
+                except (socket.timeout, TimeoutError):
+                    continue
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     def _note_session(self, session: Session) -> None:
         if lifecycle_enabled():
@@ -658,9 +842,14 @@ class GeneratorServer:
 
     @property
     def stats(self) -> dict:
-        """``{"served": total sessions accepted, "active": open now}``."""
+        """``{"served": total sessions accepted, "active": open now,
+        "shed": dials refused at capacity}``."""
         with self._lock:
-            return {"served": self._served, "active": len(self._sessions)}
+            return {
+                "served": self._served,
+                "active": len(self._sessions),
+                "shed": self._shed_count,
+            }
 
     def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:
         """Stop accepting and close every session gracefully.

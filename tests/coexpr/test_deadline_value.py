@@ -1,0 +1,51 @@
+"""The Deadline value: budget semantics, clamping, normalization."""
+
+import time
+
+import pytest
+
+from repro.coexpr.deadline import Deadline, deadline_from
+
+
+class TestDeadline:
+    def test_budget_counts_down(self):
+        deadline = Deadline(5.0)
+        assert not deadline.expired()
+        assert 4.5 < deadline.remaining() <= 5.0
+
+    def test_zero_budget_is_born_expired(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_negative_budget_clamps_to_zero(self):
+        # A budget that arrived late (transit ate it all) is simply
+        # expired — never a negative remaining or a raise.
+        assert Deadline(-3.0).expired()
+        assert Deadline(-3.0).remaining() == 0.0
+
+    def test_expiry_is_monotonic(self):
+        deadline = Deadline(0.05)
+        time.sleep(0.06)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_bound_clips_a_timeout(self):
+        deadline = Deadline(10.0)
+        assert deadline.bound(0.5) == 0.5          # timeout under budget
+        assert 9.0 < deadline.bound(60.0) <= 10.0  # clipped to remaining
+        assert 9.0 < deadline.bound(None) <= 10.0  # None = the remaining
+
+    def test_deadline_from_normalizes(self):
+        assert deadline_from(None) is None
+        shared = Deadline(1.0)
+        assert deadline_from(shared) is shared  # passed through, not copied
+        built = deadline_from(2.5)
+        assert isinstance(built, Deadline)
+        assert 2.0 < built.remaining() <= 2.5
+
+    def test_deadline_from_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            deadline_from(-1.0)
+        with pytest.raises(TypeError):
+            deadline_from("soon")

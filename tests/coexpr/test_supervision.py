@@ -496,3 +496,63 @@ class TestSchedulerLifecycle:
         assert not handle.join(timeout=0.05)
         release.set()
         assert handle.join(timeout=2)
+
+
+class TestBackoffInterrupt:
+    """cancel() during a real (default-sleep) backoff returns immediately."""
+
+    def test_cancel_interrupts_default_backoff_sleep(self):
+        # A producer that always crashes, supervised with a backoff far
+        # longer than any test budget and the *default* sleep: the first
+        # crash parks the consumer in the backoff wait, and cancel must
+        # interrupt that wait rather than serve out the 30 seconds.
+        def always_dies():
+            raise RuntimeError("crash")
+            yield  # pragma: no cover - makes this a generator function
+
+        sp = supervise(
+            always_dies,
+            max_retries=5,
+            backoff=BackoffPolicy(initial=30.0, multiplier=1.0, max_delay=30.0),
+        )
+        results = []
+
+        def consume():
+            results.append(sp.take())
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.3)  # let the crash land and the backoff wait begin
+        started = time.monotonic()
+        sp.cancel(join=True, timeout=5.0)
+        consumer.join(5.0)
+        elapsed = time.monotonic() - started
+        assert not consumer.is_alive(), "consumer still parked in backoff"
+        assert elapsed < 5.0, f"cancel took {elapsed:.1f}s — backoff not interrupted"
+        assert results == [FAIL]  # cancelled mid-backoff: a clean FAIL, no error
+
+    def test_injected_sleep_still_sees_exact_delays(self):
+        # The interruptible wait only replaces the *default* sleep; an
+        # injected sleep still receives the exact computed delays the
+        # deterministic backoff tests depend on.
+        slept = []
+        runs = {"n": 0}
+
+        def flaky():
+            runs["n"] += 1
+
+            def gen():
+                if runs["n"] < 3:
+                    raise RuntimeError("crash")
+                yield from range(3)
+
+            return gen()
+
+        sp = supervise(
+            flaky,
+            max_retries=5,
+            backoff=BackoffPolicy(initial=0.1, multiplier=2.0, max_delay=1.0),
+            sleep=slept.append,
+        )
+        assert list(sp) == [0, 1, 2]
+        assert slept == [0.1, 0.2]

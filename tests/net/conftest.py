@@ -11,11 +11,15 @@ from __future__ import annotations
 import pytest
 
 from repro.coexpr.scheduler import PipeScheduler, use_scheduler
+from repro.net.client import reset_breakers
 
 
 @pytest.fixture(autouse=True)
 def pipe_scheduler():
     """A fresh default scheduler per test, leak-checked at teardown."""
+    # Circuit breakers are keyed per address in a module-level registry;
+    # one test tripping a breaker must not fail-fast the next test's dial.
+    reset_breakers()
     scheduler = PipeScheduler()
     with use_scheduler(scheduler):
         yield scheduler

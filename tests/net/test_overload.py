@@ -1,0 +1,254 @@
+"""Admission control, load shedding, and the client circuit breaker.
+
+The overload contract: a :class:`GeneratorServer` at ``max_sessions``
+answers a new dial with ``WIRE_BUSY(retry_after)`` and closes — it
+*sheds* instead of hanging the client.  The client surfaces
+:class:`~repro.errors.PipeServerBusy` (retryable), consecutive
+busy/lost outcomes trip the per-address :class:`CircuitBreaker`, and
+while the breaker is open ``backend="remote"`` degrades to the thread
+tier without dropping or reordering anything already delivered.  Quota
+knobs (``max_credit``, ``max_batch``) bound what one session can buffer
+without changing the stream the client observes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.coexpr.patterns import source_pipe
+from repro.coexpr.supervision import NO_BACKOFF, supervise
+from repro.errors import PipeServerBusy
+from repro.monitor import EventKind, Tracer
+from repro.net import CircuitBreaker, GeneratorServer, RemotePipe, breaker_for
+from repro.net.client import _BREAKER_THRESHOLD
+
+
+def occupy(server, n=100_000):
+    """A live session pinning one capacity slot (capacity=1 keeps the
+    server's sender credit-blocked, so the session stays open)."""
+    blocker = source_pipe(
+        range(n),
+        backend="remote",
+        remote_address=server.address,
+        capacity=1,
+    ).start()
+    assert blocker.take() == 0  # session established server-side
+    assert blocker.degraded is None
+    return blocker
+
+
+def wait_active(server, count, timeout=2.0):
+    limit = time.monotonic() + timeout
+    while server.stats["active"] != count and time.monotonic() < limit:
+        time.sleep(0.01)
+    return server.stats["active"]
+
+
+class TestLoadShedding:
+    def test_over_capacity_dial_is_shed_with_retry_hint(self):
+        with GeneratorServer(max_sessions=1, retry_after=0.25) as server:
+            blocker = occupy(server)
+            tracer = Tracer()
+            with tracer.lifecycle():
+                shed = source_pipe(
+                    range(10),
+                    backend="remote",
+                    remote_address=server.address,
+                ).start()
+                with pytest.raises(PipeServerBusy) as excinfo:
+                    shed.take()
+            # The dial never hangs: it is answered, with the hint.
+            assert excinfo.value.retry_after == 0.25
+            assert excinfo.value.address == server.address
+            assert server.stats["shed"] == 1
+            assert server.stats["active"] == 1  # the blocker kept its slot
+            health = tracer.health_stats()[f"server:{server.name}"]
+            assert health["shed"] == 1
+            blocker.cancel(join=True, timeout=5.0)
+
+    def test_capacity_freed_admits_the_next_dial(self):
+        with GeneratorServer(max_sessions=1) as server:
+            blocker = occupy(server)
+            blocker.cancel(join=True, timeout=5.0)
+            assert wait_active(server, 0) == 0
+            admitted = source_pipe(
+                range(15), backend="remote", remote_address=server.address
+            ).start()
+            assert list(admitted.iterate()) == list(range(15))
+            assert admitted.degraded is None
+
+    def test_cancel_mid_stream_releases_the_session(self):
+        with GeneratorServer() as server:
+            piped = source_pipe(
+                range(100_000),
+                backend="remote",
+                remote_address=server.address,
+                capacity=2,
+            ).start()
+            assert piped.take() == 0
+            piped.cancel(join=True, timeout=5.0)
+            # The server-side producer is actively reclaimed, not left
+            # credit-blocked until the heartbeat gives up on the socket.
+            assert wait_active(server, 0) == 0
+
+
+class TestQuotas:
+    def test_greedy_quota_serves_unbounded_clients(self):
+        # An unbounded client grants unlimited credit once and never
+        # replenishes; the quota converts that to self-replenishing
+        # quota-sized slices — the stream must still be exact.
+        with GeneratorServer(max_credit=4) as server:
+            piped = source_pipe(
+                range(100), backend="remote", remote_address=server.address
+            ).start()
+            assert list(piped.iterate()) == list(range(100))
+
+    def test_bounded_credit_is_clamped_to_quota(self):
+        with GeneratorServer(max_credit=2) as server:
+            piped = source_pipe(
+                range(50),
+                backend="remote",
+                remote_address=server.address,
+                capacity=64,
+            ).start()
+            assert list(piped.iterate()) == list(range(50))
+
+    def test_batch_clamped_to_server_cap(self):
+        with GeneratorServer(max_batch=3) as server:
+            piped = source_pipe(
+                range(40),
+                backend="remote",
+                remote_address=server.address,
+                batch=32,
+            ).start()
+            assert list(piped.iterate()) == list(range(40))
+
+
+class TestCircuitBreaker:
+    def test_state_machine_and_events(self):
+        breaker = CircuitBreaker(("127.0.0.1", 65000), threshold=3)
+        tracer = Tracer()
+        with tracer.lifecycle():
+            assert breaker.allow()
+            breaker.record_failure(retry_after=0.1)
+            breaker.record_failure(retry_after=0.1)
+            assert breaker.state == CircuitBreaker.CLOSED  # under threshold
+            breaker.record_failure(retry_after=0.1)
+            assert breaker.state == CircuitBreaker.OPEN
+            assert not breaker.allow()  # open: fail fast
+            assert 0.0 < breaker.remaining() <= 0.1
+            time.sleep(0.12)
+            assert breaker.allow()      # the half-open probe
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+            assert not breaker.allow()  # only ONE probe is admitted
+            breaker.record_success()
+            assert breaker.state == CircuitBreaker.CLOSED
+            assert breaker.allow()
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count(EventKind.BREAKER_OPEN) == 1
+        assert kinds.count(EventKind.BREAKER_PROBE) == 1
+        assert kinds.count(EventKind.BREAKER_CLOSE) == 1
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker = CircuitBreaker(("127.0.0.1", 65001), threshold=3)
+        for _ in range(3):
+            breaker.record_failure(retry_after=0.05)
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure(retry_after=0.05)  # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_shed_storm_trips_the_breaker_then_degrades(self):
+        with GeneratorServer(max_sessions=1, retry_after=30.0) as server:
+            blocker = occupy(server)
+            for _ in range(_BREAKER_THRESHOLD):
+                shed = source_pipe(
+                    range(5), backend="remote", remote_address=server.address
+                ).start()
+                with pytest.raises(PipeServerBusy):
+                    shed.take()
+            breaker = breaker_for(server.address)
+            assert breaker.state == CircuitBreaker.OPEN
+            # Breaker open: the next pipe degrades to the thread tier
+            # without even dialing — and still yields the exact stream.
+            degraded = source_pipe(
+                range(5), backend="remote", remote_address=server.address
+            ).start()
+            assert degraded.degraded is not None
+            assert "circuit breaker" in degraded.degraded
+            assert list(degraded.iterate()) == list(range(5))
+            assert server.stats["shed"] == _BREAKER_THRESHOLD  # no 4th dial
+            blocker.cancel(join=True, timeout=5.0)
+
+    def test_supervision_rides_the_breaker_to_thread_tier(self):
+        # Supervision keeps retrying retryable sheds; once the breaker
+        # trips, the next restart degrades and completes on threads.
+        with GeneratorServer(max_sessions=1, retry_after=30.0) as server:
+            blocker = occupy(server)
+            piped = supervise(
+                source_pipe(range(40)).coexpr,
+                backend="remote",
+                remote_address=server.address,
+                backoff=NO_BACKOFF,
+                max_retries=10,
+            )
+            assert list(piped.iterate()) == list(range(40))
+            assert piped.failures == _BREAKER_THRESHOLD
+            assert breaker_for(server.address).state == CircuitBreaker.OPEN
+            blocker.cancel(join=True, timeout=5.0)
+
+    def test_delivered_items_survive_degradation(self):
+        # Mid-stream server death: supervision reconnects, the dial
+        # fails, and the stream finishes on the thread tier with the
+        # already-delivered prefix neither dropped nor reordered.
+        server = GeneratorServer().start()
+        piped = supervise(
+            source_pipe(range(60)).coexpr,
+            backend="remote",
+            remote_address=server.address,
+            capacity=2,
+            backoff=NO_BACKOFF,
+            max_retries=5,
+        )
+        it = piped.iterate()
+        head = [next(it) for _ in range(5)]
+        # Abrupt kill + closed listener: the loss is a crash (not a
+        # clean WIRE_CLOSE) and the reconnect dial is refused.
+        server.kill_sessions()
+        server.shutdown(wait=True)
+        assert head + list(it) == list(range(60))
+        assert piped.failures >= 1
+
+    def test_probe_reconnects_once_capacity_frees(self):
+        with GeneratorServer(max_sessions=1, retry_after=0.3) as server:
+            blocker = occupy(server)
+            for _ in range(_BREAKER_THRESHOLD):
+                shed = source_pipe(
+                    range(5), backend="remote", remote_address=server.address
+                ).start()
+                with pytest.raises(PipeServerBusy):
+                    shed.take()
+            assert breaker_for(server.address).state == CircuitBreaker.OPEN
+            blocker.cancel(join=True, timeout=5.0)
+            assert wait_active(server, 0) == 0
+            time.sleep(0.35)  # past retry_after: the breaker admits a probe
+            probe = source_pipe(
+                range(20), backend="remote", remote_address=server.address
+            ).start()
+            assert probe.degraded is None
+            assert list(probe.iterate()) == list(range(20))
+            assert breaker_for(server.address).state == CircuitBreaker.CLOSED
+
+    def test_remote_pipe_fails_fast_while_open(self):
+        # RemotePipe has no local body to degrade to: an open breaker
+        # surfaces PipeServerBusy (retryable) without touching the net.
+        address = ("127.0.0.1", 65002)  # nothing listens here — no dial happens
+        breaker = breaker_for(address)
+        for _ in range(_BREAKER_THRESHOLD):
+            breaker.record_failure(retry_after=30.0)
+        proxy = RemotePipe(address, "whatever")
+        with pytest.raises(PipeServerBusy) as excinfo:
+            proxy.start()
+        assert excinfo.value.retry_after > 0.0
