@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, List
 
+from ..errors import PipeConnectionLost
 from ..runtime.failure import FAIL
 from ..runtime.iterator import IconIterator
 from .coexpression import CoExpression
@@ -160,6 +161,13 @@ class DataParallel:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.mp_context = mp_context
+        if remote_address is not None:
+            # Normalized once (list -> ServerPool): every chunk task —
+            # and every steal respawn — shares the one pool, so a chunk
+            # re-run after a replica death is routed around the corpse.
+            from ..net.cluster import normalize_remote_address
+
+            remote_address = normalize_remote_address(remote_address)
         self.remote_address = remote_address
         # Normalized once: every task pipe shares the ONE budget.
         self.deadline = deadline_from(deadline)
@@ -240,10 +248,9 @@ class DataParallel:
         chunk: List[Any],
         extra: tuple,
         backend: str,
+        name: str = "mapreduce-task",
     ) -> Pipe:
-        coexpr = CoExpression(
-            task_body, lambda: (chunk,) + extra, name="mapreduce-task"
-        )
+        coexpr = CoExpression(task_body, lambda: (chunk,) + extra, name=name)
         return Pipe(
             coexpr,
             capacity=self.capacity,
@@ -257,6 +264,82 @@ class DataParallel:
             remote_address=self.remote_address,
             deadline=self.deadline,
         ).start()
+
+    def _pool(self, backend: str) -> Any:
+        """The ServerPool routing this run's tasks (None when the run is
+        single-server, local, or not remote at all)."""
+        if backend != "remote":
+            return None
+        pool = self.remote_address
+        return pool if hasattr(pool, "dial_candidates") else None
+
+    def _task_name(self, index: int, backend: str) -> str:
+        # Pooled tasks need distinct route keys: under one shared name
+        # every chunk would hash to the same replica, defeating the
+        # fan-out.  Single-server and local runs keep the classic name.
+        if self._pool(backend) is not None:
+            return f"mapreduce-task-{index}"
+        return "mapreduce-task"
+
+    def _drain(
+        self,
+        holder: List[Any],
+        task_body: Callable[..., Iterator[Any]],
+        extra: tuple,
+        backend: str,
+    ) -> Iterator[Any]:
+        """Drain one chunk task, stealing the chunk back on replica loss.
+
+        ``holder`` is ``[pipe, chunk]`` — mutated in place on respawn so
+        the caller's cancellation sweep always sees the live incarnation.
+        A chunk stranded on a dead or shed replica
+        (:class:`~repro.errors.PipeConnectionLost`, which covers
+        :class:`~repro.errors.PipeServerBusy`) is *stolen*: re-spawned
+        under the same route key, where pool suspicion routes it to the
+        next live replica, and the replayed prefix is skipped so the
+        consumer sees each result exactly once (chunk bodies are
+        deterministic snapshots).  After ``2 * len(pool)`` steals the
+        chunk falls back to the thread tier — the end of the
+        replica → next replica → threads degradation order; the work is
+        never silently dropped.
+        """
+        pool = self._pool(backend)
+        if pool is None:
+            yield from holder[0].iterate()
+            return
+        delivered = 0
+        skip = 0
+        steals = 0
+        while True:
+            task = holder[0]
+            try:
+                while True:
+                    value = task.take()
+                    if value is FAIL:
+                        return
+                    if skip:
+                        skip -= 1
+                        continue
+                    delivered += 1
+                    yield value
+            except PipeConnectionLost as error:
+                steals += 1
+                fallback = steals > 2 * len(pool)
+                pool.note_steal(
+                    task.coexpr.name,
+                    delivered,
+                    reason=error.reason or str(error),
+                    fallback=fallback,
+                )
+                task.cancel()
+                holder[0] = self._spawn(
+                    task_body,
+                    holder[1],
+                    extra,
+                    "thread" if fallback else backend,
+                    name=task.coexpr.name,
+                )
+                skip = delivered
 
     def _run_tasks(
         self,
@@ -274,31 +357,35 @@ class DataParallel:
         # blocked on a bounded full channel.
         if self.max_pending is None:
             # The paper's shape: spawn a task per chunk, then drain in order.
-            tasks = [
-                self._spawn(task_body, chunk, extra, backend)
-                for chunk in self.chunk(source)
+            holders = [
+                [self._spawn(task_body, chunk, extra, backend,
+                             name=self._task_name(index, backend)), chunk]
+                for index, chunk in enumerate(self.chunk(source))
             ]
             done = 0
             try:
-                for task in tasks:
-                    yield from task.iterate()
+                for holder in holders:
+                    yield from self._drain(holder, task_body, extra, backend)
                     done += 1
             finally:
-                for task in tasks[done:]:
-                    task.cancel()
+                for holder in holders[done:]:
+                    holder[0].cancel()
             return
         # Bounded-pending variant: a sliding window of live tasks.
-        window: List[Pipe] = []
+        window: List[List[Any]] = []
         try:
-            for chunk in self.chunk(source):
-                window.append(self._spawn(task_body, chunk, extra, backend))
+            for index, chunk in enumerate(self.chunk(source)):
+                window.append(
+                    [self._spawn(task_body, chunk, extra, backend,
+                                 name=self._task_name(index, backend)), chunk]
+                )
                 if len(window) >= self.max_pending:
-                    yield from window.pop(0).iterate()
+                    yield from self._drain(window.pop(0), task_body, extra, backend)
             while window:
-                yield from window.pop(0).iterate()
+                yield from self._drain(window.pop(0), task_body, extra, backend)
         finally:
-            for task in window:
-                task.cancel()
+            for holder in window:
+                holder[0].cancel()
 
 
 def map_reduce(

@@ -184,9 +184,16 @@ def pipeline(
 
     ``deadline`` is normalized once and **shared** by the source and
     every stage — one end-to-end budget for the chain, not a fresh
-    clock per hop.
+    clock per hop.  ``remote_address`` is normalized the same way: a
+    list of ``(host, port)`` pairs becomes **one**
+    :class:`~repro.net.cluster.ServerPool` shared by the whole chain,
+    so routing memory (suspicion, failover history) is chain-wide.
     """
     deadline = deadline_from(deadline)
+    if backend == "remote" and remote_address is not None:
+        from ..net.cluster import normalize_remote_address
+
+        remote_address = normalize_remote_address(remote_address)
     if backend == "remote" and stages:
         return Pipe(
             CoExpression(

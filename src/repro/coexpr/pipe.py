@@ -145,11 +145,15 @@ class Pipe(IconIterator):
         fork where available).
 
         ``backend="remote"`` ships the body to the generator server at
-        ``remote_address`` (a ``(host, port)`` pair) and streams results
-        back over a socket speaking the same envelopes, watched by the
-        same heartbeat parameters.  A body that cannot be pickled — or a
-        server that cannot be reached — degrades to the thread backend
-        exactly as the process tier does (see :mod:`repro.net`).
+        ``remote_address`` (a ``(host, port)`` pair — or a **list** of
+        pairs / a :class:`~repro.net.cluster.ServerPool`, the replicated
+        cluster tier: consistent-hash placement plus failover to the
+        next live replica) and streams results back over a socket
+        speaking the same envelopes, watched by the same heartbeat
+        parameters.  A body that cannot be pickled — or a server (every
+        replica, when pooled) that cannot be reached — degrades to the
+        thread backend exactly as the process tier does (see
+        :mod:`repro.net`).
 
         ``deadline`` bounds the pipe end to end: seconds of budget (or a
         shared :class:`~repro.coexpr.deadline.Deadline`).  The budget is
@@ -166,8 +170,16 @@ class Pipe(IconIterator):
             raise ValueError("max_linger must be >= 0 or None")
         if backend not in ("thread", "process", "remote"):
             raise ValueError("backend must be 'thread', 'process', or 'remote'")
-        if backend == "remote" and remote_address is None:
-            raise ValueError("backend='remote' requires remote_address")
+        if backend == "remote":
+            if remote_address is None:
+                raise ValueError("backend='remote' requires remote_address")
+            # One (host, port) pair stays a plain tuple; a list of them
+            # becomes a ServerPool (the cluster tier); an existing pool
+            # passes through so callers that spawn many pipes — restarts,
+            # chunk tasks — can share routing state.
+            from ..net.cluster import normalize_remote_address
+
+            remote_address = normalize_remote_address(remote_address)
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0 or None")
         if heartbeat_timeout is not None and heartbeat_timeout <= 0:
@@ -194,7 +206,8 @@ class Pipe(IconIterator):
         self.heartbeat_timeout = heartbeat_timeout
         #: Multiprocessing context override (None = fork where available).
         self.mp_context = mp_context
-        #: ``(host, port)`` of the generator server (remote backend).
+        #: ``(host, port)`` of the generator server (remote backend) — or
+        #: a :class:`~repro.net.cluster.ServerPool` over several replicas.
         self.remote_address = remote_address
         #: End-to-end budget (shared along pipelines and across
         #: supervised restarts — a retry does not reset the clock).

@@ -48,12 +48,18 @@ from __future__ import annotations
 
 import hashlib
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-from ..errors import PipeError, PipeTimeoutError, RetryExhaustedError
+from ..errors import (
+    InjectedDisconnect,
+    PipeError,
+    PipeTimeoutError,
+    RetryExhaustedError,
+)
 from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
 from ..runtime.failure import FAIL
 from ..runtime.iterator import IconIterator
@@ -77,21 +83,42 @@ class BackoffPolicy:
     Purely arithmetic — the *sleep* (and any clock) is injected where the
     policy is used, so tests can run restart schedules instantly while
     asserting the exact delays that would have been slept.
+
+    ``jitter=True`` turns on **full jitter**: each delay is drawn
+    uniformly from ``[0, schedule]`` instead of being the schedule
+    itself.  The point is the cluster tier: when a replica dies it
+    orphans *every* client it was serving at once, and a deterministic
+    schedule marches all of them back onto the next replica in lockstep
+    — a synchronized reconnect storm at exactly the backoff instants.
+    Jitter decorrelates the herd.  The default stays deterministic so
+    test schedules (and every existing policy) are byte-for-byte
+    unchanged.
     """
 
     initial: float = 0.01
     multiplier: float = 2.0
     max_delay: float = 1.0
+    jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.initial < 0 or self.max_delay < 0 or self.multiplier < 0:
             raise ValueError("backoff parameters must be non-negative")
 
-    def delay(self, retry: int) -> float:
-        """Delay before the *retry*-th restart (1-based)."""
+    def delay(
+        self, retry: int, rand: Callable[[], float] | None = None
+    ) -> float:
+        """Delay before the *retry*-th restart (1-based).
+
+        *rand* (a ``() -> [0, 1)`` callable) injects the jitter draw for
+        deterministic tests; ignored without ``jitter``.
+        """
         if retry < 1:
             raise ValueError("retry is 1-based")
-        return min(self.initial * (self.multiplier ** (retry - 1)), self.max_delay)
+        base = min(self.initial * (self.multiplier ** (retry - 1)), self.max_delay)
+        if not self.jitter:
+            return base
+        draw = rand() if rand is not None else random.random()
+        return draw * base
 
 
 #: Sleep-free policy for tests and "retry immediately" callers.
@@ -117,34 +144,62 @@ class _ProcessKill:
         self.exit_code = exit_code
 
 
+class _ServerKill:
+    """A rule action that hard-kills an in-process generator server.
+
+    The cluster tier's chaos primitive: when the rule fires the held
+    :class:`~repro.net.server.GeneratorServer` kills every live session
+    *and* stops accepting — clients see torn connections, redials are
+    refused, and routing must fail over to another replica.  Unlike
+    :class:`_ProcessKill` this does not raise or exit: the fault arrives
+    at the client through the socket, exactly as a real dead server's
+    would.
+    """
+
+    __slots__ = ("server",)
+
+    def __init__(self, server: Any) -> None:
+        self.server = server
+
+
 class _FaultContext:
     """Per-run view of a plan: one body execution of one stage."""
 
-    __slots__ = ("_plan", "_stage", "attempt", "_items")
+    __slots__ = ("_plan", "_stage", "attempt", "_items", "_fired")
 
     def __init__(self, plan: "FaultPlan", stage: Any, attempt: int) -> None:
         self._plan = plan
         self._stage = stage
         self.attempt = attempt
         self._items = 0
+        #: Rule indices already fired this run: a non-raising action
+        #: (kill_server) must not re-fire on every later item once its
+        #: after_items bar is passed.
+        self._fired: set = set()
         self._check(at_start=True)
 
     def _fire(self, action: Any, detail: str) -> None:
         if isinstance(action, _ProcessKill):  # pragma: no cover - child side
             os._exit(action.exit_code)
+        if isinstance(action, _ServerKill):
+            action.server.kill_sessions()
+            action.server.shutdown(wait=False)
+            return
         raise action(detail)
 
     def _check(self, at_start: bool) -> None:
-        for rule in self._plan._rules_for(self._stage):
+        for index, rule in enumerate(self._plan._rules_for(self._stage)):
             on_attempts, after_items, action = rule
-            if self.attempt not in on_attempts:
+            if self.attempt not in on_attempts or index in self._fired:
                 continue
             if at_start and after_items == 0:
+                self._fired.add(index)
                 self._fire(
                     action,
                     f"injected fault: stage {self._stage!r} attempt {self.attempt}",
                 )
             if not at_start and 0 < after_items <= self._items:
+                self._fired.add(index)
                 self._fire(
                     action,
                     f"injected fault: stage {self._stage!r} attempt "
@@ -235,6 +290,55 @@ class FaultPlan:
         with self._lock:
             self._rules.setdefault(stage, []).append(
                 (tuple(on_attempts), after_items, _ProcessKill(exit_code))
+            )
+        return self
+
+    def drop_connection(
+        self,
+        stage: Any,
+        on_attempts: tuple = (1,),
+        after_items: int = 0,
+    ) -> "FaultPlan":
+        """Make *stage*'s remote **connection** drop on the given
+        attempts (session numbers, counted per route key).
+
+        Fires in the client pump: the socket is torn down and the
+        consumer sees an ordinary
+        :class:`~repro.errors.PipeConnectionLost` with reason
+        ``"injected connection drop"`` — after delivering *after_items*
+        results (0 = at connect time, before any data).  On a
+        :class:`~repro.net.cluster.ServerPool` the plan is armed via
+        ``fault_plan=`` and stages are route keys (pipe names), so a
+        chaos test can drop exactly the first session of exactly one
+        stream and watch failover route the replay elsewhere.
+        """
+        with self._lock:
+            self._rules.setdefault(stage, []).append(
+                (tuple(on_attempts), after_items, InjectedDisconnect)
+            )
+        return self
+
+    def kill_server(
+        self,
+        stage: Any,
+        server: Any,
+        on_attempts: tuple = (1,),
+        after_items: int = 0,
+    ) -> "FaultPlan":
+        """Make *stage* kill the in-process generator *server* on the
+        given attempts: every live session is killed and the listener
+        closed, so clients see torn connections and redials are refused.
+
+        The deterministic stand-in for SIGKILLing a replica: the client
+        whose stream matches *stage* (a route key on a
+        :class:`~repro.net.cluster.ServerPool`) pulls the trigger at an
+        exact point — *after_items* delivered results — and the fault
+        then reaches every client of that replica through the socket,
+        like a real crash.
+        """
+        with self._lock:
+            self._rules.setdefault(stage, []).append(
+                (tuple(on_attempts), after_items, _ServerKill(server))
             )
         return self
 
@@ -377,6 +481,14 @@ class SupervisedPipe(IconIterator):
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.mp_context = mp_context
+        if backend == "remote" and remote_address is not None:
+            # Normalize ONCE (list -> ServerPool) so every restart
+            # shares the same pool object: suspicion and failover
+            # memory must survive the refresh, or a reconnect would
+            # happily re-dial the replica that just died.
+            from ..net.cluster import normalize_remote_address
+
+            remote_address = normalize_remote_address(remote_address)
         self.remote_address = remote_address
         #: One normalized Deadline shared by every (re)spawned pipe:
         #: restarts burn the same budget, never a fresh one.

@@ -175,6 +175,18 @@ class PipeServerBusy(PipeConnectionLost):
         self.retry_after = retry_after
 
 
+class InjectedDisconnect(PipeError):
+    """A :class:`~repro.coexpr.supervision.FaultPlan` ``drop_connection``
+    rule fired in a client pump.
+
+    Never seen by consumers: the pump converts it into an ordinary
+    :class:`PipeConnectionLost` (reason ``"injected connection drop"``),
+    so everything downstream — supervision retries, pool failover, the
+    circuit breaker — exercises exactly the path a real torn connection
+    takes, just at a deterministic point in the stream.
+    """
+
+
 class RetryExhaustedError(PipeError):
     """A supervised pipe used up its restart budget.
 

@@ -78,6 +78,16 @@ class EventKind:
     BREAKER_PROBE = "breaker-probe"
     BREAKER_CLOSE = "breaker-close"
 
+    # The cluster tier (replicated generator servers): a lost stream
+    # reconnecting to a *different* replica (``{"key": ..., "from": ...,
+    # "to": ...}``), routing passing over a candidate replica without a
+    # session (``{"key": ..., "skipped": ..., "reason": ...}``), and a
+    # DataParallel chunk stranded on a dead/shed replica being re-run
+    # (``{"key": ..., "delivered": ..., "reason": ..., "fallback": ...}``).
+    FAILOVER = "failover"
+    REROUTE = "reroute"
+    STEAL = "steal"
+
     ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
     LIFECYCLE = (
         START,
@@ -98,6 +108,9 @@ class EventKind:
         BREAKER_OPEN,
         BREAKER_PROBE,
         BREAKER_CLOSE,
+        FAILOVER,
+        REROUTE,
+        STEAL,
     )
     ALL = ITERATION + LIFECYCLE
 

@@ -293,6 +293,51 @@ class Tracer:
                 stats["addresses"].append(value["address"])
         return out
 
+    def cluster_stats(self) -> dict:
+        """Per-pool cluster-tier summary from collected lifecycle events:
+        ``{node: {failovers, reroutes, steals, transitions, skipped,
+        stolen_keys}}``.
+
+        ``failovers`` counts lost streams that reconnected to a
+        *different* replica (with the ``transitions`` — ``(from, to)``
+        address pairs — they made), ``reroutes`` counts candidates
+        routing passed over without a session (with the ``skipped``
+        addresses), and ``steals`` counts DataParallel chunks re-run off
+        a dead or shed replica (with the ``stolen_keys``) — together
+        they show how a replicated fleet actually recovered: which
+        replicas were avoided, where lost streams landed, and which
+        chunks had to move."""
+        kinds = {
+            EventKind.FAILOVER: "failovers",
+            EventKind.REROUTE: "reroutes",
+            EventKind.STEAL: "steals",
+        }
+        out: dict = {}
+        for event in self.events:
+            counter = kinds.get(event.kind)
+            if counter is None:
+                continue
+            stats = out.setdefault(
+                event.node,
+                {
+                    "failovers": 0,
+                    "reroutes": 0,
+                    "steals": 0,
+                    "transitions": [],
+                    "skipped": [],
+                    "stolen_keys": [],
+                },
+            )
+            stats[counter] += 1
+            value = event.value if isinstance(event.value, dict) else {}
+            if event.kind == EventKind.FAILOVER:
+                stats["transitions"].append((value.get("from"), value.get("to")))
+            elif event.kind == EventKind.REROUTE:
+                stats["skipped"].append(value.get("skipped"))
+            else:
+                stats["stolen_keys"].append(value.get("key"))
+        return out
+
     def transcript(self, limit: int | None = None) -> str:
         """A readable, indented trace of the evaluation."""
         events = self.events if limit is None else self.events[:limit]

@@ -27,6 +27,14 @@ retry hint, surfacing :class:`~repro.errors.PipeServerBusy`; repeated
 busy/lost outcomes trip a per-address :class:`CircuitBreaker` that
 fails fast (and lets ``backend="remote"`` degrade to threads) until a
 half-open probe finds the server healthy again.
+
+The **cluster tier** (:mod:`repro.net.cluster`) replicates the server:
+``remote_address=[addr1, addr2, ...]`` anywhere a single address is
+accepted becomes a :class:`ServerPool` — consistent-hash placement
+over a :class:`HashRing`, failover to the next live replica on
+connection loss or shed (the supervised replay preserves the
+exactly-once delivered prefix), and a degradation order of
+replica → next replica → threads.
 """
 
 from .client import (
@@ -37,13 +45,17 @@ from .client import (
     reset_breakers,
     start_remote_worker,
 )
+from .cluster import HashRing, ServerPool, normalize_remote_address
 from .server import GeneratorServer
 
 __all__ = [
     "CircuitBreaker",
     "GeneratorServer",
+    "HashRing",
     "RemotePipe",
+    "ServerPool",
     "breaker_for",
+    "normalize_remote_address",
     "remote_unsafe_reason",
     "reset_breakers",
     "start_remote_worker",

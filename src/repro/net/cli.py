@@ -11,7 +11,9 @@ Operational limits mirror the :class:`GeneratorServer` kwargs:
 hint is ``--retry-after``), ``--max-credit`` / ``--max-batch``
 (per-session flow-control quotas), and ``--stall-intervals`` /
 ``--heartbeat-interval`` (liveness tuning).  Defaults are unchanged
-from the in-process constructor.
+from the in-process constructor.  ``--stats-interval N`` logs a
+one-line served/active/shed snapshot to stderr every N seconds —
+enough to watch a replica's load from its service log.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+import threading
 from typing import Any, Callable
 
 from .server import GeneratorServer
@@ -108,11 +111,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry hint, in seconds, sent with busy replies when "
         "shedding load",
     )
+    parser.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="N",
+        help="log server stats (served/active/shed) to stderr every N "
+        "seconds (default: off)",
+    )
     return parser
+
+
+def _stats_logger(server: GeneratorServer, interval: float, stop: Any) -> None:
+    """Periodic one-line stats on stderr until *stop* is set.
+
+    stderr on purpose: stdout carries the machine-parseable
+    ``listening on`` line, and an operator tailing the service log (or
+    a chaos harness watching a replica) reads the stats stream without
+    disturbing it.
+    """
+    while not stop.wait(interval):
+        print(server.stats_line(), file=sys.stderr, flush=True)
 
 
 def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.stats_interval is not None and args.stats_interval <= 0:
+        raise SystemExit("junicon-serve: --stats-interval must be > 0")
     limits: dict[str, Any] = {}
     if args.stall_intervals is not None:
         limits["stall_intervals"] = args.stall_intervals
@@ -138,6 +163,13 @@ def main(argv: list | None = None) -> int:
     server.start()
     host, port = server.address
     print(f"listening on {host}:{port}", flush=True)
+    if args.stats_interval is not None:
+        threading.Thread(
+            target=_stats_logger,
+            args=(server, args.stats_interval, done),
+            name="stats-logger",
+            daemon=True,
+        ).start()
     done.wait()
     server.shutdown(wait=True)
     print("shutdown complete", flush=True)

@@ -65,6 +65,7 @@ from ..coexpr.wire import (
 )
 from ..errors import (
     ChannelClosedError,
+    InjectedDisconnect,
     PipeConnectionLost,
     PipeDeadlineExceeded,
     PipeError,
@@ -244,6 +245,9 @@ class RemoteWorker:
         "heartbeat_timeout",
         "handle",
         "lost",
+        "pool",
+        "route_key",
+        "chaos",
         "_healthy",
     )
 
@@ -272,6 +276,14 @@ class RemoteWorker:
         self.handle: Any = None
         #: The loss verdict once the watchdog fired (None while healthy).
         self.lost: PipeConnectionLost | None = None
+        #: Cluster routing, when this session was dialed through a
+        #: :class:`~repro.net.cluster.ServerPool`: the pool hears about
+        #: losses/health (suspicion, failover accounting) keyed by
+        #: ``route_key``; ``chaos`` is the pool's armed fault context
+        #: (one per (re)connection) ticked per delivered item.
+        self.pool: Any = None
+        self.route_key: Any = None
+        self.chaos: Any = None
         #: True once the stream proved the server healthy (first data /
         #: error / close envelope) and the breaker heard about it.
         self._healthy = False
@@ -304,6 +316,8 @@ class RemoteWorker:
 
     def _mark_lost(self, reason: str) -> None:
         breaker_for(self.address).record_failure()
+        if self.pool is not None:
+            self.pool.note_lost(self.route_key, self.address, reason)
         self.lost = PipeConnectionLost(
             f"pipe {self.name!r}: remote session lost ({reason})",
             address=self.address,
@@ -322,6 +336,8 @@ class RemoteWorker:
         """The server shed us (``WIRE_BUSY``): a retryable loss that
         feeds the breaker its ``retry_after`` hint."""
         breaker_for(self.address).record_failure(retry_after)
+        if self.pool is not None:
+            self.pool.note_lost(self.route_key, self.address, "server at capacity")
         busy = PipeServerBusy(
             f"pipe {self.name!r}: server at {self.address!r} shed the "
             f"connection (retry after {retry_after:.2f}s)",
@@ -346,6 +362,8 @@ class RemoteWorker:
         if not self._healthy:
             self._healthy = True
             breaker_for(self.address).record_success()
+            if self.pool is not None:
+                self.pool.note_healthy(self.address)
 
     def pump(self) -> None:
         """Forward wire envelopes into the owner's channel; watch liveness.
@@ -387,6 +405,18 @@ class RemoteWorker:
                     self._mark_healthy()
                     slice_ = envelope[1]
                     out.put_many(slice_)
+                    if self.chaos is not None:
+                        # Deterministic chaos: tick the armed fault plan
+                        # once per delivered item.  drop_connection rules
+                        # raise here; kill_server rules fire silently and
+                        # the fault arrives through the socket like a
+                        # real crash.
+                        try:
+                            for item in slice_:
+                                self.chaos.on_item(item)
+                        except InjectedDisconnect:
+                            self._mark_lost("injected connection drop")
+                            return
                     if self.window is not None and slice_:
                         try:
                             # Replenish only after delivery: bounds what
@@ -485,6 +515,70 @@ def _connect_worker(
     return worker
 
 
+def _dial_pooled(
+    owner: Any,
+    scheduler: Any,
+    pool: Any,
+    key: Any,
+    request: tuple,
+    label: Any = None,
+) -> RemoteWorker:
+    """Dial through a :class:`~repro.net.cluster.ServerPool`.
+
+    Walks the pool's dial candidates for *key* — the ring's preference
+    order with suspect replicas last — consulting the per-address
+    circuit breaker before each dial (an open breaker is a ``REROUTE``,
+    not a dead end; the next candidate is tried).  The first replica
+    that accepts gets the session: the pool records the connect (and
+    emits ``FAILOVER`` when a lost stream lands on a new replica), the
+    worker carries the pool + key so losses feed suspicion, and an
+    armed fault plan is entered for the session.
+
+    *label* names the worker: a callable receives the chosen address
+    (RemotePipe's ``factory@host:port`` labels); None uses *key*.
+
+    Raises :class:`~repro.errors.PipeConnectionLost` only when **every**
+    replica refused — the caller then applies its tier's last-resort
+    rule (degrade to threads, or propagate for a RemotePipe).
+    """
+    last_error: BaseException | None = None
+    for address in pool.dial_candidates(key):
+        breaker = breaker_for(address)
+        if not breaker.allow():
+            pool.note_skip(
+                key,
+                address,
+                f"circuit breaker open (probe in {breaker.remaining():.2f}s)",
+            )
+            continue
+        name = label(address) if callable(label) else (label or key)
+        try:
+            worker = _connect_worker(owner, scheduler, address, name, request)
+        except (OSError, EOFError) as error:
+            breaker.record_failure()
+            pool.note_dial_failure(key, address, error)
+            last_error = error
+            continue
+        worker.pool = pool
+        worker.route_key = key
+        pool.note_connect(key, address)
+        try:
+            worker.chaos = pool.chaos_enter(key)
+        except InjectedDisconnect:
+            # A drop-at-connect rule: the session opened, then "died"
+            # before any data.  The error is already in the channel;
+            # return the worker so the owner tears it down normally.
+            worker._mark_lost("injected connection drop")
+            worker.terminate()
+        return worker
+    suffix = f" (last error: {last_error!r})" if last_error is not None else ""
+    raise PipeConnectionLost(
+        f"no replica reachable for {key!r} in {pool!r}{suffix}",
+        address=pool.addresses,
+        reason="no replica reachable",
+    )
+
+
 def start_remote_worker(pipe: Any, scheduler: Any) -> RemoteWorker | None:
     """Ship *pipe*'s body to its generator server; None means *degrade*.
 
@@ -503,10 +597,12 @@ def start_remote_worker(pipe: Any, scheduler: Any) -> RemoteWorker | None:
     """
     reason = remote_unsafe_reason(pipe)
     if reason is None:
-        breaker = breaker_for(pipe.remote_address)
-        if not breaker.allow():
+        address = pipe.remote_address
+        pooled = hasattr(address, "dial_candidates")
+        breaker = None if pooled else breaker_for(address)
+        if breaker is not None and not breaker.allow():
             reason = (
-                f"circuit breaker open for {pipe.remote_address!r} "
+                f"circuit breaker open for {address!r} "
                 f"(probe in {breaker.remaining():.2f}s)"
             )
         else:
@@ -524,13 +620,24 @@ def start_remote_worker(pipe: Any, scheduler: Any) -> RemoteWorker | None:
                     "heartbeat_interval": pipe.heartbeat_interval,
                 },
             )
-            try:
-                return _connect_worker(
-                    pipe, scheduler, pipe.remote_address, coexpr.name, request
-                )
-            except (OSError, EOFError) as error:
-                breaker.record_failure()
-                reason = f"connect to {pipe.remote_address!r} failed: {error!r}"
+            if pooled:
+                # Cluster tier: per-replica breakers are consulted
+                # inside the candidate walk; only a fleet-wide refusal
+                # degrades (replica -> next replica -> threads).
+                try:
+                    return _dial_pooled(
+                        pipe, scheduler, address, coexpr.name, request
+                    )
+                except PipeConnectionLost as error:
+                    reason = str(error)
+            else:
+                try:
+                    return _connect_worker(
+                        pipe, scheduler, address, coexpr.name, request
+                    )
+                except (OSError, EOFError) as error:
+                    breaker.record_failure()
+                    reason = f"connect to {address!r} failed: {error!r}"
     pipe._degraded = reason
     if lifecycle_enabled():
         emit_lifecycle(
@@ -590,7 +697,12 @@ class RemotePipe(IconIterator):
         if batch < 1:
             raise ValueError("batch must be >= 1")
         super().__init__()
-        self.address = address
+        from .cluster import normalize_remote_address
+
+        # A list of replicas becomes a ServerPool; a single (host, port)
+        # stays a tuple; an existing pool is shared (routing memory —
+        # suspicion, failover history — persists across refresh()).
+        self.address = normalize_remote_address(address)
         self.factory_name = name
         self.args = tuple(args)
         self.capacity = capacity
@@ -645,14 +757,16 @@ class RemotePipe(IconIterator):
             error = self._deadline_error("start")
             self.cancel()
             raise error
-        breaker = breaker_for(self.address)
-        if not breaker.allow():
-            raise PipeServerBusy(
-                f"remote pipe {self.factory_name!r}: circuit breaker open "
-                f"for {self.address!r}",
-                address=self.address,
-                retry_after=breaker.remaining(),
-            )
+        pooled = hasattr(self.address, "dial_candidates")
+        if not pooled:
+            breaker = breaker_for(self.address)
+            if not breaker.allow():
+                raise PipeServerBusy(
+                    f"remote pipe {self.factory_name!r}: circuit breaker open "
+                    f"for {self.address!r}",
+                    address=self.address,
+                    retry_after=breaker.remaining(),
+                )
         self._started = True
         scheduler = self._scheduler or default_scheduler()
         request = (
@@ -665,6 +779,23 @@ class RemotePipe(IconIterator):
                 "heartbeat_interval": self.heartbeat_interval,
             },
         )
+        if pooled:
+            # Cluster tier: walk the replicas (per-replica breakers are
+            # consulted inside).  Only a fleet-wide refusal propagates —
+            # there is no local body to degrade to.
+            try:
+                self._worker = _dial_pooled(
+                    self,
+                    scheduler,
+                    self.address,
+                    self.factory_name,
+                    request,
+                    label=lambda a: f"{self.factory_name}@{a[0]}:{a[1]}",
+                )
+            except BaseException:
+                self._started = False
+                raise
+            return self
         label = f"{self.factory_name}@{self.address[0]}:{self.address[1]}"
         try:
             self._worker = _connect_worker(

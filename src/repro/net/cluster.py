@@ -1,0 +1,435 @@
+"""The cluster tier — replicated generator servers behind one address.
+
+``backend="remote"`` binds a pipeline to exactly one
+:class:`~repro.net.server.GeneratorServer`: a single point of failure
+and a vertical ceiling.  This module turns a *list* of addresses into a
+routing layer with the same surface a single ``(host, port)`` pair has:
+
+* :class:`HashRing` — consistent hashing with virtual nodes.  Factory
+  placement is stable (the same pipeline name lands on the same replica
+  run after run) and membership changes are minimal (removing a replica
+  remaps only the keys it owned; every other key stays put).
+* :class:`ServerPool` — the live routing state over a ring: per-address
+  *suspicion* (a replica whose session just died or shed is routed
+  around while the window lasts), per-key session memory (which replica
+  served a stream last, and whether that session was lost), and the
+  monitor-event vocabulary of recovery — ``REROUTE`` when placement
+  skips a candidate, ``FAILOVER`` when a lost stream reconnects to a
+  *different* replica, ``STEAL`` when
+  :class:`~repro.coexpr.dataparallel.DataParallel` re-runs a chunk that
+  was stranded on a dead or shed replica.
+
+Failover deliberately *composes* with what is already there instead of
+duplicating it: the per-address
+:class:`~repro.net.client.CircuitBreaker` supplies liveness memory
+between dials, supervision's reconnect+replay preserves the
+exactly-once delivered prefix across the re-route, and the
+:class:`~repro.coexpr.deadline.Deadline` wire rule already makes
+budgets survive re-routing (only remaining seconds ever cross a
+boundary).  The degradation order is **replica → next replica →
+threads** — work is never silently lost: only when every replica is
+down or shedding does a transparent pipe fall back to the thread tier
+(the documented ``DEGRADED`` path), and a chunk task that exhausts its
+steal budget re-runs locally.
+
+Trust model: a pool is just N servers, so the single-server posture
+applies to each replica — the wire is unauthenticated, and replicas
+meant for untrusted clients should all run ``allow_spawn=False`` (the
+restricted-unpickler posture); a pool is only as safe as its least
+restricted member.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import threading
+import time
+from typing import Any, Iterable, List
+
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+
+__all__ = ["HashRing", "ServerPool", "normalize_remote_address"]
+
+#: Virtual nodes per ring member.  128 points keep the worst member's
+#: key share within a few tens of percent of the mean (the hypothesis
+#: suite pins a 2x bound), at ~1 µs of bisect per route.
+_DEFAULT_VNODES = 128
+#: Seconds a replica stays *suspect* (routed around) after a lost or
+#: shed session.  Short on purpose: the circuit breaker carries the
+#: longer memory, suspicion only has to outlive the immediate
+#: reconnect so a supervised replay does not re-dial the corpse.
+_DEFAULT_SUSPICION = 1.0
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit hash (blake2b) — ``hash()`` is salted per process,
+    which would re-shuffle placement on every restart."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing over hashable nodes with virtual points.
+
+    Each node contributes ``vnodes`` points on a 64-bit ring; a key is
+    owned by the first point clockwise from its own hash.  Two
+    properties matter (and are hypothesis-tested):
+
+    * **balance** — with enough virtual points, every node owns a share
+      of the key space close to the mean;
+    * **minimal remap** — removing a node reassigns *only* the keys
+      that node owned; adding one steals keys only for the new node.
+
+    Not thread-safe by itself; :class:`ServerPool` serializes access.
+    """
+
+    __slots__ = ("vnodes", "_points", "_owners", "_nodes")
+
+    def __init__(self, nodes: Iterable[Any] = (), vnodes: int = _DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []      # sorted ring positions
+        self._owners: dict[int, Any] = {} # position -> node
+        self._nodes: dict[Any, List[int]] = {}
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Any) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> tuple:
+        return tuple(self._nodes)
+
+    def add(self, node: Any) -> None:
+        """Insert *node* (idempotent)."""
+        if node in self._nodes:
+            return
+        points = []
+        for index in range(self.vnodes):
+            point = _hash64(f"{node!r}#{index}")
+            while point in self._owners:  # 64-bit collision: nudge
+                point = (point + 1) % (1 << 64)
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+            points.append(point)
+        self._nodes[node] = points
+
+    def remove(self, node: Any) -> None:
+        """Remove *node* (idempotent); only its keys are remapped."""
+        points = self._nodes.pop(node, None)
+        if points is None:
+            return
+        drop = set(points)
+        self._points = [p for p in self._points if p not in drop]
+        for point in points:
+            del self._owners[point]
+
+    def node_for(self, key: Any) -> Any:
+        """The node owning *key* (the ring's primary placement)."""
+        if not self._points:
+            raise ValueError("hash ring is empty")
+        index = bisect.bisect_right(self._points, _hash64(repr(key)))
+        return self._owners[self._points[index % len(self._points)]]
+
+    def preference(self, key: Any) -> List[Any]:
+        """Every node, ordered by ring walk from *key*'s position.
+
+        The failover order: the primary first, then the replica that
+        would own the key if the primary vanished, and so on — so
+        routing around a dead node lands exactly where a ring with that
+        node removed would place the key (the minimal-remap property,
+        applied at dial time).
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect_right(self._points, _hash64(repr(key)))
+        count = len(self._points)
+        want = len(self._nodes)
+        seen: set = set()
+        order: List[Any] = []
+        for step in range(count):
+            node = self._owners[self._points[(start + step) % count]]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) == want:
+                    break
+        return order
+
+
+def _as_address(value: Any) -> tuple:
+    """One ``(host, port)`` pair, normalized to a hashable tuple."""
+    try:
+        host, port = value
+    except (TypeError, ValueError):
+        raise ValueError(f"not a (host, port) address: {value!r}") from None
+    if not isinstance(host, str) or not isinstance(port, int):
+        raise ValueError(f"not a (host, port) address: {value!r}")
+    return (host, port)
+
+
+def _is_single_address(value: Any) -> bool:
+    return (
+        isinstance(value, (tuple, list))
+        and len(value) == 2
+        and isinstance(value[0], str)
+        and isinstance(value[1], int)
+    )
+
+
+def normalize_remote_address(value: Any) -> Any:
+    """Accept every shape ``remote_address`` takes, everywhere.
+
+    * ``None`` and an existing :class:`ServerPool` pass through;
+    * a single ``(host, port)`` pair stays a plain tuple (the
+      single-server tier, byte-for-byte the old behavior);
+    * a list/tuple of pairs becomes a :class:`ServerPool` — the
+      cluster tier.
+
+    Callers that spawn *many* pipes over one cluster (supervision's
+    restarts, a pipeline's stages, DataParallel's chunk tasks) should
+    normalize once and share the pool object, so suspicion and
+    failover memory persist across spawns.
+    """
+    if value is None or isinstance(value, ServerPool):
+        return value
+    if _is_single_address(value):
+        return _as_address(value)
+    return ServerPool(value)
+
+
+class ServerPool:
+    """Replica routing state: a hash ring plus liveness memory.
+
+    The pool answers one question — *which replicas should this key try,
+    in what order?* — and records the outcomes that shape the next
+    answer: a lost or shed session makes its address **suspect** for
+    ``suspicion`` seconds (routed last, not never — the degradation
+    order ends at the replica list, so a suspect is still dialed before
+    any thread fallback), a healthy stream clears it, and a reconnect
+    that lands on a different replica than the lost session is a
+    **failover**, emitted on the monitor bus and counted in
+    :meth:`stats` / :meth:`~repro.monitor.Tracer.cluster_stats`.
+
+    ``fault_plan`` (a :class:`~repro.coexpr.supervision.FaultPlan`)
+    arms deterministic chaos: ``drop_connection`` / ``kill_server``
+    rules keyed by route key fire from the client pump, so tests drive
+    failover without racing a real crash.
+
+    Thread-safe; one pool is meant to be shared by every pipe routed
+    over the same replica fleet.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        addresses: Iterable[Any],
+        vnodes: int = _DEFAULT_VNODES,
+        suspicion: float = _DEFAULT_SUSPICION,
+        name: str | None = None,
+        fault_plan: Any = None,
+    ) -> None:
+        if suspicion < 0:
+            raise ValueError("suspicion must be >= 0")
+        normalized: List[tuple] = []
+        for value in addresses:
+            address = _as_address(value)
+            if address not in normalized:
+                normalized.append(address)
+        if not normalized:
+            raise ValueError("ServerPool needs at least one address")
+        self.name = name or f"pool-{next(self._ids)}"
+        self.suspicion = suspicion
+        #: Chaos hook: rules keyed by route key, entered by the client
+        #: pump on every (re)connect — attempt numbers count sessions.
+        self.fault_plan = fault_plan
+        self._lock = threading.Lock()
+        self._ring = HashRing(normalized, vnodes=vnodes)
+        self._addresses: List[tuple] = normalized
+        self._suspect: dict[tuple, float] = {}  # address -> monotonic until
+        self._last: dict[Any, tuple] = {}       # key -> last connected address
+        self._lost: set = set()                 # keys whose last session died
+        self._failovers = 0
+        self._reroutes = 0
+        self._steals = 0
+
+    # -- membership ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._addresses)
+
+    @property
+    def addresses(self) -> tuple:
+        with self._lock:
+            return tuple(self._addresses)
+
+    def add(self, address: Any) -> None:
+        """Join *address* to the fleet (idempotent); only the keys the
+        new replica now owns are remapped."""
+        address = _as_address(address)
+        with self._lock:
+            if address not in self._addresses:
+                self._addresses.append(address)
+                self._ring.add(address)
+
+    def remove(self, address: Any) -> None:
+        """Retire *address* (idempotent); only its keys are remapped."""
+        address = _as_address(address)
+        with self._lock:
+            if address in self._addresses:
+                self._addresses.remove(address)
+                self._ring.remove(address)
+                self._suspect.pop(address, None)
+
+    # -- routing ---------------------------------------------------------------
+
+    def primary(self, key: Any) -> tuple:
+        """The ring's placement for *key*, ignoring liveness."""
+        with self._lock:
+            return self._ring.node_for(key)
+
+    def dial_candidates(self, key: Any) -> List[tuple]:
+        """Replicas to try for *key*, in order: the ring's preference
+        walk with suspect addresses moved to the tail.
+
+        Every replica appears — suspicion re-orders, it never excludes:
+        if the whole fleet is suspect the dial still tries each one
+        (fast refusals) before the caller degrades to threads.
+        """
+        now = time.monotonic()
+        with self._lock:
+            preference = self._ring.preference(key)
+            suspect = {
+                address
+                for address, until in self._suspect.items()
+                if until > now
+            }
+        live = [address for address in preference if address not in suspect]
+        tail = [address for address in preference if address in suspect]
+        return live + tail
+
+    def suspected(self, address: Any) -> bool:
+        with self._lock:
+            return self._suspect.get(address, 0.0) > time.monotonic()
+
+    def last_address(self, key: Any) -> tuple | None:
+        """The replica the last successful dial for *key* landed on
+        (None before any connect).  Lets a test — or an operator — ask
+        *which* replica currently serves a stream, e.g. to kill it."""
+        with self._lock:
+            return self._last.get(key)
+
+    # -- outcome notifications (the client pump and dial loop call these) ------
+
+    def _emit(self, kind: str, value: dict) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"pool:{self.name}", 0, value))
+
+    def note_lost(self, key: Any, address: Any, reason: str) -> None:
+        """A session for *key* on *address* died or was shed."""
+        with self._lock:
+            self._suspect[address] = time.monotonic() + self.suspicion
+            self._lost.add(key)
+
+    def note_dial_failure(self, key: Any, address: Any, error: BaseException) -> None:
+        """A dial for *key* to *address* failed; routing moves on."""
+        with self._lock:
+            self._suspect[address] = time.monotonic() + self.suspicion
+            self._reroutes += 1
+        self._emit(
+            EventKind.REROUTE,
+            {"key": key, "skipped": address, "reason": f"dial failed: {error!r}"},
+        )
+
+    def note_skip(self, key: Any, address: Any, reason: str) -> None:
+        """Routing for *key* passed over *address* without dialing
+        (breaker open, suspect window)."""
+        with self._lock:
+            self._reroutes += 1
+        self._emit(
+            EventKind.REROUTE, {"key": key, "skipped": address, "reason": reason}
+        )
+
+    def note_connect(self, key: Any, address: Any) -> None:
+        """A dial for *key* landed on *address*.  A reconnect after a
+        loss that lands on a *different* replica is the failover."""
+        with self._lock:
+            previous = self._last.get(key)
+            recovered = key in self._lost
+            self._last[key] = address
+            self._lost.discard(key)
+            failover = recovered and previous is not None and previous != address
+            if failover:
+                self._failovers += 1
+        if failover:
+            self._emit(
+                EventKind.FAILOVER,
+                {"key": key, "from": previous, "to": address},
+            )
+
+    def note_healthy(self, address: Any) -> None:
+        """A stream on *address* proved the replica alive."""
+        with self._lock:
+            self._suspect.pop(address, None)
+
+    def note_steal(
+        self, key: Any, delivered: int, reason: str, fallback: bool = False
+    ) -> None:
+        """A DataParallel chunk stranded on a dead/shed replica is being
+        re-run (*fallback* = on the thread tier, the end of the
+        degradation order)."""
+        with self._lock:
+            self._steals += 1
+        self._emit(
+            EventKind.STEAL,
+            {
+                "key": key,
+                "delivered": delivered,
+                "reason": reason,
+                "fallback": fallback,
+            },
+        )
+
+    # -- chaos -----------------------------------------------------------------
+
+    def chaos_enter(self, key: Any) -> Any:
+        """Enter the fault plan for one (re)connection of *key*; None
+        when no plan is armed.  May raise the injected fault itself
+        (a ``drop_connection`` rule with ``after_items=0``)."""
+        plan = self.fault_plan
+        if plan is None:
+            return None
+        return plan.enter(key)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """``{"addresses", "suspected", "failovers", "reroutes",
+        "steals"}`` — the pool-side recovery counters."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                "addresses": tuple(self._addresses),
+                "suspected": tuple(
+                    address
+                    for address, until in self._suspect.items()
+                    if until > now
+                ),
+                "failovers": self._failovers,
+                "reroutes": self._reroutes,
+                "steals": self._steals,
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            members = ", ".join(f"{h}:{p}" for h, p in self._addresses)
+        return f"ServerPool({self.name}, [{members}])"

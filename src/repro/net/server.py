@@ -750,6 +750,23 @@ class GeneratorServer:
         with self._lock:
             self._shed_count += 1
             active = len(self._sessions)
+        # Emit before the busy reply goes out: the moment the reply is
+        # on the wire the client can raise PipeServerBusy and a tracer
+        # watching for the shed may already have unsubscribed.
+        if lifecycle_enabled():
+            emit_lifecycle(
+                Event(
+                    EventKind.SHED,
+                    f"server:{self.name}",
+                    0,
+                    {
+                        "peer": peer,
+                        "active": active,
+                        "max_sessions": self.max_sessions,
+                        "retry_after": self.retry_after,
+                    },
+                )
+            )
         try:
             SocketFramer(sock).send((WIRE_BUSY, self.retry_after))
             sock.shutdown(socket.SHUT_WR)
@@ -769,20 +786,6 @@ class GeneratorServer:
                     sock.close()
                 except OSError:
                     pass
-        if lifecycle_enabled():
-            emit_lifecycle(
-                Event(
-                    EventKind.SHED,
-                    f"server:{self.name}",
-                    0,
-                    {
-                        "peer": peer,
-                        "active": active,
-                        "max_sessions": self.max_sessions,
-                        "retry_after": self.retry_after,
-                    },
-                )
-            )
 
     @staticmethod
     def _drain_shed(sock: Any) -> None:
@@ -850,6 +853,16 @@ class GeneratorServer:
                 "active": len(self._sessions),
                 "shed": self._shed_count,
             }
+
+    def stats_line(self) -> str:
+        """One operator-readable line of :attr:`stats` — the shape
+        ``junicon-serve --stats-interval`` logs to stderr."""
+        snapshot = self.stats
+        host, port = self.address
+        return (
+            f"stats {host}:{port} served={snapshot['served']} "
+            f"active={snapshot['active']} shed={snapshot['shed']}"
+        )
 
     def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:
         """Stop accepting and close every session gracefully.

@@ -48,6 +48,36 @@ class TestBackoffPolicy:
         with pytest.raises(ValueError):
             BackoffPolicy().delay(0)
 
+    def test_default_has_no_jitter(self):
+        # Regression: adding the jitter option must not change the
+        # default schedule — same deterministic exponential as ever.
+        policy = BackoffPolicy(initial=0.1, multiplier=2.0, max_delay=1.0)
+        assert not policy.jitter
+        assert [policy.delay(i) for i in (1, 2, 3)] == [
+            policy.delay(i) for i in (1, 2, 3)
+        ]
+        assert policy.delay(2) == 0.2
+
+    def test_full_jitter_draws_within_the_exponential_cap(self):
+        policy = BackoffPolicy(
+            initial=0.1, multiplier=2.0, max_delay=1.0, jitter=True
+        )
+        # Full jitter: delay = U[0, 1) * min(initial * m^(n-1), cap).
+        for retry, cap in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.8), (5, 1.0)):
+            assert policy.delay(retry, rand=lambda: 0.0) == 0.0
+            assert policy.delay(retry, rand=lambda: 0.5) == pytest.approx(
+                0.5 * cap
+            )
+            for _ in range(50):
+                assert 0.0 <= policy.delay(retry) < cap
+
+    def test_jitter_decorrelates_draws(self):
+        policy = BackoffPolicy(
+            initial=1.0, multiplier=1.0, max_delay=1.0, jitter=True
+        )
+        draws = {policy.delay(1) for _ in range(20)}
+        assert len(draws) > 1  # a herd of reconnects spreads out
+
 
 class TestFaultPlan:
     def test_counts_attempts_per_stage(self):
