@@ -1,0 +1,113 @@
+"""Ablation A12 — the optimizing compile target (native Python generators).
+
+Three engines over the same generator-heavy programs:
+
+* **interactive** — `JuniconInterpreter`: per-statement expression
+  compilation plus interpreted iterator trees (the script-engine path);
+* **interpreted** — `transform_program(optimize=False)`: the whole unit
+  compiled once, bodies still interpreted iterator trees;
+* **optimized** — `transform_program(optimize=True)`: procedure bodies
+  lowered to native Python generator functions
+  (:mod:`repro.lang.optimize`), no per-step `IconIterator` allocation.
+
+Workloads: a *light* generator loop (every/suspend over `to`, the shape
+the optimizer lowers completely), a *heavy* backtracking conjunction
+(nested goal-directed search), and one *remote* pipeline (the optimized
+program streamed through a loopback generator server — the wire should
+dominate, shrinking the compile-target delta).
+
+Run with JSON export (the CI differential job uploads this artifact)::
+
+    python -m pytest benchmarks/test_ablation_compile.py --benchmark-only \
+        --benchmark-json=ablation_compile.json -q
+"""
+
+import pytest
+
+from repro.lang.interp import JuniconInterpreter
+from repro.lang.transform import transform_program
+
+LIGHT = "def light() { local i; every i := 1 to 500 do suspend i + 1; }"
+HEAVY = (
+    "def heavy() { local a, b; "
+    "suspend (a := 1 to 30) & (b := 1 to 30) & a * b; }"
+)
+
+LIGHT_EXPECTED = [i + 1 for i in range(1, 501)]
+HEAVY_EXPECTED = [a * b for a in range(1, 31) for b in range(1, 31)]
+
+
+def _namespace(source: str, optimize: bool) -> dict:
+    code = transform_program(source, optimize=optimize)
+    namespace: dict = {}
+    exec(compile(code, "<ablation-compile>", "exec"), namespace)
+    return namespace
+
+
+def _variants(source: str, entry: str):
+    interp = JuniconInterpreter()
+    interp.run(source)
+    interpreted = _namespace(source, optimize=False)
+    optimized = _namespace(source, optimize=True)
+    return {
+        "interactive": lambda: interp.results(f"{entry}()"),
+        "interpreted": lambda: list(interpreted[entry]()),
+        "optimized": lambda: list(optimized[entry]()),
+    }
+
+
+LIGHT_VARIANTS = _variants(LIGHT, "light")
+HEAVY_VARIANTS = _variants(HEAVY, "heavy")
+
+
+@pytest.mark.parametrize("engine", ["interactive", "interpreted", "optimized"])
+def test_light_generator_loop(benchmark, engine):
+    benchmark.group = "ablation-compile-light"
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["results"] = len(LIGHT_EXPECTED)
+    assert benchmark(LIGHT_VARIANTS[engine]) == LIGHT_EXPECTED
+
+
+@pytest.mark.parametrize("engine", ["interactive", "interpreted", "optimized"])
+def test_heavy_backtracking(benchmark, engine):
+    benchmark.group = "ablation-compile-heavy"
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["results"] = len(HEAVY_EXPECTED)
+    assert benchmark(HEAVY_VARIANTS[engine]) == HEAVY_EXPECTED
+
+
+# -- the remote pipeline bar --------------------------------------------------
+#
+# The same light program streamed through a loopback generator server.
+# Framing + credit flow should dominate, so the optimized bar lands much
+# closer to the interpreted one than in the local loops — that *shrinkage*
+# is the datum: the compile target accelerates compute, not the wire.
+
+
+def _serve_program(optimize_flag: str):
+    namespace = _namespace(LIGHT, optimize=optimize_flag == "on")
+    return namespace["light"]()
+
+
+@pytest.fixture(scope="module")
+def gen_server():
+    from repro.net import GeneratorServer
+
+    with GeneratorServer() as server:
+        server.register("light", _serve_program)
+        yield server
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "optimized"])
+def test_remote_pipeline(benchmark, engine, gen_server):
+    from repro.net import RemotePipe
+
+    flag = "on" if engine == "optimized" else "off"
+
+    def drain():
+        pipe = RemotePipe(gen_server.address, "light", args=(flag,))
+        return list(pipe.iterate())
+
+    benchmark.group = "ablation-compile-remote"
+    benchmark.extra_info["engine"] = engine
+    assert benchmark(drain) == LIGHT_EXPECTED

@@ -114,8 +114,11 @@ def _emit_statement_region(
     body: str,
     native_blocks: Dict[str, str],
     context: str,
+    optimize: bool = False,
 ) -> str:
     """Translate a statement-level Junicon region to Python statements."""
+    from .optimize import emit_method_optimized
+
     program = parse(body, native_blocks)
     writer = CodeWriter()
     in_class = context == "class"
@@ -132,10 +135,20 @@ def _emit_statement_region(
         elif isinstance(node, ast.RecordDecl):
             emit_record(writer, node)
         elif isinstance(node, ast.MethodDecl):
-            emit_method(
-                writer, node, fields=set(), in_class=in_class,
-                dynamic_self=in_class, module_globals=region_globals,
-            )
+            # The optimizing target covers plain procedures only; class
+            # regions need self-dynamic resolution, so they stay
+            # interpreted.
+            if not (
+                optimize
+                and not in_class
+                and emit_method_optimized(
+                    writer, node, module_globals=region_globals
+                )
+            ):
+                emit_method(
+                    writer, node, fields=set(), in_class=in_class,
+                    dynamic_self=in_class, module_globals=region_globals,
+                )
         elif isinstance(node, ast.GlobalDecl):
             for name in node.names:
                 writer.emit(f"_ns.setdefault({name!r}, None)")
@@ -161,8 +174,18 @@ def _emit_statement_region(
     return writer.text()
 
 
-def transform_source(source: str, inject_prelude: bool = True) -> str:
-    """Transform a mixed-language host file into pure Python source."""
+def transform_source(
+    source: str, inject_prelude: bool = True, optimize="auto"
+) -> str:
+    """Transform a mixed-language host file into pure Python source.
+
+    ``optimize`` picks the compile target for procedure declarations in
+    statement-level Junicon regions (see :mod:`repro.lang.optimize`);
+    ``"auto"`` follows the ``REPRO_OPTIMIZE`` environment variable.
+    """
+    from .optimize import resolve_optimize
+
+    optimizing = resolve_optimize(optimize)
     annotations = extract_regions(source)
     if not annotations:
         return source
@@ -188,7 +211,10 @@ def transform_source(source: str, inject_prelude: bool = True) -> str:
             if statement_level:
                 indent = _indent_of(source, annotation.start)
                 code = _emit_statement_region(
-                    body, native_blocks, annotation.attrs.get("context", "")
+                    body,
+                    native_blocks,
+                    annotation.attrs.get("context", ""),
+                    optimize=optimizing,
                 )
                 indented = "\n".join(
                     (indent + line) if line.strip() else ""
@@ -235,9 +261,9 @@ def _inject_prelude(source: str) -> str:
     return "".join(lines[:index]) + PRELUDE_IMPORT + "".join(lines[index:])
 
 
-def transform_file(path: str, inject_prelude: bool = True) -> str:
+def transform_file(path: str, inject_prelude: bool = True, optimize="auto") -> str:
     with open(path, "r", encoding="utf-8") as handle:
-        return transform_source(handle.read(), inject_prelude)
+        return transform_source(handle.read(), inject_prelude, optimize=optimize)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -254,8 +280,19 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="do not inject the runtime prelude import",
     )
+    parser.add_argument(
+        "--optimize",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="compile target for procedures: emit native Python generators "
+        "(on), interpreted iterator trees (off), or follow the "
+        "REPRO_OPTIMIZE environment variable (auto, the default)",
+    )
     args = parser.parse_args(argv)
-    code = transform_file(args.file, inject_prelude=not args.no_prelude)
+    optimize = {"auto": "auto", "on": True, "off": False}[args.optimize]
+    code = transform_file(
+        args.file, inject_prelude=not args.no_prelude, optimize=optimize
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(code)

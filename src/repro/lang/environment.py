@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Iterator, MutableMapping
 
 from ..errors import IconNotAFunctionError
-from ..runtime.failure import FAIL
+from ..runtime.failure import FAIL, Suspension
 from ..runtime.functions import BUILTINS, keyword, set_keyword
 from ..runtime.iterator import IconIterator, as_iterator
 from ..runtime.refs import IconVar, Ref, deref
@@ -141,6 +141,59 @@ def invoke_value(callee: Any, *args: Any) -> Any:
             return invoke_value(resolved, *args)
         return FAIL
     raise IconNotAFunctionError(f"invocation of a {type(callee).__name__} value")
+
+
+def call_results(callee: Any, *args: Any) -> Iterator[Any]:
+    """Iterate an invocation's results, already dereferenced.
+
+    The optimizing compile target (:mod:`repro.lang.optimize`) lowers a
+    normalized call site to ``for v in call_results(f, a, b): ...`` — one
+    generator frame replacing the ``IconInvokeIterator`` wrapper plus the
+    per-result ``deref``/``unwrap`` of the interpreted path.  Delegation
+    follows :func:`invoke_value`: generator-function results and Junicon
+    method bodies are iterated; plain host results are singletons;
+    :data:`FAIL` yields nothing.
+    """
+    result = invoke_value(callee, *args)
+    if result is FAIL:
+        return
+    if isinstance(result, IconIterator):
+        for item in result.iterate():
+            yield deref(item)
+        return
+    if hasattr(result, "__next__"):
+        for item in result:
+            yield deref(item)
+        return
+    yield deref(result)
+
+
+def first_result(results: Any) -> Any:
+    """The first result of an iterable, or :data:`FAIL` when exhausted.
+
+    Bounded-expression support for lowered code: the generated helper
+    generator is driven one step and closed, mirroring
+    ``IconIterator.first`` without a node allocation.
+    """
+    for value in results:
+        return value
+    return FAIL
+
+
+def break_results(signal: Any) -> Iterator[Any]:
+    """Iterate a ``break e`` signal's value expression, dereferenced.
+
+    :class:`~repro.runtime.failure.BreakSignal` carries the *un-evaluated*
+    value node; lowered loops drain it lazily — fully in result position,
+    one bounded step in statement position — matching ``IconWhile`` /
+    ``IconEvery``.  A bare ``break`` (no value) yields nothing.
+    """
+    if signal.value_iterator is None:
+        return
+    for value in as_iterator(signal.value_iterator).iterate():
+        if isinstance(value, Suspension):
+            value = value.value
+        yield deref(value)
 
 
 def host_lookup(thunk: Any, self_thunk: Any, name: str) -> Any:

@@ -26,7 +26,9 @@ from .transform import transform_expression, transform_program
 class JuniconInterpreter:
     """A persistent Junicon evaluation session over one namespace."""
 
-    def __init__(self, namespace: dict | None = None) -> None:
+    def __init__(
+        self, namespace: dict | None = None, optimize: bool = False
+    ) -> None:
         if namespace is None:
             namespace = {}
         self.namespace = namespace
@@ -36,6 +38,11 @@ class JuniconInterpreter:
         self.namespace["_ns"] = self.namespace
         #: names declared `global` in any input of this session
         self.declared_globals: set = set()
+        #: compile target for procedure declarations — the interactive
+        #: engine defaults to the interpreted iterator trees (the
+        #: "script engine" path); pass ``optimize=True`` to lower
+        #: declared procedures to native Python generators instead.
+        self.optimize = bool(optimize)
 
     # -- program-level -----------------------------------------------------------
 
@@ -47,7 +54,10 @@ class JuniconInterpreter:
         the namespace.
         """
         code = transform_program(
-            source, native_blocks, known_globals=self.declared_globals
+            source,
+            native_blocks,
+            known_globals=self.declared_globals,
+            optimize=self.optimize,
         )
         exec(compile(code, "<junicon>", "exec"), self.namespace)
         return self.namespace
@@ -144,7 +154,15 @@ class JuniconInterpreter:
 
         writer = CodeWriter()
         if isinstance(node, ast.MethodDecl):
-            emit_method(writer, node, module_globals=self.declared_globals)
+            lowered = False
+            if self.optimize:
+                from .optimize import emit_method_optimized
+
+                lowered = emit_method_optimized(
+                    writer, node, module_globals=self.declared_globals
+                )
+            if not lowered:
+                emit_method(writer, node, module_globals=self.declared_globals)
         elif isinstance(node, ast.ClassDecl):
             emit_class(writer, node, module_globals=self.declared_globals)
         elif isinstance(node, ast.RecordDecl):

@@ -31,11 +31,17 @@ MIXED_SUFFIX = ".jun.py"
 
 
 class JuniconLoader(importlib.abc.SourceLoader):
-    """Loads and transforms one mixed/pure Junicon file."""
+    """Loads and transforms one mixed/pure Junicon file.
 
-    def __init__(self, fullname: str, path: str) -> None:
+    ``optimize`` selects the compile target (see
+    :func:`repro.lang.optimize.resolve_optimize`): the default ``"auto"``
+    follows the ``REPRO_OPTIMIZE`` environment variable.
+    """
+
+    def __init__(self, fullname: str, path: str, optimize="auto") -> None:
         self.fullname = fullname
         self.path = path
+        self.optimize = optimize
 
     def get_filename(self, fullname: str) -> str:
         return self.path
@@ -47,8 +53,8 @@ class JuniconLoader(importlib.abc.SourceLoader):
     def get_source(self, fullname: str) -> str:
         raw = self.get_data(self.path).decode("utf-8")
         if self.path.endswith(MIXED_SUFFIX):
-            return transform_source(raw)
-        return transform_program(raw)
+            return transform_source(raw, optimize=self.optimize)
+        return transform_program(raw, optimize=self.optimize)
 
     def source_to_code(self, data, path, *, _optimize=-1):  # type: ignore[override]
         # `data` is the *raw* bytes; transform before compiling.
@@ -64,8 +70,9 @@ class JuniconLoader(importlib.abc.SourceLoader):
 class JuniconFinder(importlib.abc.MetaPathFinder):
     """Finds ``<name>.jun`` / ``<name>.jun.py`` along ``sys.path``."""
 
-    def __init__(self, extra_paths: Sequence[str] = ()) -> None:
+    def __init__(self, extra_paths: Sequence[str] = (), optimize="auto") -> None:
         self.extra_paths = list(extra_paths)
+        self.optimize = optimize
 
     def find_spec(self, fullname, path=None, target=None):
         leaf = fullname.rsplit(".", 1)[-1]
@@ -78,7 +85,9 @@ class JuniconFinder(importlib.abc.MetaPathFinder):
             for suffix in (MIXED_SUFFIX, JUNICON_SUFFIX):
                 candidate = os.path.join(directory, leaf + suffix)
                 if os.path.isfile(candidate):
-                    loader = JuniconLoader(fullname, candidate)
+                    loader = JuniconLoader(
+                        fullname, candidate, optimize=self.optimize
+                    )
                     return importlib.util.spec_from_file_location(
                         fullname, candidate, loader=loader
                     )
@@ -88,16 +97,18 @@ class JuniconFinder(importlib.abc.MetaPathFinder):
 _installed: JuniconFinder | None = None
 
 
-def install(extra_paths: Sequence[str] = ()) -> JuniconFinder:
+def install(extra_paths: Sequence[str] = (), optimize="auto") -> JuniconFinder:
     """Install (or extend) the import hook; idempotent."""
     global _installed
     if _installed is None:
-        _installed = JuniconFinder(extra_paths)
+        _installed = JuniconFinder(extra_paths, optimize=optimize)
         sys.meta_path.append(_installed)
     else:
         for path in extra_paths:
             if path not in _installed.extra_paths:
                 _installed.extra_paths.append(path)
+        if optimize != "auto":
+            _installed.optimize = optimize
     return _installed
 
 
@@ -112,10 +123,10 @@ def uninstall() -> None:
         _installed = None
 
 
-def load_file(path: str, module_name: str | None = None):
+def load_file(path: str, module_name: str | None = None, optimize="auto"):
     """Import one mixed/pure Junicon file directly (no hook needed)."""
     name = module_name or os.path.basename(path).split(".")[0]
-    loader = JuniconLoader(name, path)
+    loader = JuniconLoader(name, path, optimize=optimize)
     spec = importlib.util.spec_from_file_location(name, path, loader=loader)
     module = importlib.util.module_from_spec(spec)
     loader.exec_module(module)

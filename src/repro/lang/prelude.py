@@ -8,7 +8,14 @@ environment helpers.
 """
 
 from ..runtime import operations as iops
-from ..runtime.failure import FAIL
+from ..runtime.failure import (
+    FAIL,
+    BreakSignal,
+    FailSignal,
+    NextSignal,
+    ReturnSignal,
+    Suspension,
+)
 from ..runtime.cache import MethodBodyCache
 from ..runtime.combinators import (
     IconBound,
@@ -32,9 +39,10 @@ from ..runtime.control import (
     IconSuspend,
     IconUntil,
     IconWhile,
+    case_match,
 )
 from ..runtime.access import IconField, IconIndex, IconSection
-from ..runtime.invoke import IconInvokeIterator, IconMethodBody
+from ..runtime.invoke import IconInvokeIterator, IconMethodBody, IconOptimizedBody
 from ..runtime.iterator import (
     IconFail,
     IconGenerator,
@@ -55,8 +63,8 @@ from ..runtime.operations import (
     IconSwap,
     IconToBy,
 )
-from ..runtime.promote import IconActivate, IconPromote
-from ..runtime.refs import FieldRef, IconTmp, IconVar
+from ..runtime.promote import IconActivate, IconPromote, promote_value
+from ..runtime.refs import FieldRef, IconTmp, IconVar, deref
 from ..runtime.scanning import IconScan, tab_match
 from ..runtime.types import Cset
 from ..runtime.functions import BUILTINS
@@ -66,7 +74,10 @@ from ..coexpr.calculus import refresh as _jrefresh
 from .environment import (
     GlobalRef,
     IconInitial,
+    break_results,
+    call_results,
     class_lookup,
+    first_result,
     KeywordRef,
     ListBuild,
     global_value,
@@ -78,9 +89,11 @@ from .environment import (
 __all__ = [
     "_jrefresh",
     "BUILTINS",
+    "BreakSignal",
     "CoExpression",
     "Cset",
     "FAIL",
+    "FailSignal",
     "FieldRef",
     "GlobalRef",
     "IconActivate",
@@ -110,6 +123,7 @@ __all__ = [
     "IconNullIterator",
     "IconNullTest",
     "IconOperation",
+    "IconOptimizedBody",
     "IconProduct",
     "IconPromote",
     "IconRepeat",
@@ -132,12 +146,21 @@ __all__ = [
     "KeywordRef",
     "ListBuild",
     "MethodBodyCache",
+    "NextSignal",
     "Pipe",
+    "ReturnSignal",
+    "Suspension",
+    "break_results",
+    "call_results",
+    "case_match",
     "class_lookup",
+    "deref",
+    "first_result",
     "global_value",
     "host_lookup",
     "invoke_value",
     "iops",
+    "promote_value",
     "shadow",
     "tab_match",
 ]

@@ -755,13 +755,24 @@ def transform_program(
     source: str,
     native_blocks=None,
     known_globals: Set[str] | None = None,
+    optimize=False,
 ) -> str:
     """Translate a Junicon translation unit into a Python module source.
 
     ``known_globals`` seeds the global-name context (names declared
     ``global`` in earlier inputs of the same session); declarations in
     *this* unit are added to it (the set is mutated for the caller).
+
+    ``optimize`` selects the compile target for module-level procedures:
+    ``False`` (default) builds interpreted iterator trees, ``True`` lowers
+    supported shapes to native Python generators (see
+    :mod:`repro.lang.optimize`), and ``"auto"`` consults the
+    ``REPRO_OPTIMIZE`` environment variable.  Class methods and top-level
+    statements always use the interpreted target.
     """
+    from .optimize import emit_method_optimized, resolve_optimize
+
+    optimizing = resolve_optimize(optimize)
     program = parse(source, native_blocks)
     module_globals: Set[str] = known_globals if known_globals is not None else set()
     for node in program.body:
@@ -781,7 +792,13 @@ def transform_program(
         elif isinstance(node, ast.RecordDecl):
             emit_record(writer, node)
         elif isinstance(node, ast.MethodDecl):
-            emit_method(writer, node, module_globals=module_globals)
+            if not (
+                optimizing
+                and emit_method_optimized(
+                    writer, node, module_globals=module_globals
+                )
+            ):
+                emit_method(writer, node, module_globals=module_globals)
         elif isinstance(node, ast.GlobalDecl):
             for name in node.names:
                 writer.emit(f"_ns.setdefault({name!r}, None)")

@@ -88,6 +88,12 @@ class EventKind:
     REROUTE = "reroute"
     STEAL = "steal"
 
+    # The optimizing compile target: one event per translated unit
+    # (``{"optimized": bool, "lowered": [shape, ...], "fallbacks":
+    # [shape, ...]}``) — which normalized shapes became native Python
+    # generators and which deferred to the interpreted runtime.
+    COMPILE = "compile"
+
     ITERATION = (ENTER, PRODUCE, SUSPEND, RESUME, FAIL)
     LIFECYCLE = (
         START,
@@ -111,6 +117,7 @@ class EventKind:
         FAILOVER,
         REROUTE,
         STEAL,
+        COMPILE,
     )
     ALL = ITERATION + LIFECYCLE
 

@@ -338,6 +338,41 @@ class Tracer:
                 stats["stolen_keys"].append(value.get("key"))
         return out
 
+    def compile_stats(self) -> dict:
+        """Per-unit compile-target summary from collected ``compile``
+        events: ``{unit: {compiles, optimized, lowered, fallbacks}}``.
+
+        The optimizing compile target (:mod:`repro.lang.optimize`) emits
+        one lifecycle event per translation unit it considers;
+        ``optimized`` counts the units it actually lowered to native
+        Python generators, ``lowered`` accumulates the shape names it
+        handled natively, and ``fallbacks`` the shapes it deferred to
+        the interpreted runtime — together they show how much of a
+        program the optimizer covered and what kept the rest on the
+        general path."""
+        out: dict = {}
+        for event in self.events:
+            if event.kind != EventKind.COMPILE:
+                continue
+            stats = out.setdefault(
+                event.node,
+                {"compiles": 0, "optimized": 0, "lowered": [], "fallbacks": []},
+            )
+            stats["compiles"] += 1
+            value = event.value if isinstance(event.value, dict) else {}
+            if value.get("optimized"):
+                stats["optimized"] += 1
+            for shape in value.get("lowered", ()):
+                if shape not in stats["lowered"]:
+                    stats["lowered"].append(shape)
+            for shape in value.get("fallbacks", ()):
+                if shape not in stats["fallbacks"]:
+                    stats["fallbacks"].append(shape)
+        for stats in out.values():
+            stats["lowered"].sort()
+            stats["fallbacks"].sort()
+        return out
+
     def transcript(self, limit: int | None = None) -> str:
         """A readable, indented trace of the evaluation."""
         events = self.events if limit is None else self.events[:limit]

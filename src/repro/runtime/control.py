@@ -187,6 +187,15 @@ class IconCase(IconIterator):
             yield from self.default.iterate()
 
 
+def case_match(candidate: Any, subject: Any) -> bool:
+    """Icon's ``===`` matching rule used by ``case`` branch selection.
+
+    Public because the optimizing compile target emits direct calls to it
+    when lowering ``case`` to native Python control flow.
+    """
+    return _case_match(candidate, subject)
+
+
 def _case_match(candidate: Any, subject: Any) -> bool:
     if isinstance(candidate, (list, dict, set)) or isinstance(subject, (list, dict, set)):
         return candidate is subject

@@ -161,6 +161,60 @@ class IconInvoke(IconIterator):
             yield result
 
 
+class IconOptimizedBody(IconIterator):
+    """The root wrapper of an *optimized* (natively lowered) procedure body.
+
+    The optimizing compile target (:mod:`repro.lang.optimize`) emits the
+    procedure body as one straight Python generator function — results are
+    yielded directly instead of travelling in :class:`Suspension`
+    envelopes, so :class:`IconMethodBody`'s discard-ordinary-results rule
+    does not apply.  What remains shared with the interpreted wrapper is
+    the outer contract: ``return``/``fail`` signals raised by embedded
+    fallback subtrees convert to a final result / failure, and finished
+    bodies recycle through the same :class:`MethodBodyCache`.
+    """
+
+    __slots__ = ("_fn", "_unpack", "_cache", "_cache_key")
+
+    def __init__(self, fn: Callable[[], Iterator[Any]], unpack: Callable[..., Any] | None = None) -> None:
+        super().__init__()
+        self._fn = fn
+        self._unpack = unpack
+        self._cache: MethodBodyCache | None = None
+        self._cache_key: str = ""
+
+    def set_unpack_closure(self, unpack: Callable[..., Any]) -> "IconOptimizedBody":
+        self._unpack = unpack
+        return self
+
+    def unpack_args(self, *args: Any) -> "IconOptimizedBody":
+        if self._unpack is not None:
+            self._unpack(*args)
+        return self
+
+    def set_cache(self, cache: MethodBodyCache, key: str) -> "IconOptimizedBody":
+        self._cache = cache
+        self._cache_key = key
+        return self
+
+    def iterate(self) -> Iterator[Any]:
+        try:
+            yield from self._fn()
+        except ReturnSignal as signal:
+            if signal.value is not FAIL:
+                yield signal.value
+        except FailSignal:
+            pass
+        finally:
+            if self._cache is not None:
+                self._cache.release(self._cache_key, self)
+
+    # Aliases matching IconMethodBody's fluent spelling.
+    setUnpackClosure = set_unpack_closure
+    unpackArgs = unpack_args
+    setCache = set_cache
+
+
 class IconMethodBody(IconIterator):
     """The root wrapper of a translated procedure body.
 

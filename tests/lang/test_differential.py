@@ -1,6 +1,6 @@
-"""Differential testing: the interactive engine vs the compiled module.
+"""Differential testing: interactive vs compiled vs optimized engines.
 
-The harness has two genuinely distinct execution paths over the same
+The harness has three genuinely distinct execution paths over the same
 grammar and runtime:
 
 * the **interactive** path (`JuniconInterpreter.run`) — declarations are
@@ -8,10 +8,14 @@ grammar and runtime:
   is compiled to a standalone iterator expression and evaluated;
 * the **compiled** path (`transform_program`) — the whole translation
   unit becomes one Python module, exec'd in a fresh namespace, with
-  module-level global hoisting and a shared method-body cache.
+  module-level global hoisting and a shared method-body cache;
+* the **optimized** path (`transform_program(optimize=True)`) —
+  procedures lower to native Python generator functions
+  (:mod:`repro.lang.optimize`), with shape-by-shape fallback to the
+  interpreted runtime for uncovered constructs.
 
 Future performance work (batching, caching, code-shape changes) lands in
-one path first; this corpus pins the two engines against each other so a
+one path first; this corpus pins the engines against each other so a
 divergence in *result sequences* — not just first results — fails loudly.
 
 ``REPRO_HYPOTHESIS_EXAMPLES`` has no effect here (the corpus is fixed),
@@ -243,6 +247,215 @@ CORPUS = [
         """,
         "gen()",
     ),
+    (
+        "scan-digits",
+        '''
+        def nums(s) {
+            s ? while tab(upto(&digits)) do
+                suspend tab(many(&digits)) \\ 1;
+        }
+        def gen() { suspend nums("ab12cd345ef6"); }
+        ''',
+        "gen()",
+    ),
+    (
+        "scan-first-word",
+        '''
+        def firstWord(s) {
+            s ? { tab(upto(&letters)); return tab(many(&letters)); };
+        }
+        def gen() { suspend firstWord("  hello world") | firstWord("foo bar"); }
+        ''',
+        "gen()",
+    ),
+    (
+        "nested-coexpressions",
+        """
+        def gen() {
+            local a, b;
+            a = <> (1 to 5);
+            b = <> (10 to 50 by 10);
+            suspend @a + @b | @a + @b | @a;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "limitation-under-alternation",
+        "def gen() { suspend ((1 to 10) | (20 to 30)) \\ 13; }",
+        "gen()",
+    ),
+    (
+        "split-limitation-alternation",
+        "def gen() { suspend (1 to 5) \\ 2 | (6 to 9) \\ 3; }",
+        "gen()",
+    ),
+    (
+        "hofstadter-mutual",
+        """
+        def hofF(n) { if n == 0 then return 1; return n - hofM(hofF(n - 1)); }
+        def hofM(n) { if n == 0 then return 0; return n - hofF(hofM(n - 1)); }
+        def gen() { local i; every i := 0 to 10 do suspend hofF(i); }
+        """,
+        "gen()",
+    ),
+    (
+        "pipe-fed-generator",
+        """
+        def doubleAll(p) { suspend 2 * ! p; }
+        def gen() { suspend doubleAll(|> (1 to 8)); }
+        """,
+        "gen()",
+    ),
+    (
+        "to-by-descending",
+        "def gen() { suspend 10 to 1 by -2; }",
+        "gen()",
+    ),
+    (
+        "to-by-step",
+        "def gen() { local i; every i := 2 to 20 by 3 do suspend i; }",
+        "gen()",
+    ),
+    (
+        "until-loop",
+        """
+        def gen() {
+            local i;
+            i = 0;
+            until i >= 5 do { i := i + 1; suspend i * 3; };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "repeat-break",
+        """
+        def gen() {
+            local i;
+            i = 0;
+            repeat {
+                i := i + 1;
+                if i > 6 then break;
+                suspend i;
+            };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "next-statement",
+        """
+        def gen() {
+            local i;
+            every i := 1 to 10 do {
+                if i % 2 == 0 then next;
+                suspend i;
+            };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "while-break",
+        """
+        def gen() {
+            local i;
+            i = 0;
+            while 1 do {
+                i := i + 1;
+                if i > 4 then break;
+                suspend i * i;
+            };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "augmented-assignment",
+        """
+        def gen() {
+            local total, i;
+            total = 1;
+            every i := 1 to 5 do { total *:= 2; suspend total; };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "not-expression",
+        """
+        def gen() {
+            local i;
+            every i := 1 to 8 do { if not (i % 3 == 0) then suspend i; };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "null-tests",
+        """
+        def gen() {
+            local x, y;
+            y = 5;
+            if /x then suspend "x-null";
+            if \\y then suspend y;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "keyword-fail-alternation",
+        "def gen() { suspend 1 | &fail | 3; }",
+        "gen()",
+    ),
+    (
+        "comparison-yields-operand",
+        "def gen() { suspend 3 <= (1 to 8); }",
+        "gen()",
+    ),
+    (
+        "lexical-comparison",
+        """
+        def gen() {
+            local s;
+            every s := "pear" | "apple" | "fig" do {
+                if s << "mango" then suspend s;
+            };
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "repeated-alternation-assign",
+        """
+        def gen() {
+            local i;
+            i = 0;
+            suspend | (i := i + 1) \\ 6;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "generator-in-list-literal",
+        """
+        def gen() {
+            local l;
+            l = [1 to 3, 99];
+            suspend ! l;
+        }
+        """,
+        "gen()",
+    ),
+    (
+        "procedure-failure-skip",
+        """
+        def half(n) { if n % 2 == 0 then return n / 2; fail; }
+        def gen() { suspend half(1 to 10); }
+        """,
+        "gen()",
+    ),
 ]
 
 
@@ -262,21 +475,59 @@ def run_compiled(decls: str, expr: str) -> list:
     return list(namespace[expr[:-2]]())
 
 
+def run_optimized(decls: str, expr: str) -> list:
+    """Engine C: `transform_program(optimize=True)` — procedures lower to
+    native Python generators where the optimizer covers them, falling
+    back shape-by-shape to the interpreted runtime elsewhere."""
+    code = transform_program(decls, optimize=True)
+    namespace: dict = {}
+    exec(compile(code, "<differential-optimized>", "exec"), namespace)
+    assert expr.endswith("()"), "corpus expressions are zero-arg calls"
+    return list(namespace[expr[:-2]]())
+
+
+ENGINES = {
+    "interactive": run_interactive,
+    "compiled": run_compiled,
+    "optimized": run_optimized,
+}
+
+
 @pytest.mark.parametrize(
     "name,decls,expr", CORPUS, ids=[entry[0] for entry in CORPUS]
 )
 def test_engines_agree(name, decls, expr):
-    interactive = run_interactive(decls, expr)
-    compiled = run_compiled(decls, expr)
-    assert interactive == compiled, (
-        f"{name}: interactive {interactive!r} != compiled {compiled!r}"
-    )
-    assert interactive, f"{name}: corpus entry produced no results on either engine"
+    """The 3-way matrix: every engine yields the identical full sequence."""
+    sequences = {label: run(decls, expr) for label, run in ENGINES.items()}
+    reference = sequences["interactive"]
+    for label, sequence in sequences.items():
+        assert sequence == reference, (
+            f"{name}: {label} {sequence!r} != interactive {reference!r}"
+        )
+    assert reference, f"{name}: corpus entry produced no results on any engine"
 
 
 def test_corpus_is_reasonably_sized():
     # The pin only bites if the corpus keeps covering the dialect.
-    assert len(CORPUS) >= 20
+    assert len(CORPUS) >= 40
+
+
+def test_optimizer_lowers_most_of_the_corpus():
+    """The 3-way matrix is only a differential if engine C genuinely takes
+    the optimized path: most corpus entry points must compile to native
+    generators (their docstrings carry the ``[optimized]`` marker), not
+    silently fall back whole-method to the interpreted emitter."""
+    lowered = 0
+    for _, decls, expr in CORPUS:
+        code = transform_program(decls, optimize=True)
+        namespace: dict = {}
+        exec(compile(code, "<differential-optimized>", "exec"), namespace)
+        doc = namespace[expr[:-2]].__doc__ or ""
+        if "[optimized]" in doc:
+            lowered += 1
+    assert lowered >= len(CORPUS) * 3 // 4, (
+        f"only {lowered}/{len(CORPUS)} corpus entry points were lowered"
+    )
 
 
 # ---------------------------------------------------------------------------
