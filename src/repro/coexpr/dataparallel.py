@@ -330,6 +330,9 @@ class DataParallel:
                     delivered,
                     reason=error.reason or str(error),
                     fallback=fallback,
+                    # The replica the chunk was stranded on — feeds the
+                    # per-address breakdown in Tracer.cluster_stats().
+                    address=pool.last_address(task.coexpr.name),
                 )
                 task.cancel()
                 holder[0] = self._spawn(

@@ -162,6 +162,27 @@ class _ServerKill:
         self.server = server
 
 
+class _MembershipChurn:
+    """A rule action that changes a :class:`~repro.net.cluster.ServerPool`'s
+    fleet at an exact stream position.
+
+    The membership tier's chaos primitive: when the rule fires, *join*
+    members enter the pool (minimal remap — only the keys they now own
+    move) and *leave* addresses retire, all while the triggering stream
+    keeps running.  Like :class:`_ServerKill` it does not raise: the
+    churn is environmental, and the stream must survive it — that
+    surviving exactly-once is precisely what the sustained-churn suite
+    asserts.
+    """
+
+    __slots__ = ("pool", "join", "leave")
+
+    def __init__(self, pool: Any, join: tuple, leave: tuple) -> None:
+        self.pool = pool
+        self.join = join
+        self.leave = leave
+
+
 class _FaultContext:
     """Per-run view of a plan: one body execution of one stage."""
 
@@ -184,6 +205,12 @@ class _FaultContext:
         if isinstance(action, _ServerKill):
             action.server.kill_sessions()
             action.server.shutdown(wait=False)
+            return
+        if isinstance(action, _MembershipChurn):
+            for member in action.join:
+                action.pool.add(member, source="chaos")
+            for address in action.leave:
+                action.pool.remove(address, source="chaos")
             return
         raise action(detail)
 
@@ -339,6 +366,37 @@ class FaultPlan:
         with self._lock:
             self._rules.setdefault(stage, []).append(
                 (tuple(on_attempts), after_items, _ServerKill(server))
+            )
+        return self
+
+    def churn_membership(
+        self,
+        stage: Any,
+        pool: Any,
+        join: tuple = (),
+        leave: tuple = (),
+        on_attempts: tuple = (1,),
+        after_items: int = 0,
+    ) -> "FaultPlan":
+        """Make *stage* churn *pool*'s fleet on the given attempts:
+        *join* members (any member spelling, including weighted
+        triples) enter and *leave* addresses retire after the stage has
+        delivered *after_items* results.
+
+        The deterministic sustained-churn rule: chaos tests pin
+        replicas joining and leaving at exact stream positions —
+        mid-replay, mid-batch — and assert the sequence stays
+        exactly-once while the ring remaps minimally under the
+        running stream.  Fires once per matching attempt, from the
+        client pump, without disturbing the triggering stream.
+        """
+        with self._lock:
+            self._rules.setdefault(stage, []).append(
+                (
+                    tuple(on_attempts),
+                    after_items,
+                    _MembershipChurn(pool, tuple(join), tuple(leave)),
+                )
             )
         return self
 

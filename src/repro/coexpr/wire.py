@@ -80,6 +80,27 @@ WIRE_CANCEL = "cancel"
 #: restricted unpickler of an ``allow_spawn=False`` server.
 WIRE_DEADLINE = "deadline"
 
+# ---------------------------------------------------------------------------
+# Control-channel kinds (the cluster tier's membership vocabulary).  A
+# connection whose *first* envelope is one of these becomes a control
+# session: no body runs, the server just answers.  Payloads are strictly
+# primitive — a health probe must work against an ``allow_spawn=False``
+# server, whose restricted unpickler refuses anything richer.
+# ---------------------------------------------------------------------------
+
+#: ``(WIRE_PING, nonce)`` — a health probe.  Any live server answers with
+#: a :data:`WIRE_PONG` echoing the nonce; a server at capacity answers
+#: the whole *connection* with :data:`WIRE_BUSY` instead, which a prober
+#: treats as alive (shedding is load, not death).
+WIRE_PING = "ping"
+#: ``(WIRE_PONG, nonce)`` — the probe reply.
+WIRE_PONG = "pong"
+#: ``(WIRE_PEERS, [[host, port, weight], ...])`` — one push-pull gossip
+#: exchange: the sender's known fleet as a list of primitive triples;
+#: the reply is the receiver's fleet (its own advertised address first).
+#: Both sides merge what they learn.
+WIRE_PEERS = "peers"
+
 
 # ---------------------------------------------------------------------------
 # Error encoding.

@@ -88,6 +88,19 @@ class EventKind:
     REROUTE = "reroute"
     STEAL = "steal"
 
+    # Live cluster membership: an address joining a pool's fleet
+    # (``{"address": ..., "weight": ..., "source": "api" | "registry" |
+    # "gossip" | "chaos"}``), an address leaving it (``{"address": ...,
+    # "source": ...}``), and the health prober's verdict transitions —
+    # a member probed back alive (``{"address": ...}``) and a member
+    # declared dead after consecutive missed pings (``{"address": ...,
+    # "reason": ..., "misses": ...}``).  Join/leave change *membership*;
+    # up/down change *routability* of a member that stays in the fleet.
+    MEMBER_JOIN = "member-join"
+    MEMBER_LEAVE = "member-leave"
+    MEMBER_UP = "member-up"
+    MEMBER_DOWN = "member-down"
+
     # The optimizing compile target: one event per translated unit
     # (``{"optimized": bool, "lowered": [shape, ...], "fallbacks":
     # [shape, ...]}``) — which normalized shapes became native Python
@@ -117,6 +130,10 @@ class EventKind:
         FAILOVER,
         REROUTE,
         STEAL,
+        MEMBER_JOIN,
+        MEMBER_LEAVE,
+        MEMBER_UP,
+        MEMBER_DOWN,
         COMPILE,
     )
     ALL = ITERATION + LIFECYCLE

@@ -296,7 +296,7 @@ class Tracer:
     def cluster_stats(self) -> dict:
         """Per-pool cluster-tier summary from collected lifecycle events:
         ``{node: {failovers, reroutes, steals, transitions, skipped,
-        stolen_keys}}``.
+        stolen_keys, by_address}}``.
 
         ``failovers`` counts lost streams that reconnected to a
         *different* replica (with the ``transitions`` — ``(from, to)``
@@ -306,13 +306,37 @@ class Tracer:
         a dead or shed replica (with the ``stolen_keys``) — together
         they show how a replicated fleet actually recovered: which
         replicas were avoided, where lost streams landed, and which
-        chunks had to move."""
+        chunks had to move.
+
+        ``by_address`` breaks every counter down per replica:
+        ``{address: {failovers_out, failovers_in, reroutes, steals}}``
+        — streams that fled the address, streams that landed on it
+        during a failover, dials routed around it, and chunks stolen
+        off it.  A churn test asserts *which* replica's death caused
+        *which* recovery with this, not just the totals."""
         kinds = {
             EventKind.FAILOVER: "failovers",
             EventKind.REROUTE: "reroutes",
             EventKind.STEAL: "steals",
         }
         out: dict = {}
+
+        def _per_address(stats: dict, address: Any, counter: str) -> None:
+            if address is None:
+                return
+            if isinstance(address, list):
+                address = tuple(address)
+            entry = stats["by_address"].setdefault(
+                address,
+                {
+                    "failovers_out": 0,
+                    "failovers_in": 0,
+                    "reroutes": 0,
+                    "steals": 0,
+                },
+            )
+            entry[counter] += 1
+
         for event in self.events:
             counter = kinds.get(event.kind)
             if counter is None:
@@ -326,16 +350,73 @@ class Tracer:
                     "transitions": [],
                     "skipped": [],
                     "stolen_keys": [],
+                    "by_address": {},
                 },
             )
             stats[counter] += 1
             value = event.value if isinstance(event.value, dict) else {}
             if event.kind == EventKind.FAILOVER:
                 stats["transitions"].append((value.get("from"), value.get("to")))
+                _per_address(stats, value.get("from"), "failovers_out")
+                _per_address(stats, value.get("to"), "failovers_in")
             elif event.kind == EventKind.REROUTE:
                 stats["skipped"].append(value.get("skipped"))
+                _per_address(stats, value.get("skipped"), "reroutes")
             else:
                 stats["stolen_keys"].append(value.get("key"))
+                _per_address(stats, value.get("address"), "steals")
+        return out
+
+    def membership_stats(self) -> dict:
+        """Per-pool membership summary from collected lifecycle events:
+        ``{node: {joins, leaves, ups, downs, joined, left, went_down,
+        came_up, sources}}``.
+
+        ``joins``/``leaves`` count fleet changes (live ``add`` /
+        ``remove`` — a registry update, a gossiped replacement, an API
+        call) with the ``joined``/``left`` addresses and the
+        ``sources`` they came from; ``downs``/``ups`` count the health
+        prober's verdict transitions with the ``went_down``/``came_up``
+        addresses.  The churn acceptance check reads exactly this: a
+        SIGKILLed replica must show in ``went_down`` and its gossiped
+        replacement in ``joined``, on the same pool node, while the
+        stream never broke."""
+        kinds = {
+            EventKind.MEMBER_JOIN: ("joins", "joined"),
+            EventKind.MEMBER_LEAVE: ("leaves", "left"),
+            EventKind.MEMBER_UP: ("ups", "came_up"),
+            EventKind.MEMBER_DOWN: ("downs", "went_down"),
+        }
+        out: dict = {}
+        for event in self.events:
+            entry = kinds.get(event.kind)
+            if entry is None:
+                continue
+            counter, roster = entry
+            stats = out.setdefault(
+                event.node,
+                {
+                    "joins": 0,
+                    "leaves": 0,
+                    "ups": 0,
+                    "downs": 0,
+                    "joined": [],
+                    "left": [],
+                    "came_up": [],
+                    "went_down": [],
+                    "sources": [],
+                },
+            )
+            stats[counter] += 1
+            value = event.value if isinstance(event.value, dict) else {}
+            address = value.get("address")
+            if address is not None:
+                stats[roster].append(
+                    tuple(address) if isinstance(address, list) else address
+                )
+            source = value.get("source")
+            if source is not None and source not in stats["sources"]:
+                stats["sources"].append(source)
         return out
 
     def compile_stats(self) -> dict:

@@ -35,6 +35,16 @@ over a :class:`HashRing`, failover to the next live replica on
 connection loss or shed (the supervised replay preserves the
 exactly-once delivered prefix), and a degradation order of
 replica → next replica → threads.
+
+**Live membership** (:mod:`repro.net.membership`) unfreezes the fleet:
+pools probe their members with ``WIRE_PING`` control frames (a
+``MEMBER_DOWN`` verdict takes a replica off the ring, the next pong
+puts it back), learn joins/leaves from a :class:`FileRegistry`
+(``remote_address="registry:/path.json"``) or seed-based
+:class:`GossipMembers` (``"gossip:host:port"``, answered by any
+server's ``WIRE_PEERS``), carry per-member weights (vnode scaling for
+heterogeneous hosts), and share dead-address memory process-wide so
+two pools never each pay the same corpse's connect timeout.
 """
 
 from .client import (
@@ -46,17 +56,39 @@ from .client import (
     start_remote_worker,
 )
 from .cluster import HashRing, ServerPool, normalize_remote_address
+from .membership import (
+    AddressHealth,
+    FileRegistry,
+    GossipMembers,
+    HealthProber,
+    StaticMembers,
+    exchange_peers,
+    membership_source,
+    probe_address,
+    reset_shared_health,
+    shared_health,
+)
 from .server import GeneratorServer
 
 __all__ = [
+    "AddressHealth",
     "CircuitBreaker",
+    "FileRegistry",
     "GeneratorServer",
+    "GossipMembers",
     "HashRing",
+    "HealthProber",
     "RemotePipe",
     "ServerPool",
+    "StaticMembers",
     "breaker_for",
+    "exchange_peers",
+    "membership_source",
     "normalize_remote_address",
+    "probe_address",
     "remote_unsafe_reason",
     "reset_breakers",
+    "reset_shared_health",
+    "shared_health",
     "start_remote_worker",
 ]

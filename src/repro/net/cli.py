@@ -14,6 +14,14 @@ hint is ``--retry-after``), ``--max-credit`` / ``--max-batch``
 from the in-process constructor.  ``--stats-interval N`` logs a
 one-line served/active/shed snapshot to stderr every N seconds —
 enough to watch a replica's load from its service log.
+
+Fleet membership: ``--advertise HOST:PORT`` sets the address this
+replica *gossips* (a NAT'd or containerized server is not reachable at
+its bind address), ``--peer HOST:PORT`` (repeatable) names fleet
+members to announce to at startup — one push-pull ``WIRE_PEERS``
+exchange each, so pools gossiping with those peers discover this
+replica without config changes — and ``--weight W`` gossips a capacity
+weight (vnode scaling on the client's weighted ring).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import sys
 import threading
 from typing import Any, Callable
 
+from .membership import parse_host_port
 from .server import GeneratorServer
 
 
@@ -119,6 +128,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="log server stats (served/active/shed) to stderr every N "
         "seconds (default: off)",
     )
+    parser.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST:PORT",
+        help="address to gossip instead of the bind address — what a "
+        "replica behind NAT or a container boundary is actually "
+        "reachable as (default: the bind address)",
+    )
+    parser.add_argument(
+        "--peer",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="a fleet member to gossip with (repeatable); the server "
+        "announces itself to each peer at startup so gossiping pools "
+        "discover it, and answers WIRE_PEERS with the merged fleet",
+    )
+    parser.add_argument(
+        "--weight",
+        type=float,
+        default=1.0,
+        help="capacity weight this replica gossips (vnode scaling on "
+        "the client's weighted ring; default: 1.0)",
+    )
     return parser
 
 
@@ -138,9 +171,28 @@ def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.stats_interval is not None and args.stats_interval <= 0:
         raise SystemExit("junicon-serve: --stats-interval must be > 0")
+    if args.weight <= 0:
+        raise SystemExit("junicon-serve: --weight must be > 0")
     limits: dict[str, Any] = {}
     if args.stall_intervals is not None:
         limits["stall_intervals"] = args.stall_intervals
+    advertise = None
+    if args.advertise is not None:
+        try:
+            advertise = parse_host_port(args.advertise)
+        except ValueError:
+            raise SystemExit(
+                f"junicon-serve: bad --advertise {args.advertise!r} "
+                "(expected HOST:PORT)"
+            ) from None
+    peers = []
+    for spec in args.peer:
+        try:
+            peers.append(parse_host_port(spec))
+        except ValueError:
+            raise SystemExit(
+                f"junicon-serve: bad --peer {spec!r} (expected HOST:PORT)"
+            ) from None
     server = GeneratorServer(
         host=args.host,
         port=args.port,
@@ -150,10 +202,14 @@ def main(argv: list | None = None) -> int:
         max_credit=args.max_credit,
         max_batch=args.max_batch,
         retry_after=args.retry_after,
+        advertise=advertise,
+        weight=args.weight,
         **limits,
     )
     for spec in args.serve:
         server.register(*_resolve(spec))
+    for peer in peers:
+        server.add_peer(peer)
 
     # The accept loop lives on a scheduler thread; the main thread just
     # waits for a termination signal, then drains gracefully (the
@@ -163,6 +219,12 @@ def main(argv: list | None = None) -> int:
     server.start()
     host, port = server.address
     print(f"listening on {host}:{port}", flush=True)
+    if peers:
+        # The joining-replica handshake: push-pull our fleet view with
+        # each seed so gossiping pools polling them discover us.  Best
+        # effort — a seed that is down learns about us when *it* polls.
+        reached = server.announce(peers)
+        print(f"gossip: announced to {reached}/{len(peers)} peers", file=sys.stderr, flush=True)
     if args.stats_interval is not None:
         threading.Thread(
             target=_stats_logger,

@@ -201,9 +201,17 @@ def breaker_for(address: Any) -> CircuitBreaker:
 
 
 def reset_breakers() -> None:
-    """Forget every breaker (test isolation between server lifetimes)."""
+    """Forget every breaker (test isolation between server lifetimes).
+
+    Also clears the membership tier's shared address-health registry:
+    both are process-wide per-address failure memory, and a test that
+    resets one without the other inherits the previous test's corpses.
+    """
     with _breakers_lock:
         _breakers.clear()
+    from .membership import reset_shared_health
+
+    reset_shared_health()
 
 
 def remote_unsafe_reason(pipe: Any) -> str | None:

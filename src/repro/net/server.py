@@ -56,6 +56,9 @@ from ..coexpr.wire import (
     WIRE_DATA,
     WIRE_DEADLINE,
     WIRE_ERROR,
+    WIRE_PEERS,
+    WIRE_PING,
+    WIRE_PONG,
     WIRE_SPAWN,
     FrameError,
     SocketFramer,
@@ -294,12 +297,28 @@ class Session:
             self._flush(block=True)
 
     def run(self) -> None:
-        """The sender thread: request → body → stream → terminator."""
+        """The sender thread: request → body → stream → terminator.
+
+        A connection whose first envelope is a control kind
+        (``WIRE_PING`` / ``WIRE_PEERS``) never builds a body: it
+        becomes a control session — the membership tier's probe and
+        gossip channel — served inline on this thread until the peer
+        hangs up.
+        """
         try:
             try:
-                coexpr = self._read_request()
+                envelope = self._read_first()
             except (OSError, EOFError, FrameError, TimeoutError):
                 return  # client vanished before asking for anything
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                self._send_failure(error)
+                return
+            if envelope[0] in (WIRE_PING, WIRE_PEERS):
+                self.request_name = "control"
+                self._run_control(envelope)
+                return
+            try:
+                coexpr = self._build_body(envelope)
             except Exception as error:  # noqa: BLE001 - reported to the client
                 self._send_failure(error)
                 return
@@ -312,7 +331,7 @@ class Session:
         finally:
             self._finish()
 
-    def _read_request(self) -> CoExpression:
+    def _read_first(self) -> tuple:
         # The request read is the only timed receive on this socket: the
         # reader thread polls with select over a *blocking* socket, so
         # the sender's sendall never inherits a receive timeout (a send
@@ -320,12 +339,53 @@ class Session:
         # dead peer).
         self.framer.sock.settimeout(_REQUEST_TIMEOUT)
         try:
-            kind, *payload = self.framer.recv()
+            return self.framer.recv()
         finally:
             try:
                 self.framer.sock.settimeout(None)
             except OSError:
                 pass
+
+    def _run_control(self, envelope: tuple | None) -> None:
+        """Serve ping/peers envelopes until the peer closes or goes
+        silent.
+
+        A prober holds this connection open across rounds, so the loop
+        answers any number of control frames.  The receive timeout is
+        one heartbeat interval — short enough that a graceful shutdown
+        (``finish`` sets ``_cancelled``) is honored promptly — and a
+        peer silent for the request timeout is dropped, so an abandoned
+        prober cannot pin a session slot forever.
+        """
+        sock = self.framer.sock
+        idle_deadline = time.monotonic() + _REQUEST_TIMEOUT
+        try:
+            sock.settimeout(self.heartbeat_interval)
+            while not self._stopping():
+                if envelope is not None:
+                    kind = envelope[0]
+                    if kind == WIRE_PING:
+                        nonce = envelope[1] if len(envelope) > 1 else None
+                        self.framer.send((WIRE_PONG, nonce))
+                    elif kind == WIRE_PEERS:
+                        told = envelope[1] if len(envelope) > 1 else None
+                        if told:
+                            self.server._merge_peers(told)
+                        self.framer.send((WIRE_PEERS, self.server.known_peers()))
+                    else:
+                        return  # protocol violation: drop the connection
+                    idle_deadline = time.monotonic() + _REQUEST_TIMEOUT
+                elif time.monotonic() >= idle_deadline:
+                    return  # silent peer: reclaim the slot
+                try:
+                    envelope = self.framer.recv()
+                except (socket.timeout, TimeoutError):
+                    envelope = None
+        except (OSError, EOFError, FrameError):
+            pass  # peer gone: the control session just ends
+
+    def _build_body(self, first: tuple) -> CoExpression:
+        kind, *payload = first
         if kind not in (WIRE_SPAWN, WIRE_CALL) or not payload:
             raise PipeError(f"expected a spawn/call request, got {kind!r}")
         request = payload[0]
@@ -580,6 +640,8 @@ class GeneratorServer:
         max_batch: int | None = None,
         retry_after: float = 0.5,
         stall_intervals: float = _STALL_INTERVALS,
+        advertise: tuple | None = None,
+        weight: float = 1.0,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
@@ -611,6 +673,19 @@ class GeneratorServer:
         #: Heartbeat intervals of mid-frame silence before a session is
         #: killed as stalled.
         self.stall_intervals = stall_intervals
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        #: The ``(host, port)`` this server *gossips* — for a replica
+        #: behind NAT or a container boundary, the reachable address
+        #: rather than the bind address (``junicon-serve --advertise``).
+        #: None = the bound address.
+        self.advertise = (
+            None if advertise is None else (str(advertise[0]), int(advertise[1]))
+        )
+        #: This replica's gossiped capacity weight (vnode scaling on
+        #: the client's weighted ring).
+        self.weight = float(weight)
+        self._peers: dict[tuple, float] = {}  # known fleet: address -> weight
         self._factories: dict[str, Callable[..., Any]] = {}
         self._listener: socket.socket | None = None
         self._accept_handle: Any = None
@@ -694,6 +769,86 @@ class GeneratorServer:
     def address(self) -> tuple:
         """The bound ``(host, port)`` — resolves an ephemeral ``port=0``."""
         return (self.host, self.port)
+
+    @property
+    def advertised_address(self) -> tuple:
+        """What this server tells the fleet it is reachable as:
+        ``advertise`` when set (NAT/containers), else the bound
+        address."""
+        return self.advertise if self.advertise is not None else self.address
+
+    # -- gossip fleet ----------------------------------------------------------
+
+    def known_peers(self) -> list:
+        """This server's fleet view as primitive wire triples —
+        ``[[host, port, weight], ...]`` — itself (advertised address)
+        first.  The ``WIRE_PEERS`` reply payload."""
+        host, port = self.advertised_address
+        with self._lock:
+            peers = [[host, port, self.weight]] + [
+                [h, p, w] for (h, p), w in self._peers.items()
+                if (h, p) != (host, port)
+            ]
+        return peers
+
+    def add_peer(self, address: Any, weight: float | None = None) -> None:
+        """Record a fleet member this server should gossip about.
+        *address* takes any member spelling (``"host:port"``, a pair,
+        a weighted triple); an explicit ``weight=`` wins."""
+        from .membership import as_member
+
+        (host, port), parsed = as_member(address)
+        weight = parsed if weight is None else float(weight)
+        if (host, port) == self.advertised_address:
+            return
+        with self._lock:
+            self._peers[(host, port)] = weight
+
+    def _merge_peers(self, entries: Any) -> None:
+        """Fold a ``WIRE_PEERS`` payload into the fleet view (the pull
+        half of a push-pull exchange).  Malformed entries are dropped;
+        the payload is an unauthenticated claim, so this is additive
+        advisory state — never an eviction."""
+        from .membership import parse_wire_members
+
+        me = self.advertised_address
+        with self._lock:
+            for address, weight in parse_wire_members(entries):
+                if address != me:
+                    self._peers[address] = weight
+
+    def announce(self, targets: Any = None) -> int:
+        """Push-pull a ``WIRE_PEERS`` exchange with each target (default:
+        every known peer), merging what they reply; returns how many
+        exchanges completed.  Best-effort by design — a replica joining
+        a fleet announces itself to a seed so gossiping pools discover
+        it, and an unreachable seed is simply skipped.
+        """
+        from .membership import as_member, exchange_peers
+
+        if targets is None:
+            with self._lock:
+                addresses = list(self._peers)
+        else:
+            addresses = [as_member(value)[0] for value in targets]
+        me = self.advertised_address
+        count = 0
+        known = [
+            ((entry[0], entry[1]), entry[2]) for entry in self.known_peers()
+        ]
+        for address in addresses:
+            if address == me:
+                continue
+            try:
+                fleet = exchange_peers(address, known)
+            except OSError:
+                continue
+            count += 1
+            with self._lock:
+                for peer, weight in fleet:
+                    if peer != me:
+                        self._peers[peer] = weight
+        return count
 
     def _accept_loop(self) -> None:
         listener = self._listener

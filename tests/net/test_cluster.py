@@ -133,7 +133,7 @@ class TestNormalization:
         assert pool.addresses == (("127.0.0.1", 1), ("127.0.0.1", 2))
 
     def test_bad_member_rejected(self):
-        with pytest.raises(ValueError, match="not a .host, port. address"):
+        with pytest.raises(ValueError, match="not a cluster member"):
             normalize_remote_address([("127.0.0.1", 1), "nonsense"])
 
     def test_empty_fleet_rejected(self):
@@ -158,6 +158,26 @@ class TestServerPool:
         assert sorted(candidates) == sorted(pool.addresses)
         pool.note_healthy(primary)
         assert pool.dial_candidates("k")[0] == primary
+
+    def test_suspicion_expiry_restores_original_preference_order(self):
+        # Regression: suspicion re-orders the walk (suspects to the
+        # tail); once every window expires the *full original ring
+        # order* must come back — not just the head — or placement
+        # would drift after any transient blip.
+        pool = ServerPool(
+            [("127.0.0.1", 1), ("127.0.0.1", 2), ("127.0.0.1", 3)],
+            suspicion=0.05,
+        )
+        original = pool.dial_candidates("k")
+        pool.note_lost("k", original[0], "killed")
+        pool.note_dial_failure("k", original[1], OSError("refused"))
+        demoted = pool.dial_candidates("k")
+        assert demoted != original
+        assert sorted(demoted) == sorted(original)  # re-ordered, never excluded
+        assert demoted[-2:] in ([original[0], original[1]],
+                                [original[1], original[0]])
+        time.sleep(0.08)
+        assert pool.dial_candidates("k") == original
 
     def test_suspicion_expires(self):
         pool = ServerPool(
@@ -195,9 +215,14 @@ class TestServerPool:
 
     def test_stats_shape(self):
         pool = ServerPool([("127.0.0.1", 1)])
-        stats = pool.stats()
+        try:
+            stats = pool.stats()
+        finally:
+            pool.close()
         assert set(stats) == {
-            "addresses", "suspected", "failovers", "reroutes", "steals"
+            "addresses", "up", "down", "weights", "suspected",
+            "failovers", "reroutes", "steals",
+            "joins", "leaves", "ups", "downs",
         }
 
 
