@@ -1,0 +1,140 @@
+"""Ablation A14 — event-loop server concurrency vs the threaded server.
+
+The async tier's capacity claim, measured: the threaded
+:class:`GeneratorServer` spends **two scheduler threads per session**
+(handler + reader), so its sustainable concurrency is a thread budget;
+the :class:`AsyncGeneratorServer` multiplexes every session onto one
+event-loop thread, so sessions cost a coroutine each and concurrency is
+bounded by memory, not threads.
+
+Protocol: open N trickle streams against one server with ``capacity=1``
+— after the first take each session sits credit-blocked server-side, so
+all N are *sustained concurrently* (pinned open by flow control, the
+long-poll/feed shape).  At peak we assert ``stats["active"] == N``,
+then measure per-item latency by draining a sample of sessions while
+the rest stay pinned, then drain everything and check the sequences are
+exact.  The threaded baseline runs at its per-session-thread budget
+(N=12, i.e. 24 server threads); the async server runs the same protocol
+at **10× the sessions (N=120) on one loop thread**, and its per-item
+latency must stay comparable.
+
+Every client is the unmodified sync ``RemotePipe`` stack — the 10×
+claim holds with zero client changes.
+
+Run with ``--benchmark-json=ablation_async.json`` to export the numbers
+(CI uploads that file as a workflow artifact).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import AsyncGeneratorServer, GeneratorServer, RemotePipe
+from repro.net.client import reset_breakers
+from repro.runtime.failure import FAIL
+
+#: The threaded baseline's session count (≈ 2·N server threads).
+BASELINE_SESSIONS = 12
+#: The async server's session count — the ≥10× acceptance target.
+ASYNC_SESSIONS = 120
+#: Items per stream; with capacity=1 each take is one credit round trip.
+ITEMS = 30
+#: Sessions drained one-at-a-time for the per-item latency figure.
+LATENCY_SAMPLE = 5
+
+#: Cross-test stash so the async run can assert the ratio against the
+#: threaded baseline measured in the same process.
+RESULTS: dict = {}
+
+
+def counting(n):
+    """Portable stream body (pickled by qualified name)."""
+    yield from range(n)
+
+
+def run_tier(server_cls, sessions):
+    """Open *sessions* concurrent pinned streams; return the metrics."""
+    reset_breakers()
+    with server_cls() as server:
+        server.register("counting", counting)
+        pipes = [
+            RemotePipe(server.address, "counting", args=(ITEMS,), capacity=1)
+            for _ in range(sessions)
+        ]
+        # First take establishes every session; capacity=1 then holds
+        # each one credit-blocked server-side — sustained, not serial.
+        for pipe in pipes:
+            assert pipe.take() == 0
+        peak = server.stats["active"]
+        assert peak == sessions, f"only {peak}/{sessions} sessions sustained"
+        threads_at_peak = threading.active_count()
+
+        # Per-item latency while the other sessions stay pinned: each
+        # take is a full data + credit-replenish round trip.
+        per_item = []
+        for pipe in pipes[:LATENCY_SAMPLE]:
+            start = time.perf_counter()
+            got = [pipe.take() for _ in range(ITEMS - 1)]
+            per_item.append((time.perf_counter() - start) / (ITEMS - 1))
+            assert got == list(range(1, ITEMS))
+            assert pipe.take() is FAIL
+        per_item.sort()
+        median = per_item[len(per_item) // 2]
+
+        # Drain the rest: every pinned stream is exact and complete.
+        for pipe in pipes[LATENCY_SAMPLE:]:
+            got = [pipe.take() for _ in range(ITEMS - 1)]
+            assert got == list(range(1, ITEMS))
+            assert pipe.take() is FAIL
+        assert server.stats["served"] == sessions
+    return {
+        "sessions": peak,
+        "median_item_latency": median,
+        "threads_at_peak": threads_at_peak,
+    }
+
+
+def test_a14_threaded_baseline(benchmark):
+    benchmark.group = "ablation-a14-concurrency"
+    benchmark.extra_info["tier"] = "threaded"
+    result = benchmark.pedantic(
+        lambda: run_tier(GeneratorServer, BASELINE_SESSIONS),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS["threaded"] = result
+    benchmark.extra_info.update(result)
+    # The cost model under test: the threaded substrate pays ≥ 2
+    # server threads per session (handler + reader) on top of the
+    # client pumps.
+    assert result["threads_at_peak"] >= 2 * BASELINE_SESSIONS
+
+
+def test_a14_async_tenfold_sessions(benchmark):
+    benchmark.group = "ablation-a14-concurrency"
+    benchmark.extra_info["tier"] = "async"
+    result = benchmark.pedantic(
+        lambda: run_tier(AsyncGeneratorServer, ASYNC_SESSIONS),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS["async"] = result
+    benchmark.extra_info.update(result)
+    baseline = RESULTS["threaded"]
+
+    # The acceptance claim: ≥10× the threaded baseline's sustained
+    # sessions, served by ONE loop thread (the only extra threads in
+    # the process are the sync clients' own pumps).
+    assert result["sessions"] >= 10 * baseline["sessions"]
+    server_side_threads = result["threads_at_peak"] - ASYNC_SESSIONS
+    assert server_side_threads < 2 * BASELINE_SESSIONS
+
+    # ... at comparable per-item latency (robust bound: loaded 10×
+    # harder, the loop may pay up to 3× the threaded median, floored
+    # at 50 ms so a fast-host baseline cannot make the bound vacuous).
+    bound = max(3 * baseline["median_item_latency"], 0.05)
+    assert result["median_item_latency"] <= bound, (
+        f"async per-item {result['median_item_latency'] * 1e3:.2f}ms "
+        f"vs bound {bound * 1e3:.2f}ms"
+    )

@@ -15,6 +15,7 @@ Host-facing quickstart::
     assert list(squares) == [float(i) for i in range(10)]
 """
 
+from .aio import AsyncChannel, AsyncPipe, event_loop
 from .channel import CLOSED, Channel, RaiseEnvelope
 from .coexpression import CoExpression, coexpr_of
 from .deadline import Deadline, deadline_from
@@ -51,6 +52,8 @@ from .supervision import (
 
 __all__ = [
     "CLOSED",
+    "AsyncChannel",
+    "AsyncPipe",
     "BackoffPolicy",
     "Channel",
     "CoExpression",
@@ -71,6 +74,7 @@ __all__ = [
     "coexpr_of",
     "deadline_from",
     "default_scheduler",
+    "event_loop",
     "fan_out",
     "first_class",
     "future",

@@ -1,0 +1,716 @@
+"""The async execution tier — cooperative pipes on one event loop.
+
+The paper's pipe is a *threaded* generator proxy: one OS thread per
+producer, a blocking channel between it and the consumer.  This module
+maps the same activate/suspend protocol onto asyncio coroutines instead
+— activation-as-call, suspension-as-await, in the style of Racordon's
+higher-order coroutines — so thousands of concurrent pipes cost one OS
+thread (the shared event loop) instead of thousands.
+
+Three layers:
+
+* :class:`AsyncChannel` — the :class:`~repro.coexpr.channel.Channel`
+  contract for coroutines: awaitable ``put``/``take`` with close
+  semantics, error envelopes, deadline-correct timeouts, and the same
+  data-before-error ordering guarantees;
+* :class:`AsyncPipe` — an async-native generator proxy (``async for``
+  take) for code that already lives inside an event loop;
+* :func:`start_async_worker` — the hook :meth:`Pipe.start` calls for
+  ``backend="async"``: the pipe keeps its ordinary threaded surface
+  (blocking ``take``, the public ``out`` channel) but its producer runs
+  as a coroutine on the shared background loop, multiplexed with every
+  other async worker.  Backpressure is cooperative: a bounded channel
+  parks the coroutine on a poll-sleep, never the loop.
+
+**Refresh is a snapshot.**  ``^c`` on an async pipe follows Prokopec &
+Liu's coroutines-with-snapshots model: the refreshed copy restarts from
+the co-expression's *creation* environment (the snapshot), not from the
+suspended coroutine frame — identical to the thread tier's refresh
+semantics, which is what lets supervision replay an async worker
+exactly as it replays a threaded one.
+
+**Cooperative caveat.**  ``activate()`` is synchronous, so one
+activation runs to completion on the loop before anything else does;
+the tier multiplexes *between* results, not inside them.  A worker
+yields to the loop after every activation (``await asyncio.sleep(0)``),
+so fairness is per-item.  Because activations are atomic on the loop,
+a ``max_linger`` bound needs no separate flusher thread here: the age
+check after each activation observes exactly what a concurrent flusher
+could have — a partial batch can only out-linger its bound while the
+producer is inside one activation, same as a thread-tier flusher that
+lost the race for the buffer lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, AsyncIterator, List
+
+from ..errors import ChannelClosedError, PipeTimeoutError
+from ..monitor.events import Event, EventKind, emit_lifecycle, lifecycle_enabled
+from ..runtime.failure import FAIL
+from .channel import CLOSED, RaiseEnvelope, deadline_of, remaining
+from .coexpression import CoExpression, coexpr_of
+from .deadline import Deadline, deadline_from
+from .scheduler import WorkerHandle
+
+#: How long a backpressured async worker sleeps before re-checking a
+#: full bounded channel (cooperative backpressure poll slice).
+_BACKPRESSURE_SLICE = 0.005
+
+# ---------------------------------------------------------------------------
+# The shared background event loop.
+# ---------------------------------------------------------------------------
+
+_loop: asyncio.AbstractEventLoop | None = None
+_loop_lock = threading.Lock()
+
+
+def event_loop() -> asyncio.AbstractEventLoop:
+    """The shared background loop every ``backend="async"`` worker runs
+    on (started lazily, daemon, process-wide — like the default
+    scheduler, it is shared infrastructure and never leak-checked).
+    """
+    global _loop
+    with _loop_lock:
+        if _loop is not None and not _loop.is_closed():
+            return _loop
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.call_soon(ready.set)
+            loop.run_forever()
+
+        thread = threading.Thread(
+            target=_run, name="repro-aio-loop", daemon=True
+        )
+        thread.start()
+        ready.wait()
+        _loop = loop
+        return loop
+
+
+async def _cond_wait(
+    cond: asyncio.Condition, deadline: float | None, what: str
+) -> None:
+    """One deadline-aware condition wait (the async twin of
+    :func:`~repro.coexpr.channel.deadline_wait`)."""
+    left = remaining(deadline)
+    if left is None:
+        await cond.wait()
+        return
+    if left <= 0:
+        raise PipeTimeoutError(f"{what} timed out")
+    try:
+        await asyncio.wait_for(cond.wait(), left)
+    except asyncio.TimeoutError:
+        raise PipeTimeoutError(f"{what} timed out") from None
+
+
+class AsyncChannel:
+    """A bounded awaitable queue with close semantics.
+
+    The coroutine-side mirror of :class:`~repro.coexpr.channel.Channel`:
+    ``put``/``take`` are coroutines that park their *task* (never a
+    thread), ``close`` is idempotent and wakes every waiter, a producer
+    exception travels as a :class:`RaiseEnvelope` and re-raises at the
+    consumer, and error delivery bypasses the capacity bound.  Single
+    event loop only — this is task-safe, not thread-safe.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    # -- producer side -------------------------------------------------------
+
+    async def put(self, item: Any, timeout: float | None = None) -> None:
+        """Park until space is available, then enqueue *item* (raises
+        :class:`ChannelClosedError` if closed while waiting)."""
+        deadline = deadline_of(timeout)
+        async with self._cond:
+            if self.capacity:
+                while len(self._items) >= self.capacity and not self._closed:
+                    await _cond_wait(self._cond, deadline, "AsyncChannel.put")
+            if self._closed:
+                raise ChannelClosedError("put on a closed channel")
+            self._items.append(item)
+            self._cond.notify_all()
+
+    async def put_many(
+        self, items: Any, timeout: float | None = None
+    ) -> int:
+        """Enqueue a whole slice, parking only when a bounded channel
+        fills mid-batch; returns the number enqueued."""
+        batch = list(items)
+        if not batch:
+            return 0
+        deadline = deadline_of(timeout)
+        sent = 0
+        async with self._cond:
+            while True:
+                if self._closed:
+                    raise ChannelClosedError(
+                        f"put_many on a closed channel ({sent}/{len(batch)} sent)"
+                    )
+                if self.capacity:
+                    free = self.capacity - len(self._items)
+                    if free <= 0:
+                        await _cond_wait(
+                            self._cond, deadline, "AsyncChannel.put_many"
+                        )
+                        continue
+                    chunk = batch[sent : sent + free]
+                else:
+                    chunk = batch[sent:]
+                self._items.extend(chunk)
+                sent += len(chunk)
+                self._cond.notify_all()
+                if sent >= len(batch):
+                    return sent
+
+    def put_error(self, error: BaseException) -> None:
+        """Enqueue an exception to re-raise at the consumer (unthrottled:
+        a crash report never blocks behind a full queue)."""
+        if self._closed:
+            raise ChannelClosedError("put_error on a closed channel")
+        self._items.append(RaiseEnvelope(error))
+        self._notify_soon()
+
+    def close(self) -> None:
+        """Close the channel; queued items remain takeable.  Idempotent;
+        wakes every parked producer and consumer."""
+        self._closed = True
+        self._notify_soon()
+
+    def _notify_soon(self) -> None:
+        """Wake waiters from a context that does not hold the condition
+        lock (``put_error``/``close`` are plain calls, not coroutines)."""
+
+        async def _notify() -> None:
+            async with self._cond:
+                self._cond.notify_all()
+
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # no loop running: nobody can be parked on the condition
+        loop.create_task(_notify())
+
+    # -- consumer side -------------------------------------------------------
+
+    async def take(self, timeout: float | None = None) -> Any:
+        """Park until an item is available; :data:`CLOSED` after drain."""
+        deadline = deadline_of(timeout)
+        async with self._cond:
+            while not self._items and not self._closed:
+                await _cond_wait(self._cond, deadline, "AsyncChannel.take")
+            if not self._items:
+                return CLOSED
+            item = self._items.pop(0)
+            self._cond.notify_all()
+        if isinstance(item, RaiseEnvelope):
+            raise item.error
+        return item
+
+    async def take_many(self, max_n: int, timeout: float | None = None) -> Any:
+        """Take up to *max_n* queued items at once (never reordering an
+        error past the data that preceded it)."""
+        if max_n < 1:
+            raise ValueError("max_n must be >= 1")
+        deadline = deadline_of(timeout)
+        async with self._cond:
+            while not self._items and not self._closed:
+                await _cond_wait(self._cond, deadline, "AsyncChannel.take_many")
+            if not self._items:
+                return CLOSED
+            batch: List[Any] = []
+            while self._items and len(batch) < max_n:
+                if isinstance(self._items[0], RaiseEnvelope):
+                    if batch:
+                        break  # deliver the preceding data first
+                    envelope = self._items.pop(0)
+                    self._cond.notify_all()
+                    raise envelope.error
+                batch.append(self._items.pop(0))
+            self._cond.notify_all()
+        return batch
+
+    async def feed_wire(self, kind: str, payload: Any = None) -> bool:
+        """Apply one wire envelope (the async pump hook); True on close."""
+        from .wire import WIRE_BEAT, WIRE_CLOSE, WIRE_DATA, WIRE_ERROR
+
+        if kind == WIRE_DATA:
+            await self.put_many(payload)
+        elif kind == WIRE_ERROR:
+            self.put_error(payload)
+        elif kind == WIRE_CLOSE:
+            self.close()
+            return True
+        elif kind != WIRE_BEAT:
+            raise ValueError(f"unknown wire envelope kind {kind!r}")
+        return False
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __aiter__(self) -> AsyncIterator[Any]:
+        return self._drain()
+
+    async def _drain(self) -> AsyncIterator[Any]:
+        while True:
+            item = await self.take()
+            if item is CLOSED:
+                return
+            yield item
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"AsyncChannel(capacity={self.capacity}, "
+            f"queued={len(self._items)}, {state})"
+        )
+
+
+class AsyncPipe:
+    """An async-native generator proxy: ``async for`` over a body.
+
+    For code that already lives inside an event loop.  The producer
+    coroutine activates the co-expression to exhaustion, streaming every
+    result through an :class:`AsyncChannel` with the channel contract
+    the threaded pipe pins: production order, data before error, close
+    terminates.  The worker task starts lazily on the first take (the
+    paper's proxy spawns from ``next()``) or eagerly via :meth:`start`.
+
+    ``refresh()`` is snapshot-and-restart (Prokopec & Liu): a sibling
+    pipe over a fresh copy of the co-expression's creation environment,
+    sharing the same deadline budget — a refresh is not a reset.
+    """
+
+    def __init__(
+        self,
+        expr: Any,
+        capacity: int = 0,
+        batch: int = 1,
+        take_timeout: float | None = None,
+        deadline: Any = None,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.coexpr: CoExpression = coexpr_of(expr)
+        self.capacity = capacity
+        #: The output queue — public, as in the paper.
+        self.out = AsyncChannel(capacity)
+        self.batch = batch
+        self.take_timeout = take_timeout
+        #: End-to-end budget (shared across refreshes and pipelines).
+        self.deadline: Deadline | None = deadline_from(deadline)
+        self.upstream: Any = None
+        self._task: asyncio.Task | None = None
+        self._cancelled = False
+        self._errored = False
+        self._pending: List[Any] = []
+
+    def _emit(self, kind: str, value: Any = None) -> None:
+        if lifecycle_enabled():
+            emit_lifecycle(Event(kind, f"pipe:{self.coexpr.name}", 0, value))
+
+    def start(self) -> "AsyncPipe":
+        """Spawn the producer task on the running loop (idempotent)."""
+        if self._task is None and not self._cancelled:
+            self._task = asyncio.get_running_loop().create_task(
+                self._produce(), name=f"apipe-{self.coexpr.name}"
+            )
+            self._emit(EventKind.START)
+            self._emit(EventKind.ASYNC_SESSION, {"transport": "loop"})
+        return self
+
+    async def _produce(self) -> None:
+        out = self.out
+        coexpr = self.coexpr
+        deadline = self.deadline
+        batch = self.batch
+        buffer: List[Any] = []
+        try:
+            while not self._cancelled:
+                if deadline is not None and deadline.expired():
+                    self._emit(
+                        EventKind.DEADLINE_EXPIRED,
+                        {"where": "producer", "remaining": 0.0},
+                    )
+                    from ..errors import PipeDeadlineExceeded
+
+                    raise PipeDeadlineExceeded(
+                        f"pipe {coexpr.name!r}: deadline exceeded (producer)",
+                        where="producer",
+                    )
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                if batch > 1:
+                    buffer.append(value)
+                    if len(buffer) >= batch:
+                        await out.put_many(buffer)
+                        buffer = []
+                else:
+                    await out.put(value)
+                await asyncio.sleep(0)  # per-item fairness across tasks
+            if buffer:
+                await out.put_many(buffer)  # flush-on-exhaustion
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - forwarded to consumer
+            self._errored = True
+            try:
+                if buffer:
+                    await out.put_many(buffer)  # data before the error
+                out.put_error(error)
+            except ChannelClosedError:
+                pass
+        finally:
+            out.close()
+            if self._cancelled or self._errored:
+                self._cancel_upstream()
+
+    def _cancel_upstream(self) -> None:
+        upstream = self.upstream
+        if upstream is not None:
+            canceller = getattr(upstream, "cancel", None)
+            if canceller is not None:
+                canceller()
+
+    async def take(self, timeout: Any = None) -> Any:
+        """The next result or :data:`FAIL` once exhausted."""
+        if self._pending:
+            return self._pending.pop(0)
+        if timeout is None:
+            timeout = self.take_timeout
+        deadline = self.deadline
+        if deadline is not None:
+            if deadline.expired():
+                self._emit(
+                    EventKind.DEADLINE_EXPIRED,
+                    {"where": "take", "remaining": 0.0},
+                )
+                from ..errors import PipeDeadlineExceeded
+
+                self.cancel()
+                raise PipeDeadlineExceeded(
+                    f"pipe {self.coexpr.name!r}: deadline exceeded (take)",
+                    where="take",
+                )
+            timeout = deadline.bound(timeout)
+        self.start()
+        try:
+            if self.batch > 1:
+                item = await self.out.take_many(self.batch, timeout)
+            else:
+                item = await self.out.take(timeout)
+        except PipeTimeoutError:
+            if deadline is not None and deadline.expired():
+                # A deadline-bounded wait that timed out IS the expiry:
+                # active teardown, the deadline error, not a plain timeout.
+                from ..errors import PipeDeadlineExceeded
+
+                self._emit(
+                    EventKind.DEADLINE_EXPIRED,
+                    {"where": "take", "remaining": 0.0},
+                )
+                self.cancel()
+                raise PipeDeadlineExceeded(
+                    f"pipe {self.coexpr.name!r}: deadline exceeded (take)",
+                    where="take",
+                ) from None
+            raise
+        if item is CLOSED:
+            return FAIL
+        if self.batch > 1:
+            if len(item) > 1:
+                self._pending.extend(item[1:])
+            return item[0]
+        return item
+
+    def cancel(self) -> bool:
+        """Stop the producer (idempotent): close channel + body + task."""
+        first = not self._cancelled
+        self._cancelled = True
+        if first:
+            self._emit(EventKind.CANCEL)
+            self.out.close()
+            self.coexpr.close()
+            if self._task is not None and not self._task.done():
+                self._task.cancel()
+            self._cancel_upstream()
+        return self._task is None or self._task.done()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def refresh(self) -> "AsyncPipe":
+        """``^p`` — snapshot-and-restart: a new pipe over a refreshed
+        copy of the co-expression (same deadline budget)."""
+        return AsyncPipe(
+            self.coexpr.refresh(),
+            capacity=self.capacity,
+            batch=self.batch,
+            take_timeout=self.take_timeout,
+            deadline=self.deadline,
+        )
+
+    def __aiter__(self) -> AsyncIterator[Any]:
+        return self._iterate()
+
+    async def _iterate(self) -> AsyncIterator[Any]:
+        self.start()
+        while True:
+            item = await self.take()
+            if item is FAIL:
+                return
+            yield item
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled"
+            if self._cancelled
+            else ("running" if self._task is not None else "unstarted")
+        )
+        return f"AsyncPipe({self.coexpr.name}, {state}, queued={len(self.out)})"
+
+
+# ---------------------------------------------------------------------------
+# backend="async": the coroutine worker behind an ordinary Pipe.
+# ---------------------------------------------------------------------------
+
+
+class AsyncWorker:
+    """One pipe body running as a task on the shared background loop.
+
+    The owner pipe keeps its threaded surface — the consumer blocks in
+    ``Channel.take`` exactly as with the thread backend — while the
+    producer coroutine multiplexes with every other async worker on one
+    OS thread.  Registers with the scheduler's session accounting
+    (``leaked()``/``shutdown()`` cover the pending task the way they
+    cover sockets), and exposes the worker/session protocol:
+    ``handle``/``join``/``is_alive``/``name``, ``kill`` (cancel the
+    task now) and ``terminate`` (the :meth:`Pipe.cancel` hook).
+    """
+
+    __slots__ = ("pipe", "scheduler", "name", "handle", "_future")
+
+    def __init__(self, pipe: Any, scheduler: Any) -> None:
+        self.pipe = pipe
+        self.scheduler = scheduler
+        self.name = f"apipe-{pipe.coexpr.name}"
+        self.handle = WorkerHandle()
+        self._future: Any = None
+
+    def start(self) -> None:
+        loop = event_loop()
+        self._future = asyncio.run_coroutine_threadsafe(self._produce(), loop)
+        self._future.add_done_callback(lambda _f: self.handle._mark_done())
+
+    # -- the producer coroutine ----------------------------------------------
+
+    async def _deliver(self, out: Any, items: List[Any]) -> None:
+        """Move *items* into the pipe's (threading) channel without ever
+        blocking the loop: this worker is the channel's only producer,
+        so free space observed under the lock cannot shrink before the
+        zero-timeout put lands."""
+        sent = 0
+        while sent < len(items):
+            if out.capacity:
+                free = out.capacity - len(out)
+                if free <= 0:
+                    if self.pipe._cancelled:
+                        raise ChannelClosedError("consumer cancelled")
+                    await asyncio.sleep(_BACKPRESSURE_SLICE)
+                    continue
+                chunk = items[sent : sent + free]
+            else:
+                chunk = items[sent:]
+            out.put_many(chunk, timeout=0)
+            sent += len(chunk)
+
+    async def _flush(self, buffer: List[Any]) -> None:
+        """Deliver a coalesced batch and keep the pipe's batching
+        counters/events identical to the thread tier's."""
+        pipe = self.pipe
+        await self._deliver(pipe.out, buffer)
+        pipe._flushes += 1
+        pipe._batched_items += len(buffer)
+        if lifecycle_enabled():
+            pipe._emit(
+                EventKind.BATCH,
+                {"size": len(buffer), "queued": len(pipe.out)},
+            )
+        buffer.clear()
+
+    async def _produce(self) -> None:
+        pipe = self.pipe
+        out = pipe.out
+        coexpr = pipe.coexpr
+        deadline = pipe.deadline
+        batch = pipe.batch
+        max_linger = pipe.max_linger
+        buffer: List[Any] = []
+        oldest = 0.0
+        try:
+            while not pipe._cancelled:
+                if deadline is not None and deadline.expired():
+                    raise pipe._deadline_error("producer")
+                value = coexpr.activate()
+                if value is FAIL:
+                    break
+                if batch > 1:
+                    if not buffer:
+                        oldest = time.monotonic()
+                    buffer.append(value)
+                    # Activations are atomic on the loop, so this
+                    # post-activation age check is the linger flusher
+                    # (see the module docstring's cooperative caveat).
+                    if len(buffer) >= batch or (
+                        max_linger is not None
+                        and time.monotonic() - oldest >= max_linger
+                    ):
+                        await self._flush(buffer)
+                else:
+                    await self._deliver(out, [value])
+                await asyncio.sleep(0)  # per-item fairness across workers
+            if buffer:  # flush-on-exhaustion: no result is stranded
+                await self._flush(buffer)
+        except ChannelClosedError:
+            pass  # the consumer cancelled the pipe; just exit
+        except asyncio.CancelledError:
+            pass  # killed (scheduler shutdown / pipe cancel): just exit
+        except Exception as error:  # noqa: BLE001 - forwarded to consumer
+            pipe._errored = True
+            try:
+                if buffer:
+                    await self._flush(buffer)  # data before the error
+                out.put_error(error)  # unthrottled: never blocks
+            except ChannelClosedError:
+                pass  # cancelled while reporting: consumer is gone
+        finally:
+            out.close()
+            if pipe._cancelled or pipe._errored:
+                pipe._cancel_upstream()
+            self.scheduler.untrack_session(self)
+
+    # -- teardown --------------------------------------------------------------
+
+    def terminate(self) -> None:
+        """The :meth:`Pipe.cancel` hook: cancel the task (idempotent).
+
+        The loop delivers ``CancelledError`` into the coroutine, whose
+        ``finally`` closes the channel and untracks the session — same
+        unwind order as a thread worker seeing its channel closed.
+        """
+        future = self._future
+        if future is not None:
+            future.cancel()
+
+    # -- worker/session protocol (scheduler accounting) ------------------------
+
+    def kill(self) -> None:
+        """Scheduler-shutdown hook: cancel the pending task now."""
+        self.terminate()
+
+    def join(self, timeout: float | None = None) -> bool:
+        return self.handle.join(timeout)
+
+    def is_alive(self) -> bool:
+        return self.handle.is_alive()
+
+
+def async_unsafe_reason(pipe: Any) -> str | None:
+    """Why *pipe*'s body cannot run on the shared loop (None = it can).
+
+    The async tier's half of the degradation rules, the cooperative
+    analogue of :func:`repro.coexpr.proc.body_portability_reason`: the
+    loop runs one activation at a time, so a body that performs a
+    *blocking* take inside its activation freezes every other coroutine
+    on the loop.  If the channel it blocks on is itself fed by a task on
+    that loop — a stage consuming an upstream async pipe — the producer
+    can never run and the pipeline deadlocks outright; if the feeder is
+    a thread, the loop is merely starved for the stream's whole
+    lifetime, which breaks the "thousands of pipes share one loop"
+    contract just as surely.  Either way the stage cannot live on the
+    loop: it degrades to the thread backend with a ``DEGRADED`` monitor
+    event, exactly as a channel-fed stage refuses the process boundary.
+
+    Pure sources — bodies whose environment holds only plain values —
+    run on the loop; that is the tier's sweet spot.
+    """
+    from .channel import Channel
+    from .future import Future, MVar
+    from .pipe import Pipe
+    from .supervision import SupervisedPipe
+
+    blocking = (Pipe, SupervisedPipe, Future, MVar, Channel)
+    upstream = getattr(pipe, "upstream", None)
+    if upstream is not None and isinstance(upstream, blocking):
+        return "stage is fed by an in-process pipe (blocking take would starve the loop)"
+    for value in pipe.coexpr._env:
+        if isinstance(value, blocking):
+            return (
+                f"environment references a blocking {type(value).__name__}"
+                " (its take would starve the loop)"
+            )
+    return None
+
+
+def start_async_worker(pipe: Any, scheduler: Any) -> AsyncWorker | None:
+    """Run *pipe*'s body as a task on the shared event loop.
+
+    Returns a running :class:`AsyncWorker` (task scheduled, session
+    tracked by *scheduler*) — or None after emitting a ``DEGRADED``
+    monitor event when :func:`async_unsafe_reason` finds a blocking
+    dependency, in which case the caller falls back to the thread
+    backend (the same contract as the process and remote hooks).
+    Scheduler shutdown is **not** degradation: a submit racing shutdown
+    propagates :class:`~repro.errors.SchedulerShutdownError`, exactly as
+    the thread backend does (the session registration is the gate, and
+    it happens *before* the task exists, so the race leaks nothing).
+    """
+    reason = async_unsafe_reason(pipe)
+    if reason is not None:
+        pipe._degraded = reason
+        if lifecycle_enabled():
+            emit_lifecycle(
+                Event(EventKind.DEGRADED, f"pipe:{pipe.coexpr.name}", 0, reason)
+            )
+        return None
+    worker = AsyncWorker(pipe, scheduler)
+    scheduler.track_session(worker)  # raises after shutdown
+    try:
+        worker.start()
+    except BaseException:
+        scheduler.untrack_session(worker)
+        raise
+    if lifecycle_enabled():
+        emit_lifecycle(
+            Event(
+                EventKind.ASYNC_SESSION,
+                f"pipe:{pipe.coexpr.name}",
+                0,
+                {"transport": "loop", "name": pipe.coexpr.name},
+            )
+        )
+    return worker

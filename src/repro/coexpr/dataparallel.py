@@ -149,8 +149,10 @@ class DataParallel:
             raise ValueError("max_pending must be >= 1 or None")
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        if backend not in ("thread", "process", "remote"):
-            raise ValueError("backend must be 'thread', 'process', or 'remote'")
+        if backend not in ("thread", "process", "remote", "async"):
+            raise ValueError(
+                "backend must be 'thread', 'process', 'remote', or 'async'"
+            )
         self.chunk_size = chunk_size
         self.capacity = capacity
         self.scheduler = scheduler
@@ -352,8 +354,10 @@ class DataParallel:
         backend: str | None = None,
     ) -> Iterator[Any]:
         backend = backend if backend is not None else self.backend
-        if backend not in ("thread", "process", "remote"):
-            raise ValueError("backend must be 'thread', 'process', or 'remote'")
+        if backend not in ("thread", "process", "remote", "async"):
+            raise ValueError(
+                "backend must be 'thread', 'process', 'remote', or 'async'"
+            )
         # Cancellation propagates to siblings: if the drain stops early —
         # one task raised, or the consumer abandoned the generator — every
         # outstanding task pipe is cancelled, so no chunk worker is left

@@ -87,6 +87,7 @@ class Pipe(IconIterator):
         "_worker",
         "_process_worker",
         "_remote_worker",
+        "_async_worker",
         "_degraded",
         "_errored",
         "_pending",
@@ -155,6 +156,14 @@ class Pipe(IconIterator):
         thread backend exactly as the process tier does (see
         :mod:`repro.net`).
 
+        ``backend="async"`` runs the producer as a coroutine on the
+        shared background event loop (:mod:`repro.coexpr.aio`): the
+        consumer keeps this exact blocking surface, but the producer
+        costs a task instead of a thread, multiplexed with every other
+        async worker on one loop.  Backpressure is cooperative and the
+        body runs in-process, so — unlike process/remote — no body ever
+        degrades.
+
         ``deadline`` bounds the pipe end to end: seconds of budget (or a
         shared :class:`~repro.coexpr.deadline.Deadline`).  The budget is
         checked before every spawn (an expired pipe never forks a child
@@ -168,8 +177,10 @@ class Pipe(IconIterator):
             raise ValueError("batch must be >= 1")
         if max_linger is not None and max_linger < 0:
             raise ValueError("max_linger must be >= 0 or None")
-        if backend not in ("thread", "process", "remote"):
-            raise ValueError("backend must be 'thread', 'process', or 'remote'")
+        if backend not in ("thread", "process", "remote", "async"):
+            raise ValueError(
+                "backend must be 'thread', 'process', 'remote', or 'async'"
+            )
         if backend == "remote":
             if remote_address is None:
                 raise ValueError("backend='remote' requires remote_address")
@@ -225,6 +236,8 @@ class Pipe(IconIterator):
         self._process_worker: Any = None
         #: The RemoteWorker when the remote backend actually engaged.
         self._remote_worker: Any = None
+        #: The AsyncWorker when the async backend engaged.
+        self._async_worker: Any = None
         #: Degradation reason when a process request fell back to threads.
         self._degraded: str | None = None
         self._errored = False
@@ -302,6 +315,16 @@ class Pipe(IconIterator):
                 self._emit(EventKind.START)
                 return self
             # Degraded: fall through to the thread backend below.
+        elif self.backend == "async":
+            from .aio import start_async_worker
+
+            worker = start_async_worker(self, scheduler)
+            if worker is not None:
+                self._async_worker = worker
+                self._worker = worker.handle
+                self._emit(EventKind.START)
+                return self
+            # Degraded: fall through to the thread backend below.
         self._worker = scheduler.submit(self._run, name=f"pipe-{self.coexpr.name}")
         if self._buf_cond is not None:
             self._flusher = scheduler.submit(
@@ -312,8 +335,9 @@ class Pipe(IconIterator):
 
     @property
     def degraded(self) -> str | None:
-        """Why a ``backend="process"`` request fell back to threads
-        (None while isolated or when the thread backend was asked for)."""
+        """Why a process/remote/async backend request fell back to
+        threads (None while the requested tier engaged, or when the
+        thread backend was asked for)."""
         return self._degraded
 
     def _run(self) -> None:
@@ -583,6 +607,9 @@ class Pipe(IconIterator):
             remote_worker = self._remote_worker
             if remote_worker is not None:
                 remote_worker.terminate()  # sends cancel, closes the socket
+            async_worker = self._async_worker
+            if async_worker is not None:
+                async_worker.terminate()  # cancels the loop task
             self._cancel_upstream()
         worker = self._worker
         if worker is None:

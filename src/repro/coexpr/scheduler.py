@@ -195,14 +195,16 @@ class PipeScheduler:
 
     def track_session(self, session: Any) -> None:
         """Register a network session (a server-side connection stream or
-        a client-side remote-pipe connection, :mod:`repro.net`).
+        a client-side remote-pipe connection, :mod:`repro.net`) or an
+        async worker (a pending event-loop task, :mod:`repro.coexpr.aio`).
 
         The session counts against :meth:`leaked` until untracked and is
         killed by :meth:`shutdown` — the no-orphans contract extended to
-        open connections.  Sessions expose ``is_alive``/``join``/``name``
-        (the worker contract) plus ``kill`` (close the socket now).
-        Raises :class:`SchedulerShutdownError` after shutdown, so a
-        connection racing shutdown fails before the socket leaks.
+        open connections and pending tasks.  Sessions expose
+        ``is_alive``/``join``/``name`` (the worker contract) plus
+        ``kill`` (close the socket / cancel the task now).  Raises
+        :class:`SchedulerShutdownError` after shutdown, so a connection
+        or task racing shutdown fails before it leaks.
         """
         with self._lock:
             if self._shutdown:
@@ -225,14 +227,16 @@ class PipeScheduler:
     # -- lifecycle ------------------------------------------------------------
 
     def leaked(self, join_timeout: float = 0.0) -> List[Any]:
-        """Dedicated worker threads and child processes still alive.
+        """Dedicated worker threads, child processes, and sessions
+        (sockets and pending asyncio tasks) still alive.
 
         With *join_timeout* > 0, gives stragglers that long (total) to
         exit before reporting them — the leak-check fixture uses a short
         grace period so workers mid-teardown are not false positives.
-        Threads and tracked processes share one contract here (both
-        expose ``is_alive``/``join``/``name``), so the fixture's
-        ``assert not leaked()`` covers orphaned children too.
+        Threads, tracked processes, and tracked sessions share one
+        contract here (all expose ``is_alive``/``join``/``name``), so
+        the fixture's ``assert not leaked()`` covers orphaned children
+        and un-cancelled event-loop tasks too.
         """
         with self._lock:
             workers = [t for t in self._threads if t.is_alive()]
@@ -266,18 +270,32 @@ class PipeScheduler:
             if process.is_alive():
                 process.terminate()
         for session in sessions:
-            # Closing the socket unblocks both ends: the session threads
-            # (scheduler threads themselves) then exit and are joined below.
+            # Closing the socket (or cancelling the loop task) unblocks
+            # both ends: socket sessions' threads — scheduler threads
+            # themselves — exit and are joined below; async workers'
+            # tasks unwind on the loop and are awaited below.
             session.kill()
         if pool is not None:
             pool.shutdown(wait=wait, cancel_futures=True)
-        if wait and (threads or processes):
+        if wait and (threads or processes or sessions):
             deadline = None if timeout is None else time.monotonic() + timeout
             for worker in threads + processes:
                 if deadline is None:
                     worker.join()
                 else:
                     worker.join(max(0.0, deadline - time.monotonic()))
+            # Await cancelled async sessions: a kill() only *requests*
+            # task cancellation — the loop still has to deliver it and
+            # run the coroutine's finally blocks.  Bounded even with no
+            # timeout: a cancelled task cannot block indefinitely in
+            # this runtime, but a wedged loop must not hang shutdown.
+            for session in sessions:
+                budget = (
+                    1.0
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                session.join(budget)
             # A child that ignored SIGTERM inside the budget gets SIGKILL:
             # a shut-down scheduler must not leave orphans behind.
             for process in processes:

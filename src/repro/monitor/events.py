@@ -101,6 +101,14 @@ class EventKind:
     MEMBER_UP = "member-up"
     MEMBER_DOWN = "member-down"
 
+    # The async execution tier: a pipe body spawned as a task on the
+    # shared event loop (``{"transport": "loop", "name": ...}``) or an
+    # event-loop server admitting a session
+    # (``{"peer": ..., "name": ..., "server": ...}``) — one kind for
+    # both sides, distinguished by the payload, mirroring how
+    # NET_CONNECT/NET_SESSION split the threaded tier.
+    ASYNC_SESSION = "async-session"
+
     # The optimizing compile target: one event per translated unit
     # (``{"optimized": bool, "lowered": [shape, ...], "fallbacks":
     # [shape, ...]}``) — which normalized shapes became native Python
@@ -134,6 +142,7 @@ class EventKind:
         MEMBER_LEAVE,
         MEMBER_UP,
         MEMBER_DOWN,
+        ASYNC_SESSION,
         COMPILE,
     )
     ALL = ITERATION + LIFECYCLE

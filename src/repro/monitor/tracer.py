@@ -244,6 +244,34 @@ class Tracer:
                     stats["reasons"].append(value["reason"])
         return out
 
+    def async_stats(self) -> dict:
+        """Per-node async-tier summary from collected lifecycle events:
+        ``{node: {workers, sessions, names, peers}}``.
+
+        ``workers`` counts pipe bodies spawned as tasks on the shared
+        event loop (``backend="async"``, payload ``transport="loop"``)
+        and ``sessions`` counts event-loop server admissions
+        (:class:`~repro.net.aserver.AsyncGeneratorServer`, payload
+        carries ``peer``) — together they show how much of a pipeline
+        actually ran on the coroutine tier and who connected."""
+        out: dict = {}
+        for event in self.events:
+            if event.kind != EventKind.ASYNC_SESSION:
+                continue
+            stats = out.setdefault(
+                event.node,
+                {"workers": 0, "sessions": 0, "names": [], "peers": []},
+            )
+            value = event.value if isinstance(event.value, dict) else {}
+            if "peer" in value:
+                stats["sessions"] += 1
+                stats["peers"].append(value["peer"])
+            else:
+                stats["workers"] += 1
+            if "name" in value:
+                stats["names"].append(value["name"])
+        return out
+
     def health_stats(self) -> dict:
         """Per-node overload/deadline summary from collected lifecycle
         events: ``{node: {deadline_expired, deadline_propagated, shed,

@@ -19,6 +19,12 @@ Two client shapes:
 * :class:`RemotePipe` — a proxy over a factory the *server* registered
   by name, for bodies that only exist on the far side.
 
+The **event-loop server** (:mod:`repro.net.aserver`) is the same wire
+contract on a different substrate: :class:`AsyncGeneratorServer`
+multiplexes every session as a coroutine pair on one loop thread, so
+thousands of concurrent streams cost memory instead of OS threads —
+and nothing client-side can tell which server answered.
+
 A dead connection surfaces as
 :class:`~repro.errors.PipeConnectionLost`, which supervision treats as
 a retryable fault: reconnect and replay.  An *overloaded* server sheds
@@ -47,10 +53,12 @@ heterogeneous hosts), and share dead-address memory process-wide so
 two pools never each pay the same corpse's connect timeout.
 """
 
+from .aserver import AsyncGeneratorServer
 from .client import (
     CircuitBreaker,
     RemotePipe,
     breaker_for,
+    drain_address,
     remote_unsafe_reason,
     reset_breakers,
     start_remote_worker,
@@ -72,6 +80,7 @@ from .server import GeneratorServer
 
 __all__ = [
     "AddressHealth",
+    "AsyncGeneratorServer",
     "CircuitBreaker",
     "FileRegistry",
     "GeneratorServer",
@@ -82,6 +91,7 @@ __all__ = [
     "ServerPool",
     "StaticMembers",
     "breaker_for",
+    "drain_address",
     "exchange_peers",
     "membership_source",
     "normalize_remote_address",

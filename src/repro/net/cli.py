@@ -15,6 +15,12 @@ from the in-process constructor.  ``--stats-interval N`` logs a
 one-line served/active/shed snapshot to stderr every N seconds —
 enough to watch a replica's load from its service log.
 
+``--async`` swaps the execution substrate for the event-loop server
+(:class:`~repro.net.aserver.AsyncGeneratorServer`): the identical wire
+protocol and flags, but sessions are coroutine pairs on one loop
+thread instead of thread pairs — the deployment shape for thousands of
+concurrent streams of cooperative bodies.
+
 Fleet membership: ``--advertise HOST:PORT`` sets the address this
 replica *gossips* (a NAT'd or containerized server is not reachable at
 its bind address), ``--peer HOST:PORT`` (repeatable) names fleet
@@ -78,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-spawn",
         action="store_true",
         help="refuse pickled bodies; only registered factories run",
+    )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve on one event loop instead of two threads per "
+        "session — same wire protocol, thousands of concurrent "
+        "sessions; bodies must be cooperative (no long blocking "
+        "activations)",
     )
     parser.add_argument(
         "--heartbeat-interval",
@@ -193,7 +208,12 @@ def main(argv: list | None = None) -> int:
             raise SystemExit(
                 f"junicon-serve: bad --peer {spec!r} (expected HOST:PORT)"
             ) from None
-    server = GeneratorServer(
+    server_class: Any = GeneratorServer
+    if args.use_async:
+        from .aserver import AsyncGeneratorServer
+
+        server_class = AsyncGeneratorServer
+    server = server_class(
         host=args.host,
         port=args.port,
         heartbeat_interval=args.heartbeat_interval,

@@ -232,6 +232,48 @@ def remote_unsafe_reason(pipe: Any) -> str | None:
     return None
 
 
+#: In-flight workers indexed by server address, so a membership tier's
+#: death verdict can wake their watchdogs *now* — see :func:`drain_address`.
+_live_lock = threading.Lock()
+_live_workers: dict = {}
+
+
+def _register_live(worker: Any) -> None:
+    with _live_lock:
+        _live_workers.setdefault(worker.address, set()).add(worker)
+
+
+def _unregister_live(worker: Any) -> None:
+    with _live_lock:
+        peers = _live_workers.get(worker.address)
+        if peers is not None:
+            peers.discard(worker)
+            if not peers:
+                _live_workers.pop(worker.address, None)
+
+
+def drain_address(address: Any, reason: str) -> int:
+    """Wake every in-flight worker on *address* immediately.
+
+    The eager half of failure detection: a health prober that declares
+    a replica dead (:meth:`~repro.net.cluster.ServerPool.mark_down`)
+    already *knows* the streams on it are doomed — without this, each
+    one still blocks out its own heartbeat watchdog (up to
+    ``_TIMEOUT_INTERVALS`` silent intervals) before failing over.
+    Closing the framer under the pump's blocked receive surfaces an
+    ``OSError`` within one ``_POLL_SLICE``; the stashed *reason* makes
+    the loss verdict say "probe declared the server dead" rather than
+    the bare transport error the forced close produced.  Returns how
+    many workers were woken.
+    """
+    with _live_lock:
+        workers = list(_live_workers.get(tuple(address), ()))
+    for worker in workers:
+        worker.drained = reason
+        worker.framer.close()
+    return len(workers)
+
+
 class RemoteWorker:
     """One server connection plus the pump/watchdog thread draining it.
 
@@ -256,6 +298,7 @@ class RemoteWorker:
         "pool",
         "route_key",
         "chaos",
+        "drained",
         "_healthy",
     )
 
@@ -292,6 +335,11 @@ class RemoteWorker:
         self.pool: Any = None
         self.route_key: Any = None
         self.chaos: Any = None
+        #: The drain verdict when a health prober declared this worker's
+        #: server dead (:func:`drain_address`): the pump reports *this*
+        #: reason instead of the bare transport error the forced close
+        #: produced.
+        self.drained: str | None = None
         #: True once the stream proved the server healthy (first data /
         #: error / close envelope) and the breaker heard about it.
         self._healthy = False
@@ -385,6 +433,7 @@ class RemoteWorker:
         out = owner.out
         deadline = time.monotonic() + self.heartbeat_timeout
         closed = False
+        _register_live(self)
         try:
             while not closed:
                 if owner._cancelled:
@@ -394,7 +443,9 @@ class RemoteWorker:
                 except (socket.timeout, TimeoutError):
                     if time.monotonic() >= deadline:
                         self._mark_lost(
-                            f"no heartbeat within {self.heartbeat_timeout:.2f}s"
+                            self.drained
+                            or f"no heartbeat within "
+                            f"{self.heartbeat_timeout:.2f}s"
                         )
                         return
                     continue
@@ -402,9 +453,12 @@ class RemoteWorker:
                     if owner._cancelled:
                         return
                     self._mark_lost(
-                        "connection closed before end of stream"
-                        if isinstance(error, (EOFError, FrameError))
-                        else f"transport error: {error!r}"
+                        self.drained
+                        or (
+                            "connection closed before end of stream"
+                            if isinstance(error, (EOFError, FrameError))
+                            else f"transport error: {error!r}"
+                        )
                     )
                     return
                 deadline = time.monotonic() + self.heartbeat_timeout
@@ -433,7 +487,9 @@ class RemoteWorker:
                         except (OSError, EOFError) as error:
                             if owner._cancelled:
                                 return
-                            self._mark_lost(f"transport error: {error!r}")
+                            self._mark_lost(
+                                self.drained or f"transport error: {error!r}"
+                            )
                             return
                 elif kind == WIRE_ERROR:
                     self._mark_healthy()  # the *server* worked; the body crashed
@@ -452,6 +508,7 @@ class RemoteWorker:
         except ChannelClosedError:
             pass  # the consumer cancelled the pipe; just exit
         finally:
+            _unregister_live(self)
             out.close()
             self.framer.close()
             self.scheduler.untrack_session(self)

@@ -454,6 +454,12 @@ class ServerPool:
             EventKind.MEMBER_DOWN,
             {"address": address, "reason": reason, "misses": misses},
         )
+        # Eager drain: every in-flight stream on the dead replica is
+        # doomed — wake its watchdog now so failover starts within one
+        # poll slice of the verdict, not one full heartbeat timeout.
+        from .client import drain_address
+
+        drain_address(address, f"marked down by health probe: {reason}")
         return True
 
     def mark_up(self, address: Any) -> bool:

@@ -1,0 +1,374 @@
+"""The async execution tier: AsyncChannel, AsyncPipe, backend="async".
+
+The contract under test is the backend matrix's: a pipe whose producer
+is a coroutine on the shared event loop must be observationally
+identical to one whose producer is a thread — production order, data
+before error, close terminates, batching counters, refresh-as-snapshot,
+cancellation, and scheduler accounting (the autouse leak fixture covers
+pending tasks the way it covers threads and sockets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.coexpr.aio import AsyncChannel, AsyncPipe, start_async_worker
+from repro.coexpr.channel import CLOSED
+from repro.coexpr.dataparallel import DataParallel
+from repro.coexpr.patterns import pipeline, source_pipe, stage
+from repro.coexpr.pipe import Pipe
+from repro.coexpr.supervision import NO_BACKOFF, supervise
+from repro.errors import (
+    ChannelClosedError,
+    PipeDeadlineExceeded,
+    PipeTimeoutError,
+    SchedulerShutdownError,
+)
+from repro.monitor import EventKind, Tracer
+from repro.runtime.failure import FAIL
+
+
+def run(coro):
+    """Run one test coroutine on a fresh loop (no pytest-asyncio dep)."""
+    return asyncio.run(coro)
+
+
+class TestAsyncChannel:
+    def test_roundtrip_preserves_order(self):
+        async def body():
+            ch = AsyncChannel()
+            for i in range(5):
+                await ch.put(i)
+            ch.close()
+            return [item async for item in ch]
+
+        assert run(body()) == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_parks_until_space(self):
+        async def body():
+            ch = AsyncChannel(capacity=1)
+            await ch.put("a")
+            parked = asyncio.get_running_loop().create_task(ch.put("b"))
+            await asyncio.sleep(0.01)
+            assert not parked.done()  # capacity bound holds the producer
+            assert await ch.take() == "a"
+            await parked
+            return await ch.take()
+
+        assert run(body()) == "b"
+
+    def test_put_timeout_raises_pipe_timeout(self):
+        async def body():
+            ch = AsyncChannel(capacity=1)
+            await ch.put(1)
+            with pytest.raises(PipeTimeoutError):
+                await ch.put(2, timeout=0.05)
+
+        run(body())
+
+    def test_take_timeout_on_empty_open_channel(self):
+        async def body():
+            ch = AsyncChannel()
+            with pytest.raises(PipeTimeoutError):
+                await ch.take(timeout=0.05)
+
+        run(body())
+
+    def test_closed_and_drained_returns_sentinel(self):
+        async def body():
+            ch = AsyncChannel()
+            await ch.put(1)
+            ch.close()
+            assert await ch.take() == 1
+            return await ch.take()
+
+        assert run(body()) is CLOSED
+
+    def test_put_on_closed_channel_raises(self):
+        async def body():
+            ch = AsyncChannel()
+            ch.close()
+            with pytest.raises(ChannelClosedError):
+                await ch.put(1)
+
+        run(body())
+
+    def test_close_mid_wait_unblocks_consumer(self):
+        async def body():
+            ch = AsyncChannel()
+            taker = asyncio.get_running_loop().create_task(ch.take())
+            await asyncio.sleep(0.01)
+            ch.close()
+            return await taker
+
+        assert run(body()) is CLOSED
+
+    def test_error_never_overtakes_preceding_data(self):
+        async def body():
+            ch = AsyncChannel()
+            await ch.put_many([1, 2])
+            ch.put_error(ValueError("late"))
+            ch.close()
+            # take_many stops at the error and delivers the data first.
+            assert await ch.take_many(10) == [1, 2]
+            with pytest.raises(ValueError):
+                await ch.take_many(10)
+
+        run(body())
+
+    def test_error_bypasses_the_capacity_bound(self):
+        async def body():
+            ch = AsyncChannel(capacity=1)
+            await ch.put(1)
+            ch.put_error(RuntimeError("crash"))  # unthrottled, no await
+            assert await ch.take() == 1
+            with pytest.raises(RuntimeError):
+                await ch.take()
+
+        run(body())
+
+    def test_put_many_interleaves_with_consumer(self):
+        async def body():
+            ch = AsyncChannel(capacity=2)
+            loop = asyncio.get_running_loop()
+            producer = loop.create_task(ch.put_many(list(range(10))))
+            got = []
+            while len(got) < 10:
+                got.append(await ch.take())
+            await producer
+            return got
+
+        assert run(body()) == list(range(10))
+
+
+def counter(n):
+    return iter(range(n))
+
+
+def crashing():
+    yield 1
+    yield 2
+    raise ValueError("body crashed")
+
+
+class TestAsyncPipe:
+    def test_async_for_streams_the_body(self):
+        async def body():
+            piped = AsyncPipe(lambda: counter(6))
+            return [v async for v in piped]
+
+        assert run(body()) == [0, 1, 2, 3, 4, 5]
+
+    def test_take_returns_fail_on_exhaustion(self):
+        async def body():
+            piped = AsyncPipe(lambda: counter(1))
+            assert await piped.take() == 0
+            return await piped.take()
+
+        assert run(body()) is FAIL
+
+    def test_batched_takes_unbatch_in_order(self):
+        async def body():
+            piped = AsyncPipe(lambda: counter(10), batch=4, capacity=8)
+            return [v async for v in piped]
+
+        assert run(body()) == list(range(10))
+
+    def test_error_arrives_after_the_data(self):
+        async def body():
+            piped = AsyncPipe(crashing)
+            got = []
+            with pytest.raises(ValueError):
+                async for v in piped:
+                    got.append(v)
+            return got
+
+        assert run(body()) == [1, 2]
+
+    def test_cancel_stops_the_producer(self):
+        async def body():
+            piped = AsyncPipe(lambda: counter(10**6), capacity=2)
+            piped.start()
+            assert await piped.take() == 0
+            piped.cancel()
+            await asyncio.sleep(0.05)
+            assert piped._task.done()
+
+        run(body())
+
+    def test_refresh_restarts_from_the_snapshot(self):
+        async def body():
+            piped = AsyncPipe(lambda: counter(5))
+            assert await piped.take() == 0
+            assert await piped.take() == 1
+            refreshed = piped.refresh()
+            piped.cancel()
+            # Snapshot-and-restart: the sibling replays from the start.
+            return [v async for v in refreshed]
+
+        assert run(body()) == [0, 1, 2, 3, 4]
+
+    def test_deadline_expiry_raises_and_cancels(self):
+        def slow():
+            while True:
+                yield 1
+                time.sleep(0.05)
+
+        async def body():
+            piped = AsyncPipe(slow, deadline=0.2)
+            with pytest.raises(PipeDeadlineExceeded):
+                async for _ in piped:
+                    pass
+            assert piped.cancelled
+
+        run(body())
+
+
+class TestAsyncBackend:
+    """``backend="async"`` behind the ordinary (threaded-surface) Pipe."""
+
+    def test_streams_identically_to_threads(self):
+        threaded = source_pipe(lambda: counter(20), backend="thread")
+        looped = source_pipe(lambda: counter(20), backend="async")
+        assert list(looped.iterate()) == list(threaded.iterate())
+
+    def test_bounded_channel_backpressures_the_worker(self):
+        piped = Pipe(lambda: counter(100), backend="async", capacity=4).start()
+        time.sleep(0.1)
+        # The coroutine parked on the full channel instead of overfilling.
+        assert len(piped.out) <= 4
+        assert list(piped.iterate()) == list(range(100))
+
+    def test_batching_counters_match_the_thread_tier(self):
+        piped = Pipe(
+            lambda: counter(20), backend="async", batch=5, capacity=20
+        ).start()
+        assert list(piped.iterate()) == list(range(20))
+        assert piped._flushes == 4
+        assert piped._batched_items == 20
+
+    def test_error_never_overtakes_data(self):
+        piped = Pipe(crashing, backend="async").start()
+        got = []
+        with pytest.raises(ValueError, match="body crashed"):
+            for v in piped.iterate():
+                got.append(v)
+        assert got == [1, 2]
+
+    def test_cancel_releases_the_task(self, pipe_scheduler):
+        piped = Pipe(lambda: counter(10**6), backend="async", capacity=2)
+        piped.start()
+        assert piped.take() == 0
+        piped.cancel(join=True, timeout=5.0)
+        assert pipe_scheduler.leaked(join_timeout=2.0) == []
+
+    def test_emits_async_session_event(self):
+        tracer = Tracer()
+        with tracer.lifecycle():
+            piped = Pipe(lambda: counter(3), backend="async").start()
+            assert list(piped.iterate()) == [0, 1, 2]
+        kinds = [e.kind for e in tracer.events]
+        assert EventKind.ASYNC_SESSION in kinds
+        stats = tracer.async_stats()
+        workers = sum(s["workers"] for s in stats.values())
+        assert workers == 1
+
+    def test_supervision_replays_an_async_worker(self):
+        plan = {"calls": 0}
+
+        def flaky():
+            plan["calls"] += 1
+            yield 1
+            yield 2
+            if plan["calls"] < 3:
+                raise OSError("transient")
+            yield 3
+
+        piped = supervise(
+            source_pipe(flaky).coexpr,
+            backend="async",
+            backoff=NO_BACKOFF,
+            max_retries=5,
+        )
+        # Exactly-once: the replayed prefix is skipped, not re-delivered.
+        assert list(piped.iterate()) == [1, 2, 3]
+        assert piped.failures == 2
+
+    def test_pipeline_source_on_loop_stages_degrade(self):
+        # The cooperative caveat, mirrored from the process tier: the
+        # source runs on the loop, but a channel-fed stage's blocking
+        # take would starve (here: deadlock) the loop, so it degrades to
+        # a thread with a DEGRADED event — and the stream is unchanged.
+        tracer = Tracer()
+        with tracer.lifecycle():
+            piped = pipeline(
+                lambda: counter(10), lambda x: x * x, backend="async"
+            )
+            assert list(piped.iterate()) == [x * x for x in range(10)]
+        assert piped.degraded is not None
+        assert "starve the loop" in piped.degraded
+        degraded = [e for e in tracer.events if e.kind == EventKind.DEGRADED]
+        assert degraded
+        # The source itself did go async: exactly one loop session.
+        stats = tracer.async_stats()
+        assert sum(s["workers"] for s in stats.values()) == 1
+
+    def test_dataparallel_on_the_loop(self):
+        dp = DataParallel(chunk_size=10, backend="async")
+        assert list(dp.map_flat(lambda x: 2 * x, range(50))) == [
+            2 * x for x in range(50)
+        ]
+
+    def test_unknown_backend_message_names_all_four(self):
+        with pytest.raises(ValueError, match="async"):
+            Pipe(lambda: counter(1), backend="fiber")
+
+    def test_scheduler_shutdown_gates_the_spawn(self, pipe_scheduler):
+        pipe_scheduler.shutdown(wait=False)
+        piped = Pipe(lambda: counter(5), backend="async")
+        with pytest.raises(SchedulerShutdownError):
+            piped.start()
+
+    def test_shutdown_awaits_pending_tasks(self, pipe_scheduler):
+        piped = Pipe(lambda: counter(10**6), backend="async", capacity=2)
+        piped.start()
+        assert piped.take() == 0
+        # Satellite contract: shutdown kills AND awaits the loop task, so
+        # the leak check right after sees nothing pending.
+        pipe_scheduler.shutdown(wait=True, timeout=5.0)
+        assert pipe_scheduler.leaked() == []
+
+    def test_max_linger_flushes_partial_batches(self):
+        # Cooperative linger: activations are atomic on the loop, so
+        # staleness is checked at activation boundaries — a partial
+        # batch older than max_linger is flushed with the next item
+        # instead of waiting out the full batch size.
+        def trickle():
+            yield 1
+            yield 2
+            time.sleep(0.25)  # the gap that makes [1, 2] stale
+            yield from range(3, 21)
+
+        piped = Pipe(
+            trickle,
+            backend="async",
+            batch=10,
+            capacity=20,
+            max_linger=0.05,
+        ).start()
+        assert list(piped.iterate()) == list(range(1, 21))
+        # Three flushes: the stale partial [1, 2, 3], one full batch,
+        # and the exhaustion flush — a pure size-10 batcher would have
+        # done two.
+        assert piped._flushes == 3
+        assert piped._batched_items == 20
+
+    def test_refresh_replays_from_snapshot(self):
+        piped = Pipe(lambda: counter(5), backend="async").start()
+        assert piped.take() == 0
+        refreshed = piped.refresh()
+        piped.cancel(join=True, timeout=5.0)
+        assert list(refreshed.iterate()) == [0, 1, 2, 3, 4]

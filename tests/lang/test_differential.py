@@ -558,11 +558,19 @@ def _compiled_program(decls: str, expr: str):
     return namespace[expr[:-2]]()
 
 
-@pytest.fixture(scope="module")
-def gen_server():
-    from repro.net import GeneratorServer
+def _server_classes():
+    from repro.net import AsyncGeneratorServer, GeneratorServer
 
-    with GeneratorServer() as server:
+    return [GeneratorServer, AsyncGeneratorServer]
+
+
+@pytest.fixture(
+    scope="module", params=_server_classes(), ids=["threaded", "async"]
+)
+def gen_server(request):
+    # Both server substrates host the corpus: the event-loop server must
+    # be as invisible on the wire as the threaded one.
+    with request.param() as server:
         server.register("program", _compiled_program)
         yield server
 

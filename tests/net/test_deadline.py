@@ -1,4 +1,5 @@
-"""End-to-end deadlines across the backend matrix (thread|process|remote).
+"""End-to-end deadlines across the backend matrix
+(thread|process|remote|async).
 
 The contract under test: a ``deadline`` is one budget for the whole
 stream, carried as *remaining seconds* across every boundary, and expiry
@@ -8,9 +9,11 @@ terminated, remote session cancelled), the consumer sees
 per-take timeout keeps raising plain
 :class:`~repro.errors.PipeTimeoutError`; supervision retries neither.
 
-Every observable behavior is asserted identically for all three
+Every observable behavior is asserted identically for all four
 backends — the tiers must be indistinguishable except for *where* the
-expiry was noticed.
+expiry was noticed.  The remote tier additionally runs against both
+server substrates (threaded and event-loop): nothing on the wire may
+reveal which one answered.
 """
 
 from __future__ import annotations
@@ -24,9 +27,9 @@ from repro.coexpr.patterns import pipeline, source_pipe
 from repro.coexpr.supervision import NO_BACKOFF, supervise
 from repro.errors import PipeDeadlineExceeded, PipeTimeoutError
 from repro.monitor import EventKind, Tracer
-from repro.net import GeneratorServer
+from repro.net import AsyncGeneratorServer, GeneratorServer
 
-BACKENDS = ("thread", "process", "remote")
+BACKENDS = ("thread", "process", "remote", "async")
 
 
 # Module-level sources: the process and remote tiers ship bodies by
@@ -62,9 +65,9 @@ def crawl_double(x):
     return 2 * x
 
 
-@pytest.fixture
-def server():
-    with GeneratorServer() as srv:
+@pytest.fixture(params=[GeneratorServer, AsyncGeneratorServer])
+def server(request):
+    with request.param() as srv:
         yield srv
 
 
